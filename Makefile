@@ -1,0 +1,36 @@
+# SEPAR reproduction -- convenience targets.
+
+PYTHON ?= python
+
+.PHONY: install test bench tables examples all clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Reproduce every table and figure (prints to stdout).
+tables:
+	$(PYTHON) -m pytest benchmarks/ -s --benchmark-disable
+
+# The paper's full 4,000-app configuration.
+tables-full:
+	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ -s --benchmark-disable
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/enforcement_demo.py
+	$(PYTHON) examples/generated_attacker.py
+	$(PYTHON) examples/marshmallow_permissions.py
+	$(PYTHON) examples/market_audit.py
+	$(PYTHON) examples/custom_vulnerability_plugin.py
+
+all: test bench
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis .benchmarks

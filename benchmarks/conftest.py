@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Scale control: the paper's full 4,000-app corpus is expensive on a laptop;
+benchmarks default to a scaled-down population and honor
+
+- ``REPRO_SCALE=<float>`` -- corpus fraction (default 0.1 = 400 apps);
+- ``REPRO_FULL=1`` -- the paper's full scale (4,000 apps, 80 bundles).
+
+Reproduced table/figure data is printed to stdout; run pytest with ``-s``
+(or rely on the terminal summary) to see it.
+"""
+
+import os
+
+import pytest
+
+
+def corpus_scale() -> float:
+    if os.environ.get("REPRO_FULL") == "1":
+        return 1.0
+    return float(os.environ.get("REPRO_SCALE", "0.1"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return corpus_scale()

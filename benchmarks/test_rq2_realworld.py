@@ -1,0 +1,134 @@
+"""RQ2: vulnerability prevalence over the market corpus.
+
+The paper analyzes 4,000 apps in 80 bundles of 50 and reports apps
+vulnerable to: Intent hijack 97, Activity/Service launch 124,
+inter-component information leakage 128, privilege escalation 36.
+
+This harness generates the synthetic corpus (scaled by REPRO_SCALE /
+REPRO_FULL, see conftest), partitions it into bundles, runs the full AME
+extraction plus SEPAR detection per bundle, and reports detected counts
+against both the generator's injection ledger and the paper's
+(scale-adjusted) numbers.  The expected shape: detected ~= injected, with
+the same ordering as the paper (leak >= launch > hijack >> escalation).
+"""
+
+import pytest
+
+from repro.core.detector import SeparDetector
+from repro.reporting import render_table
+from repro.statics import extract_bundle
+from repro.workloads import CorpusConfig, CorpusGenerator, partition_bundles
+
+PAPER_COUNTS = {
+    "intent_hijack": 97,
+    "activity_service_launch": 124,
+    "information_leak": 128,
+    "privilege_escalation": 36,
+}
+
+
+@pytest.fixture(scope="module")
+def corpus(scale):
+    generator = CorpusGenerator(CorpusConfig(scale=scale))
+    apks = generator.generate()
+    return generator, apks
+
+
+@pytest.fixture(scope="module")
+def detection(corpus):
+    generator, apks = corpus
+    bundles = partition_bundles(apks, bundle_size=50)
+    detector = SeparDetector()
+    vulnerable = {
+        "intent_hijack": set(),
+        "activity_service_launch": set(),
+        "information_leak": set(),
+        "privilege_escalation": set(),
+    }
+    for bundle_apks in bundles:
+        bundle = extract_bundle(bundle_apks)
+        report = detector.detect(bundle)
+        vulnerable["intent_hijack"] |= report.apps("intent_hijack")
+        vulnerable["activity_service_launch"] |= report.apps(
+            "activity_launch"
+        ) | report.apps("service_launch")
+        vulnerable["information_leak"] |= report.apps("information_leak")
+        vulnerable["privilege_escalation"] |= report.apps(
+            "privilege_escalation"
+        )
+    return vulnerable, len(bundles)
+
+
+def test_rq2_report(corpus, detection, scale):
+    generator, apks = corpus
+    vulnerable, num_bundles = detection
+    injected = generator.ledger.counts()
+    rows = []
+    for key, paper in PAPER_COUNTS.items():
+        rows.append(
+            [
+                key,
+                injected.get(key, "-"),
+                len(vulnerable[key]),
+                round(paper * scale, 1),
+                paper,
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["Vulnerability", "Injected", "Detected", "Paper@scale", "Paper@4000"],
+            rows,
+            title=(
+                f"RQ2 -- vulnerable apps among {len(apks)} "
+                f"({num_bundles} bundles of <=50; scale={scale})"
+            ),
+        )
+    )
+
+
+class TestShape:
+    def test_detection_tracks_injection(self, corpus, detection):
+        """Detected counts stay within a band of the injected ground truth
+        (cross-bundle composition can add victims; extraction misses none)."""
+        generator, _ = corpus
+        vulnerable, _ = detection
+        injected = generator.ledger.counts()
+        for key in ("intent_hijack", "privilege_escalation"):
+            assert len(vulnerable[key]) >= 0.8 * injected[key]
+        # Launch detection also covers escalation-injected components.
+        assert len(vulnerable["activity_service_launch"]) >= 0.8 * (
+            injected["activity_service_launch"]
+        )
+
+    def test_paper_ordering(self, detection):
+        """leak and launch are the most common; escalation the rarest."""
+        vulnerable, _ = detection
+        counts = {k: len(v) for k, v in vulnerable.items()}
+        assert counts["privilege_escalation"] <= counts["intent_hijack"]
+        assert counts["privilege_escalation"] <= counts["information_leak"]
+        assert counts["privilege_escalation"] <= counts[
+            "activity_service_launch"
+        ]
+
+    def test_counts_in_paper_band(self, detection, scale):
+        """Within 3x of the scale-adjusted paper counts, both directions."""
+        vulnerable, _ = detection
+        for key, paper in PAPER_COUNTS.items():
+            expected = paper * scale
+            detected = len(vulnerable[key])
+            assert detected <= 3 * expected + 5, key
+            assert detected >= expected / 3 - 5, key
+
+
+def test_benchmark_bundle_detection(benchmark, corpus):
+    """Wall-clock for extraction + detection of one 50-app bundle."""
+    _, apks = corpus
+    bundle_apks = partition_bundles(apks, bundle_size=50)[0]
+    detector = SeparDetector()
+
+    def run():
+        return detector.detect(extract_bundle(bundle_apks))
+
+    report = benchmark(run)
+    assert report is not None

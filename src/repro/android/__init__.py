@@ -1,0 +1,40 @@
+"""The Android framework substrate.
+
+Everything SEPAR analyzes and protects lives on top of the Android
+application framework: apps packaged as APKs, components of four kinds,
+Intent-based inter-component communication (ICC), Intent filters, and the
+install-time permission model.  This package is a faithful, self-contained
+model of the parts of the framework the paper's analysis depends on
+(Section V: "we focused on the parts of Android that are relevant to the
+inter-component communication and their potential security challenges").
+
+- :mod:`repro.android.resources` -- the permission-required resources of
+  Holavanalli et al.'s flow permissions (13 sources, 5 sinks, plus ICC).
+- :mod:`repro.android.permissions` -- permissions, protection levels, and a
+  PScout-style API-to-permission map.
+- :mod:`repro.android.intents` -- Intents, Intent filters, and the
+  framework's implicit-Intent resolution tests (action/category/data).
+- :mod:`repro.android.components` -- the four component kinds and their
+  declared attributes.
+- :mod:`repro.android.manifest` -- the application manifest.
+- :mod:`repro.android.apk` -- the package archive: manifest + bytecode.
+"""
+
+from repro.android.resources import Resource, SOURCES, SINKS
+from repro.android.intents import Intent, IntentFilter, resolve_intent
+from repro.android.components import ComponentKind, ComponentDecl
+from repro.android.manifest import Manifest
+from repro.android.apk import Apk
+
+__all__ = [
+    "Resource",
+    "SOURCES",
+    "SINKS",
+    "Intent",
+    "IntentFilter",
+    "resolve_intent",
+    "ComponentKind",
+    "ComponentDecl",
+    "Manifest",
+    "Apk",
+]

@@ -1,0 +1,61 @@
+"""Component declarations: the four Android component kinds.
+
+A component is declared in the manifest with a kind, an optional guarding
+permission, an exported flag, and Intent filters.  Per the framework rules
+the paper encodes: a component is *public* (reachable from other apps) if
+its ``exported`` attribute is set or it declares at least one Intent
+filter; Content Providers cannot declare Intent filters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.android.intents import IntentFilter
+
+
+class ComponentKind(enum.Enum):
+    ACTIVITY = "Activity"
+    SERVICE = "Service"
+    RECEIVER = "BroadcastReceiver"
+    PROVIDER = "ContentProvider"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class ComponentDecl:
+    """A manifest component entry.
+
+    ``name`` is the short class name; the fully-qualified reference used in
+    ICC is ``<package>/<name>`` and is filled by the owning manifest.
+    ``permission`` guards access to the component (callers must hold it).
+    """
+
+    name: str
+    kind: ComponentKind
+    exported: Optional[bool] = None
+    permission: Optional[str] = None
+    intent_filters: List[IntentFilter] = field(default_factory=list)
+    authority: Optional[str] = None  # Content Providers only
+
+    def __post_init__(self) -> None:
+        if self.kind is ComponentKind.PROVIDER and self.intent_filters:
+            raise ValueError(
+                "Content Providers cannot declare Intent filters "
+                f"(component {self.name})"
+            )
+        if self.authority is not None and self.kind is not ComponentKind.PROVIDER:
+            raise ValueError(
+                f"only Content Providers declare an authority ({self.name})"
+            )
+
+    @property
+    def is_public(self) -> bool:
+        """Exported explicitly, or implicitly by declaring an Intent filter."""
+        if self.exported is not None:
+            return self.exported
+        return bool(self.intent_filters)

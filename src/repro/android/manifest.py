@@ -1,0 +1,43 @@
+"""The application manifest.
+
+The manifest carries the architectural information AME reads first:
+the package name, the permissions the app *uses* (requests), the
+permissions it *defines and enforces* on its components, and the component
+declarations with their Intent filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List
+
+from repro.android.components import ComponentDecl, ComponentKind
+
+
+@dataclass
+class Manifest:
+    package: str
+    uses_permissions: FrozenSet[str] = frozenset()
+    components: List[ComponentDecl] = field(default_factory=list)
+    min_sdk: int = 19  # KitKat, the paper's dominant platform version
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.components]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate component names in {self.package}")
+
+    def component(self, name: str) -> ComponentDecl:
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        raise KeyError(f"no component {name!r} in {self.package}")
+
+    def qualified(self, component: ComponentDecl) -> str:
+        """The ``package/Component`` reference used in ICC."""
+        return f"{self.package}/{component.name}"
+
+    def public_components(self) -> List[ComponentDecl]:
+        return [c for c in self.components if c.is_public]
+
+    def components_of_kind(self, kind: ComponentKind) -> List[ComponentDecl]:
+        return [c for c in self.components if c.kind is kind]

@@ -1,0 +1,155 @@
+"""Android permissions and the PScout-style API permission map.
+
+AME resolves which permissions each component actually uses by mapping the
+Android API calls found in the bytecode through a permission map (the paper
+uses PScout, Au et al., CCS 2012).  This module declares the permissions
+the reproduction's apps can request, their protection levels, the
+API-signature-to-permission map, and the association between permissions
+and the flow-permission resources of :mod:`repro.android.resources`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.android.resources import Resource
+
+
+class ProtectionLevel(enum.Enum):
+    NORMAL = "normal"
+    DANGEROUS = "dangerous"
+    SIGNATURE = "signature"
+
+
+# Canonical permission names, as in the platform manifest.
+ACCESS_FINE_LOCATION = "android.permission.ACCESS_FINE_LOCATION"
+READ_PHONE_STATE = "android.permission.READ_PHONE_STATE"
+READ_CONTACTS = "android.permission.READ_CONTACTS"
+READ_CALENDAR = "android.permission.READ_CALENDAR"
+READ_SMS = "android.permission.READ_SMS"
+READ_CALL_LOG = "android.permission.READ_CALL_LOG"
+RECORD_AUDIO = "android.permission.RECORD_AUDIO"
+CAMERA = "android.permission.CAMERA"
+GET_ACCOUNTS = "android.permission.GET_ACCOUNTS"
+READ_HISTORY_BOOKMARKS = "com.android.browser.permission.READ_HISTORY_BOOKMARKS"
+READ_EXTERNAL_STORAGE = "android.permission.READ_EXTERNAL_STORAGE"
+INTERNET = "android.permission.INTERNET"
+SEND_SMS = "android.permission.SEND_SMS"
+WRITE_SMS = "android.permission.WRITE_SMS"
+WRITE_EXTERNAL_STORAGE = "android.permission.WRITE_EXTERNAL_STORAGE"
+CALL_PHONE = "android.permission.CALL_PHONE"
+READ_LOGS = "android.permission.READ_LOGS"
+
+PROTECTION_LEVELS: Dict[str, ProtectionLevel] = {
+    ACCESS_FINE_LOCATION: ProtectionLevel.DANGEROUS,
+    READ_PHONE_STATE: ProtectionLevel.DANGEROUS,
+    READ_CONTACTS: ProtectionLevel.DANGEROUS,
+    READ_CALENDAR: ProtectionLevel.DANGEROUS,
+    READ_SMS: ProtectionLevel.DANGEROUS,
+    READ_CALL_LOG: ProtectionLevel.DANGEROUS,
+    RECORD_AUDIO: ProtectionLevel.DANGEROUS,
+    CAMERA: ProtectionLevel.DANGEROUS,
+    GET_ACCOUNTS: ProtectionLevel.NORMAL,
+    READ_HISTORY_BOOKMARKS: ProtectionLevel.DANGEROUS,
+    READ_EXTERNAL_STORAGE: ProtectionLevel.NORMAL,
+    INTERNET: ProtectionLevel.NORMAL,
+    SEND_SMS: ProtectionLevel.DANGEROUS,
+    WRITE_SMS: ProtectionLevel.DANGEROUS,
+    WRITE_EXTERNAL_STORAGE: ProtectionLevel.DANGEROUS,
+    CALL_PHONE: ProtectionLevel.DANGEROUS,
+    READ_LOGS: ProtectionLevel.SIGNATURE,
+}
+
+# Permission guarding each resource (used to check privilege escalation).
+RESOURCE_PERMISSION: Dict[Resource, Optional[str]] = {
+    Resource.LOCATION: ACCESS_FINE_LOCATION,
+    Resource.IMEI: READ_PHONE_STATE,
+    Resource.CONTACTS: READ_CONTACTS,
+    Resource.CALENDAR: READ_CALENDAR,
+    Resource.SMS_INBOX: READ_SMS,
+    Resource.CALL_LOG: READ_CALL_LOG,
+    Resource.MICROPHONE: RECORD_AUDIO,
+    Resource.CAMERA: CAMERA,
+    Resource.ACCOUNTS: GET_ACCOUNTS,
+    Resource.BROWSER_HISTORY: READ_HISTORY_BOOKMARKS,
+    Resource.PHONE_STATE: READ_PHONE_STATE,
+    Resource.PHONE_NUMBER: READ_PHONE_STATE,
+    Resource.SDCARD_READ: READ_EXTERNAL_STORAGE,
+    Resource.NETWORK: INTERNET,
+    Resource.SMS: SEND_SMS,
+    Resource.SDCARD: WRITE_EXTERNAL_STORAGE,
+    Resource.LOG: None,  # writing the shared log needs no permission
+    Resource.PHONE_CALLS: CALL_PHONE,
+    Resource.ICC: None,
+}
+
+# ---------------------------------------------------------------------------
+# PScout-style API permission map: method signature -> required permissions,
+# plus the resource the call touches (source or sink) when data-relevant.
+# Signatures are "Class.method" over the platform classes the IR models.
+# ---------------------------------------------------------------------------
+API_PERMISSION_MAP: Dict[str, FrozenSet[str]] = {
+    "LocationManager.getLastKnownLocation": frozenset({ACCESS_FINE_LOCATION}),
+    "LocationManager.requestLocationUpdates": frozenset({ACCESS_FINE_LOCATION}),
+    "TelephonyManager.getDeviceId": frozenset({READ_PHONE_STATE}),
+    "TelephonyManager.getLine1Number": frozenset({READ_PHONE_STATE}),
+    "TelephonyManager.getSimSerialNumber": frozenset({READ_PHONE_STATE}),
+    "ContactsProvider.query": frozenset({READ_CONTACTS}),
+    "CalendarProvider.query": frozenset({READ_CALENDAR}),
+    "SmsProvider.query": frozenset({READ_SMS}),
+    "CallLogProvider.query": frozenset({READ_CALL_LOG}),
+    "AudioRecord.startRecording": frozenset({RECORD_AUDIO}),
+    "Camera.takePicture": frozenset({CAMERA}),
+    "AccountManager.getAccounts": frozenset({GET_ACCOUNTS}),
+    "Browser.getAllBookmarks": frozenset({READ_HISTORY_BOOKMARKS}),
+    "ExternalStorage.readFile": frozenset({READ_EXTERNAL_STORAGE}),
+    "URL.openConnection": frozenset({INTERNET}),
+    "HttpClient.execute": frozenset({INTERNET}),
+    "SmsManager.sendTextMessage": frozenset({SEND_SMS}),
+    "ExternalStorage.writeFile": frozenset({WRITE_EXTERNAL_STORAGE}),
+    "ACTION_CALL": frozenset({CALL_PHONE}),
+}
+
+# Source APIs: calling them yields data tagged with the given resource.
+SOURCE_API_MAP: Dict[str, Resource] = {
+    "LocationManager.getLastKnownLocation": Resource.LOCATION,
+    "LocationManager.requestLocationUpdates": Resource.LOCATION,
+    "TelephonyManager.getDeviceId": Resource.IMEI,
+    "TelephonyManager.getLine1Number": Resource.PHONE_NUMBER,
+    "TelephonyManager.getSimSerialNumber": Resource.PHONE_STATE,
+    "ContactsProvider.query": Resource.CONTACTS,
+    "CalendarProvider.query": Resource.CALENDAR,
+    "SmsProvider.query": Resource.SMS_INBOX,
+    "CallLogProvider.query": Resource.CALL_LOG,
+    "AudioRecord.startRecording": Resource.MICROPHONE,
+    "Camera.takePicture": Resource.CAMERA,
+    "AccountManager.getAccounts": Resource.ACCOUNTS,
+    "Browser.getAllBookmarks": Resource.BROWSER_HISTORY,
+    "ExternalStorage.readFile": Resource.SDCARD_READ,
+}
+
+# Sink APIs: passing tainted data to them leaks it to the given resource.
+# The integer is the index of the data-carrying argument.
+SINK_API_MAP: Dict[str, Tuple[Resource, int]] = {
+    "SmsManager.sendTextMessage": (Resource.SMS, 2),
+    "URL.openConnection": (Resource.NETWORK, 0),
+    "HttpClient.execute": (Resource.NETWORK, 0),
+    "ExternalStorage.writeFile": (Resource.SDCARD, 1),
+    "Log.d": (Resource.LOG, 1),
+    "Log.i": (Resource.LOG, 1),
+    "Log.e": (Resource.LOG, 1),
+}
+
+
+def permissions_for_api(signature: str) -> FrozenSet[str]:
+    """Permissions required to invoke an API method (empty if unguarded)."""
+    return API_PERMISSION_MAP.get(signature, frozenset())
+
+
+def permission_for_resource(resource: Resource) -> Optional[str]:
+    return RESOURCE_PERMISSION.get(resource)
+
+
+def protection_level(permission: str) -> ProtectionLevel:
+    return PROTECTION_LEVELS.get(permission, ProtectionLevel.NORMAL)

@@ -1,0 +1,83 @@
+"""Permission-required resources (flow-permission domains).
+
+SEPAR defines the source and destination of a sensitive data-flow path over
+the canonical permission-required resources identified by Holavanalli et
+al., "Flow Permissions for Android" (ASE 2013): thirteen resources act as
+sources of sensitive data, five as destinations, and the ICC mechanism
+augments both sets (a path may begin at an Intent received from another
+component and may end at an Intent sent to one).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+
+class Resource(enum.Enum):
+    """A permission-guarded resource that sensitive data flows from or to."""
+
+    # --- sources (13) ---
+    LOCATION = "LOCATION"
+    IMEI = "IMEI"
+    CONTACTS = "CONTACTS"
+    CALENDAR = "CALENDAR"
+    SMS_INBOX = "SMS_INBOX"
+    CALL_LOG = "CALL_LOG"
+    MICROPHONE = "MICROPHONE"
+    CAMERA = "CAMERA"
+    ACCOUNTS = "ACCOUNTS"
+    BROWSER_HISTORY = "BROWSER_HISTORY"
+    PHONE_STATE = "PHONE_STATE"
+    PHONE_NUMBER = "PHONE_NUMBER"
+    SDCARD_READ = "SDCARD_READ"
+    # --- sinks (5) ---
+    NETWORK = "NETWORK"
+    SMS = "SMS"
+    SDCARD = "SDCARD"
+    LOG = "LOG"
+    PHONE_CALLS = "PHONE_CALLS"
+    # --- both (the ICC augmentation) ---
+    ICC = "ICC"
+
+    def __str__(self) -> str:  # atom-friendly rendering
+        return self.value
+
+
+SOURCES: FrozenSet[Resource] = frozenset(
+    {
+        Resource.LOCATION,
+        Resource.IMEI,
+        Resource.CONTACTS,
+        Resource.CALENDAR,
+        Resource.SMS_INBOX,
+        Resource.CALL_LOG,
+        Resource.MICROPHONE,
+        Resource.CAMERA,
+        Resource.ACCOUNTS,
+        Resource.BROWSER_HISTORY,
+        Resource.PHONE_STATE,
+        Resource.PHONE_NUMBER,
+        Resource.SDCARD_READ,
+        Resource.ICC,
+    }
+)
+
+SINKS: FrozenSet[Resource] = frozenset(
+    {
+        Resource.NETWORK,
+        Resource.SMS,
+        Resource.SDCARD,
+        Resource.LOG,
+        Resource.PHONE_CALLS,
+        Resource.ICC,
+    }
+)
+
+
+def is_source(resource: Resource) -> bool:
+    return resource in SOURCES
+
+
+def is_sink(resource: Resource) -> bool:
+    return resource in SINKS

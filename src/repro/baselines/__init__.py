@@ -1,0 +1,27 @@
+"""Comparison tools for the Table I evaluation.
+
+Each baseline re-implements the *documented* capability profile of a
+published analyzer over this reproduction's IR (see DESIGN.md's
+substitution table): the comparison then measures exactly the capability
+differences the paper attributes the accuracy gap to.
+"""
+
+from repro.baselines.common import (
+    AnalysisTool,
+    LeakCompositionProfile,
+    compose_leaks,
+)
+from repro.baselines.didfail import DidFail
+from repro.baselines.amandroid import AmanDroid
+from repro.baselines.covert import Covert
+from repro.baselines.separ_tool import SeparTool
+
+__all__ = [
+    "AnalysisTool",
+    "LeakCompositionProfile",
+    "compose_leaks",
+    "DidFail",
+    "AmanDroid",
+    "Covert",
+    "SeparTool",
+]

@@ -1,0 +1,43 @@
+"""AmanDroid (Wei et al., CCS 2014) comparison profile.
+
+AmanDroid builds a precise inter-component data-flow graph per app.
+Documented limitations reproduced here:
+
+- no Content Provider analysis ("unable to examine Content Providers for
+  security analysis");
+- no complicated ICC methods: bound services and
+  ``startActivityForResult`` result channels are not connected;
+- per-app analysis only: the three DroidBench IAC (inter-app) rows are
+  missed;
+- dynamically registered Broadcast Receivers *are* modeled when the filter
+  is resolvable by constant propagation (ICC-Bench DynRegisteredReceiver1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from repro.android.apk import Apk
+from repro.baselines.common import (
+    AnalysisTool,
+    LeakCompositionProfile,
+    LeakPair,
+    compose_leaks,
+)
+from repro.core.model import BundleModel
+from repro.statics.extractor import ModelExtractor
+
+_PROFILE = LeakCompositionProfile(
+    include_result_channels=False,
+    include_providers=False,
+    intra_app_only=True,
+)
+
+
+class AmanDroid(AnalysisTool):
+    name = "AmanDroid"
+
+    def find_leaks(self, apks: Sequence[Apk]) -> Set[LeakPair]:
+        extractor = ModelExtractor(handle_dynamic_receivers=True)
+        bundle = BundleModel(apps=[extractor.extract(apk) for apk in apks])
+        return compose_leaks(bundle, _PROFILE)

@@ -1,0 +1,168 @@
+"""Shared leak-composition machinery for the comparison tools.
+
+Each baseline is characterized by a :class:`LeakCompositionProfile`
+encoding its documented capabilities and blind spots; composition itself
+(pairing taint-carrying Intents with ICC-rooted sink paths across
+components) is shared.  This keeps the baselines honest: they differ from
+SEPAR exactly where the literature says they do, not in incidental
+implementation details.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence, Set, Tuple
+
+from repro.android.apk import Apk
+from repro.android.components import ComponentKind
+from repro.android.intents import Intent as RtIntent
+from repro.android.intents import (
+    action_test,
+    category_test,
+    data_test,
+)
+from repro.android.intents import IntentFilter as RtFilter
+from repro.android.resources import Resource
+from repro.core.detector import PUBLIC_SINKS, SENSITIVE_SOURCES
+from repro.core.model import BundleModel, ComponentModel, IntentModel
+
+LeakPair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class LeakCompositionProfile:
+    """Capability switches for a leak-composition pass."""
+
+    implicit_only: bool = False  # cannot connect explicit Intents (Epicc gap)
+    use_scheme_test: bool = True  # False: data-scheme-blind matching
+    include_result_channels: bool = True  # bindService / setResult flows
+    include_providers: bool = True  # ContentResolver flows
+    intra_app_only: bool = False  # cannot compose across apps
+
+
+FULL_PROFILE = LeakCompositionProfile()
+
+
+def _filter_matches(
+    intent: RtIntent, filt: RtFilter, use_scheme_test: bool
+) -> bool:
+    if not action_test(intent, filt) or not category_test(intent, filt):
+        return False
+    if use_scheme_test:
+        return data_test(intent, filt)
+    # Scheme-blind: only the MIME half of the data test survives.
+    if intent.data_type is not None:
+        return any(
+            p == "*/*" or p == intent.data_type for p in filt.data_types
+        ) or not filt.data_types
+    return True
+
+
+def _deliverable(
+    intent: IntentModel,
+    sender: ComponentModel,
+    receiver: ComponentModel,
+    profile: LeakCompositionProfile,
+) -> bool:
+    same_app = sender.app == receiver.app
+    if profile.intra_app_only and not same_app:
+        return False
+    if not receiver.exported and not same_app:
+        return False
+    if intent.passive:
+        return (
+            profile.include_result_channels
+            and receiver.name in intent.passive_targets
+        )
+    if intent.explicit:
+        if profile.implicit_only:
+            return False
+        return intent.target == receiver.name
+    rt_intent = RtIntent(
+        sender=intent.sender,
+        action=intent.action,
+        categories=intent.categories,
+        data_type=intent.data_type,
+        data_scheme=intent.data_scheme,
+    )
+    for filt in receiver.intent_filters:
+        if not filt.actions:
+            continue
+        rt_filter = RtFilter(
+            actions=frozenset(filt.actions),
+            categories=frozenset(filt.categories),
+            data_types=frozenset(filt.data_types),
+            data_schemes=frozenset(filt.data_schemes),
+        )
+        if _filter_matches(rt_intent, rt_filter, profile.use_scheme_test):
+            return True
+    return False
+
+
+def compose_leaks(
+    bundle: BundleModel, profile: LeakCompositionProfile
+) -> Set[LeakPair]:
+    """All (source component, sink component) leak pairs the profile sees."""
+    components = bundle.all_components()
+    by_name = {c.name: c for c in components}
+    relays = [
+        c
+        for c in components
+        if any(
+            p.source is Resource.ICC and p.sink in PUBLIC_SINKS for p in c.paths
+        )
+    ]
+    pairs: Set[LeakPair] = set()
+    for intent in bundle.all_intents():
+        if not profile.include_result_channels and (
+            intent.passive or intent.wants_result
+        ):
+            continue
+        if not intent.extras & SENSITIVE_SOURCES:
+            continue
+        sender = by_name.get(intent.sender)
+        if sender is None:
+            continue
+        for relay in relays:
+            if relay.name == intent.sender:
+                continue
+            if _deliverable(intent, sender, relay, profile):
+                pairs.add((intent.sender, relay.name))
+    if profile.include_providers:
+        providers = [
+            c for c in components if c.kind is ComponentKind.PROVIDER
+        ]
+        for app in bundle.apps:
+            for access in app.provider_accesses:
+                if not access.payload & SENSITIVE_SOURCES:
+                    continue
+                sender = by_name.get(access.sender)
+                if sender is None:
+                    continue
+                for provider in providers:
+                    if profile.intra_app_only and provider.app != sender.app:
+                        continue
+                    if provider.authority is not None and access.authority not in (
+                        None,
+                        provider.authority,
+                    ):
+                        continue
+                    if not provider.exported and provider.app != sender.app:
+                        continue
+                    if any(
+                        p.source is Resource.ICC and p.sink in PUBLIC_SINKS
+                        for p in provider.paths
+                    ):
+                        pairs.add((access.sender, provider.name))
+    return pairs
+
+
+class AnalysisTool(abc.ABC):
+    """A leak-detection tool under Table-I comparison."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def find_leaks(self, apks: Sequence[Apk]) -> Set[LeakPair]:
+        """Analyze a bundle of APKs and report leak pairs."""

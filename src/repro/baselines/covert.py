@@ -1,0 +1,31 @@
+"""COVERT (Bagheri et al., TSE 2015) comparison profile.
+
+COVERT performs compositional analysis of inter-app *permission leakage*
+only -- it cannot detect the information-leak vulnerabilities DroidBench
+and ICC-Bench consist of, which is why the paper excludes it from Table I.
+It is included here for completeness: ``find_escalations`` reproduces its
+privilege-escalation detection, and ``find_leaks`` returns the empty set
+(its Table-I behavior by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from repro.android.apk import Apk
+from repro.baselines.common import AnalysisTool, LeakPair
+from repro.core.detector import SeparDetector
+from repro.statics.extractor import extract_bundle
+
+
+class Covert(AnalysisTool):
+    name = "COVERT"
+
+    def find_leaks(self, apks: Sequence[Apk]) -> Set[LeakPair]:
+        return set()  # information leaks are outside COVERT's scope
+
+    def find_escalations(self, apks: Sequence[Apk]) -> Set[str]:
+        """Components leaking permission-guarded capabilities."""
+        bundle = extract_bundle(list(apks))
+        report = SeparDetector().detect(bundle)
+        return report.components("privilege_escalation")

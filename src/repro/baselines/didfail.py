@@ -1,0 +1,46 @@
+"""DidFail (Klieber et al., SOAP 2014) comparison profile.
+
+DidFail composes FlowDroid per-app taint results through Epicc's Intent
+summaries.  Documented limitations reproduced here (Sections VII.A and
+VIII of the paper):
+
+- Epicc does not model the data *scheme*, so inter-component path matching
+  is scheme-blind (imprecision: decoy components connect);
+- only implicit-Intent flows are connected ("DidFail found only the
+  vulnerabilities caused by implicit Intents, missing the vulnerabilities
+  that are due to explicit Intents");
+- no bound-service / result-channel flows and no Content Providers;
+- no framework-entry reachability pruning of the per-component analysis,
+  so leaks in dead code are reported (false warnings on DroidBench's
+  unreachable cases).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from repro.android.apk import Apk
+from repro.baselines.common import (
+    AnalysisTool,
+    LeakCompositionProfile,
+    LeakPair,
+    compose_leaks,
+)
+from repro.statics.extractor import ModelExtractor
+from repro.core.model import BundleModel
+
+_PROFILE = LeakCompositionProfile(
+    implicit_only=True,
+    use_scheme_test=False,
+    include_result_channels=False,
+    include_providers=False,
+)
+
+
+class DidFail(AnalysisTool):
+    name = "DidFail"
+
+    def find_leaks(self, apks: Sequence[Apk]) -> Set[LeakPair]:
+        extractor = ModelExtractor(reachability_pruning=False)
+        bundle = BundleModel(apps=[extractor.extract(apk) for apk in apks])
+        return compose_leaks(bundle, _PROFILE)

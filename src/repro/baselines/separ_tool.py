@@ -1,0 +1,35 @@
+"""SEPAR wrapped in the Table-I tool interface.
+
+Uses the real AME extraction (entry-point-rooted, reachability-pruned, no
+dynamic-receiver handling -- the published prototype's behavior) and the
+full leak composition: explicit and implicit Intents, scheme-aware
+matching, result channels, and Content Providers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from repro.android.apk import Apk
+from repro.baselines.common import (
+    AnalysisTool,
+    FULL_PROFILE,
+    LeakPair,
+    compose_leaks,
+)
+from repro.statics.extractor import extract_bundle
+
+
+class SeparTool(AnalysisTool):
+    name = "SEPAR"
+
+    def __init__(self, handle_dynamic_receivers: bool = False) -> None:
+        # The extension flag exists for the ablation benchmark; the
+        # published prototype runs with it off.
+        self.handle_dynamic_receivers = handle_dynamic_receivers
+
+    def find_leaks(self, apks: Sequence[Apk]) -> Set[LeakPair]:
+        bundle = extract_bundle(
+            list(apks), handle_dynamic_receivers=self.handle_dynamic_receivers
+        )
+        return compose_leaks(bundle, FULL_PROFILE)

@@ -1,0 +1,9 @@
+"""Benchmark app suites and ground truth.
+
+- :mod:`repro.benchsuite.running_example` -- the paper's motivating example
+  (Listings 1 and 2 plus the synthesized malicious app of Figure 1).
+- :mod:`repro.benchsuite.droidbench` -- the 23 DroidBench 2.0 ICC/IAC test
+  cases of Table I, rebuilt over the IR with their published ground truth.
+- :mod:`repro.benchsuite.iccbench` -- the 10 ICC-Bench test cases.
+- :mod:`repro.benchsuite.metrics` -- precision/recall/F-measure scoring.
+"""

@@ -1,0 +1,214 @@
+"""Compact builders for benchmark apps.
+
+The DroidBench / ICC-Bench re-creations assemble dozens of small apps with
+the same few shapes: a component that reads a sensitive source and sends it
+onward over some ICC API, and a component that receives ICC data and leaks
+it to a sink.  These helpers keep each test case definition short and
+legible while still producing real IR that the full AME pipeline analyzes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.android.apk import Apk
+from repro.android.components import ComponentDecl, ComponentKind
+from repro.android.intents import IntentFilter
+from repro.android.manifest import Manifest
+from repro.dex import DexClass, DexProgram, MethodBuilder
+
+DEFAULT_SOURCE = "TelephonyManager.getDeviceId"  # IMEI: DroidBench's favorite
+DEFAULT_SINK = "SmsManager.sendTextMessage"
+
+_ENTRY_FOR_KIND = {
+    ComponentKind.ACTIVITY: "onCreate",
+    ComponentKind.SERVICE: "onStartCommand",
+    ComponentKind.RECEIVER: "onReceive",
+}
+
+
+def source_sender_class(
+    name: str,
+    kind: ComponentKind,
+    send_api: str,
+    action: Optional[str] = None,
+    target: Optional[str] = None,
+    data_scheme: Optional[str] = None,
+    category: Optional[str] = None,
+    data_type: Optional[str] = None,
+    source_api: str = DEFAULT_SOURCE,
+    extra_key: str = "secret",
+    entry: Optional[str] = None,
+    via_helper: bool = False,
+) -> DexClass:
+    """A component that reads a source and ships it via an ICC send API."""
+    b = MethodBuilder(entry or _ENTRY_FOR_KIND[kind], params=("p0",))
+    b.invoke(source_api, receiver="v9", dest="v8")
+    b.new_instance("v0", "Intent")
+    if action is not None:
+        b.const_string("v1", action)
+        b.invoke("Intent.setAction", receiver="v0", args=("v1",))
+    if target is not None:
+        b.const_string("v2", target)
+        b.invoke("Intent.setClassName", receiver="v0", args=("v2",))
+    if category is not None:
+        b.const_string("v3", category)
+        b.invoke("Intent.addCategory", receiver="v0", args=("v3",))
+    if data_scheme is not None:
+        b.const_string("v4", f"{data_scheme}://payload")
+        b.invoke("Intent.setData", receiver="v0", args=("v4",))
+    if data_type is not None:
+        b.const_string("v5", data_type)
+        b.invoke("Intent.setType", receiver="v0", args=("v5",))
+    b.const_string("v6", extra_key)
+    b.invoke("Intent.putExtra", receiver="v0", args=("v6", "v8"))
+    if via_helper:
+        b.invoke("this.doSend", args=("v0",))
+        b.ret()
+        methods = [
+            b.build(),
+            MethodBuilder("doSend", params=("p0",))
+            .invoke(send_api, args=("p0",))
+            .ret()
+            .build(),
+        ]
+    else:
+        b.invoke(send_api, args=("v0",))
+        b.ret()
+        methods = [b.build()]
+    superclass = kind.value if kind is not ComponentKind.RECEIVER else "BroadcastReceiver"
+    return DexClass(name, superclass=superclass, methods=methods)
+
+
+def leaking_receiver_class(
+    name: str,
+    kind: ComponentKind,
+    sink_api: str = DEFAULT_SINK,
+    extra_key: str = "secret",
+    entry: Optional[str] = None,
+) -> DexClass:
+    """A component that reads an Intent extra and leaks it to a sink."""
+    b = MethodBuilder(entry or _ENTRY_FOR_KIND[kind], params=("p0",))
+    b.const_string("v1", extra_key)
+    b.invoke("Intent.getStringExtra", receiver="p0", args=("v1",), dest="v2")
+    if sink_api == DEFAULT_SINK:
+        b.invoke("SmsManager.getDefault", dest="v3")
+        b.const_string("v4", "5550001")
+        b.invoke(
+            sink_api, receiver="v3", args=("v4", "v4", "v2", "v4", "v4")
+        )
+    elif sink_api.startswith("Log."):
+        b.invoke(sink_api, args=("v0", "v2"))
+    elif sink_api == "URL.openConnection":
+        b.invoke(sink_api, args=("v2",))
+    elif sink_api == "ExternalStorage.writeFile":
+        b.const_string("v5", "/sdcard/out.txt")
+        b.invoke(sink_api, args=("v5", "v2"))
+    else:
+        b.invoke(sink_api, args=("v2",))
+    b.ret()
+    superclass = kind.value if kind is not ComponentKind.RECEIVER else "BroadcastReceiver"
+    return DexClass(name, superclass=superclass, methods=[b.build()])
+
+
+def result_returning_class(
+    name: str,
+    source_api: str = DEFAULT_SOURCE,
+    extra_key: str = "secret",
+) -> DexClass:
+    """An Activity that reads a source and hands it back via setResult."""
+    return DexClass(
+        name,
+        superclass="Activity",
+        methods=[
+            MethodBuilder("onCreate", params=("p0",))
+            .invoke(source_api, receiver="v9", dest="v8")
+            .new_instance("v0", "Intent")
+            .const_string("v1", extra_key)
+            .invoke("Intent.putExtra", receiver="v0", args=("v1", "v8"))
+            .invoke("Activity.setResult", args=("v0",))
+            .ret()
+            .build()
+        ],
+    )
+
+
+def result_consuming_class(
+    name: str,
+    callee_target: str,
+    sink_api: str = DEFAULT_SINK,
+    extra_key: str = "secret",
+) -> DexClass:
+    """An Activity that startActivityForResult's a callee, then leaks the
+    returned payload."""
+    leak = MethodBuilder("onActivityResult", params=("p0",))
+    leak.const_string("v1", extra_key)
+    leak.invoke("Intent.getStringExtra", receiver="p0", args=("v1",), dest="v2")
+    if sink_api == DEFAULT_SINK:
+        leak.invoke("SmsManager.getDefault", dest="v3")
+        leak.const_string("v4", "5550001")
+        leak.invoke(sink_api, receiver="v3", args=("v4", "v4", "v2", "v4", "v4"))
+    else:
+        leak.invoke(sink_api, args=("v0", "v2"))
+    leak.ret()
+    return DexClass(
+        name,
+        superclass="Activity",
+        methods=[
+            MethodBuilder("onCreate", params=("p0",))
+            .new_instance("v0", "Intent")
+            .const_string("v1", callee_target)
+            .invoke("Intent.setClassName", receiver="v0", args=("v1",))
+            .invoke("Context.startActivityForResult", args=("v0",))
+            .ret()
+            .build(),
+            leak.build(),
+        ],
+    )
+
+
+def component_decl(
+    name: str,
+    kind: ComponentKind,
+    action: Optional[str] = None,
+    category: Optional[str] = None,
+    data_scheme: Optional[str] = None,
+    data_type: Optional[str] = None,
+    exported: Optional[bool] = None,
+    authority: Optional[str] = None,
+) -> ComponentDecl:
+    filters = []
+    if action is not None:
+        filters.append(
+            IntentFilter(
+                actions=frozenset({action}),
+                categories=frozenset({category} if category else ()),
+                data_schemes=frozenset({data_scheme} if data_scheme else ()),
+                data_types=frozenset({data_type} if data_type else ()),
+            )
+        )
+    return ComponentDecl(
+        name,
+        kind,
+        exported=exported,
+        intent_filters=filters,
+        authority=authority,
+    )
+
+
+def make_apk(
+    package: str,
+    decls: Sequence[ComponentDecl],
+    classes: Sequence[DexClass],
+    uses_permissions: Iterable[str] = (),
+    repository: str = "benchmark",
+) -> Apk:
+    return Apk(
+        Manifest(
+            package=package,
+            uses_permissions=frozenset(uses_permissions),
+            components=list(decls),
+        ),
+        DexProgram(list(classes)),
+        repository=repository,
+    )

@@ -1,0 +1,497 @@
+"""DroidBench 2.0 ICC/IAC test cases (Table I, upper block), rebuilt on the IR.
+
+The 23 known leaks and the trap cases (unreachable-but-vulnerable code,
+data-scheme decoys) follow the published benchmark's structure:
+
+- ``bindService1..4`` -- leaks through bound services (explicit Intents);
+  case 4 carries two real leaks plus a dead-code decoy only a
+  reachability-insensitive analyzer reports.
+- ``sendBroadcast1`` -- implicit broadcast leak.
+- ``startActivity1..3`` -- explicit intra-app Activity leaks.
+- ``startActivity4..5`` -- *no* real leaks: the sending code lives in a
+  method no lifecycle entry point ever calls.
+- ``startActivityForResult1..4`` -- result-channel leaks (the passive
+  Intents of Algorithm 1); case 4 has two.
+- ``startService1..2`` -- implicit Service leaks guarded by data
+  schemes, with same-action decoy components that only a scheme-blind
+  matcher connects.
+- ``delete1/insert1/query1/update1`` -- Content Provider leaks through
+  ContentResolver operations.
+- ``IAC_*`` -- the three inter-app (two-APK) leaks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.components import ComponentKind
+from repro.benchsuite.appkit import (
+    component_decl,
+    leaking_receiver_class,
+    make_apk,
+    result_consuming_class,
+    result_returning_class,
+    source_sender_class,
+)
+from repro.benchsuite.groundtruth import BenchmarkCase
+from repro.dex import DexClass, MethodBuilder
+
+A = ComponentKind.ACTIVITY
+S = ComponentKind.SERVICE
+R = ComponentKind.RECEIVER
+P = ComponentKind.PROVIDER
+
+
+def _case(name: str, apks, expected, notes: str = "") -> BenchmarkCase:
+    return BenchmarkCase(
+        name=name,
+        suite="DroidBench2",
+        apks=apks,
+        expected=frozenset(expected),
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# bindService
+# ---------------------------------------------------------------------------
+def bind_service1() -> BenchmarkCase:
+    pkg = "db.bind1"
+    # The real leak goes through the bound service; a dead helper method
+    # also broadcasts the payload -- a false warning for tools that do not
+    # prune framework-unreachable code.
+    main = DexClass(
+        "Main",
+        superclass="Activity",
+        methods=[
+            source_sender_class(
+                "Main", A, "Context.bindService", target=f"{pkg}/Bound"
+            ).method("onCreate"),
+            MethodBuilder("neverCalled")
+            .invoke("TelephonyManager.getDeviceId", receiver="v9", dest="v8")
+            .new_instance("v0", "Intent")
+            .const_string("v1", "db.DEADBIND1")
+            .invoke("Intent.setAction", receiver="v0", args=("v1",))
+            .const_string("v2", "secret")
+            .invoke("Intent.putExtra", receiver="v0", args=("v2", "v8"))
+            .invoke("Context.sendBroadcast", args=("v0",))
+            .ret()
+            .build(),
+        ],
+    )
+    apk = make_apk(
+        pkg,
+        [
+            component_decl("Main", A, exported=True),
+            component_decl("Bound", S),
+            component_decl("DeadRecv", R, action="db.DEADBIND1"),
+        ],
+        [
+            main,
+            leaking_receiver_class("Bound", S, entry="onBind"),
+            leaking_receiver_class("DeadRecv", R),
+        ],
+    )
+    return _case(
+        "ICC_bindService1", [apk], [(f"{pkg}/Main", f"{pkg}/Bound")],
+        notes="dead-code broadcast decoy",
+    )
+
+
+def bind_service2() -> BenchmarkCase:
+    pkg = "db.bind2"
+    apk = make_apk(
+        pkg,
+        [
+            component_decl("Main", A, exported=True),
+            component_decl("Bound", S, action="db.BIND2"),
+        ],
+        [
+            source_sender_class("Main", A, "Context.bindService", action="db.BIND2"),
+            leaking_receiver_class("Bound", S, entry="onBind"),
+        ],
+    )
+    return _case(
+        "ICC_bindService2", [apk], [(f"{pkg}/Main", f"{pkg}/Bound")]
+    )
+
+
+def bind_service3() -> BenchmarkCase:
+    pkg = "db.bind3"
+    apk = make_apk(
+        pkg,
+        [component_decl("Main", A, exported=True), component_decl("Bound", S)],
+        [
+            source_sender_class(
+                "Main", A, "Context.bindService",
+                target=f"{pkg}/Bound", via_helper=True,
+            ),
+            leaking_receiver_class("Bound", S, entry="onBind"),
+        ],
+    )
+    return _case(
+        "ICC_bindService3", [apk], [(f"{pkg}/Main", f"{pkg}/Bound")],
+        notes="payload routed through a helper method",
+    )
+
+
+def bind_service4() -> BenchmarkCase:
+    pkg = "db.bind4"
+    # Two real bound-service leaks, plus a dead-code send to a third
+    # sink-bearing service that a reachability-insensitive tool flags.
+    main = DexClass(
+        "Main",
+        superclass="Activity",
+        methods=[
+            MethodBuilder("onCreate", params=("p0",))
+            .invoke("TelephonyManager.getDeviceId", receiver="v9", dest="v8")
+            .new_instance("v0", "Intent")
+            .const_string("v1", f"{pkg}/BoundA")
+            .invoke("Intent.setClassName", receiver="v0", args=("v1",))
+            .const_string("v2", "secret")
+            .invoke("Intent.putExtra", receiver="v0", args=("v2", "v8"))
+            .invoke("Context.bindService", args=("v0",))
+            .new_instance("v3", "Intent")
+            .const_string("v4", f"{pkg}/BoundB")
+            .invoke("Intent.setClassName", receiver="v3", args=("v4",))
+            .invoke("Intent.putExtra", receiver="v3", args=("v2", "v8"))
+            .invoke("Context.bindService", args=("v3",))
+            .ret()
+            .build(),
+            # Never called from any lifecycle entry: dead as far as the
+            # framework is concerned.
+            MethodBuilder("neverCalled")
+            .invoke("TelephonyManager.getDeviceId", receiver="v9", dest="v8")
+            .new_instance("v0", "Intent")
+            .const_string("v1", "db.DEADBIND")
+            .invoke("Intent.setAction", receiver="v0", args=("v1",))
+            .const_string("v2", "secret")
+            .invoke("Intent.putExtra", receiver="v0", args=("v2", "v8"))
+            .invoke("Context.sendBroadcast", args=("v0",))
+            .ret()
+            .build(),
+        ],
+    )
+    apk = make_apk(
+        pkg,
+        [
+            component_decl("Main", A, exported=True),
+            component_decl("BoundA", S),
+            component_decl("BoundB", S),
+            component_decl("DeadRecv", R, action="db.DEADBIND"),
+        ],
+        [
+            main,
+            leaking_receiver_class("BoundA", S, entry="onBind"),
+            leaking_receiver_class("BoundB", S, entry="onBind"),
+            leaking_receiver_class("DeadRecv", R),
+        ],
+    )
+    return _case(
+        "ICC_bindService4",
+        [apk],
+        [
+            (f"{pkg}/Main", f"{pkg}/BoundA"),
+            (f"{pkg}/Main", f"{pkg}/BoundB"),
+        ],
+        notes="two leaks; dead-code decoy to BoundDead",
+    )
+
+
+# ---------------------------------------------------------------------------
+# sendBroadcast / startActivity
+# ---------------------------------------------------------------------------
+def send_broadcast1() -> BenchmarkCase:
+    pkg = "db.bcast1"
+    apk = make_apk(
+        pkg,
+        [
+            component_decl("Main", A, exported=True),
+            component_decl("Recv", R, action="db.BCAST1"),
+        ],
+        [
+            source_sender_class("Main", A, "Context.sendBroadcast", action="db.BCAST1"),
+            leaking_receiver_class("Recv", R),
+        ],
+    )
+    return _case("ICC_sendBroadcast1", [apk], [(f"{pkg}/Main", f"{pkg}/Recv")])
+
+
+def start_activity_n(n: int) -> BenchmarkCase:
+    pkg = f"db.sact{n}"
+    via_helper = n == 2
+    extra_key = "secret" if n != 3 else "payload3"
+    apk = make_apk(
+        pkg,
+        [
+            component_decl("Main", A, exported=True),
+            component_decl("Leaker", A),
+        ],
+        [
+            source_sender_class(
+                "Main", A, "Context.startActivity",
+                target=f"{pkg}/Leaker", via_helper=via_helper,
+                extra_key=extra_key,
+            ),
+            leaking_receiver_class("Leaker", A, extra_key=extra_key),
+        ],
+    )
+    return _case(f"ICC_startActivity{n}", [apk], [(f"{pkg}/Main", f"{pkg}/Leaker")])
+
+
+def start_activity_unreachable(n: int) -> BenchmarkCase:
+    """No real leak: the sending code is never invoked."""
+    pkg = f"db.sact{n}"
+    dead_sender = DexClass(
+        "Main",
+        superclass="Activity",
+        methods=[
+            MethodBuilder("onCreate", params=("p0",))
+            .const_string("v0", "benign")
+            .ret()
+            .build(),
+            MethodBuilder("unreachableLeak")
+            .invoke("TelephonyManager.getDeviceId", receiver="v9", dest="v8")
+            .new_instance("v0", "Intent")
+            .const_string("v1", f"db.DEAD{n}")
+            .invoke("Intent.setAction", receiver="v0", args=("v1",))
+            .const_string("v2", "secret")
+            .invoke("Intent.putExtra", receiver="v0", args=("v2", "v8"))
+            .invoke("Context.startActivity", args=("v0",))
+            .ret()
+            .build(),
+        ],
+    )
+    apk = make_apk(
+        pkg,
+        [
+            component_decl("Main", A, exported=True),
+            component_decl("Sink", A, action=f"db.DEAD{n}"),
+        ],
+        [dead_sender, leaking_receiver_class("Sink", A)],
+    )
+    return _case(
+        f"ICC_startActivity{n}", [apk], [],
+        notes="vulnerable code unreachable; any report is a false warning",
+    )
+
+
+# ---------------------------------------------------------------------------
+# startActivityForResult
+# ---------------------------------------------------------------------------
+def start_activity_for_result_n(n: int) -> BenchmarkCase:
+    pkg = f"db.safr{n}"
+    apk = make_apk(
+        pkg,
+        [
+            component_decl("Caller", A, exported=True),
+            component_decl("Callee", A),
+        ],
+        [
+            result_consuming_class("Caller", f"{pkg}/Callee"),
+            result_returning_class("Callee"),
+        ],
+    )
+    return _case(
+        f"ICC_startActivityForResult{n}",
+        [apk],
+        [(f"{pkg}/Callee", f"{pkg}/Caller")],
+    )
+
+
+def start_activity_for_result4() -> BenchmarkCase:
+    pkg = "db.safr4"
+    caller = DexClass(
+        "Caller",
+        superclass="Activity",
+        methods=[
+            MethodBuilder("onCreate", params=("p0",))
+            .new_instance("v0", "Intent")
+            .const_string("v1", f"{pkg}/CalleeA")
+            .invoke("Intent.setClassName", receiver="v0", args=("v1",))
+            .invoke("Context.startActivityForResult", args=("v0",))
+            .new_instance("v2", "Intent")
+            .const_string("v3", f"{pkg}/CalleeB")
+            .invoke("Intent.setClassName", receiver="v2", args=("v3",))
+            .invoke("Context.startActivityForResult", args=("v2",))
+            .ret()
+            .build(),
+            MethodBuilder("onActivityResult", params=("p0",))
+            .const_string("v1", "secret")
+            .invoke("Intent.getStringExtra", receiver="p0", args=("v1",), dest="v2")
+            .invoke("SmsManager.getDefault", dest="v3")
+            .const_string("v4", "5550001")
+            .invoke(
+                "SmsManager.sendTextMessage",
+                receiver="v3",
+                args=("v4", "v4", "v2", "v4", "v4"),
+            )
+            .ret()
+            .build(),
+        ],
+    )
+    apk = make_apk(
+        pkg,
+        [
+            component_decl("Caller", A, exported=True),
+            component_decl("CalleeA", A),
+            component_decl("CalleeB", A),
+        ],
+        [
+            caller,
+            result_returning_class("CalleeA"),
+            result_returning_class("CalleeB"),
+        ],
+    )
+    return _case(
+        "ICC_startActivityForResult4",
+        [apk],
+        [
+            (f"{pkg}/CalleeA", f"{pkg}/Caller"),
+            (f"{pkg}/CalleeB", f"{pkg}/Caller"),
+        ],
+        notes="two result-channel leaks",
+    )
+
+
+# ---------------------------------------------------------------------------
+# startService (scheme-guarded, with decoys)
+# ---------------------------------------------------------------------------
+def start_service_n(n: int) -> BenchmarkCase:
+    pkg = f"db.ssvc{n}"
+    action = f"db.SVC{n}"
+    apk = make_apk(
+        pkg,
+        [
+            component_decl("Main", A, exported=True),
+            component_decl("True", S, action=action, data_scheme="content"),
+            component_decl("Decoy", S, action=action, data_scheme="http"),
+        ],
+        [
+            source_sender_class(
+                "Main", A, "Context.startService",
+                action=action, data_scheme="content",
+            ),
+            leaking_receiver_class("True", S),
+            leaking_receiver_class("Decoy", S),
+        ],
+    )
+    return _case(
+        f"ICC_startService{n}",
+        [apk],
+        [(f"{pkg}/Main", f"{pkg}/True")],
+        notes="scheme-blind matchers also connect the decoy",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Content Provider operations
+# ---------------------------------------------------------------------------
+def provider_case(operation: str) -> BenchmarkCase:
+    pkg = f"db.prov{operation}"
+    authority = f"{pkg}.provider"
+    entry = operation  # query/insert/update/delete are provider entries
+    sender = DexClass(
+        "Main",
+        superclass="Activity",
+        methods=[
+            MethodBuilder("onCreate", params=("p0",))
+            .invoke("TelephonyManager.getDeviceId", receiver="v9", dest="v8")
+            .const_string("v0", f"content://{authority}/items")
+            .invoke(f"ContentResolver.{operation}", args=("v0", "v8"), dest="v2")
+            .ret()
+            .build()
+        ],
+    )
+    provider = DexClass(
+        "Prov",
+        superclass="ContentProvider",
+        methods=[
+            MethodBuilder(entry, params=("p0", "p1"))
+            .invoke("SmsManager.getDefault", dest="v3")
+            .const_string("v4", "5550001")
+            .invoke(
+                "SmsManager.sendTextMessage",
+                receiver="v3",
+                args=("v4", "v4", "p1", "v4", "v4"),
+            )
+            .ret()
+            .build()
+        ],
+    )
+    apk = make_apk(
+        pkg,
+        [
+            component_decl("Main", A, exported=True),
+            component_decl("Prov", P, exported=True, authority=authority),
+        ],
+        [sender, provider],
+    )
+    return _case(
+        f"ICC_{operation}1", [apk], [(f"{pkg}/Main", f"{pkg}/Prov")]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Inter-app (IAC)
+# ---------------------------------------------------------------------------
+def iac_case(api: str, label: str, kind: ComponentKind) -> BenchmarkCase:
+    sender_pkg = f"iac.{label}.sender"
+    receiver_pkg = f"iac.{label}.receiver"
+    action = f"iac.{label.upper()}"
+    sender = make_apk(
+        sender_pkg,
+        [component_decl("Main", A, exported=True)],
+        [source_sender_class("Main", A, api, action=action)],
+    )
+    # A decoy component declares the same action but requires a data
+    # scheme the Intent does not carry: only a scheme-blind matcher
+    # (DidFail's Epicc summaries) connects it.
+    receiver = make_apk(
+        receiver_pkg,
+        [
+            component_decl("Recv", kind, action=action, exported=True),
+            component_decl(
+                "Decoy", kind, action=action, data_scheme="https", exported=True
+            ),
+        ],
+        [
+            leaking_receiver_class("Recv", kind),
+            leaking_receiver_class("Decoy", kind),
+        ],
+    )
+    return _case(
+        f"IAC_{label}1",
+        [sender, receiver],
+        [(f"{sender_pkg}/Main", f"{receiver_pkg}/Recv")],
+        notes="scheme-guarded decoy in the receiver app",
+    )
+
+
+def droidbench_cases() -> List[BenchmarkCase]:
+    """All 23-leak DroidBench 2.0 rows of Table I, in table order."""
+    return [
+        bind_service1(),
+        bind_service2(),
+        bind_service3(),
+        bind_service4(),
+        send_broadcast1(),
+        start_activity_n(1),
+        start_activity_n(2),
+        start_activity_n(3),
+        start_activity_unreachable(4),
+        start_activity_unreachable(5),
+        start_activity_for_result_n(1),
+        start_activity_for_result_n(2),
+        start_activity_for_result_n(3),
+        start_activity_for_result4(),
+        start_service_n(1),
+        start_service_n(2),
+        provider_case("delete"),
+        provider_case("insert"),
+        provider_case("query"),
+        provider_case("update"),
+        iac_case("Context.startActivity", "startActivity", A),
+        iac_case("Context.startService", "startService", S),
+        iac_case("Context.sendBroadcast", "sendBroadcast", R),
+    ]

@@ -1,0 +1,25 @@
+"""Benchmark case records: apps plus ground-truth leak pairs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.android.apk import Apk
+
+LeakPair = Tuple[str, str]  # (source component, sink component), qualified
+
+
+@dataclass
+class BenchmarkCase:
+    """One test-case row of Table I."""
+
+    name: str
+    suite: str  # "DroidBench2" or "ICC-Bench"
+    apks: List[Apk]
+    expected: FrozenSet[LeakPair]
+    notes: str = ""
+
+    @property
+    def num_leaks(self) -> int:
+        return len(self.expected)

@@ -1,0 +1,210 @@
+"""ICC-Bench test cases (Table I, lower block), rebuilt on the IR.
+
+Nine single-app cases: one explicit leak, six implicit leaks exercising
+each dimension of filter matching (action, category, data scheme, MIME
+type, and mixes), and two dynamically-registered-receiver leaks -- the two
+rows the published SEPAR misses because its model extractor does not handle
+``registerReceiver`` (Section VII.A).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.components import ComponentKind
+from repro.benchsuite.appkit import (
+    component_decl,
+    leaking_receiver_class,
+    make_apk,
+    source_sender_class,
+)
+from repro.benchsuite.groundtruth import BenchmarkCase
+from repro.dex import DexClass, MethodBuilder
+
+A = ComponentKind.ACTIVITY
+S = ComponentKind.SERVICE
+R = ComponentKind.RECEIVER
+
+
+def _case(name, apks, expected, notes="") -> BenchmarkCase:
+    return BenchmarkCase(
+        name=name, suite="ICC-Bench", apks=apks,
+        expected=frozenset(expected), notes=notes,
+    )
+
+
+def explicit_src_sink() -> BenchmarkCase:
+    pkg = "icc.explicit"
+    apk = make_apk(
+        pkg,
+        [component_decl("Main", A, exported=True), component_decl("Sink", S)],
+        [
+            source_sender_class(
+                "Main", A, "Context.startService", target=f"{pkg}/Sink"
+            ),
+            leaking_receiver_class("Sink", S),
+        ],
+    )
+    return _case("Explicit_Src_Sink", [apk], [(f"{pkg}/Main", f"{pkg}/Sink")])
+
+
+def implicit_action() -> BenchmarkCase:
+    pkg = "icc.action"
+    apk = make_apk(
+        pkg,
+        [
+            component_decl("Main", A, exported=True),
+            component_decl("Sink", S, action="icc.ACTION"),
+        ],
+        [
+            source_sender_class("Main", A, "Context.startService", action="icc.ACTION"),
+            leaking_receiver_class("Sink", S),
+        ],
+    )
+    return _case("Implicit_Action", [apk], [(f"{pkg}/Main", f"{pkg}/Sink")])
+
+
+def implicit_category() -> BenchmarkCase:
+    pkg = "icc.category"
+    apk = make_apk(
+        pkg,
+        [
+            component_decl("Main", A, exported=True),
+            component_decl(
+                "Sink", S, action="icc.CAT", category="icc.category.TEST"
+            ),
+        ],
+        [
+            source_sender_class(
+                "Main", A, "Context.startService",
+                action="icc.CAT", category="icc.category.TEST",
+            ),
+            leaking_receiver_class("Sink", S),
+        ],
+    )
+    return _case("Implicit_Category", [apk], [(f"{pkg}/Main", f"{pkg}/Sink")])
+
+
+def implicit_data(n: int) -> BenchmarkCase:
+    pkg = f"icc.data{n}"
+    if n == 1:
+        decl = component_decl("Sink", S, action="icc.DATA", data_scheme="content")
+        sender = source_sender_class(
+            "Main", A, "Context.startService",
+            action="icc.DATA", data_scheme="content",
+        )
+    else:
+        decl = component_decl("Sink", S, action="icc.DATA", data_type="text/plain")
+        sender = source_sender_class(
+            "Main", A, "Context.startService",
+            action="icc.DATA", data_type="text/plain",
+        )
+    apk = make_apk(
+        pkg,
+        [component_decl("Main", A, exported=True), decl],
+        [sender, leaking_receiver_class("Sink", S)],
+    )
+    return _case(f"Implicit_Data{n}", [apk], [(f"{pkg}/Main", f"{pkg}/Sink")])
+
+
+def implicit_mix(n: int) -> BenchmarkCase:
+    pkg = f"icc.mix{n}"
+    category = "icc.category.MIX" if n == 1 else None
+    scheme = "content" if n == 2 else None
+    apk = make_apk(
+        pkg,
+        [
+            component_decl("Main", A, exported=True),
+            component_decl(
+                "Sink", S, action=f"icc.MIX{n}",
+                category=category, data_scheme=scheme,
+            ),
+        ],
+        [
+            source_sender_class(
+                "Main", A, "Context.startService",
+                action=f"icc.MIX{n}", category=category, data_scheme=scheme,
+            ),
+            leaking_receiver_class("Sink", S),
+        ],
+    )
+    return _case(f"Implicit_Mix{n}", [apk], [(f"{pkg}/Main", f"{pkg}/Sink")])
+
+
+def dyn_registered_receiver(n: int) -> BenchmarkCase:
+    """A Broadcast Receiver registered in code, not the manifest.
+
+    Case 1 resolves the action from a constant string -- analyzable by a
+    tool that models ``registerReceiver``.  Case 2 fetches the action from
+    an opaque platform call (``Resources.getString``), defeating constant
+    propagation for every tool.
+    """
+    pkg = f"icc.dynreg{n}"
+    action = f"icc.DYN{n}"
+    if n == 1:
+        action_setup = (
+            MethodBuilder("onCreate", params=("p0",))
+            .new_instance("v0", "DynRecv")
+            .new_instance("v1", "IntentFilter")
+            .const_string("v2", action)
+            .invoke("IntentFilter.addAction", receiver="v1", args=("v2",))
+            .invoke("Context.registerReceiver", args=("v0", "v1"))
+            # Then broadcast the tainted payload to it.
+            .invoke("TelephonyManager.getDeviceId", receiver="v9", dest="v8")
+            .new_instance("v3", "Intent")
+            .invoke("Intent.setAction", receiver="v3", args=("v2",))
+            .const_string("v4", "secret")
+            .invoke("Intent.putExtra", receiver="v3", args=("v4", "v8"))
+            .invoke("Context.sendBroadcast", args=("v3",))
+            .ret()
+            .build()
+        )
+    else:
+        action_setup = (
+            MethodBuilder("onCreate", params=("p0",))
+            .new_instance("v0", "DynRecv")
+            .new_instance("v1", "IntentFilter")
+            # The action string comes from an unmodeled platform call.
+            .invoke("Resources.getString", receiver="v9", dest="v2")
+            .invoke("IntentFilter.addAction", receiver="v1", args=("v2",))
+            .invoke("Context.registerReceiver", args=("v0", "v1"))
+            .invoke("TelephonyManager.getDeviceId", receiver="v9", dest="v8")
+            .new_instance("v3", "Intent")
+            .invoke("Intent.setAction", receiver="v3", args=("v2",))
+            .const_string("v4", "secret")
+            .invoke("Intent.putExtra", receiver="v3", args=("v4", "v8"))
+            .invoke("Context.sendBroadcast", args=("v3",))
+            .ret()
+            .build()
+        )
+    registrar = DexClass("Main", superclass="Activity", methods=[action_setup])
+    receiver = leaking_receiver_class("DynRecv", R)
+    apk = make_apk(
+        pkg,
+        [
+            component_decl("Main", A, exported=True),
+            component_decl("DynRecv", R),  # no manifest filter
+        ],
+        [registrar, receiver],
+    )
+    return _case(
+        f"DynRegisteredReceiver{n}",
+        [apk],
+        [(f"{pkg}/Main", f"{pkg}/DynRecv")],
+        notes="dynamically registered receiver",
+    )
+
+
+def iccbench_cases() -> List[BenchmarkCase]:
+    """All nine ICC-Bench rows of Table I, in table order."""
+    return [
+        explicit_src_sink(),
+        implicit_action(),
+        implicit_category(),
+        implicit_data(1),
+        implicit_data(2),
+        implicit_mix(1),
+        implicit_mix(2),
+        dyn_registered_receiver(1),
+        dyn_registered_receiver(2),
+    ]

@@ -1,0 +1,254 @@
+"""The paper's four real-world findings (Section VII.B), re-created.
+
+SEPAR's market study surfaced previously unknown vulnerabilities in real
+apps; the paper discloses four it reported to the developers.  Each is
+rebuilt here from its published description:
+
+- **Barcoder** (Activity/Service launch): a barcode scanner that pays
+  bills over SMS; its ``InquiryActivity`` "exposes an unprotected Intent
+  Filter that can be exploited by a malicious app for making an
+  unauthorized payment".
+- **Hesabdar** (Intent hijack): a personal accounting app; "one of its
+  components handles user account information and sends the information as
+  payload of an implicit Intent to another component".
+- **OwnCloud** (information leakage): a file-sync client; "one of its
+  components obtains the account information and through a chain of Intent
+  message passing, eventually logs the account information in an
+  unprotected area of the memory card".
+- **Ermete SMS** (privilege escalation): a texting app with WRITE_SMS;
+  "upon receiving an Intent, its ComposeActivity extracts the payload ...
+  and sends it via text message ... without checking the permission of the
+  sender".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.apk import Apk
+from repro.android.components import ComponentDecl, ComponentKind
+from repro.android.intents import IntentFilter
+from repro.android.manifest import Manifest
+from repro.android import permissions as perms
+from repro.dex import DexClass, DexProgram, MethodBuilder
+
+A = ComponentKind.ACTIVITY
+S = ComponentKind.SERVICE
+
+
+def build_barcoder() -> Apk:
+    """Barcode scanner paying bills via SMS; InquiryActivity is openly
+    launchable with attacker-controlled bill details."""
+    scanner = DexClass(
+        "ScannerActivity",
+        superclass="Activity",
+        methods=[
+            MethodBuilder("onCreate", params=("p0",))
+            .invoke("Camera.takePicture", receiver="v9", dest="v8")
+            .new_instance("v0", "Intent")
+            .const_string("v1", "ir.barcoder/InquiryActivity")
+            .invoke("Intent.setClassName", receiver="v0", args=("v1",))
+            .const_string("v2", "billInfo")
+            .invoke("Intent.putExtra", receiver="v0", args=("v2", "v8"))
+            .invoke("Context.startActivity", args=("v0",))
+            .ret()
+            .build()
+        ],
+    )
+    inquiry = DexClass(
+        "InquiryActivity",
+        superclass="Activity",
+        methods=[
+            MethodBuilder("onCreate", params=("p0",))
+            .const_string("v1", "billInfo")
+            .invoke("Intent.getStringExtra", receiver="p0", args=("v1",), dest="v2")
+            # The stored bank account funds the payment.
+            .iget("v3", "this", "bankAccount")
+            .invoke("SmsManager.getDefault", dest="v4")
+            .const_string("v5", "bank-short-code")
+            .invoke(
+                "SmsManager.sendTextMessage",
+                receiver="v4",
+                args=("v5", "v5", "v2", "v5", "v5"),
+            )
+            .ret()
+            .build()
+        ],
+    )
+    return Apk(
+        Manifest(
+            package="ir.barcoder",
+            uses_permissions=frozenset({perms.SEND_SMS, perms.CAMERA}),
+            components=[
+                ComponentDecl("ScannerActivity", A, exported=True),
+                ComponentDecl(
+                    "InquiryActivity",
+                    A,
+                    # The published defect: an unprotected Intent Filter.
+                    intent_filters=[
+                        IntentFilter.for_action("ir.barcoder.PAY_BILL")
+                    ],
+                ),
+            ],
+        ),
+        DexProgram([scanner, inquiry]),
+        repository="bazaar",
+    )
+
+
+def build_hesabdar() -> Apk:
+    """Accounting app broadcasting account data under an implicit Intent."""
+    accounts = DexClass(
+        "AccountManagerActivity",
+        superclass="Activity",
+        methods=[
+            MethodBuilder("onCreate", params=("p0",))
+            .invoke("AccountManager.getAccounts", receiver="v9", dest="v8")
+            .new_instance("v0", "Intent")
+            .const_string("v1", "ir.hesabdar.SHOW_TRANSACTIONS")
+            .invoke("Intent.setAction", receiver="v0", args=("v1",))
+            .const_string("v2", "accountInfo")
+            .invoke("Intent.putExtra", receiver="v0", args=("v2", "v8"))
+            .invoke("Context.startActivity", args=("v0",))
+            .ret()
+            .build()
+        ],
+    )
+    report = DexClass(
+        "TransactionReportActivity",
+        superclass="Activity",
+        methods=[
+            MethodBuilder("onCreate", params=("p0",))
+            .const_string("v1", "accountInfo")
+            .invoke("Intent.getStringExtra", receiver="p0", args=("v1",), dest="v2")
+            .ret()
+            .build()
+        ],
+    )
+    return Apk(
+        Manifest(
+            package="ir.hesabdar",
+            uses_permissions=frozenset({perms.GET_ACCOUNTS}),
+            components=[
+                ComponentDecl("AccountManagerActivity", A, exported=True),
+                ComponentDecl(
+                    "TransactionReportActivity",
+                    A,
+                    intent_filters=[
+                        IntentFilter.for_action("ir.hesabdar.SHOW_TRANSACTIONS")
+                    ],
+                ),
+            ],
+        ),
+        DexProgram([accounts, report]),
+        repository="bazaar",
+    )
+
+
+def build_owncloud() -> Apk:
+    """File-sync client logging account credentials to the SD card through
+    a chain of Intent passing."""
+    auth = DexClass(
+        "AuthenticatorActivity",
+        superclass="Activity",
+        methods=[
+            MethodBuilder("onCreate", params=("p0",))
+            .invoke("AccountManager.getAccounts", receiver="v9", dest="v8")
+            .new_instance("v0", "Intent")
+            .const_string("v1", "com.owncloud.android/FileSyncService")
+            .invoke("Intent.setClassName", receiver="v0", args=("v1",))
+            .const_string("v2", "account")
+            .invoke("Intent.putExtra", receiver="v0", args=("v2", "v8"))
+            .invoke("Context.startService", args=("v0",))
+            .ret()
+            .build()
+        ],
+    )
+    sync = DexClass(
+        "FileSyncService",
+        superclass="Service",
+        methods=[
+            # First hop: relay onward with the credentials still aboard.
+            MethodBuilder("onStartCommand", params=("p0",))
+            .const_string("v1", "account")
+            .invoke("Intent.getStringExtra", receiver="p0", args=("v1",), dest="v2")
+            .new_instance("v0", "Intent")
+            .const_string("v3", "com.owncloud.android/LoggerService")
+            .invoke("Intent.setClassName", receiver="v0", args=("v3",))
+            .invoke("Intent.putExtra", receiver="v0", args=("v1", "v2"))
+            .invoke("Context.startService", args=("v0",))
+            .ret()
+            .build()
+        ],
+    )
+    logger = DexClass(
+        "LoggerService",
+        superclass="Service",
+        methods=[
+            MethodBuilder("onStartCommand", params=("p0",))
+            .const_string("v1", "account")
+            .invoke("Intent.getStringExtra", receiver="p0", args=("v1",), dest="v2")
+            .const_string("v3", "/sdcard/owncloud/log.txt")
+            .invoke("ExternalStorage.writeFile", args=("v3", "v2"))
+            .ret()
+            .build()
+        ],
+    )
+    return Apk(
+        Manifest(
+            package="com.owncloud.android",
+            uses_permissions=frozenset(
+                {perms.GET_ACCOUNTS, perms.INTERNET, perms.WRITE_EXTERNAL_STORAGE}
+            ),
+            components=[
+                ComponentDecl("AuthenticatorActivity", A, exported=True),
+                ComponentDecl("FileSyncService", S, exported=True),
+                ComponentDecl("LoggerService", S, exported=True),
+            ],
+        ),
+        DexProgram([auth, sync, logger]),
+        repository="f_droid",
+    )
+
+
+def build_ermete_sms() -> Apk:
+    """Texting app whose ComposeActivity texts any payload for any caller,
+    handing WRITE_SMS/SEND_SMS to permission-less apps."""
+    compose = DexClass(
+        "ComposeActivity",
+        superclass="Activity",
+        methods=[
+            MethodBuilder("onCreate", params=("p0",))
+            .const_string("v1", "number")
+            .invoke("Intent.getStringExtra", receiver="p0", args=("v1",), dest="v2")
+            .const_string("v3", "body")
+            .invoke("Intent.getStringExtra", receiver="p0", args=("v3",), dest="v4")
+            .invoke("SmsManager.getDefault", dest="v5")
+            .invoke(
+                "SmsManager.sendTextMessage",
+                receiver="v5",
+                args=("v2", "v2", "v4", "v2", "v2"),
+            )
+            .ret()
+            .build()
+        ],
+    )
+    return Apk(
+        Manifest(
+            package="org.ermete.sms",
+            uses_permissions=frozenset({perms.SEND_SMS, perms.WRITE_SMS}),
+            components=[ComponentDecl("ComposeActivity", A, exported=True)],
+        ),
+        DexProgram([compose]),
+        repository="google_play",
+    )
+
+
+def market_findings_bundle() -> List[Apk]:
+    """All four finding apps, jointly installed."""
+    return [
+        build_barcoder(),
+        build_hesabdar(),
+        build_owncloud(),
+        build_ermete_sms(),
+    ]

@@ -1,0 +1,87 @@
+"""Scoring: per-case TP/FP/FN and aggregate precision/recall/F-measure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from repro.benchsuite.groundtruth import BenchmarkCase, LeakPair
+
+
+@dataclass
+class CaseScore:
+    case: str
+    suite: str
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def symbols(self) -> str:
+        """Table-I-style cell: filled squares TP, triangles FP, empty FN."""
+        return (
+            "■" * self.true_positives
+            + "△" * self.false_positives
+            + "□" * self.false_negatives
+        ) or "-"
+
+
+@dataclass
+class ToolScore:
+    tool: str
+    cases: List[CaseScore] = field(default_factory=list)
+
+    @property
+    def true_positives(self) -> int:
+        return sum(c.true_positives for c in self.cases)
+
+    @property
+    def false_positives(self) -> int:
+        return sum(c.false_positives for c in self.cases)
+
+    @property
+    def false_negatives(self) -> int:
+        return sum(c.false_negatives for c in self.cases)
+
+    @property
+    def precision(self) -> float:
+        reported = self.true_positives + self.false_positives
+        return self.true_positives / reported if reported else 1.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f_measure(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def score_case(
+    case: BenchmarkCase, reported: Iterable[LeakPair]
+) -> CaseScore:
+    reported_set = set(reported)
+    tp = len(reported_set & case.expected)
+    fp = len(reported_set - case.expected)
+    fn = len(case.expected - reported_set)
+    return CaseScore(
+        case=case.name,
+        suite=case.suite,
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+    )
+
+
+def score_tool(
+    tool_name: str,
+    cases: List[BenchmarkCase],
+    results: Dict[str, Set[LeakPair]],
+) -> ToolScore:
+    """``results`` maps case name -> reported leak pairs."""
+    score = ToolScore(tool=tool_name)
+    for case in cases:
+        score.cases.append(score_case(case, results.get(case.name, set())))
+    return score

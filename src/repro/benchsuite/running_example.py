@@ -1,0 +1,194 @@
+"""The paper's motivating example (Section II), built over the IR.
+
+Three apps:
+
+- **App1** (navigation): ``LocationFinder`` reads GPS data and sends it to
+  a sibling ``RouteFinder`` service via an *implicit* Intent with action
+  ``showLoc`` (Listing 1) -- the unauthorized-Intent-receipt anti-pattern.
+- **App2** (messenger): ``MessageSender`` is a public service that reads a
+  phone number and message text out of any received Intent and sends an
+  SMS; the ``hasPermission`` check exists but is never called (Listing 2).
+- **Malicious app** (Figure 1): holds *no* permissions; hijacks the
+  location Intent and forwards the stolen data to ``MessageSender``.
+"""
+
+from __future__ import annotations
+
+from repro.android.apk import Apk
+from repro.android.components import ComponentDecl, ComponentKind
+from repro.android.intents import IntentFilter
+from repro.android.manifest import Manifest
+from repro.android import permissions as perms
+from repro.dex import DexClass, DexProgram, MethodBuilder
+
+
+def build_app1() -> Apk:
+    """The navigation app of Listing 1."""
+    location_finder = DexClass(
+        "LocationFinder",
+        superclass="Service",
+        methods=[
+            (
+                MethodBuilder("onStartCommand", params=("p0",))
+                # lm.getLastKnownLocation(GPS_PROVIDER)
+                .invoke(
+                    "LocationManager.getLastKnownLocation",
+                    receiver="v9",
+                    dest="v2",
+                )
+                # lastKnownLocation.toString()
+                .invoke("Location.toString", receiver="v2", dest="v3")
+                # intent = new Intent(); intent.setAction("showLoc")
+                .new_instance("v0", "Intent")
+                .const_string("v1", "showLoc")
+                .invoke("Intent.setAction", receiver="v0", args=("v1",))
+                # intent.putExtra("locationInfo", location)
+                .const_string("v4", "locationInfo")
+                .invoke("Intent.putExtra", receiver="v0", args=("v4", "v3"))
+                # startService(intent)
+                .invoke("Context.startService", args=("v0",))
+                .ret()
+                .build()
+            ),
+        ],
+    )
+    route_finder = DexClass(
+        "RouteFinder",
+        superclass="Service",
+        methods=[
+            (
+                MethodBuilder("onStartCommand", params=("p0",))
+                .const_string("v1", "locationInfo")
+                .invoke(
+                    "Intent.getStringExtra",
+                    receiver="p0",
+                    args=("v1",),
+                    dest="v2",
+                )
+                .invoke("Log.d", args=("v3", "v2"))
+                .ret()
+                .build()
+            ),
+        ],
+    )
+    manifest = Manifest(
+        package="com.example.navigation",
+        uses_permissions=frozenset({perms.ACCESS_FINE_LOCATION}),
+        components=[
+            ComponentDecl("LocationFinder", ComponentKind.SERVICE),
+            ComponentDecl(
+                "RouteFinder",
+                ComponentKind.SERVICE,
+                intent_filters=[IntentFilter.for_action("showLoc")],
+            ),
+        ],
+    )
+    return Apk(manifest, DexProgram([location_finder, route_finder]))
+
+
+def build_app2() -> Apk:
+    """The messenger app of Listing 2: the permission check is defined but
+    never invoked (line 6 of the listing is commented out)."""
+    message_sender = DexClass(
+        "MessageSender",
+        superclass="Service",
+        methods=[
+            (
+                MethodBuilder("onStartCommand", params=("p0",))
+                .const_string("v1", "PHONE_NUM")
+                .invoke(
+                    "Intent.getStringExtra", receiver="p0", args=("v1",), dest="v2"
+                )
+                .const_string("v3", "TEXT_MSG")
+                .invoke(
+                    "Intent.getStringExtra", receiver="p0", args=("v3",), dest="v4"
+                )
+                # if (hasPermission())  -- commented out in the listing
+                .invoke("this.sendTextMessage", args=("v2", "v4"))
+                .ret()
+                .build()
+            ),
+            (
+                MethodBuilder("sendTextMessage", params=("p0", "p1"))
+                .invoke("SmsManager.getDefault", dest="v0")
+                .const_string("v9", "")
+                .invoke(
+                    "SmsManager.sendTextMessage",
+                    receiver="v0",
+                    args=("p0", "v9", "p1", "v9", "v9"),
+                )
+                .ret()
+                .build()
+            ),
+            (
+                MethodBuilder("hasPermission")
+                .const_string("v0", perms.SEND_SMS)
+                .invoke(
+                    "Context.checkCallingPermission", args=("v0",), dest="v1"
+                )
+                .ret("v1")
+                .build()
+            ),
+        ],
+    )
+    manifest = Manifest(
+        package="com.example.messenger",
+        uses_permissions=frozenset({perms.SEND_SMS}),
+        components=[
+            ComponentDecl(
+                "MessageSender",
+                ComponentKind.SERVICE,
+                exported=True,
+            ),
+        ],
+    )
+    return Apk(manifest, DexProgram([message_sender]))
+
+
+def build_malicious_app() -> Apk:
+    """The postulated malicious app of Figure 1: needs no permissions.
+
+    ``Thief`` declares an Intent filter matching the ``showLoc`` action and
+    re-sends the stolen payload to ``MessageSender`` with the adversary's
+    phone number."""
+    thief = DexClass(
+        "Thief",
+        superclass="Service",
+        methods=[
+            (
+                MethodBuilder("onStartCommand", params=("p0",))
+                .const_string("v1", "locationInfo")
+                .invoke(
+                    "Intent.getStringExtra", receiver="p0", args=("v1",), dest="v2"
+                )
+                .new_instance("v0", "Intent")
+                .const_string("v3", "com.example.messenger/MessageSender")
+                .invoke("Intent.setClassName", receiver="v0", args=("v3",))
+                .const_string("v4", "TEXT_MSG")
+                .invoke("Intent.putExtra", receiver="v0", args=("v4", "v2"))
+                .const_string("v5", "PHONE_NUM")
+                .const_string("v6", "+1-202-555-0143")
+                .invoke("Intent.putExtra", receiver="v0", args=("v5", "v6"))
+                .invoke("Context.startService", args=("v0",))
+                .ret()
+                .build()
+            ),
+        ],
+    )
+    manifest = Manifest(
+        package="com.evil.innocuous",
+        uses_permissions=frozenset(),
+        components=[
+            ComponentDecl(
+                "Thief",
+                ComponentKind.SERVICE,
+                intent_filters=[IntentFilter.for_action("showLoc")],
+            ),
+        ],
+    )
+    return Apk(manifest, DexProgram([thief]))
+
+
+def build_running_example_bundle() -> list:
+    """App1 and App2 only -- the benign-but-vulnerable installed bundle."""
+    return [build_app1(), build_app2()]

@@ -1,0 +1,47 @@
+"""SEPAR's core: model, formal specs, synthesis, and policy derivation.
+
+The pipeline (paper Figure 2):
+
+1. :mod:`repro.statics` (AME) turns APKs into :class:`~repro.core.model.AppModel`
+   architectural specifications.
+2. :mod:`repro.core.framework_spec` + :mod:`repro.core.app_to_spec` embed the
+   Android meta-model (Listing 3) and the extracted app models (Listing 4)
+   into the relational logic engine.
+3. :mod:`repro.core.vulnerabilities` contributes pluggable vulnerability
+   signatures (Listing 5): Intent hijack, Activity/Service launch,
+   privilege escalation, information leakage.
+4. :mod:`repro.core.synthesis` (ASE) solves for minimal exploit scenarios.
+5. :mod:`repro.core.policy` derives event-condition-action policies from
+   each scenario; :mod:`repro.enforcement` applies them at runtime.
+
+:class:`repro.core.separ.Separ` is the user-facing facade.
+"""
+
+from repro.core.model import (
+    AppModel,
+    BundleModel,
+    ComponentModel,
+    IntentFilterModel,
+    IntentModel,
+    PathModel,
+)
+
+__all__ = [
+    "AppModel",
+    "BundleModel",
+    "ComponentModel",
+    "IntentFilterModel",
+    "IntentModel",
+    "PathModel",
+    "Separ",
+    "SeparReport",
+]
+
+
+def __getattr__(name):
+    # Lazy: the facade pulls in the whole synthesis stack.
+    if name in ("Separ", "SeparReport"):
+        from repro.core import separ
+
+        return getattr(separ, name)
+    raise AttributeError(name)

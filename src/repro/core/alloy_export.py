@@ -1,0 +1,245 @@
+"""Rendering bundle specifications as Alloy source text.
+
+SEPAR's pipeline materializes its models in the Alloy language (the paper
+shows them in Listings 3-5); translation of captured app models into Alloy
+is done with a template engine (FreeMarker in the prototype).  This module
+is that exporter: it renders the framework meta-model declarations, each
+app's module (the Listing 4 form), and a vulnerability-signature skeleton,
+producing text loadable by the real Alloy Analyzer.
+
+The export is *documentation-faithful*, not a second analysis path: the
+relational engine consumes the in-memory form directly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.components import ComponentKind
+from repro.core.model import AppModel, BundleModel, ComponentModel, IntentModel
+
+_KIND_SIG = {
+    ComponentKind.ACTIVITY: "Activity",
+    ComponentKind.SERVICE: "Service",
+    ComponentKind.RECEIVER: "Receiver",
+    ComponentKind.PROVIDER: "Provider",
+}
+
+
+def _ident(name: str) -> str:
+    """Mangle arbitrary names (package/Component, dotted actions) into
+    Alloy identifiers."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() else "_")
+    ident = "".join(out)
+    if ident and ident[0].isdigit():
+        ident = "_" + ident
+    return ident
+
+
+FRAMEWORK_MODULE = """\
+module androidDeclaration
+
+abstract sig Component {
+  app : one Application,
+  intentFilters : set IntentFilter,
+  permissions : set Permission,
+  exposedPermissions : set Permission,
+  paths : set Path
+}
+sig Activity, Service, Receiver, Provider extends Component {}
+
+sig Application { usesPermissions : set Permission }
+one sig Device { apps : set Application }
+
+sig IntentFilter {
+  actions : some Action,
+  categories : set Category,
+  dataType : set DataType,
+  dataScheme : set DataScheme
+}
+
+sig Intent {
+  sender : one Component,
+  receiver : lone Component,
+  action : lone Action,
+  categories : set Category,
+  dataType : lone DataType,
+  dataScheme : lone DataScheme,
+  extra : set Resource
+}
+
+sig Path { source : one Resource, sink : one Resource }
+
+sig Action, Category, DataType, DataScheme, Permission {}
+abstract sig Resource {}
+sig SourceResource, SinkResource in Resource {}
+
+fact IFandComponent { all i : IntentFilter | one i.~intentFilters }
+fact NoIFforProviders { no i : IntentFilter | i.~intentFilters in Provider }
+fact PathAndComponent { all p : Path | one p.~paths }
+fact Delivery {
+  all i : Intent | all c : i.receiver |
+    c in Exported or c.app = i.sender.app
+}
+sig Exported in Component {}
+"""
+
+
+def render_framework() -> str:
+    """The meta-model module (the paper's Listing 3)."""
+    return FRAMEWORK_MODULE
+
+
+def _render_component(app: AppModel, comp: ComponentModel) -> List[str]:
+    lines: List[str] = []
+    cname = _ident(comp.name)
+    filter_names = [f"{cname}_f{i}" for i in range(len(comp.intent_filters))]
+    path_names = [f"{cname}_p{i}" for i in range(len(comp.paths))]
+
+    lines.append(f"one sig {cname} extends {_KIND_SIG[comp.kind]} {{}} {{")
+    lines.append(f"  app in {_ident(app.package)}")
+    if filter_names:
+        lines.append(f"  intentFilters = {' + '.join(filter_names)}")
+    else:
+        lines.append("  no intentFilters")
+    if path_names:
+        lines.append(f"  paths = {' + '.join(path_names)}")
+    else:
+        lines.append("  no paths")
+    if comp.permissions:
+        perms = " + ".join(_ident(p) for p in sorted(comp.permissions))
+        lines.append(f"  permissions = {perms}")
+    else:
+        lines.append("  no permissions")
+    if comp.uses_permissions:
+        exposed = " + ".join(_ident(p) for p in sorted(comp.uses_permissions))
+        lines.append(f"  exposedPermissions = {exposed}")
+    lines.append("}")
+
+    for fname, filt in zip(filter_names, comp.intent_filters):
+        lines.append(f"one sig {fname} extends IntentFilter {{}} {{")
+        lines.append(
+            "  actions = " + " + ".join(_ident(a) for a in sorted(filt.actions))
+        )
+        if filt.categories:
+            lines.append(
+                "  categories = "
+                + " + ".join(_ident(c) for c in sorted(filt.categories))
+            )
+        if filt.data_schemes:
+            lines.append(
+                "  dataScheme = "
+                + " + ".join(_ident(s) for s in sorted(filt.data_schemes))
+            )
+        if filt.data_types:
+            lines.append(
+                "  dataType = "
+                + " + ".join(_ident(t) for t in sorted(filt.data_types))
+            )
+        lines.append("}")
+
+    for pname, path in zip(path_names, comp.paths):
+        lines.append(f"one sig {pname} extends Path {{}} {{")
+        lines.append(f"  source = {path.source.value}")
+        lines.append(f"  sink = {path.sink.value}")
+        lines.append("}")
+    return lines
+
+
+def _render_intent(intent: IntentModel) -> List[str]:
+    lines = [f"one sig {_ident(intent.entity_id)} extends Intent {{}} {{"]
+    lines.append(f"  sender = {_ident(intent.sender)}")
+    if intent.target:
+        lines.append(f"  receiver = {_ident(intent.target)}")
+    else:
+        lines.append("  no receiver")
+    if intent.action:
+        lines.append(f"  action = {_ident(intent.action)}")
+    else:
+        lines.append("  no action")
+    if intent.categories:
+        lines.append(
+            "  categories = "
+            + " + ".join(_ident(c) for c in sorted(intent.categories))
+        )
+    else:
+        lines.append("  no categories")
+    lines.append(
+        f"  dataType = {_ident(intent.data_type)}"
+        if intent.data_type
+        else "  no dataType"
+    )
+    lines.append(
+        f"  dataScheme = {_ident(intent.data_scheme)}"
+        if intent.data_scheme
+        else "  no dataScheme"
+    )
+    if intent.extras:
+        lines.append(
+            "  extra = "
+            + " + ".join(r.value for r in sorted(intent.extras, key=lambda r: r.value))
+        )
+    else:
+        lines.append("  no extra")
+    lines.append("}")
+    return lines
+
+
+def render_app(app: AppModel) -> str:
+    """One app's Alloy module (the paper's Listing 4)."""
+    lines = [
+        f"// module for app {app.package}",
+        "open androidDeclaration",
+        "",
+        f"one sig {_ident(app.package)} extends Application {{}} {{",
+    ]
+    if app.uses_permissions:
+        lines.append(
+            "  usesPermissions = "
+            + " + ".join(_ident(p) for p in sorted(app.uses_permissions))
+        )
+    else:
+        lines.append("  no usesPermissions")
+    lines.append("}")
+    lines.append("")
+    for comp in app.components:
+        lines.extend(_render_component(app, comp))
+        lines.append("")
+    for intent in app.intents:
+        lines.extend(_render_intent(intent))
+        lines.append("")
+    return "\n".join(lines)
+
+
+SERVICE_LAUNCH_SIGNATURE = """\
+sig GeneratedServiceLaunch {
+  disj launchedCmp, malCmp : one Component,
+  malIntent : Intent
+} {
+  malIntent.sender = malCmp
+  malIntent.receiver = launchedCmp
+  no launchedCmp.app & malCmp.app
+  launchedCmp.app in Device.apps
+  not (malCmp.app in Device.apps)
+  some launchedCmp.paths && some (launchedCmp.paths.source & ICC)
+  some malIntent.extra
+  launchedCmp in Service
+  malCmp in Activity
+}
+run { some GeneratedServiceLaunch }
+"""
+
+
+def render_service_launch_signature() -> str:
+    """The Listing 5 vulnerability signature."""
+    return SERVICE_LAUNCH_SIGNATURE
+
+
+def render_bundle(bundle: BundleModel) -> str:
+    """The full analyzable specification for a bundle."""
+    parts = [render_framework()]
+    for app in bundle.apps:
+        parts.append(render_app(app))
+    return "\n\n".join(parts)

@@ -1,0 +1,209 @@
+"""The formal Android framework meta-model (the paper's Listing 3).
+
+Declares, over the relational engine, the signatures and fields every app
+module relies on -- Component (abstract, with the four kinds as extension
+sigs), Application, Intent, IntentFilter, Action/Category/DataType/
+DataScheme, Permission, Resource (with source/sink subset classification),
+Path, and the Device -- together with the framework facts:
+
+- ``IFandComponent``: each IntentFilter belongs to exactly one Component;
+- ``NoIFforProviders``: Content Providers declare no IntentFilters;
+- ``PathAndComponent``: each Path belongs to exactly one Component;
+- delivery: an Intent's receiver must be exported or co-located with the
+  sender's app.
+
+It also provides the Intent/IntentFilter *matching* predicate used by the
+vulnerability signatures (action, category, and data tests, as in implicit
+resolution).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.android.resources import Resource, SINKS, SOURCES
+from repro.relational import ast as rast
+from repro.relational.sigs import Module, Sig
+
+
+def resource_atom(resource: Resource) -> str:
+    return f"res:{resource.value}"
+
+
+def action_atom(action: str) -> str:
+    return f"action:{action}"
+
+
+def category_atom(category: str) -> str:
+    return f"cat:{category}"
+
+
+def data_type_atom(data_type: str) -> str:
+    return f"type:{data_type}"
+
+
+def data_scheme_atom(scheme: str) -> str:
+    return f"scheme:{scheme}"
+
+
+def permission_atom(permission: str) -> str:
+    return f"perm:{permission}"
+
+
+class AndroidFrameworkSpec:
+    """Owns the Module populated with the meta-model."""
+
+    def __init__(self) -> None:
+        m = Module()
+        self.module = m
+
+        # --- signatures -------------------------------------------------
+        self.component = m.sig("Component", abstract=True)
+        self.activity = m.sig("Activity", extends=self.component)
+        self.service = m.sig("Service", extends=self.component)
+        self.receiver = m.sig("Receiver", extends=self.component)
+        self.provider = m.sig("Provider", extends=self.component)
+        self.application = m.sig("Application")
+        self.intent = m.sig("Intent")
+        self.intent_filter = m.sig("IntentFilter")
+        self.action = m.sig("Action")
+        self.category = m.sig("Category")
+        self.data_type = m.sig("DataType")
+        self.data_scheme = m.sig("DataScheme")
+        self.permission = m.sig("Permission")
+        self.resource = m.sig("Resource", abstract=True)
+        self.path = m.sig("Path")
+        self.device = m.one_sig("Device")
+
+        # Fixed resource atoms with source/sink classification.
+        self.exported = m.subset_sig("Exported", self.component)
+        self.source_resources = m.subset_sig("SourceResource", self.resource)
+        self.sink_resources = m.subset_sig("SinkResource", self.resource)
+        self._resource_sigs: Dict[Resource, Sig] = {}
+        for res in Resource:
+            sig = m.one_sig(resource_atom(res), extends=self.resource)
+            self._resource_sigs[res] = sig
+            self.source_resources.pin(resource_atom(res), res in SOURCES)
+            self.sink_resources.pin(resource_atom(res), res in SINKS)
+
+        # --- fields (Listing 3) ------------------------------------------
+        self.cmp_app = m.field(self.component, "app", self.application, "one")
+        self.cmp_filters = m.field(
+            self.component, "intentFilters", self.intent_filter, "set"
+        )
+        self.cmp_permissions = m.field(
+            self.component, "permissions", self.permission, "set"
+        )
+        self.cmp_paths = m.field(self.component, "paths", self.path, "set")
+        self.cmp_exposed = m.field(
+            self.component, "exposedPermissions", self.permission, "set"
+        )
+        self.flt_actions = m.field(
+            self.intent_filter, "actions", self.action, "some"
+        )
+        self.flt_categories = m.field(
+            self.intent_filter, "categories", self.category, "set"
+        )
+        self.flt_data_types = m.field(
+            self.intent_filter, "dataType", self.data_type, "set"
+        )
+        self.flt_data_schemes = m.field(
+            self.intent_filter, "dataScheme", self.data_scheme, "set"
+        )
+        self.int_sender = m.field(self.intent, "sender", self.component, "one")
+        self.int_receiver = m.field(self.intent, "receiver", self.component, "lone")
+        self.int_action = m.field(self.intent, "action", self.action, "lone")
+        self.int_categories = m.field(
+            self.intent, "categories", self.category, "set"
+        )
+        self.int_data_type = m.field(self.intent, "dataType", self.data_type, "lone")
+        self.int_data_scheme = m.field(
+            self.intent, "dataScheme", self.data_scheme, "lone"
+        )
+        self.int_extra = m.field(self.intent, "extra", self.resource, "set")
+        self.path_source = m.field(self.path, "source", self.resource, "one")
+        self.path_sink = m.field(self.path, "sink", self.resource, "one")
+        self.app_permissions = m.field(
+            self.application, "usesPermissions", self.permission, "set"
+        )
+        self.dev_apps = m.field(self.device, "apps", self.application, "set")
+
+        self._declare_facts()
+
+    # ------------------------------------------------------------------
+    def _declare_facts(self) -> None:
+        m = self.module
+        f = rast.Variable("f")
+        # fact IFandComponent: every filter belongs to exactly one component.
+        m.fact(
+            rast.all_(
+                f,
+                self.intent_filter.expr,
+                rast.one(f.join(self.cmp_filters.expr.transpose())),
+            )
+        )
+        # fact NoIFforProviders.
+        m.fact(
+            rast.no_(
+                f,
+                self.intent_filter.expr,
+                f.join(self.cmp_filters.expr.transpose()).in_(self.provider.expr),
+            )
+        )
+        # fact PathAndComponent: every path belongs to exactly one component.
+        p = rast.Variable("p")
+        m.fact(
+            rast.all_(
+                p,
+                self.path.expr,
+                rast.one(p.join(self.cmp_paths.expr.transpose())),
+            )
+        )
+        # Delivery rule: a resolved receiver is exported or lives in the
+        # sender's own application.
+        i = rast.Variable("i")
+        c = rast.Variable("c")
+        m.fact(
+            rast.all_(
+                i,
+                self.intent.expr,
+                rast.all_(
+                    c,
+                    i.join(self.int_receiver.expr),
+                    rast.some(c & self.exported.expr)
+                    | c.join(self.cmp_app.expr).eq(
+                        i.join(self.int_sender.expr).join(self.cmp_app.expr)
+                    ),
+                ),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Helper predicates used by vulnerability signatures
+    # ------------------------------------------------------------------
+    def resource_expr(self, resource: Resource) -> rast.Expr:
+        return self._resource_sigs[resource].expr
+
+    def matches_filter(self, i: rast.Expr, f: rast.Expr) -> rast.Formula:
+        """The implicit-resolution tests: the filter must cover the Intent's
+        action, categories, and data attributes."""
+        return (
+            rast.some(i.join(self.int_action.expr))  # hijackable: has an action
+            & i.join(self.int_action.expr).in_(f.join(self.flt_actions.expr))
+            & i.join(self.int_categories.expr).in_(
+                f.join(self.flt_categories.expr)
+            )
+            & i.join(self.int_data_type.expr).in_(f.join(self.flt_data_types.expr))
+            & i.join(self.int_data_scheme.expr).in_(
+                f.join(self.flt_data_schemes.expr)
+            )
+        )
+
+    def on_device(self, cmp: rast.Expr) -> rast.Formula:
+        """The component's application is installed on the device."""
+        return cmp.join(self.cmp_app.expr).in_(
+            self.device.expr.join(self.dev_apps.expr)
+        )
+
+    def different_apps(self, c1: rast.Expr, c2: rast.Expr) -> rast.Formula:
+        return rast.no(c1.join(self.cmp_app.expr) & c2.join(self.cmp_app.expr))

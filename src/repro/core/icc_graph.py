@@ -1,0 +1,99 @@
+"""The bundle's ICC delivery and relay graph.
+
+Shared between the concrete detector and the formal leak signature:
+
+- :func:`deliverable` -- may this Intent reach this component, under the
+  framework's addressing rules (explicit target, passive result channel,
+  or implicit filter matching with the export discipline)?
+- :func:`relay_edges` -- the *forwarding* edges: (c1, c2) when c1 relays
+  its ICC input onward (it has an ICC -> ICC path) inside an Intent that
+  reaches c2.  Transitive leaks -- the paper's OwnCloud finding flows
+  through "a chain of Intent message passing" -- are walks in this graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.android.intents import Intent as RtIntent
+from repro.android.intents import IntentFilter as RtFilter
+from repro.android.intents import filter_matches
+from repro.android.resources import Resource
+from repro.core.model import BundleModel, ComponentModel, IntentModel
+
+
+def deliverable(
+    intent: IntentModel, sender: ComponentModel, receiver: ComponentModel
+) -> bool:
+    """Framework addressing: can ``intent`` reach ``receiver``?"""
+    same_app = sender.app == receiver.app
+    if not receiver.exported and not same_app:
+        return False
+    if intent.passive:
+        return receiver.name in intent.passive_targets
+    if intent.explicit:
+        return intent.target == receiver.name
+    rt_intent = RtIntent(
+        sender=intent.sender,
+        action=intent.action,
+        categories=intent.categories,
+        data_type=intent.data_type,
+        data_scheme=intent.data_scheme,
+    )
+    for filt in receiver.intent_filters:
+        if not filt.actions:
+            continue
+        rt_filter = RtFilter(
+            actions=frozenset(filt.actions),
+            categories=frozenset(filt.categories),
+            data_types=frozenset(filt.data_types),
+            data_schemes=frozenset(filt.data_schemes),
+        )
+        if filter_matches(rt_intent, rt_filter):
+            return True
+    return False
+
+
+def relay_edges(bundle: BundleModel) -> Set[Tuple[str, str]]:
+    """Forwarding edges: c1 has an ICC -> ICC path and sends an
+    ICC-carrying Intent that reaches c2."""
+    components = bundle.all_components()
+    by_name = {c.name: c for c in components}
+    edges: Set[Tuple[str, str]] = set()
+    for intent in bundle.all_intents():
+        if Resource.ICC not in intent.extras:
+            continue
+        sender = by_name.get(intent.sender)
+        if sender is None:
+            continue
+        if not any(
+            p.source is Resource.ICC and p.sink is Resource.ICC
+            for p in sender.paths
+        ):
+            continue
+        for receiver in components:
+            if receiver.name == sender.name:
+                continue
+            if deliverable(intent, sender, receiver):
+                edges.add((sender.name, receiver.name))
+    return edges
+
+
+def transitive_receivers(
+    bundle: BundleModel, first_hops: Set[str]
+) -> Set[str]:
+    """All components reachable from ``first_hops`` over relay edges
+    (reflexively: the first hops themselves are included)."""
+    edges = relay_edges(bundle)
+    adjacency: Dict[str, Set[str]] = {}
+    for src, dst in edges:
+        adjacency.setdefault(src, set()).add(dst)
+    seen = set(first_hops)
+    stack = list(first_hops)
+    while stack:
+        node = stack.pop()
+        for succ in adjacency.get(node, ()):
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen

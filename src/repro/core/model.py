@@ -1,0 +1,160 @@
+"""Architectural app specifications -- AME's output, ASE's input.
+
+These dataclasses are the Python rendering of the Alloy app modules of the
+paper's Listing 4: components with their Intent filters, enforced
+permissions and sensitive data-flow paths; Intents with their attributes
+and payload resources.  They are deliberately architectural -- no bytecode
+detail survives extraction -- which is what keeps the downstream formal
+analysis tractable at real-world scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.android.components import ComponentKind
+from repro.android.resources import Resource
+
+
+@dataclass(frozen=True)
+class IntentFilterModel:
+    """An extracted Intent filter: one exposure surface of a component."""
+
+    actions: FrozenSet[str]
+    categories: FrozenSet[str] = frozenset()
+    data_types: FrozenSet[str] = frozenset()
+    data_schemes: FrozenSet[str] = frozenset()
+    dynamic: bool = False  # registered in code rather than the manifest
+
+
+@dataclass(frozen=True)
+class PathModel:
+    """A sensitive data-flow path within a component: source -> sink."""
+
+    source: Resource
+    sink: Resource
+
+
+@dataclass(frozen=True)
+class IntentModel:
+    """An extracted Intent entity.
+
+    One entity per (allocation site, resolved action value) pair: when
+    constant propagation disambiguates a property to several values, AME
+    generates a separate entity for each, as each contributes a different
+    event message.
+    """
+
+    entity_id: str
+    sender: str  # qualified component reference package/Component
+    target: Optional[str] = None  # explicit recipient, if any
+    action: Optional[str] = None
+    categories: FrozenSet[str] = frozenset()
+    data_type: Optional[str] = None
+    data_scheme: Optional[str] = None
+    extras: FrozenSet[Resource] = frozenset()
+    extra_keys: FrozenSet[str] = frozenset()
+    wants_result: bool = False
+    passive: bool = False  # a result Intent (startActivityForResult reply)
+    passive_targets: FrozenSet[str] = frozenset()
+    addressed_kind: Optional[ComponentKind] = None  # kind of the ICC send API
+
+    @property
+    def explicit(self) -> bool:
+        return self.target is not None
+
+
+@dataclass(frozen=True)
+class ProviderAccessModel:
+    """A ContentResolver operation: ICC addressed by URI authority."""
+
+    sender: str  # qualified component
+    operation: str  # query / insert / update / delete
+    authority: Optional[str]
+    payload: FrozenSet[Resource] = frozenset()  # taints of the passed data
+
+
+@dataclass(frozen=True)
+class ComponentModel:
+    """An extracted component."""
+
+    name: str  # qualified: package/Component
+    kind: ComponentKind
+    app: str
+    exported: bool
+    intent_filters: Tuple[IntentFilterModel, ...] = ()
+    permissions: FrozenSet[str] = frozenset()  # enforced on callers
+    paths: Tuple[PathModel, ...] = ()
+    uses_permissions: FrozenSet[str] = frozenset()  # exercised by its code
+    reachable: bool = True  # entry points reachable from the framework
+    authority: Optional[str] = None  # Content Providers only
+    reads_extra_keys: FrozenSet[str] = frozenset()  # Intent payload keys read
+
+    @property
+    def short_name(self) -> str:
+        return self.name.split("/", 1)[1] if "/" in self.name else self.name
+
+
+@dataclass
+class AppModel:
+    """The full extracted specification of one app."""
+
+    package: str
+    uses_permissions: FrozenSet[str] = frozenset()
+    components: List[ComponentModel] = field(default_factory=list)
+    intents: List[IntentModel] = field(default_factory=list)
+    provider_accesses: List[ProviderAccessModel] = field(default_factory=list)
+    extraction_seconds: float = 0.0
+    apk_size_kb: int = 0
+    repository: str = "unknown"
+
+    def component(self, qualified_name: str) -> ComponentModel:
+        for comp in self.components:
+            if comp.name == qualified_name:
+                return comp
+        raise KeyError(f"no component {qualified_name!r} in {self.package}")
+
+    def public_components(self) -> List[ComponentModel]:
+        return [c for c in self.components if c.exported]
+
+    @property
+    def num_filters(self) -> int:
+        return sum(len(c.intent_filters) for c in self.components)
+
+
+@dataclass
+class BundleModel:
+    """A set of app models jointly installed on one device -- the unit of
+    compositional analysis."""
+
+    apps: List[AppModel] = field(default_factory=list)
+
+    def all_components(self) -> List[ComponentModel]:
+        return [c for app in self.apps for c in app.components]
+
+    def all_intents(self) -> List[IntentModel]:
+        return [i for app in self.apps for i in app.intents]
+
+    def component(self, qualified_name: str) -> ComponentModel:
+        for app in self.apps:
+            for comp in app.components:
+                if comp.name == qualified_name:
+                    return comp
+        raise KeyError(f"no component {qualified_name!r} in bundle")
+
+    def app_of(self, qualified_name: str) -> AppModel:
+        package = qualified_name.split("/", 1)[0]
+        for app in self.apps:
+            if app.package == package:
+                return app
+        raise KeyError(f"no app {package!r} in bundle")
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "apps": len(self.apps),
+            "components": len(self.all_components()),
+            "intents": len(self.all_intents()),
+            "intent_filters": sum(a.num_filters for a in self.apps),
+        }

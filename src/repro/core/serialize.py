@@ -1,0 +1,198 @@
+"""JSON (de)serialization of extracted app models.
+
+SEPAR only needs the APK to *extract* a specification; everything after is
+driven by the architectural model.  Persisting models lets a deployment
+cache per-app extraction results (the expensive phase) and re-analyze
+bundles as the installed set evolves without re-running static analysis --
+the workflow behind the paper's incremental vision (Section IX).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.android.components import ComponentKind
+from repro.android.resources import Resource
+from repro.core.model import (
+    AppModel,
+    BundleModel,
+    ComponentModel,
+    IntentFilterModel,
+    IntentModel,
+    PathModel,
+    ProviderAccessModel,
+)
+
+FORMAT_VERSION = 1
+
+
+def _filter_to_dict(filt: IntentFilterModel) -> Dict[str, Any]:
+    return {
+        "actions": sorted(filt.actions),
+        "categories": sorted(filt.categories),
+        "data_types": sorted(filt.data_types),
+        "data_schemes": sorted(filt.data_schemes),
+        "dynamic": filt.dynamic,
+    }
+
+
+def _filter_from_dict(data: Dict[str, Any]) -> IntentFilterModel:
+    return IntentFilterModel(
+        actions=frozenset(data["actions"]),
+        categories=frozenset(data["categories"]),
+        data_types=frozenset(data["data_types"]),
+        data_schemes=frozenset(data["data_schemes"]),
+        dynamic=data.get("dynamic", False),
+    )
+
+
+def _component_to_dict(comp: ComponentModel) -> Dict[str, Any]:
+    return {
+        "name": comp.name,
+        "kind": comp.kind.name,
+        "app": comp.app,
+        "exported": comp.exported,
+        "intent_filters": [_filter_to_dict(f) for f in comp.intent_filters],
+        "permissions": sorted(comp.permissions),
+        "paths": [
+            {"source": p.source.value, "sink": p.sink.value} for p in comp.paths
+        ],
+        "uses_permissions": sorted(comp.uses_permissions),
+        "reachable": comp.reachable,
+        "authority": comp.authority,
+        "reads_extra_keys": sorted(comp.reads_extra_keys),
+    }
+
+
+def _component_from_dict(data: Dict[str, Any]) -> ComponentModel:
+    return ComponentModel(
+        name=data["name"],
+        kind=ComponentKind[data["kind"]],
+        app=data["app"],
+        exported=data["exported"],
+        intent_filters=tuple(
+            _filter_from_dict(f) for f in data["intent_filters"]
+        ),
+        permissions=frozenset(data["permissions"]),
+        paths=tuple(
+            PathModel(Resource(p["source"]), Resource(p["sink"]))
+            for p in data["paths"]
+        ),
+        uses_permissions=frozenset(data["uses_permissions"]),
+        reachable=data.get("reachable", True),
+        authority=data.get("authority"),
+        reads_extra_keys=frozenset(data.get("reads_extra_keys", ())),
+    )
+
+
+def _intent_to_dict(intent: IntentModel) -> Dict[str, Any]:
+    return {
+        "entity_id": intent.entity_id,
+        "sender": intent.sender,
+        "target": intent.target,
+        "action": intent.action,
+        "categories": sorted(intent.categories),
+        "data_type": intent.data_type,
+        "data_scheme": intent.data_scheme,
+        "extras": sorted(r.value for r in intent.extras),
+        "extra_keys": sorted(intent.extra_keys),
+        "wants_result": intent.wants_result,
+        "passive": intent.passive,
+        "passive_targets": sorted(intent.passive_targets),
+        "addressed_kind": (
+            intent.addressed_kind.name if intent.addressed_kind else None
+        ),
+    }
+
+
+def _intent_from_dict(data: Dict[str, Any]) -> IntentModel:
+    return IntentModel(
+        entity_id=data["entity_id"],
+        sender=data["sender"],
+        target=data.get("target"),
+        action=data.get("action"),
+        categories=frozenset(data["categories"]),
+        data_type=data.get("data_type"),
+        data_scheme=data.get("data_scheme"),
+        extras=frozenset(Resource(r) for r in data["extras"]),
+        extra_keys=frozenset(data["extra_keys"]),
+        wants_result=data.get("wants_result", False),
+        passive=data.get("passive", False),
+        passive_targets=frozenset(data.get("passive_targets", ())),
+        addressed_kind=(
+            ComponentKind[data["addressed_kind"]]
+            if data.get("addressed_kind")
+            else None
+        ),
+    )
+
+
+def app_to_dict(app: AppModel) -> Dict[str, Any]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "package": app.package,
+        "uses_permissions": sorted(app.uses_permissions),
+        "components": [_component_to_dict(c) for c in app.components],
+        "intents": [_intent_to_dict(i) for i in app.intents],
+        "provider_accesses": [
+            {
+                "sender": a.sender,
+                "operation": a.operation,
+                "authority": a.authority,
+                "payload": sorted(r.value for r in a.payload),
+            }
+            for a in app.provider_accesses
+        ],
+        "extraction_seconds": app.extraction_seconds,
+        "apk_size_kb": app.apk_size_kb,
+        "repository": app.repository,
+    }
+
+
+def app_from_dict(data: Dict[str, Any]) -> AppModel:
+    version = data.get("format_version", 0)
+    if version > FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version {version}")
+    return AppModel(
+        package=data["package"],
+        uses_permissions=frozenset(data["uses_permissions"]),
+        components=[_component_from_dict(c) for c in data["components"]],
+        intents=[_intent_from_dict(i) for i in data["intents"]],
+        provider_accesses=[
+            ProviderAccessModel(
+                sender=a["sender"],
+                operation=a["operation"],
+                authority=a.get("authority"),
+                payload=frozenset(Resource(r) for r in a["payload"]),
+            )
+            for a in data.get("provider_accesses", ())
+        ],
+        extraction_seconds=data.get("extraction_seconds", 0.0),
+        apk_size_kb=data.get("apk_size_kb", 0),
+        repository=data.get("repository", "unknown"),
+    )
+
+
+def dumps_app(app: AppModel, indent: int = 2) -> str:
+    return json.dumps(app_to_dict(app), indent=indent, sort_keys=True)
+
+
+def loads_app(text: str) -> AppModel:
+    return app_from_dict(json.loads(text))
+
+
+def dumps_bundle(bundle: BundleModel, indent: int = 2) -> str:
+    return json.dumps(
+        {
+            "format_version": FORMAT_VERSION,
+            "apps": [app_to_dict(a) for a in bundle.apps],
+        },
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+def loads_bundle(text: str) -> BundleModel:
+    data = json.loads(text)
+    return BundleModel(apps=[app_from_dict(a) for a in data["apps"]])

@@ -1,0 +1,81 @@
+"""Vulnerability signature registry (SEPAR's plugin extension point).
+
+The four built-in signatures match the paper's prototype: Activity/Service
+launch, Intent hijack, privilege escalation, and information leakage
+(Section III).  ``register`` lets users contribute additional signatures at
+any time; ``default_signatures`` instantiates the built-in set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.core.vulnerabilities.base import (
+    ExploitScenario,
+    SignatureInstantiation,
+    VulnerabilitySignature,
+)
+from repro.core.vulnerabilities.escalation import PrivilegeEscalationSignature
+from repro.core.vulnerabilities.hijack import IntentHijackSignature
+from repro.core.vulnerabilities.launch import (
+    ActivityLaunchSignature,
+    ServiceLaunchSignature,
+)
+from repro.core.vulnerabilities.leak import InformationLeakSignature
+
+_REGISTRY: Dict[str, Type[VulnerabilitySignature]] = {}
+
+
+def register(signature_cls: Type[VulnerabilitySignature]) -> Type[VulnerabilitySignature]:
+    """Register a signature class (usable as a decorator)."""
+    name = signature_cls.name
+    if not name or name == "abstract":
+        raise ValueError("signature classes must define a concrete name")
+    if name in _REGISTRY and _REGISTRY[name] is not signature_cls:
+        raise ValueError(f"a different signature named {name!r} is registered")
+    _REGISTRY[name] = signature_cls
+    return signature_cls
+
+
+def registered() -> Dict[str, Type[VulnerabilitySignature]]:
+    return dict(_REGISTRY)
+
+
+def lookup(name: str) -> Type[VulnerabilitySignature]:
+    return _REGISTRY[name]
+
+
+def default_signatures() -> List[VulnerabilitySignature]:
+    """Fresh instances of the paper's built-in signature set."""
+    return [
+        IntentHijackSignature(),
+        ActivityLaunchSignature(),
+        ServiceLaunchSignature(),
+        InformationLeakSignature(),
+        PrivilegeEscalationSignature(),
+    ]
+
+
+for _cls in (
+    IntentHijackSignature,
+    ActivityLaunchSignature,
+    ServiceLaunchSignature,
+    InformationLeakSignature,
+    PrivilegeEscalationSignature,
+):
+    register(_cls)
+
+__all__ = [
+    "ExploitScenario",
+    "SignatureInstantiation",
+    "VulnerabilitySignature",
+    "IntentHijackSignature",
+    "ActivityLaunchSignature",
+    "ServiceLaunchSignature",
+    "InformationLeakSignature",
+    "PrivilegeEscalationSignature",
+    "register",
+    "registered",
+    "lookup",
+    "default_signatures",
+]

@@ -1,0 +1,101 @@
+"""Privilege escalation signature.
+
+An exported component on the device exposes a permission-guarded capability
+(its entry points reach a call that requires permission P) but does not
+enforce P on its callers -- neither in the manifest nor with a reachable
+``checkCallingPermission``.  A malicious app that does not hold P can then
+exercise the capability by messaging the component (the paper's Ermete SMS
+finding: ``ComposeActivity`` hands WRITE_SMS to everyone).
+"""
+
+from __future__ import annotations
+
+from repro.core.app_to_spec import BundleSpec
+from repro.core.vulnerabilities.base import (
+    ExploitScenario,
+    SignatureInstantiation,
+    VulnerabilitySignature,
+)
+from repro.relational import ast as rast
+
+
+class PrivilegeEscalationSignature(VulnerabilitySignature):
+    name = "privilege_escalation"
+
+    def instantiate(self, spec: BundleSpec) -> SignatureInstantiation:
+        m = spec.module
+        fw = spec.fw
+
+        sig = m.one_sig("GeneratedPrivilegeEscalation")
+        vuln_cmp = m.field(sig, "vulnCmp", fw.component, "one")
+        mal_cmp = m.field(sig, "malCmp", fw.component, "one")
+        mal_intent = m.field(sig, "malIntent", fw.intent, "one")
+        escalated = m.field(sig, "escalatedPermission", fw.permission, "one")
+
+        v = sig.expr
+        vuln_e = v.join(vuln_cmp.expr)
+        mal_e = v.join(mal_cmp.expr)
+        intent_e = v.join(mal_intent.expr)
+        perm_e = v.join(escalated.expr)
+
+        goal = rast.and_all(
+            [
+                rast.no(vuln_e & mal_e),
+                fw.on_device(vuln_e),
+                rast.some(vuln_e & fw.exported.expr),
+                # The victim exposes the permission-guarded capability...
+                perm_e.in_(vuln_e.join(fw.cmp_exposed.expr)),
+                # ...without enforcing the permission on callers.
+                rast.no(perm_e & vuln_e.join(fw.cmp_permissions.expr)),
+                # The attacker's app does not hold the permission...
+                fw.different_apps(vuln_e, mal_e),
+                ~fw.on_device(mal_e),
+                rast.no(
+                    perm_e
+                    & mal_e.join(fw.cmp_app.expr).join(fw.app_permissions.expr)
+                ),
+                # ...yet reaches the victim with an Intent.
+                intent_e.join(fw.int_sender.expr).eq(mal_e),
+                intent_e.join(fw.int_receiver.expr).eq(vuln_e),
+            ]
+        )
+
+        def decode(instance) -> ExploitScenario:
+            victim = self.role_atom(instance, vuln_cmp)
+            attacker = self.role_atom(instance, mal_cmp)
+            intent_atom = self.role_atom(instance, mal_intent)
+            perm_atom = self.role_atom(instance, escalated)
+            permission = (
+                perm_atom[len("perm:"):] if perm_atom else None
+            )
+            intent_attrs = (
+                spec.intent_attributes(instance, intent_atom)
+                if intent_atom
+                else None
+            )
+            return ExploitScenario(
+                vulnerability=self.name,
+                roles={
+                    "victim": victim,
+                    "malicious_component": attacker,
+                    "attack_intent": intent_atom,
+                    "escalated_permission": permission,
+                },
+                intent=intent_attrs,
+                description=(
+                    f"{victim} exposes the {permission}-guarded capability "
+                    f"to callers without that permission; a permission-less "
+                    f"app ({attacker}) escalates through it."
+                ),
+            )
+
+        return SignatureInstantiation(
+            goal=goal,
+            extra_scopes={
+                fw.application: 1,
+                fw.activity: 1,
+                fw.intent: 1,
+            },
+            decode=decode,
+            diversity_fields=[vuln_cmp, escalated],
+        )

@@ -1,0 +1,151 @@
+"""Activity/Service launch signatures (the paper's Listing 5).
+
+A malicious component launches an exported victim component by sending it
+an explicit Intent the victim is not expecting.  The victim has a data-flow
+path rooted at its exported interface (``paths.source = ICC``), so the
+launch can trigger unauthorized, permission-guarded work with
+attacker-controlled payload.
+"""
+
+from __future__ import annotations
+
+
+from repro.android.components import ComponentKind
+from repro.android.resources import Resource
+from repro.core.app_to_spec import BundleSpec
+from repro.core.vulnerabilities.base import (
+    ExploitScenario,
+    SignatureInstantiation,
+    VulnerabilitySignature,
+)
+from repro.relational import ast as rast
+
+
+class _LaunchSignature(VulnerabilitySignature):
+    """Shared shape; subclasses fix the victim kind (Listing 5 is the
+    Service variant; per the listing, the malicious component is an
+    Activity)."""
+
+    victim_kind: ComponentKind
+
+    def instantiate(self, spec: BundleSpec) -> SignatureInstantiation:
+        m = spec.module
+        fw = spec.fw
+        victim_sig = {
+            ComponentKind.SERVICE: fw.service,
+            ComponentKind.ACTIVITY: fw.activity,
+            ComponentKind.RECEIVER: fw.receiver,
+        }[self.victim_kind]
+
+        sig = m.one_sig(f"Generated{self.victim_kind.value}Launch")
+        launched = m.field(sig, "launchedCmp", fw.component, "one")
+        mal_cmp = m.field(sig, "malCmp", fw.component, "one")
+        mal_intent = m.field(sig, "malIntent", fw.intent, "one")
+
+        v = sig.expr
+        launched_e = v.join(launched.expr)
+        mal_e = v.join(mal_cmp.expr)
+        intent_e = v.join(mal_intent.expr)
+        icc = fw.resource_expr(Resource.ICC)
+
+        goal = rast.and_all(
+            [
+                # disj launchedCmp, malCmp
+                rast.no(launched_e & mal_e),
+                # malIntent.sender = malCmp
+                intent_e.join(fw.int_sender.expr).eq(mal_e),
+                # launchedCmp in setExplicitIntent[malIntent]: the malicious
+                # Intent explicitly addresses (and reaches) the victim; the
+                # framework delivery fact enforces exported/same-app.
+                intent_e.join(fw.int_receiver.expr).eq(launched_e),
+                # no launchedCmp.app & malCmp.app
+                fw.different_apps(launched_e, mal_e),
+                # launchedCmp.app in device.apps
+                fw.on_device(launched_e),
+                # not (malCmp.app in device.apps)
+                ~fw.on_device(mal_e),
+                # some launchedCmp.paths && a path starts at the ICC surface
+                rast.some(launched_e.join(fw.cmp_paths.expr)),
+                rast.some(
+                    launched_e.join(fw.cmp_paths.expr).join(fw.path_source.expr)
+                    & icc
+                ),
+                # some malIntent.extra -- and the payload is data an
+                # attacker can actually obtain in this bundle (e.g. the
+                # hijacked LOCATION of the running example) when any exists.
+                rast.some(intent_e.join(fw.int_extra.expr)),
+                self._payload_constraint(spec, intent_e),
+                # victim kind; malicious component is an Activity (Listing 5)
+                launched_e.in_(victim_sig.expr),
+                mal_e.in_(fw.activity.expr),
+            ]
+        )
+
+        def decode(instance) -> ExploitScenario:
+            victim = self.role_atom(instance, launched)
+            attacker = self.role_atom(instance, mal_cmp)
+            intent_atom = self.role_atom(instance, mal_intent)
+            intent_attrs = (
+                spec.intent_attributes(instance, intent_atom)
+                if intent_atom
+                else None
+            )
+            extras = (
+                ", ".join(sorted(r.value for r in intent_attrs["extras"]))
+                if intent_attrs
+                else ""
+            )
+            return ExploitScenario(
+                vulnerability=self.name,
+                roles={
+                    "victim": victim,
+                    "malicious_component": attacker,
+                    "attack_intent": intent_atom,
+                },
+                intent=intent_attrs,
+                description=(
+                    f"A malicious component ({attacker}) can launch the "
+                    f"exported {self.victim_kind.value} {victim} with an "
+                    f"explicit Intent carrying [{extras}], triggering its "
+                    f"ICC-rooted sensitive path."
+                ),
+            )
+
+        return SignatureInstantiation(
+            goal=goal,
+            extra_scopes={
+                fw.application: 1,
+                fw.activity: 1,
+                fw.intent: 1,
+            },
+            decode=decode,
+            diversity_fields=[launched],
+        )
+
+    @staticmethod
+    def _payload_constraint(spec: BundleSpec, intent_e: rast.Expr) -> rast.Formula:
+        available = set()
+        for app in spec.bundle.apps:
+            for intent in app.intents:
+                available |= set(intent.extras)
+            for comp in app.components:
+                available |= {p.source for p in comp.paths}
+        available -= {Resource.ICC}
+        if not available:
+            return rast.TRUE_F
+        fw = spec.fw
+        payload_pool = None
+        for res in sorted(available, key=lambda r: r.value):
+            expr = fw.resource_expr(res)
+            payload_pool = expr if payload_pool is None else payload_pool + expr
+        return intent_e.join(fw.int_extra.expr).in_(payload_pool)
+
+
+class ServiceLaunchSignature(_LaunchSignature):
+    name = "service_launch"
+    victim_kind = ComponentKind.SERVICE
+
+
+class ActivityLaunchSignature(_LaunchSignature):
+    name = "activity_launch"
+    victim_kind = ComponentKind.ACTIVITY

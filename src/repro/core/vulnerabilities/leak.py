@@ -1,0 +1,139 @@
+"""Inter-component information leakage signature.
+
+Sensitive data (a non-ICC source resource) flows out of one component as an
+Intent payload and into another component whose ICC-rooted path ends in a
+public sink (network, SMS, external storage, log, ...).  Unlike the launch
+and hijack signatures this one composes *real* components -- the leak
+exists entirely within the installed bundle.
+
+Leaks may be *transitive* (the paper's OwnCloud finding flows "through a
+chain of Intent message passing"): the signature walks the reflexive
+transitive closure of the bundle's relay edges -- components that forward
+their ICC input onward -- which enter the problem as an exact-bound helper
+relation derived from the extracted facts.
+"""
+
+from __future__ import annotations
+
+from repro.android.resources import Resource
+from repro.core.app_to_spec import BundleSpec
+from repro.core.icc_graph import relay_edges
+from repro.core.vulnerabilities.base import (
+    ExploitScenario,
+    SignatureInstantiation,
+    VulnerabilitySignature,
+)
+from repro.relational import ast as rast
+
+
+class InformationLeakSignature(VulnerabilitySignature):
+    name = "information_leak"
+
+    def instantiate(self, spec: BundleSpec) -> SignatureInstantiation:
+        m = spec.module
+        fw = spec.fw
+        icc = fw.resource_expr(Resource.ICC)
+
+        sig = m.one_sig("GeneratedInformationLeak")
+        src_cmp = m.field(sig, "srcCmp", fw.component, "one")
+        first_hop = m.field(sig, "firstHop", fw.component, "one")
+        dst_cmp = m.field(sig, "dstCmp", fw.component, "one")
+        leak_intent = m.field(sig, "leakIntent", fw.intent, "one")
+
+        # The relay graph, pinned as constants from the extracted models.
+        relay = m.helper_relation(
+            "relayEdge", 2, sorted(relay_edges(spec.bundle))
+        )
+
+        v = sig.expr
+        src_e = v.join(src_cmp.expr)
+        hop_e = v.join(first_hop.expr)
+        dst_e = v.join(dst_cmp.expr)
+        intent_e = v.join(leak_intent.expr)
+
+        sensitive = fw.source_resources.expr - icc
+        public_sink = fw.sink_resources.expr - icc
+
+        f = rast.Variable("leak_f")
+        delivered = intent_e.join(fw.int_receiver.expr).eq(hop_e) | rast.some_(
+            f,
+            hop_e.join(fw.cmp_filters.expr),
+            fw.matches_filter(intent_e, f),
+        )
+
+        goal = rast.and_all(
+            [
+                rast.no(src_e & dst_e),
+                fw.on_device(src_e),
+                fw.on_device(dst_e),
+                # The Intent leaves srcCmp carrying sensitive data.
+                intent_e.join(fw.int_sender.expr).eq(src_e),
+                rast.some(intent_e.join(fw.int_extra.expr) & sensitive),
+                # It reaches a first hop (explicitly, or via a matching
+                # filter on an exported/same-app component)...
+                delivered,
+                rast.no(hop_e & src_e),
+                rast.some(hop_e & fw.exported.expr)
+                | hop_e.join(fw.cmp_app.expr).eq(src_e.join(fw.cmp_app.expr)),
+                # ...from which the payload flows along relay edges to the
+                # draining component (reflexive closure: zero or more hops).
+                dst_e.in_(
+                    hop_e.join(relay.to_expr().reflexive_closure())
+                ),
+                # dstCmp relays its ICC input to a public sink.
+                self._relay_path(fw, dst_e, icc, public_sink),
+            ]
+        )
+
+        def decode(instance) -> ExploitScenario:  # noqa: D401
+            return self._decode(
+                spec, instance, src_cmp, first_hop, dst_cmp, leak_intent
+            )
+
+        return SignatureInstantiation(
+            goal=goal,
+            extra_scopes={},
+            decode=decode,
+            diversity_fields=[src_cmp, dst_cmp],
+        )
+
+    @staticmethod
+    def _relay_path(fw, dst_e, icc, public_sink) -> rast.Formula:
+        p = rast.Variable("leak_p")
+        return rast.some_(
+            p,
+            dst_e.join(fw.cmp_paths.expr),
+            p.join(fw.path_source.expr).eq(icc)
+            & p.join(fw.path_sink.expr).in_(public_sink),
+        )
+
+    def _decode(self, spec, instance, src_cmp, first_hop, dst_cmp, leak_intent):
+        source = self.role_atom(instance, src_cmp)
+        hop = self.role_atom(instance, first_hop)
+        dest = self.role_atom(instance, dst_cmp)
+        intent_atom = self.role_atom(instance, leak_intent)
+        intent_attrs = (
+            spec.intent_attributes(instance, intent_atom) if intent_atom else None
+        )
+        extras = (
+            ", ".join(sorted(r.value for r in intent_attrs["extras"]))
+            if intent_attrs
+            else ""
+        )
+        return ExploitScenario(
+            vulnerability=self.name,
+            roles={
+                "victim": source,
+                "source_component": source,
+                "first_hop": hop,
+                "sink_component": dest,
+                "leak_intent": intent_atom,
+            },
+            intent=intent_attrs,
+            description=(
+                f"Sensitive data [{extras}] flows from {source} via "
+                f"Intent {intent_atom} into {hop}"
+                + (f", onward through relays to {dest}" if hop != dest else "")
+                + ", which relays its ICC input to a public sink."
+            ),
+        )

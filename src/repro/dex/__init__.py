@@ -1,0 +1,49 @@
+"""A compact Dalvik-like register bytecode IR.
+
+Real SEPAR consumes dalvik bytecode inside APK files.  This reproduction
+defines a register-based intermediate representation with the instruction
+shapes the paper's analyses care about -- string constants, moves, object
+allocation, virtual/static invokes (platform API and app-internal), heap
+field accesses, branches -- plus classes, methods, and whole programs.
+AME's control-flow, call-graph, constant-propagation, alias, and taint
+analyses all run over this IR for real.
+
+- :mod:`repro.dex.instructions` -- the instruction set.
+- :mod:`repro.dex.program` -- methods, classes, programs.
+- :mod:`repro.dex.builder` -- a fluent method assembler used by the
+  benchmark suites and the synthetic corpus generator.
+"""
+
+from repro.dex.instructions import (
+    ConstString,
+    Goto,
+    IGet,
+    IPut,
+    If,
+    Invoke,
+    Move,
+    NewInstance,
+    Return,
+    SGet,
+    SPut,
+)
+from repro.dex.program import DexClass, DexMethod, DexProgram
+from repro.dex.builder import MethodBuilder
+
+__all__ = [
+    "ConstString",
+    "Goto",
+    "IGet",
+    "IPut",
+    "If",
+    "Invoke",
+    "Move",
+    "NewInstance",
+    "Return",
+    "SGet",
+    "SPut",
+    "DexClass",
+    "DexMethod",
+    "DexProgram",
+    "MethodBuilder",
+]

@@ -1,0 +1,114 @@
+"""A fluent assembler for IR method bodies.
+
+Used throughout the benchmark suites and the synthetic corpus generator to
+write app code compactly::
+
+    m = (MethodBuilder("onStartCommand", params=("p0",))
+         .new_instance("v0", "Intent")
+         .const_string("v1", "showLoc")
+         .invoke("Intent.setAction", receiver="v0", args=("v1",))
+         .invoke("Context.startService", args=("v0",))
+         .ret()
+         .build())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dex.instructions import (
+    ConstString,
+    Goto,
+    IGet,
+    IPut,
+    If,
+    Instr,
+    Invoke,
+    Move,
+    NewInstance,
+    Return,
+    SGet,
+    SPut,
+)
+from repro.dex.program import DexMethod
+
+
+class MethodBuilder:
+    """Accumulates instructions; labels support forward branches."""
+
+    def __init__(self, name: str, params: Sequence[str] = ()) -> None:
+        self._name = name
+        self._params = tuple(params)
+        self._instructions: List[Instr] = []
+        self._labels: Dict[str, int] = {}
+        self._fixups: List[Tuple[int, str]] = []
+
+    # -- plumbing -------------------------------------------------------
+    def _emit(self, instr: Instr) -> "MethodBuilder":
+        self._instructions.append(instr)
+        return self
+
+    def label(self, name: str) -> "MethodBuilder":
+        """Define a label at the next instruction index."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    # -- instructions ----------------------------------------------------
+    def const_string(self, dest: str, value: str) -> "MethodBuilder":
+        return self._emit(ConstString(dest, value))
+
+    def move(self, dest: str, src: str) -> "MethodBuilder":
+        return self._emit(Move(dest, src))
+
+    def new_instance(self, dest: str, type_name: str) -> "MethodBuilder":
+        return self._emit(NewInstance(dest, type_name))
+
+    def invoke(
+        self,
+        signature: str,
+        receiver: Optional[str] = None,
+        args: Sequence[str] = (),
+        dest: Optional[str] = None,
+    ) -> "MethodBuilder":
+        return self._emit(Invoke(signature, receiver, tuple(args), dest))
+
+    def iget(self, dest: str, obj: str, field_name: str) -> "MethodBuilder":
+        return self._emit(IGet(dest, obj, field_name))
+
+    def iput(self, obj: str, field_name: str, src: str) -> "MethodBuilder":
+        return self._emit(IPut(obj, field_name, src))
+
+    def sget(self, dest: str, class_field: str) -> "MethodBuilder":
+        return self._emit(SGet(dest, class_field))
+
+    def sput(self, class_field: str, src: str) -> "MethodBuilder":
+        return self._emit(SPut(class_field, src))
+
+    def if_goto(self, cond: str, label: str) -> "MethodBuilder":
+        self._fixups.append((len(self._instructions), label))
+        return self._emit(If(cond, -1))
+
+    def goto(self, label: str) -> "MethodBuilder":
+        self._fixups.append((len(self._instructions), label))
+        return self._emit(Goto(-1))
+
+    def ret(self, src: Optional[str] = None) -> "MethodBuilder":
+        return self._emit(Return(src))
+
+    # -- finish ----------------------------------------------------------
+    def build(self) -> DexMethod:
+        instructions = list(self._instructions)
+        for index, label in self._fixups:
+            if label not in self._labels:
+                raise ValueError(f"undefined label {label!r}")
+            target = self._labels[label]
+            old = instructions[index]
+            if isinstance(old, If):
+                instructions[index] = If(old.cond, target)
+            else:
+                instructions[index] = Goto(target)
+        if not instructions or not isinstance(instructions[-1], (Return, Goto)):
+            instructions.append(Return())
+        return DexMethod(self._name, self._params, instructions)

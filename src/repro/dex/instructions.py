@@ -1,0 +1,157 @@
+"""The IR instruction set.
+
+Registers are named strings (``v0``, ``v1``, ...; parameters conventionally
+``p0``, ``p1``, ...).  Branch targets are instruction indices within the
+owning method.  Conditional branches carry an opaque condition register:
+the paper's analysis is deliberately *not* path-sensitive (Section IV), so
+no instruction encodes what the condition tests -- only that control may
+flow both ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class Instr:
+    """Base class for IR instructions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ConstString(Instr):
+    """``dest := "value"`` -- the anchor for string constant propagation."""
+
+    dest: str
+    value: str
+
+
+@dataclass(frozen=True)
+class Move(Instr):
+    """``dest := src`` (register copy)."""
+
+    dest: str
+    src: str
+
+
+@dataclass(frozen=True)
+class NewInstance(Instr):
+    """``dest := new TypeName()`` -- Intent/IntentFilter/etc. allocation."""
+
+    dest: str
+    type_name: str
+
+
+@dataclass(frozen=True)
+class Invoke(Instr):
+    """A method call, platform API or app-internal.
+
+    ``signature`` is ``Class.method`` -- platform classes (``Intent``,
+    ``SmsManager``, ``Context``, ...) denote framework APIs; any class
+    defined by the enclosing program denotes an app-internal call.
+    ``receiver`` is the register holding the receiver object (None for
+    static calls), ``args`` the argument registers, ``dest`` the optional
+    result register.
+    """
+
+    signature: str
+    receiver: Optional[str] = None
+    args: Tuple[str, ...] = ()
+    dest: Optional[str] = None
+
+    @property
+    def class_name(self) -> str:
+        return self.signature.rsplit(".", 1)[0]
+
+    @property
+    def method_name(self) -> str:
+        return self.signature.rsplit(".", 1)[1]
+
+
+@dataclass(frozen=True)
+class IGet(Instr):
+    """``dest := obj.field`` (instance field read)."""
+
+    dest: str
+    obj: str
+    field_name: str
+
+
+@dataclass(frozen=True)
+class IPut(Instr):
+    """``obj.field := src`` (instance field write)."""
+
+    obj: str
+    field_name: str
+    src: str
+
+
+@dataclass(frozen=True)
+class SGet(Instr):
+    """``dest := Class.field`` (static field read)."""
+
+    dest: str
+    class_field: str
+
+
+@dataclass(frozen=True)
+class SPut(Instr):
+    """``Class.field := src`` (static field write)."""
+
+    class_field: str
+    src: str
+
+
+@dataclass(frozen=True)
+class If(Instr):
+    """Conditional branch on an opaque condition: may fall through or jump."""
+
+    cond: str
+    target: int
+
+
+@dataclass(frozen=True)
+class Goto(Instr):
+    """Unconditional jump."""
+
+    target: int
+
+
+@dataclass(frozen=True)
+class Return(Instr):
+    """Method return, optionally carrying a value register."""
+
+    src: Optional[str] = None
+
+
+def defined_register(instr: Instr) -> Optional[str]:
+    """The register an instruction writes, if any."""
+    if isinstance(instr, (ConstString, Move, NewInstance, IGet, SGet)):
+        return instr.dest
+    if isinstance(instr, Invoke):
+        return instr.dest
+    return None
+
+
+def used_registers(instr: Instr) -> Tuple[str, ...]:
+    """The registers an instruction reads."""
+    if isinstance(instr, Move):
+        return (instr.src,)
+    if isinstance(instr, Invoke):
+        regs = tuple(instr.args)
+        if instr.receiver is not None:
+            regs = (instr.receiver,) + regs
+        return regs
+    if isinstance(instr, IGet):
+        return (instr.obj,)
+    if isinstance(instr, IPut):
+        return (instr.obj, instr.src)
+    if isinstance(instr, SPut):
+        return (instr.src,)
+    if isinstance(instr, If):
+        return (instr.cond,)
+    if isinstance(instr, Return) and instr.src is not None:
+        return (instr.src,)
+    return ()

@@ -1,0 +1,140 @@
+"""Methods, classes, and whole programs.
+
+A :class:`DexProgram` is the code half of an APK: the set of classes the
+app defines.  Component classes are linked to manifest entries by name.
+Lifecycle methods (``onCreate``, ``onStartCommand``, ``onReceive``,
+``onBind``, ``onActivityResult``, ...) are the framework-invoked entry
+points AME starts its analyses from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.dex.instructions import Goto, If, Instr
+
+# Framework-invoked entry points, and whether their first parameter is the
+# received Intent (the ICC data source for taint analysis).
+LIFECYCLE_METHODS: Dict[str, bool] = {
+    "onCreate": True,
+    "onStart": True,
+    "onStartCommand": True,
+    "onBind": True,
+    "onReceive": True,
+    "onActivityResult": True,
+    "onNewIntent": True,
+    # Content-provider entry points carry no Intent.
+    "query": False,
+    "insert": False,
+    "update": False,
+    "delete": False,
+}
+
+
+@dataclass
+class DexMethod:
+    """A method body: named parameters plus a straight-line instruction list
+    with explicit branch targets."""
+
+    name: str
+    params: Tuple[str, ...] = ()
+    instructions: List[Instr] = field(default_factory=list)
+    class_name: str = ""  # filled when attached to a class
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        limit = len(self.instructions)
+        for idx, instr in enumerate(self.instructions):
+            if isinstance(instr, (Goto, If)) and not (0 <= instr.target <= limit):
+                raise ValueError(
+                    f"branch target {instr.target} out of range in "
+                    f"{self.class_name}.{self.name}[{idx}]"
+                )
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.class_name}.{self.name}"
+
+    @property
+    def is_entry_point(self) -> bool:
+        return self.name in LIFECYCLE_METHODS
+
+    @property
+    def receives_intent(self) -> bool:
+        return LIFECYCLE_METHODS.get(self.name, False) and bool(self.params)
+
+
+@dataclass
+class DexClass:
+    """A class: a name, an optional superclass, and its methods."""
+
+    name: str
+    superclass: str = "Object"
+    methods: List[DexMethod] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [m.name for m in self.methods]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate method names in class {self.name}")
+        for method in self.methods:
+            method.class_name = self.name
+
+    def add_method(self, method: DexMethod) -> DexMethod:
+        if any(m.name == method.name for m in self.methods):
+            raise ValueError(f"duplicate method {method.name} in {self.name}")
+        method.class_name = self.name
+        self.methods.append(method)
+        return method
+
+    def method(self, name: str) -> DexMethod:
+        for method in self.methods:
+            if method.name == name:
+                return method
+        raise KeyError(f"no method {name!r} in class {self.name}")
+
+    def has_method(self, name: str) -> bool:
+        return any(m.name == name for m in self.methods)
+
+
+@dataclass
+class DexProgram:
+    """The code of one app: its classes, indexed by name."""
+
+    classes: List[DexClass] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.classes]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate class names in program")
+        self._by_name = {c.name: c for c in self.classes}
+
+    def add_class(self, cls: DexClass) -> DexClass:
+        if cls.name in self._by_name:
+            raise ValueError(f"duplicate class {cls.name}")
+        self.classes.append(cls)
+        self._by_name[cls.name] = cls
+        return cls
+
+    def cls(self, name: str) -> DexClass:
+        return self._by_name[name]
+
+    def has_class(self, name: str) -> bool:
+        return name in self._by_name
+
+    def lookup(self, signature: str) -> Optional[DexMethod]:
+        """Resolve ``Class.method`` to an app-defined method, if any."""
+        class_name, _, method_name = signature.rpartition(".")
+        cls = self._by_name.get(class_name)
+        if cls is None or not cls.has_method(method_name):
+            return None
+        return cls.method(method_name)
+
+    def all_methods(self) -> Iterable[DexMethod]:
+        for cls in self.classes:
+            yield from cls.methods
+
+    def instruction_count(self) -> int:
+        return sum(len(m.instructions) for m in self.all_methods())

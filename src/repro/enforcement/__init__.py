@@ -1,0 +1,28 @@
+"""APE: the Android Policy Enforcer (Section VI).
+
+A simulated Android runtime executes app IR with real ICC dispatch
+(:mod:`repro.enforcement.runtime`); an Xposed-style hooking layer
+(:mod:`repro.enforcement.hooks`) intercepts method calls without modifying
+the apps.  The policy decision point (:mod:`repro.enforcement.pdp`)
+evaluates intercepted ICC events against the synthesized ECA policies, and
+the policy enforcement point (:mod:`repro.enforcement.pep`) installs the
+hooks, consults the PDP, and skips violating calls -- the app continues in
+degraded mode, exactly as inhibiting an asynchronous ICC call does on real
+Android.
+"""
+
+from repro.enforcement.hooks import HookManager, MethodCall
+from repro.enforcement.runtime import AndroidRuntime, Device, RuntimeIntent
+from repro.enforcement.pdp import Decision, PolicyDecisionPoint
+from repro.enforcement.pep import PolicyEnforcementPoint
+
+__all__ = [
+    "HookManager",
+    "MethodCall",
+    "AndroidRuntime",
+    "Device",
+    "RuntimeIntent",
+    "Decision",
+    "PolicyDecisionPoint",
+    "PolicyEnforcementPoint",
+]

@@ -1,0 +1,92 @@
+"""The policy decision point.
+
+Realized in the paper as an independent Android app storing the synthesized
+policies; here an in-process object.  ``decide`` evaluates an intercepted
+ICC event against every stored policy: the first matching policy determines
+the outcome.  PROMPT policies route to a user-consent callback (the paper
+prompts the user with the threat description and event parameters); the
+callback is injectable so tests and headless deployments can fix an answer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.policy import ECAPolicy, IccEvent, PolicyAction, PolicyEvent
+
+
+class Decision(enum.Enum):
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+@dataclass
+class DecisionRecord:
+    event_kind: PolicyEvent
+    event: IccEvent
+    policy: Optional[ECAPolicy]
+    decision: Decision
+    prompted: bool = False
+
+
+PromptCallback = Callable[[ECAPolicy, IccEvent], bool]
+
+
+def deny_all_prompts(policy: ECAPolicy, event: IccEvent) -> bool:
+    """Default consent callback: the cautious user refuses."""
+    return False
+
+
+def format_prompt(policy: ECAPolicy, event: IccEvent) -> str:
+    """The dialog text shown to the user (Section VI: "the description of
+    security threat as well as the name and parameters of the intercepted
+    event")."""
+    lines = [
+        "Security prompt",
+        f"  threat:   {policy.vulnerability}",
+        f"  details:  {policy.description}" if policy.description else None,
+        f"  event:    {policy.event.value}",
+        f"  sender:   {event.sender}",
+        f"  receiver: {event.receiver or '(unresolved)'}",
+    ]
+    if event.action:
+        lines.append(f"  action:   {event.action}")
+    if event.extras:
+        payload = ", ".join(sorted(r.value for r in event.extras))
+        lines.append(f"  payload:  {payload}")
+    lines.append("Allow this operation?")
+    return "\n".join(l for l in lines if l)
+
+
+class PolicyDecisionPoint:
+    def __init__(
+        self,
+        policies: Sequence[ECAPolicy] = (),
+        prompt_callback: PromptCallback = deny_all_prompts,
+    ) -> None:
+        self.policies: List[ECAPolicy] = list(policies)
+        self.prompt_callback = prompt_callback
+        self.log: List[DecisionRecord] = []
+
+    def add_policy(self, policy: ECAPolicy) -> None:
+        self.policies.append(policy)
+
+    def decide(self, event_kind: PolicyEvent, event: IccEvent) -> Decision:
+        for policy in self.policies:
+            if not policy.matches(event_kind, event):
+                continue
+            if policy.action is PolicyAction.DENY:
+                decision = Decision.DENY
+                prompted = False
+            else:
+                approved = self.prompt_callback(policy, event)
+                decision = Decision.ALLOW if approved else Decision.DENY
+                prompted = True
+            self.log.append(
+                DecisionRecord(event_kind, event, policy, decision, prompted)
+            )
+            return decision
+        self.log.append(DecisionRecord(event_kind, event, None, Decision.ALLOW))
+        return Decision.ALLOW

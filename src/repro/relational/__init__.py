@@ -1,0 +1,28 @@
+"""Bounded relational model finding (the Alloy/Kodkod/Aluminum substrate).
+
+SEPAR's analysis and synthesis engine expresses the Android framework
+meta-model, the extracted app specifications, and the vulnerability
+signatures in Alloy's first-order relational logic with transitive closure,
+then asks a bounded model finder for satisfying instances -- each instance
+*is* a synthesized exploit scenario.  This package is a from-scratch
+implementation of that tool chain:
+
+- :mod:`repro.relational.universe` -- atoms, relations, and bounds
+  (Kodkod-style partial instances: lower/upper tuple sets per relation).
+- :mod:`repro.relational.ast` -- relational expressions (join, product,
+  transpose, transitive closure, set operators) and first-order formulas
+  (quantifiers, multiplicities, comparisons).
+- :mod:`repro.relational.translate` -- translation of bounded relational
+  formulas into CNF over boolean adjacency matrices, following Kodkod.
+- :mod:`repro.relational.instance` -- satisfying instances mapped back to
+  relation/tuple form.
+- :mod:`repro.relational.problem` -- the solve / enumerate front door.
+- :mod:`repro.relational.minimal` -- Aluminum-style minimal-scenario
+  generation (minimize the set of tuples present in the instance).
+"""
+
+from repro.relational.universe import Universe, Relation, Bounds
+from repro.relational.instance import Instance
+from repro.relational.problem import RelationalProblem
+
+__all__ = ["Universe", "Relation", "Bounds", "Instance", "RelationalProblem"]

@@ -1,0 +1,370 @@
+"""Relational expressions and first-order formulas (the Alloy core).
+
+Expressions denote relations (sets of atom tuples); formulas denote truth
+values.  The operator surface mirrors Alloy:
+
+==================  =========================================
+Alloy               here
+==================  =========================================
+``a + b``           ``a + b`` (union)
+``a & b``           ``a & b`` (intersection)
+``a - b``           ``a - b`` (difference)
+``a . b``           ``a.join(b)``
+``a -> b``          ``a.product(b)``
+``~a``              ``a.transpose()``
+``^a``              ``a.closure()``
+``*a``              ``a.reflexive_closure()``
+``a in b``          ``a.in_(b)``
+``a = b``           ``a.eq(b)``
+``some a``          ``some(a)`` (similarly ``no``/``one``/``lone``)
+``all x: e | F``    ``all_(x, e, F)`` with ``x = Variable("x")``
+``F && G``          ``F & G``
+``F || G``          ``F | G``
+``!F``              ``~F`` or ``not_(F)``
+``F => G``          ``F.implies(G)``
+==================  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.relational.universe import Relation
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+class Expr:
+    """Base class for relational expressions."""
+
+    arity: int
+
+    def __add__(self, other: "Expr") -> "Expr":
+        return BinaryExpr("union", self, other)
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return BinaryExpr("intersection", self, other)
+
+    def __sub__(self, other: "Expr") -> "Expr":
+        return BinaryExpr("difference", self, other)
+
+    def join(self, other: "Expr") -> "Expr":
+        return JoinExpr(self, other)
+
+    def product(self, other: "Expr") -> "Expr":
+        return ProductExpr(self, other)
+
+    def transpose(self) -> "Expr":
+        return UnaryExpr("transpose", self)
+
+    def closure(self) -> "Expr":
+        return UnaryExpr("closure", self)
+
+    def reflexive_closure(self) -> "Expr":
+        return UnaryExpr("reflexive_closure", self)
+
+    # -- formula constructors -------------------------------------------
+    def in_(self, other: "Expr") -> "Formula":
+        return ComparisonFormula("subset", self, other)
+
+    def eq(self, other: "Expr") -> "Formula":
+        return ComparisonFormula("equals", self, other)
+
+    def neq(self, other: "Expr") -> "Formula":
+        return NotFormula(ComparisonFormula("equals", self, other))
+
+
+class RelationExpr(Expr):
+    """A reference to a declared relation."""
+
+    def __init__(self, relation: Relation) -> None:
+        self.relation = relation
+        self.arity = relation.arity
+
+    def __repr__(self) -> str:
+        return self.relation.name
+
+
+class Variable(Expr):
+    """A quantified variable; always denotes a singleton unary relation."""
+
+    arity = 1
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class ConstantExpr(Expr):
+    """NONE (empty unary), UNIV (all atoms, unary), IDEN (identity, binary)."""
+
+    def __init__(self, kind: str) -> None:
+        if kind not in ("none", "univ", "iden"):
+            raise ValueError(f"unknown constant {kind!r}")
+        self.kind = kind
+        self.arity = 2 if kind == "iden" else 1
+
+    def __repr__(self) -> str:
+        return self.kind.upper()
+
+
+NONE = ConstantExpr("none")
+UNIV = ConstantExpr("univ")
+IDEN = ConstantExpr("iden")
+
+
+class BinaryExpr(Expr):
+    """Union, intersection, or difference of same-arity expressions."""
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if left.arity != right.arity:
+            raise ValueError(
+                f"{op} requires equal arities, got {left.arity} and {right.arity}"
+            )
+        self.op = op
+        self.left = left
+        self.right = right
+        self.arity = left.arity
+
+    def __repr__(self) -> str:
+        symbol = {"union": "+", "intersection": "&", "difference": "-"}[self.op]
+        return f"({self.left!r} {symbol} {self.right!r})"
+
+
+class JoinExpr(Expr):
+    """Relational join: matches the last column of left to the first of right."""
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        arity = left.arity + right.arity - 2
+        if arity < 1:
+            raise ValueError("join of two unary expressions is not a relation")
+        self.left = left
+        self.right = right
+        self.arity = arity
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}.{self.right!r})"
+
+
+class ProductExpr(Expr):
+    """Cartesian product (Alloy ``->``)."""
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+        self.arity = left.arity + right.arity
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} -> {self.right!r})"
+
+
+class UnaryExpr(Expr):
+    """Transpose and closures; defined on binary expressions only."""
+
+    def __init__(self, op: str, operand: Expr) -> None:
+        if operand.arity != 2:
+            raise ValueError(f"{op} requires a binary expression")
+        self.op = op
+        self.operand = operand
+        self.arity = 2
+
+    def __repr__(self) -> str:
+        symbol = {"transpose": "~", "closure": "^", "reflexive_closure": "*"}[self.op]
+        return f"{symbol}{self.operand!r}"
+
+
+class IfExpr(Expr):
+    """Conditional expression (Alloy ``cond => e1 else e2``)."""
+
+    def __init__(self, condition: "Formula", then: Expr, else_: Expr) -> None:
+        if then.arity != else_.arity:
+            raise ValueError("if-then-else branches must have equal arity")
+        self.condition = condition
+        self.then = then
+        self.else_ = else_
+        self.arity = then.arity
+
+    def __repr__(self) -> str:
+        return f"({self.condition!r} => {self.then!r} else {self.else_!r})"
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+class Formula:
+    """Base class for first-order relational formulas."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return NaryFormula("and", (self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return NaryFormula("or", (self, other))
+
+    def __invert__(self) -> "Formula":
+        return NotFormula(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        return NaryFormula("or", (NotFormula(self), other))
+
+    def iff(self, other: "Formula") -> "Formula":
+        return NaryFormula("and", (self.implies(other), other.implies(self)))
+
+
+class TrueFormula(Formula):
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class FalseFormula(Formula):
+    def __repr__(self) -> str:
+        return "FALSE"
+
+
+TRUE_F = TrueFormula()
+FALSE_F = FalseFormula()
+
+
+class ComparisonFormula(Formula):
+    """Subset or equality between same-arity expressions."""
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if left.arity != right.arity:
+            raise ValueError(
+                f"{op} requires equal arities, got {left.arity} and {right.arity}"
+            )
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        symbol = {"subset": "in", "equals": "="}[self.op]
+        return f"({self.left!r} {symbol} {self.right!r})"
+
+
+class MultiplicityFormula(Formula):
+    """``some`` / ``no`` / ``one`` / ``lone`` applied to an expression."""
+
+    def __init__(self, mult: str, expr: Expr) -> None:
+        if mult not in ("some", "no", "one", "lone"):
+            raise ValueError(f"unknown multiplicity {mult!r}")
+        self.mult = mult
+        self.expr = expr
+
+    def __repr__(self) -> str:
+        return f"({self.mult} {self.expr!r})"
+
+
+class NotFormula(Formula):
+    def __init__(self, operand: Formula) -> None:
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"!{self.operand!r}"
+
+
+class NaryFormula(Formula):
+    def __init__(self, op: str, operands: Iterable[Formula]) -> None:
+        if op not in ("and", "or"):
+            raise ValueError(f"unknown connective {op!r}")
+        self.op = op
+        self.operands: Tuple[Formula, ...] = tuple(operands)
+
+    def __repr__(self) -> str:
+        sep = " && " if self.op == "and" else " || "
+        return "(" + sep.join(repr(f) for f in self.operands) + ")"
+
+
+class QuantifiedFormula(Formula):
+    """``all|some|no|one|lone var: bound | body``; bound must be unary."""
+
+    def __init__(
+        self, quant: str, variable: Variable, bound: Expr, body: Formula
+    ) -> None:
+        if quant not in ("all", "some", "no", "one", "lone"):
+            raise ValueError(f"unknown quantifier {quant!r}")
+        if bound.arity != 1:
+            raise ValueError("quantification is over unary (set) expressions")
+        self.quant = quant
+        self.variable = variable
+        self.bound = bound
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"({self.quant} {self.variable!r}: {self.bound!r} | {self.body!r})"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors (module-level, Alloy keyword style)
+# ---------------------------------------------------------------------------
+def some(expr: Expr) -> Formula:
+    return MultiplicityFormula("some", expr)
+
+
+def no(expr: Expr) -> Formula:
+    return MultiplicityFormula("no", expr)
+
+
+def one(expr: Expr) -> Formula:
+    return MultiplicityFormula("one", expr)
+
+
+def lone(expr: Expr) -> Formula:
+    return MultiplicityFormula("lone", expr)
+
+
+def not_(formula: Formula) -> Formula:
+    return NotFormula(formula)
+
+
+def and_all(formulas: Iterable[Formula]) -> Formula:
+    formulas = tuple(formulas)
+    if not formulas:
+        return TRUE_F
+    if len(formulas) == 1:
+        return formulas[0]
+    return NaryFormula("and", formulas)
+
+
+def or_all(formulas: Iterable[Formula]) -> Formula:
+    formulas = tuple(formulas)
+    if not formulas:
+        return FALSE_F
+    if len(formulas) == 1:
+        return formulas[0]
+    return NaryFormula("or", formulas)
+
+
+def all_(variable: Variable, bound: Expr, body: Formula) -> Formula:
+    return QuantifiedFormula("all", variable, bound, body)
+
+
+def some_(variable: Variable, bound: Expr, body: Formula) -> Formula:
+    return QuantifiedFormula("some", variable, bound, body)
+
+
+def no_(variable: Variable, bound: Expr, body: Formula) -> Formula:
+    return QuantifiedFormula("no", variable, bound, body)
+
+
+def one_(variable: Variable, bound: Expr, body: Formula) -> Formula:
+    return QuantifiedFormula("one", variable, bound, body)
+
+
+def lone_(variable: Variable, bound: Expr, body: Formula) -> Formula:
+    return QuantifiedFormula("lone", variable, bound, body)
+
+
+def ite_expr(condition: Formula, then: Expr, else_: Expr) -> Expr:
+    return IfExpr(condition, then, else_)
+
+
+def disjoint(exprs: Sequence[Expr]) -> Formula:
+    """Pairwise-empty intersections (Alloy ``disj``)."""
+    conjuncts = []
+    for i in range(len(exprs)):
+        for j in range(i + 1, len(exprs)):
+            conjuncts.append(no(exprs[i] & exprs[j]))
+    return and_all(conjuncts)

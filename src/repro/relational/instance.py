@@ -1,0 +1,67 @@
+"""Satisfying instances of relational problems."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.relational.universe import AtomTuple, Bounds, Relation
+
+
+class Instance:
+    """A binding of every bounded relation to a concrete tuple set."""
+
+    def __init__(self, tuples: Dict[Relation, FrozenSet[AtomTuple]]) -> None:
+        self._tuples = dict(tuples)
+
+    def tuples(self, relation: Relation) -> FrozenSet[AtomTuple]:
+        return self._tuples.get(relation, frozenset())
+
+    def atoms(self, relation: Relation) -> FrozenSet[str]:
+        """The unary projection of a relation (its atoms), for unary relations."""
+        return frozenset(t[0] for t in self.tuples(relation))
+
+    @property
+    def relations(self) -> Iterable[Relation]:
+        return self._tuples.keys()
+
+    def positive_size(self) -> int:
+        """Total number of tuples across all relations (Aluminum's metric)."""
+        return sum(len(ts) for ts in self._tuples.values())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Instance) and self._tuples == other._tuples
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(
+            (rel.name, tuple(sorted(ts))) for rel, ts in self._tuples.items()
+        )))
+
+    def __repr__(self) -> str:
+        populated = sum(1 for ts in self._tuples.values() if ts)
+        return f"Instance({populated} populated relations)"
+
+    def describe(self) -> str:
+        """Readable multi-line rendering, Alloy-evaluator style."""
+        lines = []
+        for relation in sorted(self._tuples, key=lambda r: r.name):
+            tuples = self._tuples[relation]
+            if not tuples:
+                continue
+            rendered = ", ".join(
+                "->".join(tup) for tup in sorted(tuples)
+            )
+            lines.append(f"{relation.name} = {{{rendered}}}")
+        return "\n".join(lines)
+
+
+def instance_from_model(
+    bounds: Bounds,
+    primary_vars: Dict[Tuple[Relation, AtomTuple], int],
+    model: Dict[int, bool],
+) -> Instance:
+    """Reconstruct relation tuple sets from a SAT model."""
+    tuples: Dict[Relation, set] = {rel: set(bounds.lower(rel)) for rel in bounds.relations}
+    for (relation, tup), var in primary_vars.items():
+        if model.get(var, False):
+            tuples[relation].add(tup)
+    return Instance({rel: frozenset(ts) for rel, ts in tuples.items()})

@@ -1,0 +1,181 @@
+"""The relational solving front door: solve, enumerate, minimize.
+
+:class:`RelationalProblem` owns a formula plus bounds, translates once, and
+exposes:
+
+- :meth:`solve` -- first satisfying instance (or None);
+- :meth:`solutions` -- enumeration via blocking clauses;
+- :meth:`minimal_solutions` -- Aluminum-style principled scenario
+  exploration: every yielded instance is *minimal* (no satisfying instance
+  whose positive tuples are a strict subset exists), and later instances are
+  never supersets of earlier ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.relational import ast as rast
+from repro.relational.instance import Instance, instance_from_model
+from repro.relational.translate import TranslationRecord, translate
+from repro.relational.universe import AtomTuple, Bounds, Relation
+from repro.sat import Solver
+
+
+@dataclass
+class SolveStats:
+    """Timing and size statistics exposed for the RQ3 benchmark harness."""
+
+    translation_seconds: float = 0.0
+    solving_seconds: float = 0.0
+    num_vars: int = 0
+    num_clauses: int = 0
+    num_primary_vars: int = 0
+
+
+class RelationalProblem:
+    """A relational formula under bounds, ready to solve incrementally."""
+
+    def __init__(self, bounds: Bounds, formula: rast.Formula) -> None:
+        self.bounds = bounds
+        self.formula = formula
+        self.stats = SolveStats()
+        start = time.perf_counter()
+        self._record: TranslationRecord = translate(bounds, formula)
+        self.stats.translation_seconds = time.perf_counter() - start
+        self.stats.num_vars = self._record.cnf.num_vars
+        self.stats.num_clauses = self._record.cnf.num_clauses
+        self.stats.num_primary_vars = len(self._record.primary_vars)
+        self._solver = Solver()
+        if self._record.cnf.num_vars:
+            self._solver.ensure_var(self._record.cnf.num_vars)
+        self._trivially_unsat = self._record.trivially_unsat
+        if not self._trivially_unsat:
+            if not self._solver.add_clauses(self._record.cnf.clauses):
+                self._trivially_unsat = True
+
+    @property
+    def primary_vars(self) -> Dict[Tuple[Relation, AtomTuple], int]:
+        return self._record.primary_vars
+
+    # ------------------------------------------------------------------
+    def solve(self) -> Optional[Instance]:
+        """Return one satisfying instance, or None if unsatisfiable."""
+        if self._trivially_unsat:
+            return None
+        start = time.perf_counter()
+        result = self._solver.solve()
+        self.stats.solving_seconds += time.perf_counter() - start
+        if not result.satisfiable:
+            return None
+        return instance_from_model(self.bounds, self.primary_vars, result.model)
+
+    def solutions(self, limit: Optional[int] = None) -> Iterator[Instance]:
+        """Enumerate distinct instances by blocking each found model.
+
+        Distinctness is with respect to primary variables (relation
+        contents), not auxiliary Tseitin variables.
+        """
+        if self._trivially_unsat:
+            return
+        count = 0
+        primary = list(self.primary_vars.values())
+        while limit is None or count < limit:
+            start = time.perf_counter()
+            result = self._solver.solve()
+            self.stats.solving_seconds += time.perf_counter() - start
+            if not result.satisfiable:
+                return
+            yield instance_from_model(self.bounds, self.primary_vars, result.model)
+            count += 1
+            if not primary:
+                return  # only one instance distinguishable
+            blocking = [(-v if result.model[v] else v) for v in primary]
+            if not self._solver.add_clause(blocking):
+                return
+
+    # ------------------------------------------------------------------
+    def minimal_solutions(self, limit: Optional[int] = None) -> Iterator[Instance]:
+        """Aluminum-style enumeration of minimal scenarios.
+
+        Each yielded instance is minimized by iteratively asking the solver
+        for a model whose true primary variables form a strict subset of the
+        current one (falsified variables stay false -- enforced through
+        assumptions -- and at least one true variable flips, enforced by an
+        activation-guarded clause).  Found minima are then blocked so later
+        scenarios never contain an earlier one.
+        """
+        if self._trivially_unsat:
+            return
+        primary = list(self.primary_vars.values())
+        count = 0
+        while limit is None or count < limit:
+            start = time.perf_counter()
+            result = self._solver.solve()
+            self.stats.solving_seconds += time.perf_counter() - start
+            if not result.satisfiable:
+                return
+            model = result.model
+            model = self._minimize(model, primary)
+            yield instance_from_model(self.bounds, self.primary_vars, model)
+            count += 1
+            true_vars = [v for v in primary if model[v]]
+            if not true_vars:
+                return  # the empty instance is minimal and subsumes everything
+            if not self._solver.add_clause([-v for v in true_vars]):
+                return
+
+    def minimal_solution(self) -> Optional[Instance]:
+        """One satisfying instance, minimized (no enumeration blocking)."""
+        if self._trivially_unsat:
+            return None
+        start = time.perf_counter()
+        result = self._solver.solve()
+        self.stats.solving_seconds += time.perf_counter() - start
+        if not result.satisfiable:
+            return None
+        primary = list(self.primary_vars.values())
+        model = self._minimize(result.model, primary)
+        return instance_from_model(self.bounds, self.primary_vars, model)
+
+    def block(self, rel_tuples) -> bool:
+        """Forbid the conjunction of the given (relation, tuple) bindings.
+
+        Used for diversity-driven enumeration: after decoding a scenario,
+        block its role bindings so the next solve must change at least one
+        of them.  Tuples fixed by the lower bound cannot be blocked; if all
+        given tuples are fixed, enumeration is exhausted (returns False).
+        """
+        literals = []
+        for relation, tup in rel_tuples:
+            var = self.primary_vars.get((relation, tuple(tup)))
+            if var is not None:
+                literals.append(-var)
+        if not literals:
+            return False
+        return self._solver.add_clause(literals)
+
+    def _minimize(self, model: Dict[int, bool], primary: List[int]) -> Dict[int, bool]:
+        """Shrink the model's true primary variables to a minimal set."""
+        current = dict(model)
+        while True:
+            true_vars = [v for v in primary if current[v]]
+            false_vars = [v for v in primary if not current[v]]
+            if not true_vars:
+                return current
+            activation = self._solver.num_vars + 1
+            self._solver.ensure_var(activation)
+            # act -> (some currently-true var is false)
+            self._solver.add_clause([-activation] + [-v for v in true_vars])
+            assumptions = [activation] + [-v for v in false_vars]
+            start = time.perf_counter()
+            result = self._solver.solve(assumptions=assumptions)
+            self.stats.solving_seconds += time.perf_counter() - start
+            if not result.satisfiable:
+                # Retire the activation literal and stop: current is minimal.
+                self._solver.add_clause([-activation])
+                return current
+            current = result.model
+            self._solver.add_clause([-activation])

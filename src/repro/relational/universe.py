@@ -1,0 +1,151 @@
+"""Atoms, relations, and Kodkod-style bounds.
+
+A :class:`Universe` is a finite ordered set of named atoms.  A
+:class:`Relation` is a named k-ary relation variable.  :class:`Bounds`
+assigns every relation a *lower* bound (tuples that must be present -- the
+partial instance) and an *upper* bound (tuples that may be present).  SEPAR
+exploits lower bounds heavily: the facts extracted from each app by static
+analysis are injected as exact bounds, so only the postulated malicious
+elements remain for the SAT solver to fill in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+Atom = str
+AtomTuple = Tuple[Atom, ...]
+
+
+class Universe:
+    """An ordered collection of distinct atoms."""
+
+    def __init__(self, atoms: Iterable[Atom] = ()) -> None:
+        self._atoms: List[Atom] = []
+        self._index: Dict[Atom, int] = {}
+        for atom in atoms:
+            self.add(atom)
+
+    def add(self, atom: Atom) -> Atom:
+        """Add an atom; re-adding an existing atom is an error."""
+        if atom in self._index:
+            raise ValueError(f"duplicate atom {atom!r}")
+        self._index[atom] = len(self._atoms)
+        self._atoms.append(atom)
+        return atom
+
+    def extend(self, atoms: Iterable[Atom]) -> List[Atom]:
+        return [self.add(a) for a in atoms]
+
+    def index(self, atom: Atom) -> int:
+        try:
+            return self._index[atom]
+        except KeyError:
+            raise KeyError(f"atom {atom!r} not in universe") from None
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._index
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self):
+        return iter(self._atoms)
+
+    @property
+    def atoms(self) -> Sequence[Atom]:
+        return self._atoms
+
+    def __repr__(self) -> str:
+        return f"Universe({len(self._atoms)} atoms)"
+
+
+class Relation:
+    """A named relational variable of fixed arity."""
+
+    __slots__ = ("name", "arity")
+
+    def __init__(self, name: str, arity: int) -> None:
+        if arity < 1:
+            raise ValueError("arity must be at least 1")
+        self.name = name
+        self.arity = arity
+
+    # Relations participate in expressions; import locally to avoid a cycle.
+    def to_expr(self) -> "RelationExpr":  # noqa: F821 - forward ref
+        from repro.relational.ast import RelationExpr
+
+        return RelationExpr(self)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}/{self.arity})"
+
+
+def _check_tuples(
+    relation: Relation, universe: Universe, tuples: Iterable[AtomTuple]
+) -> FrozenSet[AtomTuple]:
+    checked = set()
+    for tup in tuples:
+        tup = tuple(tup)
+        if len(tup) != relation.arity:
+            raise ValueError(
+                f"tuple {tup!r} has arity {len(tup)}, expected {relation.arity} "
+                f"for {relation.name}"
+            )
+        for atom in tup:
+            if atom not in universe:
+                raise KeyError(f"atom {atom!r} not in universe")
+        checked.add(tup)
+    return frozenset(checked)
+
+
+class Bounds:
+    """Lower/upper tuple bounds for every relation in a problem."""
+
+    def __init__(self, universe: Universe) -> None:
+        self.universe = universe
+        self._lower: Dict[Relation, FrozenSet[AtomTuple]] = {}
+        self._upper: Dict[Relation, FrozenSet[AtomTuple]] = {}
+
+    def bound(
+        self,
+        relation: Relation,
+        lower: Iterable[AtomTuple],
+        upper: Optional[Iterable[AtomTuple]] = None,
+    ) -> None:
+        """Set bounds; ``upper=None`` makes the bound exact (upper = lower)."""
+        low = _check_tuples(relation, self.universe, lower)
+        up = low if upper is None else _check_tuples(relation, self.universe, upper)
+        if not low <= up:
+            raise ValueError(
+                f"lower bound of {relation.name} is not contained in its upper bound"
+            )
+        self._lower[relation] = low
+        self._upper[relation] = up
+
+    def bound_exact(self, relation: Relation, tuples: Iterable[AtomTuple]) -> None:
+        self.bound(relation, tuples)
+
+    def lower(self, relation: Relation) -> FrozenSet[AtomTuple]:
+        return self._lower[relation]
+
+    def upper(self, relation: Relation) -> FrozenSet[AtomTuple]:
+        return self._upper[relation]
+
+    @property
+    def relations(self) -> Sequence[Relation]:
+        return list(self._upper)
+
+    def __contains__(self, relation: Relation) -> bool:
+        return relation in self._upper
+
+    def __repr__(self) -> str:
+        return f"Bounds({len(self._upper)} relations over {self.universe!r})"
+
+
+def products(universe_sets: Sequence[Sequence[Atom]]) -> List[AtomTuple]:
+    """Cartesian product of atom sets, as a tuple list (bound helper)."""
+    result: List[AtomTuple] = [()]
+    for atoms in universe_sets:
+        result = [prev + (a,) for prev in result for a in atoms]
+    return result

@@ -1,0 +1,5 @@
+"""Plain-text rendering of the reproduced tables and figures."""
+
+from repro.reporting.tables import render_table, render_histogram
+
+__all__ = ["render_table", "render_histogram"]

@@ -1,0 +1,67 @@
+"""ASCII rendering of synthesized exploit scenarios.
+
+The paper presents each solver instance as a diagram (the Section V
+figure): the postulated malicious elements, the victim components, and the
+Intent edges between them.  This renderer produces the textual analogue
+for any :class:`~repro.core.vulnerabilities.base.ExploitScenario`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.vulnerabilities.base import ExploitScenario
+
+
+def _box(lines: List[str]) -> List[str]:
+    width = max(len(l) for l in lines)
+    top = "+" + "-" * (width + 2) + "+"
+    body = [f"| {l.ljust(width)} |" for l in lines]
+    return [top] + body + [top]
+
+
+def render_scenario(scenario: ExploitScenario) -> str:
+    """A boxed, arrowed rendering of one scenario."""
+    out: List[str] = [f"=== synthesized scenario: {scenario.vulnerability} ==="]
+
+    attacker = scenario.roles.get("malicious_component") or scenario.roles.get(
+        "thief"
+    )
+    victim = scenario.victim_component
+    intent = scenario.intent or {}
+
+    if attacker:
+        attacker_lines = [f"malicious: {attacker}", "app NOT on device"]
+        if scenario.malicious_filter:
+            actions = ", ".join(sorted(scenario.malicious_filter["actions"]))
+            attacker_lines.append(f"declares filter [actions: {actions}]")
+        out.extend(_box(attacker_lines))
+
+    if intent:
+        action = intent.get("action")
+        extras = ", ".join(sorted(r.value for r in intent.get("extras", ())))
+        arrow_label = f"Intent(action={action!r}"
+        if extras:
+            arrow_label += f", extra=[{extras}]"
+        arrow_label += ")"
+        direction = "v" if attacker else "|"
+        out.append(f"      |  {arrow_label}")
+        out.append(f"      {direction}")
+
+    if victim:
+        victim_lines = [f"victim: {victim}", "app on device"]
+        sink = scenario.roles.get("sink_component")
+        if sink and sink != victim:
+            victim_lines.append(f"relays into: {sink}")
+        permission = scenario.roles.get("escalated_permission")
+        if permission:
+            victim_lines.append(f"exposes: {permission} (unenforced)")
+        out.extend(_box(victim_lines))
+
+    out.append("")
+    out.append(scenario.description)
+    return "\n".join(out)
+
+
+def render_scenarios(scenarios: List[ExploitScenario]) -> str:
+    return "\n\n".join(render_scenario(s) for s in scenarios)

@@ -1,0 +1,52 @@
+"""ASCII table and histogram rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with column auto-sizing."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(
+                cell.ljust(widths[i]) if i < len(widths) else cell
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_histogram(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart for figure-style output."""
+    if not values:
+        return title
+    peak = max(values) or 1.0
+    label_w = max(len(l) for l in labels)
+    lines: List[str] = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if value else ""
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:.3g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Pure-Python CDCL SAT solver substrate.
+
+SEPAR's analysis and synthesis engine (ASE) reduces relational-logic
+specifications to propositional satisfiability and discharges them with an
+off-the-shelf SAT solver (the paper uses Sat4J).  This package is that
+substrate: a conflict-driven clause-learning solver with two-watched-literal
+propagation, VSIDS-style activity heuristics, first-UIP clause learning, and
+Luby restarts, plus CNF utilities (Tseitin transformation of arbitrary
+boolean circuits) and DIMACS import/export.
+
+Public API
+----------
+- :class:`repro.sat.solver.Solver` -- the CDCL solver.
+- :class:`repro.sat.cnf.CNF` -- a clause database with variable allocation.
+- :mod:`repro.sat.tseitin` -- boolean circuit nodes and CNF conversion.
+- :mod:`repro.sat.dimacs` -- DIMACS CNF reading and writing.
+"""
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver, SolveResult
+
+__all__ = ["CNF", "Solver", "SolveResult"]

@@ -1,0 +1,80 @@
+"""Clause database and literal conventions.
+
+Literals follow the DIMACS convention: a variable is a positive integer
+``v >= 1``; the literal ``v`` asserts the variable true and ``-v`` asserts it
+false.  Clauses are tuples of literals interpreted as disjunctions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+Clause = Tuple[int, ...]
+
+
+class CNF:
+    """A growable CNF formula with its own variable allocator.
+
+    The formula tracks the highest variable index it has handed out or seen
+    in an added clause, so translators can freely mix fresh auxiliary
+    variables with pre-assigned problem variables.
+    """
+
+    def __init__(self, num_vars: int = 0) -> None:
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self._num_vars = num_vars
+        self._clauses: List[Clause] = []
+
+    @property
+    def num_vars(self) -> int:
+        """Highest variable index in use."""
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    @property
+    def clauses(self) -> Sequence[Clause]:
+        return self._clauses
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self._num_vars += 1
+        return self._num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh variables and return them in order."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a disjunction of literals.
+
+        Zero literals are rejected (they are the DIMACS terminator, not a
+        literal).  The variable allocator high-water mark is bumped past any
+        variable mentioned by the clause.
+        """
+        clause = tuple(literals)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            var = abs(lit)
+            if var > self._num_vars:
+                self._num_vars = var
+        self._clauses.append(clause)
+
+    def extend(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __repr__(self) -> str:
+        return f"CNF(vars={self._num_vars}, clauses={len(self._clauses)})"

@@ -1,0 +1,68 @@
+"""DIMACS CNF reading and writing.
+
+SEPAR's pipeline dumps the 3-SAT instances it constructs so they can be
+replayed or handed to an external solver; these helpers provide that
+interchange format.
+"""
+
+from __future__ import annotations
+
+from typing import IO, List
+
+from repro.sat.cnf import CNF
+
+
+def write_dimacs(cnf: CNF, stream: IO[str]) -> None:
+    """Serialize ``cnf`` in DIMACS format to a text stream."""
+    stream.write(f"p cnf {cnf.num_vars} {cnf.num_clauses}\n")
+    for clause in cnf:
+        stream.write(" ".join(str(lit) for lit in clause))
+        stream.write(" 0\n")
+
+
+def dumps(cnf: CNF) -> str:
+    import io
+
+    buf = io.StringIO()
+    write_dimacs(cnf, buf)
+    return buf.getvalue()
+
+
+def read_dimacs(stream: IO[str]) -> CNF:
+    """Parse a DIMACS CNF file into a :class:`CNF`."""
+    num_vars = 0
+    clauses: List[List[int]] = []
+    pending: List[int] = []
+    header_seen = False
+    for raw_line in stream:
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed DIMACS header: {line!r}")
+            num_vars = int(parts[2])
+            header_seen = True
+            continue
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                clauses.append(pending)
+                pending = []
+            else:
+                pending.append(lit)
+    if pending:
+        clauses.append(pending)
+    if not header_seen:
+        raise ValueError("missing DIMACS header")
+    cnf = CNF(num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+def loads(text: str) -> CNF:
+    import io
+
+    return read_dimacs(io.StringIO(text))

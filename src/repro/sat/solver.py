@@ -1,0 +1,553 @@
+"""Conflict-driven clause-learning (CDCL) SAT solver.
+
+The design follows MiniSat: two-watched-literal propagation, VSIDS-style
+exponential variable activities with lazy rescaling, first-UIP conflict
+analysis with recursive clause minimization, phase saving, Luby restarts,
+and learned-clause garbage collection driven by clause activities.
+
+The solver is incremental: clauses may be added between ``solve()`` calls and
+``solve(assumptions=...)`` supports solving under temporary assumptions,
+which the relational layer uses both for enumeration and for Aluminum-style
+scenario minimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+_RESCALE_LIMIT = 1e100
+_RESCALE_FACTOR = 1e-100
+
+
+def _luby(i: int) -> int:
+    """The reluctant-doubling (Luby) sequence, 1-indexed: 1,1,2,1,1,2,4,..."""
+    while True:
+        k = 1
+        while (1 << k) - 1 < i:
+            k += 1
+        if (1 << k) - 1 == i:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
+
+
+@dataclass
+class _ClauseRec:
+    lits: List[int]
+    learned: bool = False
+    activity: float = 0.0
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a :meth:`Solver.solve` call.
+
+    ``model`` maps every variable to a boolean when satisfiable and is
+    ``None`` otherwise.  ``conflicts``, ``decisions`` and ``propagations``
+    expose search-effort statistics for the benchmark harness.
+    """
+
+    satisfiable: bool
+    model: Optional[Dict[int, bool]] = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+class Solver:
+    """An incremental CDCL SAT solver over DIMACS-style integer literals."""
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: List[_ClauseRec] = []
+        # Watches are indexed by literal; _watch_index maps lit -> list of
+        # clause indices watching that literal.
+        self._watches: Dict[int, List[int]] = {}
+        # assigns[v] is True/False/None.
+        self._assigns: List[Optional[bool]] = [None]
+        self._level: List[int] = [0]
+        # reason[v] is the clause index that implied v, or None for decisions.
+        self._reason: List[Optional[int]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._ok = True
+        self._conflicts = 0
+        self._decisions = 0
+        self._propagations = 0
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def ensure_var(self, var: int) -> None:
+        """Make sure variable ``var`` (and all below it) exist."""
+        if var < 1:
+            raise ValueError("variables are positive integers")
+        while self._num_vars < var:
+            self._num_vars += 1
+            self._assigns.append(None)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula is now trivially UNSAT.
+
+        The clause is simplified against top-level assignments: satisfied
+        clauses are dropped, falsified literals removed, duplicates merged,
+        and tautologies discarded.
+        """
+        if not self._ok:
+            return False
+        if self._trail_lim:
+            raise RuntimeError("clauses may only be added at decision level 0")
+        seen = set()
+        lits: List[int] = []
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self.ensure_var(abs(lit))
+            value = self._lit_value(lit)
+            if value is True or -lit in seen:
+                return True  # satisfied at top level or tautology
+            if value is False or lit in seen:
+                continue
+            seen.add(lit)
+            lits.append(lit)
+        if not lits:
+            self._ok = False
+            return False
+        if len(lits) == 1:
+            if not self._enqueue(lits[0], None):
+                self._ok = False
+                return False
+            self._ok = self._propagate() is None
+            return self._ok
+        self._attach_clause(_ClauseRec(lits))
+        return True
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> bool:
+        ok = True
+        for clause in clauses:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    def _attach_clause(self, rec: _ClauseRec) -> int:
+        idx = len(self._clauses)
+        self._clauses.append(rec)
+        self._watches.setdefault(rec.lits[0], []).append(idx)
+        self._watches.setdefault(rec.lits[1], []).append(idx)
+        return idx
+
+    # ------------------------------------------------------------------
+    # Assignment primitives
+    # ------------------------------------------------------------------
+    def _lit_value(self, lit: int) -> Optional[bool]:
+        value = self._assigns[abs(lit)]
+        if value is None:
+            return None
+        return value if lit > 0 else not value
+
+    def _enqueue(self, lit: int, reason: Optional[int]) -> bool:
+        value = self._lit_value(lit)
+        if value is not None:
+            return value
+        var = abs(lit)
+        self._assigns[var] = lit > 0
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        for lit in reversed(self._trail[bound:]):
+            var = abs(lit)
+            self._phase[var] = self._assigns[var]  # phase saving
+            self._assigns[var] = None
+            self._reason[var] = None
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self._propagations += 1
+            falsified = -lit
+            watch_list = self._watches.get(falsified)
+            if not watch_list:
+                continue
+            new_list: List[int] = []
+            conflict: Optional[int] = None
+            i = 0
+            n = len(watch_list)
+            while i < n:
+                ci = watch_list[i]
+                i += 1
+                lits = self._clauses[ci].lits
+                # Normalize: falsified literal at position 1.
+                if lits[0] == falsified:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._lit_value(first) is True:
+                    new_list.append(ci)
+                    continue
+                # Look for a new literal to watch.
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._lit_value(lits[k]) is not False:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches.setdefault(lits[1], []).append(ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_list.append(ci)
+                if not self._enqueue(first, ci):
+                    conflict = ci
+                    # Keep remaining watchers.
+                    new_list.extend(watch_list[i:])
+                    break
+            self._watches[falsified] = new_list
+            if conflict is not None:
+                self._qhead = len(self._trail)
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: int) -> tuple:
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        lit = None
+        index = len(self._trail) - 1
+        reason_idx: Optional[int] = conflict
+        while True:
+            assert reason_idx is not None
+            rec = self._clauses[reason_idx]
+            if rec.learned:
+                self._bump_clause(reason_idx)
+            start = 0 if lit is None else 1
+            lits = rec.lits
+            if lit is not None and lits[0] != lit:
+                # Reason clause stores the implied literal first by
+                # construction of learned clauses; for original clauses the
+                # implied literal may sit anywhere, so locate it.
+                pos = lits.index(lit)
+                lits[0], lits[pos] = lits[pos], lits[0]
+            for k in range(start, len(lits)):
+                q = lits[k]
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= self._decision_level():
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Select next literal to expand.
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            lit = self._trail[index]
+            index -= 1
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason_idx = self._reason[var]
+        learnt[0] = -lit
+
+        # Clause minimization: drop literals implied by the rest.
+        abstract_levels = 0
+        for q in learnt[1:]:
+            abstract_levels |= 1 << (self._level[abs(q)] & 31)
+        kept = [learnt[0]]
+        for q in learnt[1:]:
+            if self._reason[abs(q)] is None or not self._redundant(
+                q, seen, abstract_levels
+            ):
+                kept.append(q)
+        learnt = kept
+
+        # Compute backtrack level (second-highest level in the clause).
+        if len(learnt) == 1:
+            back_level = 0
+        else:
+            max_i = 1
+            for k in range(2, len(learnt)):
+                if self._level[abs(learnt[k])] > self._level[abs(learnt[max_i])]:
+                    max_i = k
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            back_level = self._level[abs(learnt[1])]
+        return learnt, back_level
+
+    def _redundant(self, lit: int, seen: List[bool], abstract_levels: int) -> bool:
+        """Check whether ``lit`` is implied by other clause literals."""
+        stack = [lit]
+        cleared: List[int] = []
+        while stack:
+            p = stack.pop()
+            reason_idx = self._reason[abs(p)]
+            if reason_idx is None:
+                for var in cleared:
+                    seen[var] = False
+                return False
+            lits = self._clauses[reason_idx].lits
+            for q in lits:
+                var = abs(q)
+                if var == abs(p) or seen[var] or self._level[var] == 0:
+                    continue
+                if (
+                    self._reason[var] is not None
+                    and (1 << (self._level[var] & 31)) & abstract_levels
+                ):
+                    seen[var] = True
+                    cleared.append(var)
+                    stack.append(q)
+                else:
+                    for cvar in cleared:
+                        seen[cvar] = False
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Activities
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > _RESCALE_LIMIT:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= _RESCALE_FACTOR
+            self._var_inc *= _RESCALE_FACTOR
+
+    def _decay_var_activity(self) -> None:
+        self._var_inc /= self._var_decay
+
+    def _bump_clause(self, idx: int) -> None:
+        rec = self._clauses[idx]
+        rec.activity += self._cla_inc
+        if rec.activity > _RESCALE_LIMIT:
+            for other in self._clauses:
+                if other.learned:
+                    other.activity *= _RESCALE_FACTOR
+            self._cla_inc *= _RESCALE_FACTOR
+
+    def _decay_clause_activity(self) -> None:
+        self._cla_inc /= self._cla_decay
+
+    # ------------------------------------------------------------------
+    # Learned-clause reduction
+    # ------------------------------------------------------------------
+    def _reduce_db(self) -> None:
+        learned = [
+            (i, rec)
+            for i, rec in enumerate(self._clauses)
+            if rec.learned and len(rec.lits) > 2 and not self._is_reason(i)
+        ]
+        if len(learned) < 2:
+            return
+        learned.sort(key=lambda pair: pair[1].activity)
+        to_remove = {i for i, _ in learned[: len(learned) // 2]}
+        self._detach_clauses(to_remove)
+
+    def _is_reason(self, idx: int) -> bool:
+        lits = self._clauses[idx].lits
+        var = abs(lits[0])
+        return self._reason[var] == idx
+
+    def _detach_clauses(self, indices: set) -> None:
+        """Remove clauses by index, compacting the database and fixing watches."""
+        remap: Dict[int, int] = {}
+        new_clauses: List[_ClauseRec] = []
+        for i, rec in enumerate(self._clauses):
+            if i in indices:
+                continue
+            remap[i] = len(new_clauses)
+            new_clauses.append(rec)
+        self._clauses = new_clauses
+        new_watches: Dict[int, List[int]] = {}
+        for lit, lst in self._watches.items():
+            new_lst = [remap[i] for i in lst if i in remap]
+            if new_lst:
+                new_watches[lit] = new_lst
+        self._watches = new_watches
+        self._reason = [
+            remap.get(r) if r is not None else None for r in self._reason
+        ]
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _pick_branch_var(self) -> Optional[int]:
+        best = None
+        best_act = -1.0
+        for var in range(1, self._num_vars + 1):
+            if self._assigns[var] is None and self._activity[var] > best_act:
+                best = var
+                best_act = self._activity[var]
+        return best
+
+    # ------------------------------------------------------------------
+    # Main search
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_budget: Optional[int] = None,
+    ) -> SolveResult:
+        """Solve the formula, optionally under assumptions.
+
+        ``conflict_budget`` bounds total conflicts; exceeding it raises
+        :class:`BudgetExhausted`.  Assumption failure (UNSAT under the given
+        assumptions) returns an unsatisfiable result without spoiling the
+        solver for future calls.
+        """
+        self._conflicts = 0
+        self._decisions = 0
+        self._propagations = 0
+        if not self._ok:
+            return SolveResult(False)
+        for lit in assumptions:
+            self.ensure_var(abs(lit))
+
+        max_learnts = max(100, len(self._clauses) // 3)
+        restart_idx = 1
+        conflicts_until_restart = 32 * _luby(restart_idx)
+        conflicts_this_restart = 0
+        base_clause_count = sum(1 for c in self._clauses if not c.learned)
+
+        try:
+            while True:
+                conflict = self._propagate()
+                if conflict is not None:
+                    self._conflicts += 1
+                    conflicts_this_restart += 1
+                    if conflict_budget is not None and self._conflicts > conflict_budget:
+                        raise BudgetExhausted(self._conflicts)
+                    if self._decision_level() == 0:
+                        self._ok = False
+                        return self._finish(False)
+                    learnt, back_level = self._analyze(conflict)
+                    # Never backtrack past the assumption levels we have not
+                    # re-validated; _cancel_until(0) is always safe because
+                    # assumptions are re-enqueued below.
+                    self._cancel_until(back_level)
+                    if len(learnt) == 1:
+                        if not self._enqueue(learnt[0], None):
+                            self._ok = False
+                            return self._finish(False)
+                    else:
+                        rec = _ClauseRec(list(learnt), learned=True)
+                        idx = self._attach_clause(rec)
+                        self._bump_clause(idx)
+                        self._enqueue(learnt[0], idx)
+                    self._decay_var_activity()
+                    self._decay_clause_activity()
+                    if back_level < len(assumptions):
+                        # Conflict reached into assumption territory; re-seat
+                        # assumptions on the next descent.
+                        pass
+                    continue
+
+                learned_count = len(self._clauses) - base_clause_count
+                if learned_count > max_learnts:
+                    self._reduce_db()
+                    max_learnts = int(max_learnts * 1.3)
+
+                if conflicts_this_restart >= conflicts_until_restart:
+                    restart_idx += 1
+                    conflicts_until_restart = 32 * _luby(restart_idx)
+                    conflicts_this_restart = 0
+                    self._cancel_until(0)
+                    continue
+
+                # Seat any outstanding assumptions as pseudo-decisions.
+                next_lit = None
+                while self._decision_level() < len(assumptions):
+                    lit = assumptions[self._decision_level()]
+                    value = self._lit_value(lit)
+                    if value is True:
+                        self._new_decision_level()
+                        continue
+                    if value is False:
+                        return self._finish(False)
+                    next_lit = lit
+                    break
+                if next_lit is None:
+                    var = self._pick_branch_var()
+                    if var is None:
+                        return self._finish(True)
+                    next_lit = var if self._phase[var] else -var
+                self._decisions += 1
+                self._new_decision_level()
+                self._enqueue(next_lit, None)
+        finally:
+            if not self._ok:
+                self._cancel_until(0)
+
+    def _finish(self, sat: bool) -> SolveResult:
+        model: Optional[Dict[int, bool]] = None
+        if sat:
+            model = {}
+            for var in range(1, self._num_vars + 1):
+                value = self._assigns[var]
+                model[var] = bool(value) if value is not None else False
+        self._cancel_until(0)
+        return SolveResult(
+            satisfiable=sat,
+            model=model,
+            conflicts=self._conflicts,
+            decisions=self._decisions,
+            propagations=self._propagations,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    @property
+    def ok(self) -> bool:
+        """False once the clause set is known unsatisfiable outright."""
+        return self._ok
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised when a conflict budget passed to :meth:`Solver.solve` runs out."""
+
+    def __init__(self, conflicts: int) -> None:
+        super().__init__(f"conflict budget exhausted after {conflicts} conflicts")
+        self.conflicts = conflicts

@@ -1,0 +1,24 @@
+"""AME: the Android Model Extractor (static analysis over the IR).
+
+The extraction pipeline of Section IV:
+
+- **Architecture extraction** -- manifest components, filters, permissions
+  (:mod:`repro.statics.extractor` reads them straight off the manifest).
+- **Intent extraction** -- inter-procedural string constant propagation and
+  points-to tracking of Intent/IntentFilter allocation sites
+  (:mod:`repro.statics.constprop`, :mod:`repro.statics.intent_extraction`),
+  including Algorithm 1's passive-Intent target resolution.
+- **Path extraction** -- flow-, field-, and context-sensitive (but not
+  path-sensitive) taint analysis from sensitive sources to sinks
+  (:mod:`repro.statics.taint`).
+- **Permission extraction** -- PScout-map tagging plus backward
+  reachability to component entry points
+  (:mod:`repro.statics.permission_extraction`).
+
+Supporting analyses: control-flow graphs (:mod:`repro.statics.cfg`) and the
+app call graph with entry-point reachability (:mod:`repro.statics.callgraph`).
+"""
+
+from repro.statics.extractor import ModelExtractor, extract_app, extract_bundle
+
+__all__ = ["ModelExtractor", "extract_app", "extract_bundle"]

@@ -1,0 +1,119 @@
+"""The app call graph and framework-entry reachability.
+
+Nodes are app-defined methods; edges are app-internal ``Invoke``
+instructions (platform API invokes are leaves handled by the permission
+and taint maps).  Roots are the lifecycle entry points of classes that
+back manifest components -- code not reachable from any entry point is
+dead as far as the framework is concerned, and AME excludes it from
+vulnerability evidence (DroidBench's ``startActivity4/5`` cases turn on
+exactly this)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.android.apk import Apk
+from repro.dex.instructions import Invoke
+from repro.dex.program import DexMethod, DexProgram
+from repro.statics.cfg import ControlFlowGraph
+
+
+@dataclass
+class CallSite:
+    caller: str  # qualified method name
+    instruction_index: int
+    callee: str  # qualified method name
+
+
+class CallGraph:
+    """Call graph of one app, rooted at component lifecycle methods."""
+
+    def __init__(self, apk: Apk) -> None:
+        self.apk = apk
+        self.program: DexProgram = apk.program
+        self.edges: Dict[str, List[CallSite]] = {}
+        self.reverse_edges: Dict[str, List[CallSite]] = {}
+        self.cfgs: Dict[str, ControlFlowGraph] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for method in self.program.all_methods():
+            cfg = ControlFlowGraph(method)
+            self.cfgs[method.qualified_name] = cfg
+            live = cfg.reachable_instructions()
+            for idx in sorted(live):
+                instr = method.instructions[idx]
+                if not isinstance(instr, Invoke):
+                    continue
+                callee = self._resolve(method, instr)
+                if callee is None:
+                    continue
+                site = CallSite(method.qualified_name, idx, callee.qualified_name)
+                self.edges.setdefault(method.qualified_name, []).append(site)
+                self.reverse_edges.setdefault(callee.qualified_name, []).append(site)
+
+    def _resolve(self, caller: DexMethod, invoke: Invoke) -> Optional[DexMethod]:
+        """App-internal resolution; ``this.m`` resolves within the caller's
+        class, ``Class.m`` within the program."""
+        if invoke.class_name == "this":
+            cls = self.program.cls(caller.class_name)
+            if cls.has_method(invoke.method_name):
+                return cls.method(invoke.method_name)
+            return None
+        return self.program.lookup(invoke.signature)
+
+    # ------------------------------------------------------------------
+    def entry_points(self) -> List[DexMethod]:
+        """Lifecycle methods of classes that back manifest components."""
+        component_names = {c.name for c in self.apk.manifest.components}
+        entries = []
+        for cls in self.program.classes:
+            if cls.name not in component_names:
+                continue
+            for method in cls.methods:
+                if method.is_entry_point:
+                    entries.append(method)
+        return entries
+
+    def reachable_methods(
+        self, roots: Optional[Iterable[str]] = None
+    ) -> FrozenSet[str]:
+        """Methods reachable from the given roots (default: entry points)."""
+        if roots is None:
+            roots = [m.qualified_name for m in self.entry_points()]
+        seen: Set[str] = set()
+        stack = [r for r in roots]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for site in self.edges.get(node, ()):
+                if site.callee not in seen:
+                    stack.append(site.callee)
+        return frozenset(seen)
+
+    def reachable_methods_of_component(
+        self, component_name: str, all_roots: bool = False
+    ) -> FrozenSet[str]:
+        """Methods reachable from one component's lifecycle entries.
+
+        ``all_roots`` treats *every* method of the component class as a
+        root -- the reachability-insensitive view a less careful analyzer
+        (DidFail's Epicc front end) operates on."""
+        cls = self.apk.component_class(component_name)
+        if cls is None:
+            return frozenset()
+        roots = [
+            m.qualified_name
+            for m in cls.methods
+            if all_roots or m.is_entry_point
+        ]
+        return self.reachable_methods(roots)
+
+    def callers_of(self, qualified_name: str) -> List[CallSite]:
+        return self.reverse_edges.get(qualified_name, [])
+
+    def callees_of(self, qualified_name: str) -> List[CallSite]:
+        return self.edges.get(qualified_name, [])

@@ -1,0 +1,110 @@
+"""Intra-procedural control-flow graphs.
+
+Basic blocks are maximal straight-line instruction runs; edges follow
+fall-through, unconditional ``Goto``, and both arms of ``If``.  The CFG
+also answers instruction-level reachability, which the benchmark suites
+exercise through DroidBench's unreachable-but-vulnerable components
+(reporting a leak in dead code is a false positive)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set
+
+from repro.dex.instructions import Goto, If, Return
+from repro.dex.program import DexMethod
+
+
+@dataclass
+class BasicBlock:
+    index: int
+    start: int  # first instruction index (inclusive)
+    end: int  # last instruction index (exclusive)
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    @property
+    def instruction_indices(self) -> range:
+        return range(self.start, self.end)
+
+
+class ControlFlowGraph:
+    """CFG of one method."""
+
+    def __init__(self, method: DexMethod) -> None:
+        self.method = method
+        self.blocks: List[BasicBlock] = []
+        self._block_of_instr: Dict[int, int] = {}
+        self._build()
+
+    def _leaders(self) -> List[int]:
+        instrs = self.method.instructions
+        leaders: Set[int] = {0} if instrs else set()
+        for idx, instr in enumerate(instrs):
+            if isinstance(instr, (Goto, If)):
+                if instr.target < len(instrs):
+                    leaders.add(instr.target)
+                if idx + 1 < len(instrs):
+                    leaders.add(idx + 1)
+            elif isinstance(instr, Return) and idx + 1 < len(instrs):
+                leaders.add(idx + 1)
+        return sorted(leaders)
+
+    def _build(self) -> None:
+        instrs = self.method.instructions
+        if not instrs:
+            return
+        leaders = self._leaders()
+        boundaries = leaders + [len(instrs)]
+        for bi in range(len(leaders)):
+            block = BasicBlock(bi, boundaries[bi], boundaries[bi + 1])
+            self.blocks.append(block)
+            for ii in block.instruction_indices:
+                self._block_of_instr[ii] = bi
+        for block in self.blocks:
+            last = instrs[block.end - 1]
+            if isinstance(last, Goto):
+                if last.target < len(instrs):
+                    self._edge(block.index, self._block_of_instr[last.target])
+            elif isinstance(last, If):
+                if last.target < len(instrs):
+                    self._edge(block.index, self._block_of_instr[last.target])
+                if block.end < len(instrs):
+                    self._edge(block.index, self._block_of_instr[block.end])
+            elif isinstance(last, Return):
+                pass
+            elif block.end < len(instrs):
+                self._edge(block.index, self._block_of_instr[block.end])
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].successors:
+            self.blocks[src].successors.append(dst)
+            self.blocks[dst].predecessors.append(src)
+
+    # ------------------------------------------------------------------
+    def block_of(self, instruction_index: int) -> BasicBlock:
+        return self.blocks[self._block_of_instr[instruction_index]]
+
+    def reachable_blocks(self) -> FrozenSet[int]:
+        if not self.blocks:
+            return frozenset()
+        seen = {0}
+        stack = [0]
+        while stack:
+            for succ in self.blocks[stack.pop()].successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return frozenset(seen)
+
+    def reachable_instructions(self) -> FrozenSet[int]:
+        indices: Set[int] = set()
+        for bi in self.reachable_blocks():
+            indices.update(self.blocks[bi].instruction_indices)
+        return frozenset(indices)
+
+    def __repr__(self) -> str:
+        return (
+            f"ControlFlowGraph({self.method.qualified_name}, "
+            f"{len(self.blocks)} blocks)"
+        )

@@ -1,0 +1,314 @@
+"""Inter-procedural value analysis: string constants and points-to.
+
+This is the engine behind AME's Intent extraction.  It computes, for every
+program point, the set of abstract values each register may hold:
+
+- :class:`StrVal` -- a string constant (the paper's string constant
+  propagation; Android code builds Intent actions, categories, and extras
+  keys from constant strings by convention);
+- :class:`ObjVal` -- an abstract object identified by its allocation site
+  (Intent and IntentFilter tracking is points-to over these);
+- :class:`IntentParamVal` -- the Intent a component entry point received
+  from the framework;
+- :data:`UNKNOWN` -- anything the analysis cannot resolve.
+
+The analysis is a forward, flow-sensitive may-analysis per method (worklist
+over CFG blocks, union at joins) embedded in a whole-app fixpoint that
+flows values across app-internal calls (arguments to parameters, returns to
+call-site destinations) and through the heap.  Heap fields are handled the
+way the paper describes its on-demand alias analysis: a store to a field
+makes the stored values observable at every load of that field (per
+allocation site when the base object is resolved, per field name
+otherwise), iterated to fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.dex.instructions import (
+    ConstString,
+    IGet,
+    IPut,
+    Instr,
+    Invoke,
+    Move,
+    NewInstance,
+    Return,
+    SGet,
+    SPut,
+)
+from repro.dex.program import DexMethod
+from repro.statics.callgraph import CallGraph
+
+
+# ---------------------------------------------------------------------------
+# Abstract values
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class StrVal:
+    value: str
+
+    def __repr__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class ObjVal:
+    """An abstract object named by its allocation site."""
+
+    method: str  # qualified method name
+    index: int  # instruction index of the NewInstance
+    type_name: str
+
+    @property
+    def site(self) -> Tuple[str, int]:
+        return (self.method, self.index)
+
+    def __repr__(self) -> str:
+        return f"{self.type_name}@{self.method}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class IntentParamVal:
+    """The Intent delivered by the framework to a component entry point."""
+
+    component_class: str
+
+    def __repr__(self) -> str:
+        return f"<intent-param {self.component_class}>"
+
+
+class _Unknown:
+    _instance: Optional["_Unknown"] = None
+
+    def __new__(cls) -> "_Unknown":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNKNOWN"
+
+
+UNKNOWN = _Unknown()
+
+Value = object  # StrVal | ObjVal | IntentParamVal | _Unknown
+ValueSet = FrozenSet[Value]
+EMPTY: ValueSet = frozenset()
+
+# Platform getters whose results carry the receiving component's Intent.
+_GET_INTENT_APIS = {"Activity.getIntent", "Context.getIntent"}
+
+
+class ValueAnalysis:
+    """Whole-app value analysis over a :class:`CallGraph`."""
+
+    def __init__(self, callgraph: CallGraph, max_rounds: int = 12) -> None:
+        self.callgraph = callgraph
+        self.program = callgraph.program
+        self.max_rounds = max_rounds
+        # Global (flow-insensitive) stores discovered so far.
+        self._heap_by_site: Dict[Tuple[Tuple[str, int], str], Set[Value]] = {}
+        self._heap_by_field: Dict[str, Set[Value]] = {}
+        self._statics: Dict[str, Set[Value]] = {}
+        self._param_in: Dict[Tuple[str, int], Set[Value]] = {}
+        self._returns: Dict[str, Set[Value]] = {}
+        # Final result: register states *before* each instruction.
+        self.states_before: Dict[Tuple[str, int], Dict[str, ValueSet]] = {}
+        self._run()
+
+    # ------------------------------------------------------------------
+    def values_before(self, method: str, index: int) -> Dict[str, ValueSet]:
+        return self.states_before.get((method, index), {})
+
+    def receiver_objects(self, method: str, index: int, register: str) -> List[ObjVal]:
+        state = self.values_before(method, index)
+        return [v for v in state.get(register, EMPTY) if isinstance(v, ObjVal)]
+
+    def strings_of(self, method: str, index: int, register: str) -> List[str]:
+        state = self.values_before(method, index)
+        return sorted(
+            v.value for v in state.get(register, EMPTY) if isinstance(v, StrVal)
+        )
+
+    # ------------------------------------------------------------------
+    def _entry_state(self, method: DexMethod) -> Dict[str, ValueSet]:
+        state: Dict[str, ValueSet] = {}
+        for pi, param in enumerate(method.params):
+            incoming: Set[Value] = set(self._param_in.get((method.qualified_name, pi), ()))
+            if pi == 0 and method.receives_intent:
+                incoming.add(IntentParamVal(method.class_name))
+            if not incoming:
+                incoming.add(UNKNOWN)
+            state[param] = frozenset(incoming)
+        return state
+
+    def _run(self) -> None:
+        methods = list(self.program.all_methods())
+        for _ in range(self.max_rounds):
+            changed = False
+            for method in methods:
+                changed |= self._analyze_method(method)
+            if not changed:
+                break
+
+    def _analyze_method(self, method: DexMethod) -> bool:
+        cfg = self.callgraph.cfgs[method.qualified_name]
+        if not cfg.blocks:
+            return False
+        entry = self._entry_state(method)
+        block_in: Dict[int, Dict[str, ValueSet]] = {0: entry}
+        worklist = [0]
+        visited_out: Dict[int, Dict[str, ValueSet]] = {}
+        changed_global = False
+        states_local: Dict[int, Dict[str, ValueSet]] = {}
+        reachable = cfg.reachable_blocks()
+
+        while worklist:
+            bi = worklist.pop()
+            if bi not in reachable:
+                continue
+            state = dict(block_in.get(bi, {}))
+            block = cfg.blocks[bi]
+            for ii in block.instruction_indices:
+                states_local[ii] = dict(state)
+                changed_global |= self._transfer(
+                    method, ii, method.instructions[ii], state
+                )
+            out = state
+            prev_out = visited_out.get(bi)
+            if prev_out == out:
+                continue
+            visited_out[bi] = out
+            for succ in block.successors:
+                merged = self._merge(block_in.get(succ), out)
+                if merged != block_in.get(succ):
+                    block_in[succ] = merged
+                    if succ not in worklist:
+                        worklist.append(succ)
+
+        # Publish instruction-entry states; report change for the fixpoint.
+        for ii, regs in states_local.items():
+            key = (method.qualified_name, ii)
+            frozen = {r: vs for r, vs in regs.items()}
+            if self.states_before.get(key) != frozen:
+                self.states_before[key] = frozen
+                changed_global = True
+        return changed_global
+
+    @staticmethod
+    def _merge(
+        left: Optional[Dict[str, ValueSet]], right: Dict[str, ValueSet]
+    ) -> Dict[str, ValueSet]:
+        if left is None:
+            return dict(right)
+        merged = dict(left)
+        for reg, values in right.items():
+            merged[reg] = merged.get(reg, EMPTY) | values
+        return merged
+
+    # ------------------------------------------------------------------
+    def _transfer(
+        self,
+        method: DexMethod,
+        index: int,
+        instr: Instr,
+        state: Dict[str, ValueSet],
+    ) -> bool:
+        """Apply one instruction; returns True when a *global* summary
+        (heap, parameter, return) changed."""
+        changed = False
+        if isinstance(instr, ConstString):
+            state[instr.dest] = frozenset({StrVal(instr.value)})
+        elif isinstance(instr, Move):
+            state[instr.dest] = state.get(instr.src, frozenset({UNKNOWN}))
+        elif isinstance(instr, NewInstance):
+            state[instr.dest] = frozenset(
+                {ObjVal(method.qualified_name, index, instr.type_name)}
+            )
+        elif isinstance(instr, IGet):
+            values: Set[Value] = set()
+            base = state.get(instr.obj, EMPTY)
+            resolved = [v for v in base if isinstance(v, ObjVal)]
+            if resolved:
+                for obj in resolved:
+                    values |= self._heap_by_site.get(
+                        (obj.site, instr.field_name), set()
+                    )
+            values |= self._heap_by_field.get(instr.field_name, set())
+            state[instr.dest] = frozenset(values) if values else frozenset({UNKNOWN})
+        elif isinstance(instr, IPut):
+            stored = set(state.get(instr.src, frozenset({UNKNOWN})))
+            base = state.get(instr.obj, EMPTY)
+            resolved = [v for v in base if isinstance(v, ObjVal)]
+            if resolved:
+                for obj in resolved:
+                    slot = self._heap_by_site.setdefault(
+                        (obj.site, instr.field_name), set()
+                    )
+                    if not stored <= slot:
+                        slot |= stored
+                        changed = True
+            else:
+                slot = self._heap_by_field.setdefault(instr.field_name, set())
+                if not stored <= slot:
+                    slot |= stored
+                    changed = True
+        elif isinstance(instr, SGet):
+            values = self._statics.get(instr.class_field, set())
+            state[instr.dest] = frozenset(values) if values else frozenset({UNKNOWN})
+        elif isinstance(instr, SPut):
+            stored = set(state.get(instr.src, frozenset({UNKNOWN})))
+            slot = self._statics.setdefault(instr.class_field, set())
+            if not stored <= slot:
+                slot |= stored
+                changed = True
+        elif isinstance(instr, Invoke):
+            changed |= self._transfer_invoke(method, instr, state)
+        elif isinstance(instr, Return):
+            if instr.src is not None:
+                returned = set(state.get(instr.src, frozenset({UNKNOWN})))
+                slot = self._returns.setdefault(method.qualified_name, set())
+                if not returned <= slot:
+                    slot |= returned
+                    changed = True
+        return changed
+
+    def _transfer_invoke(
+        self, method: DexMethod, instr: Invoke, state: Dict[str, ValueSet]
+    ) -> bool:
+        changed = False
+        callee = self._resolve_internal(method, instr)
+        if callee is not None:
+            # Flow arguments into the callee's parameter summaries.
+            for ai, arg in enumerate(instr.args):
+                passed = set(state.get(arg, frozenset({UNKNOWN})))
+                slot = self._param_in.setdefault((callee.qualified_name, ai), set())
+                if not passed <= slot:
+                    slot |= passed
+                    changed = True
+            if instr.dest is not None:
+                returned = self._returns.get(callee.qualified_name, set())
+                state[instr.dest] = (
+                    frozenset(returned) if returned else frozenset({UNKNOWN})
+                )
+            return changed
+        # Platform API.
+        if instr.dest is not None:
+            if instr.signature in _GET_INTENT_APIS:
+                state[instr.dest] = frozenset({IntentParamVal(method.class_name)})
+            else:
+                state[instr.dest] = frozenset({UNKNOWN})
+        return changed
+
+    def _resolve_internal(
+        self, method: DexMethod, instr: Invoke
+    ) -> Optional[DexMethod]:
+        if instr.class_name == "this":
+            cls = self.program.cls(method.class_name)
+            if cls.has_method(instr.method_name):
+                return cls.method(instr.method_name)
+            return None
+        return self.program.lookup(instr.signature)

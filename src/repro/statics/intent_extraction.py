@@ -1,0 +1,397 @@
+"""Intent and Intent-filter extraction (Section IV, "Intent Extraction").
+
+Walks the reachable code of each manifest component, resolves the Intents
+it constructs and sends through ICC APIs, and resolves each Intent's
+attributes (action, categories, data, extras keys, explicit target) through
+the value analysis.  Where constant propagation disambiguates a property to
+several values, a separate Intent entity is generated per value, since each
+contributes a different event message.
+
+Also implements:
+
+- **Algorithm 1** (passive-Intent target resolution): a result Intent sent
+  back through ``setResult`` carries no addressing information; its targets
+  are the senders of Intents that requested a result from this component.
+- **Dynamic Intent-filter registration** (``registerReceiver``): collected
+  into :attr:`ExtractionResult.dynamic_filters` but *not* merged into the
+  app model by default -- SEPAR's extractor does not handle dynamically
+  registered Broadcast Receivers (the paper's only DroidBench misses);
+  the extension flag in :mod:`repro.statics.extractor` opts in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.android.apk import Apk
+from repro.android.components import ComponentKind
+from repro.android.intents import IntentFilter
+from repro.core.model import IntentFilterModel, IntentModel
+from repro.dex.instructions import Invoke
+from repro.statics.callgraph import CallGraph
+from repro.statics.constprop import ObjVal, ValueAnalysis
+
+# ICC send APIs -> (component kind addressed, requests a result?)
+ICC_SEND_APIS: Dict[str, Tuple[ComponentKind, bool]] = {
+    "Context.startService": (ComponentKind.SERVICE, False),
+    "Context.startActivity": (ComponentKind.ACTIVITY, False),
+    "Context.startActivityForResult": (ComponentKind.ACTIVITY, True),
+    "Context.bindService": (ComponentKind.SERVICE, True),
+    "Context.sendBroadcast": (ComponentKind.RECEIVER, False),
+    "Context.sendOrderedBroadcast": (ComponentKind.RECEIVER, False),
+}
+
+# ContentResolver operations address providers by URI authority.
+RESOLVER_APIS = {
+    "ContentResolver.query",
+    "ContentResolver.insert",
+    "ContentResolver.update",
+    "ContentResolver.delete",
+}
+
+SET_RESULT_API = "Activity.setResult"
+REGISTER_RECEIVER_API = "Context.registerReceiver"
+
+_TARGET_SETTERS = {"Intent.setClass", "Intent.setClassName", "Intent.setComponent"}
+
+
+@dataclass
+class IntentSite:
+    """Accumulated attributes of one Intent allocation site."""
+
+    obj: ObjVal
+    actions: Set[str] = field(default_factory=set)
+    categories: Set[str] = field(default_factory=set)
+    data_types: Set[str] = field(default_factory=set)
+    data_schemes: Set[str] = field(default_factory=set)
+    targets: Set[str] = field(default_factory=set)
+    extra_keys: Set[str] = field(default_factory=set)
+    senders: Set[str] = field(default_factory=set)  # qualified component names
+    kinds: Set[ComponentKind] = field(default_factory=set)  # addressed kinds
+    wants_result: bool = False
+    passive: bool = False
+    sent: bool = False
+
+
+@dataclass
+class DynamicFilterReg:
+    """A ``registerReceiver`` occurrence."""
+
+    receiver_class: str
+    filter_model: IntentFilterModel
+    component: str  # qualified component whose code registers it
+
+
+@dataclass
+class ResolverCall:
+    """A ContentResolver operation (provider ICC)."""
+
+    sender: str  # qualified component
+    operation: str  # query/insert/update/delete
+    authority: Optional[str]
+    site: Tuple[str, int] = ("", -1)  # (method, instruction index)
+
+
+@dataclass
+class ExtractionResult:
+    sites: Dict[Tuple[str, int], IntentSite]
+    intents: List[IntentModel]
+    dynamic_filters: List[DynamicFilterReg]
+    resolver_calls: List[ResolverCall]
+
+
+class IntentExtraction:
+    """Runs over one app's call graph + value analysis."""
+
+    def __init__(
+        self,
+        apk: Apk,
+        callgraph: CallGraph,
+        values: ValueAnalysis,
+        all_roots: bool = False,
+    ) -> None:
+        self.apk = apk
+        self.callgraph = callgraph
+        self.values = values
+        self.all_roots = all_roots
+        self.sites: Dict[Tuple[str, int], IntentSite] = {}
+        self.filter_sites: Dict[Tuple[str, int], IntentFilterModel] = {}
+        self._filter_attrs: Dict[Tuple[str, int], Dict[str, Set[str]]] = {}
+        self.dynamic_filters: List[DynamicFilterReg] = []
+        self.resolver_calls: List[ResolverCall] = []
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        extras_taint: Optional[Dict[Tuple[str, int], Set]] = None,
+    ) -> ExtractionResult:
+        component_methods = self._methods_per_component()
+        # Pass 1: attribute accumulation over all reachable code.
+        all_reachable = set().union(*component_methods.values()) if component_methods else set()
+        for method in self.callgraph.program.all_methods():
+            if method.qualified_name not in all_reachable:
+                continue
+            cfg = self.callgraph.cfgs[method.qualified_name]
+            live = cfg.reachable_instructions()
+            for idx in sorted(live):
+                instr = method.instructions[idx]
+                if isinstance(instr, Invoke):
+                    self._record_attributes(method.qualified_name, idx, instr)
+        # Pass 2: ICC send sites, attributed to the owning components.
+        for component, methods in component_methods.items():
+            for method_name in methods:
+                method = self.callgraph.program.lookup(method_name)
+                if method is None:
+                    continue
+                cfg = self.callgraph.cfgs[method_name]
+                live = cfg.reachable_instructions()
+                for idx in sorted(live):
+                    instr = method.instructions[idx]
+                    if isinstance(instr, Invoke):
+                        self._record_send(component, method_name, idx, instr)
+        intents = self._materialize(extras_taint or {})
+        return ExtractionResult(
+            sites=self.sites,
+            intents=intents,
+            dynamic_filters=self.dynamic_filters,
+            resolver_calls=self.resolver_calls,
+        )
+
+    def _methods_per_component(self) -> Dict[str, FrozenSet[str]]:
+        result = {}
+        for comp in self.apk.manifest.components:
+            qualified = self.apk.manifest.qualified(comp)
+            result[qualified] = self.callgraph.reachable_methods_of_component(
+                comp.name, all_roots=self.all_roots
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    def _site_of(self, obj: ObjVal) -> IntentSite:
+        site = self.sites.get(obj.site)
+        if site is None:
+            site = IntentSite(obj)
+            self.sites[obj.site] = site
+        return site
+
+    def _record_attributes(self, method: str, idx: int, instr: Invoke) -> None:
+        sig = instr.signature
+        if sig.startswith("Intent.") and instr.receiver is not None:
+            for obj in self.values.receiver_objects(method, idx, instr.receiver):
+                if obj.type_name != "Intent":
+                    continue
+                site = self._site_of(obj)
+                self._apply_intent_setter(site, method, idx, instr)
+        elif sig.startswith("IntentFilter.") and instr.receiver is not None:
+            for obj in self.values.receiver_objects(method, idx, instr.receiver):
+                if obj.type_name != "IntentFilter":
+                    continue
+                attrs = self._filter_attrs.setdefault(
+                    obj.site,
+                    {"actions": set(), "categories": set(), "types": set(),
+                     "schemes": set()},
+                )
+                arg_strings = (
+                    self.values.strings_of(method, idx, instr.args[0])
+                    if instr.args
+                    else []
+                )
+                if sig == "IntentFilter.addAction":
+                    attrs["actions"].update(arg_strings)
+                elif sig == "IntentFilter.addCategory":
+                    attrs["categories"].update(arg_strings)
+                elif sig == "IntentFilter.addDataType":
+                    attrs["types"].update(arg_strings)
+                elif sig == "IntentFilter.addDataScheme":
+                    attrs["schemes"].update(arg_strings)
+
+    def _apply_intent_setter(
+        self, site: IntentSite, method: str, idx: int, instr: Invoke
+    ) -> None:
+        sig = instr.signature
+        args = instr.args
+
+        def strings(ai: int) -> List[str]:
+            return self.values.strings_of(method, idx, args[ai]) if len(args) > ai else []
+
+        if sig == "Intent.setAction":
+            site.actions.update(strings(0))
+        elif sig == "Intent.addCategory":
+            site.categories.update(strings(0))
+        elif sig == "Intent.setType":
+            site.data_types.update(strings(0))
+        elif sig == "Intent.setData":
+            for uri in strings(0):
+                scheme = uri.split("://", 1)[0] if "://" in uri else uri
+                site.data_schemes.add(scheme)
+        elif sig == "Intent.setDataAndType":
+            for uri in strings(0):
+                scheme = uri.split("://", 1)[0] if "://" in uri else uri
+                site.data_schemes.add(scheme)
+            site.data_types.update(strings(1))
+        elif sig in _TARGET_SETTERS:
+            site.targets.update(strings(0))
+        elif sig == "Intent.putExtra":
+            site.extra_keys.update(strings(0))
+
+    # ------------------------------------------------------------------
+    def _record_send(
+        self, component: str, method: str, idx: int, instr: Invoke
+    ) -> None:
+        sig = instr.signature
+        if sig in ICC_SEND_APIS:
+            kind, wants_result = ICC_SEND_APIS[sig]
+            if not instr.args:
+                return
+            for obj in self.values.receiver_objects(method, idx, instr.args[0]):
+                if obj.type_name != "Intent":
+                    continue
+                site = self._site_of(obj)
+                site.senders.add(component)
+                site.kinds.add(kind)
+                site.sent = True
+                site.wants_result = site.wants_result or wants_result
+        elif sig == SET_RESULT_API:
+            if not instr.args:
+                return
+            for obj in self.values.receiver_objects(method, idx, instr.args[0]):
+                if obj.type_name != "Intent":
+                    continue
+                site = self._site_of(obj)
+                site.senders.add(component)
+                site.passive = True
+                site.sent = True
+        elif sig == REGISTER_RECEIVER_API:
+            self._record_dynamic_registration(component, method, idx, instr)
+        elif sig in RESOLVER_APIS:
+            authority = None
+            if instr.args:
+                for uri in self.values.strings_of(method, idx, instr.args[0]):
+                    if uri.startswith("content://"):
+                        authority = uri[len("content://"):].split("/", 1)[0]
+            self.resolver_calls.append(
+                ResolverCall(
+                    sender=component,
+                    operation=sig.rsplit(".", 1)[1],
+                    authority=authority,
+                    site=(method, idx),
+                )
+            )
+
+    def _record_dynamic_registration(
+        self, component: str, method: str, idx: int, instr: Invoke
+    ) -> None:
+        if len(instr.args) < 2:
+            return
+        receiver_classes = [
+            o.type_name
+            for o in self.values.receiver_objects(method, idx, instr.args[0])
+        ]
+        for fobj in self.values.receiver_objects(method, idx, instr.args[1]):
+            attrs = self._filter_attrs.get(fobj.site)
+            if attrs is None or not attrs["actions"]:
+                continue
+            model = IntentFilterModel(
+                actions=frozenset(attrs["actions"]),
+                categories=frozenset(attrs["categories"]),
+                data_types=frozenset(attrs["types"]),
+                data_schemes=frozenset(attrs["schemes"]),
+                dynamic=True,
+            )
+            for receiver_class in receiver_classes or ["<anonymous>"]:
+                self.dynamic_filters.append(
+                    DynamicFilterReg(receiver_class, model, component)
+                )
+
+    # ------------------------------------------------------------------
+    def _materialize(
+        self, extras_taint: Dict[Tuple[str, int], Set]
+    ) -> List[IntentModel]:
+        """Explode accumulated sites into Intent entities.
+
+        One entity per (sender, action, target, data_type, data_scheme)
+        combination -- single-valued attributes are exploded, set-valued
+        ones (categories, extras) are kept as sets.  ``extras_taint``
+        supplies the resources the taint analysis saw flowing into each
+        site's payload (the ``extra`` field of the Alloy Intent model).
+        """
+        intents: List[IntentModel] = []
+        counter = 0
+        for key in sorted(self.sites):
+            site = self.sites[key]
+            if not site.sent:
+                continue
+            carried = frozenset(extras_taint.get(key, ()))
+            actions = sorted(site.actions) or [None]
+            targets = sorted(site.targets) or [None]
+            types = sorted(site.data_types) or [None]
+            schemes = sorted(site.data_schemes) or [None]
+            kinds = sorted(site.kinds, key=lambda k: k.value) or [None]
+            for sender in sorted(site.senders):
+              for kind in kinds:
+                for action in actions:
+                    for target in targets:
+                        for dtype in types:
+                            for scheme in schemes:
+                                counter += 1
+                                intents.append(
+                                    IntentModel(
+                                        entity_id=f"{self.apk.package}:intent{counter}",
+                                        sender=sender,
+                                        target=self._qualify(target),
+                                        action=action,
+                                        categories=frozenset(site.categories),
+                                        data_type=dtype,
+                                        data_scheme=scheme,
+                                        extras=carried,
+                                        extra_keys=frozenset(site.extra_keys),
+                                        wants_result=site.wants_result,
+                                        passive=site.passive,
+                                        addressed_kind=kind,
+                                    )
+                                )
+        return intents
+
+    def _qualify(self, target: Optional[str]) -> Optional[str]:
+        if target is None:
+            return None
+        if "/" in target:
+            return target
+        return f"{self.apk.package}/{target}"
+
+
+def update_passive_intent_targets(
+    intents: List[IntentModel],
+) -> List[IntentModel]:
+    """Algorithm 1: for each passive Intent ``p``, add to its target set the
+    senders of Intents that request a result and target ``p``'s sender."""
+    updated: List[IntentModel] = []
+    for p in intents:
+        if not p.passive:
+            updated.append(p)
+            continue
+        targets = set(p.passive_targets)
+        for i in intents:
+            if i is p or not i.wants_result:
+                continue
+            if i.target is not None and i.target == p.sender:
+                targets.add(i.sender)
+        updated.append(
+            IntentModel(
+                entity_id=p.entity_id,
+                sender=p.sender,
+                target=p.target,
+                action=p.action,
+                categories=p.categories,
+                data_type=p.data_type,
+                data_scheme=p.data_scheme,
+                extras=p.extras,
+                extra_keys=p.extra_keys,
+                wants_result=p.wants_result,
+                passive=True,
+                passive_targets=frozenset(targets),
+                addressed_kind=p.addressed_kind,
+            )
+        )
+    return updated

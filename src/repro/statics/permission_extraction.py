@@ -1,0 +1,79 @@
+"""Permission extraction (Section IV, "Permission Extraction").
+
+Two questions are answered per component:
+
+1. **Which permissions does the component's code actually exercise?**
+   Every reachable platform invoke is tagged through the PScout-style API
+   permission map; tags propagate transitively up the call chains to the
+   component's entry points (here computed directly as the union over the
+   entry-reachable method set, which is the fixpoint of the paper's
+   backward reachability tagging).  A component whose entry points carry a
+   permission tag *exposes* that permission-guarded capability.
+
+2. **Which permissions does the component enforce on its callers?**
+   The manifest's ``permission`` attribute, plus in-code checks:
+   ``checkCallingPermission``/``enforceCallingPermission`` calls that are
+   actually reachable from an entry point.  A check that is defined but
+   never called (the paper's Listing 2, where ``hasPermission`` is
+   commented out of the call chain) does not count -- which is precisely
+   the vulnerability the running example turns on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set
+
+from repro.android.apk import Apk
+from repro.android.permissions import permissions_for_api
+from repro.dex.instructions import Invoke
+from repro.statics.callgraph import CallGraph
+from repro.statics.constprop import ValueAnalysis
+
+_CHECK_APIS = {
+    "Context.checkCallingPermission",
+    "Context.enforceCallingPermission",
+    "Context.checkCallingOrSelfPermission",
+}
+
+
+@dataclass
+class ComponentPermissions:
+    exposed: FrozenSet[str]  # permission-guarded capabilities reachable inside
+    enforced_in_code: FrozenSet[str]  # reachable checkCallingPermission targets
+
+
+class PermissionExtraction:
+    def __init__(self, apk: Apk, callgraph: CallGraph, values: ValueAnalysis) -> None:
+        self.apk = apk
+        self.callgraph = callgraph
+        self.values = values
+
+    def run(self) -> Dict[str, ComponentPermissions]:
+        """Per qualified component name."""
+        result: Dict[str, ComponentPermissions] = {}
+        for comp in self.apk.manifest.components:
+            qualified = self.apk.manifest.qualified(comp)
+            reachable = self.callgraph.reachable_methods_of_component(comp.name)
+            exposed: Set[str] = set()
+            enforced: Set[str] = set()
+            for method_name in reachable:
+                method = self.callgraph.program.lookup(method_name)
+                if method is None:
+                    continue
+                cfg = self.callgraph.cfgs[method_name]
+                live = cfg.reachable_instructions()
+                for idx in sorted(live):
+                    instr = method.instructions[idx]
+                    if not isinstance(instr, Invoke):
+                        continue
+                    exposed |= permissions_for_api(instr.signature)
+                    if instr.signature in _CHECK_APIS and instr.args:
+                        enforced.update(
+                            self.values.strings_of(method_name, idx, instr.args[0])
+                        )
+            result[qualified] = ComponentPermissions(
+                exposed=frozenset(exposed),
+                enforced_in_code=frozenset(enforced),
+            )
+        return result

@@ -1,0 +1,388 @@
+"""Path extraction: static taint analysis (Section IV, "Path Extraction").
+
+Tracks sensitive data-flow tuples ``<Source, Sink>`` per component over the
+flow-permission resources.  The analysis is:
+
+- **flow-sensitive** -- register taint states are propagated along the CFG
+  with a worklist, so kills (overwrites) are respected in order;
+- **field-sensitive** -- heap taint is keyed by (allocation site, field)
+  when the base object resolves, by field name otherwise;
+- **context-sensitive** -- app-internal calls are analyzed per calling
+  context (the tuple of argument taints), memoized, with a recursion guard
+  and an outer fixpoint for heap effects;
+- **not path-sensitive** -- branch conditions are opaque, exactly as the
+  paper chooses for scalability.
+
+The ICC mechanism augments sources and sinks: data read out of a received
+Intent is ICC-source-tainted, and data placed into a sent Intent's extras
+reaches the ICC sink (and is recorded as the Intent's carried resources,
+the ``extra`` field of the paper's Alloy Intent model)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.android.apk import Apk
+from repro.android.permissions import SINK_API_MAP, SOURCE_API_MAP
+from repro.android.resources import Resource
+from repro.core.model import PathModel
+from repro.dex.instructions import (
+    ConstString,
+    IGet,
+    IPut,
+    Instr,
+    Invoke,
+    Move,
+    NewInstance,
+    Return,
+    SGet,
+    SPut,
+)
+from repro.dex.program import DexMethod
+from repro.statics.callgraph import CallGraph
+from repro.statics.constprop import IntentParamVal, ObjVal, ValueAnalysis
+from repro.statics.intent_extraction import (
+    ICC_SEND_APIS,
+    RESOLVER_APIS,
+    SET_RESULT_API,
+)
+
+TaintSet = FrozenSet[Resource]
+EMPTY_TAINT: TaintSet = frozenset()
+
+# Intent payload read APIs: receiving ICC data.
+_EXTRA_GETTERS = {
+    "Intent.getStringExtra",
+    "Intent.getExtra",
+    "Intent.getExtras",
+    "Intent.getIntExtra",
+    "Intent.getParcelableExtra",
+    "Intent.getData",
+}
+
+_MAX_CALL_DEPTH = 24
+
+
+@dataclass
+class TaintResult:
+    """Per-component paths plus per-Intent-site carried resources and the
+    taints observed flowing into each ContentResolver call site."""
+
+    paths: Dict[str, Set[PathModel]]
+    extras_taint: Dict[Tuple[str, int], Set[Resource]]
+    resolver_taint: Dict[Tuple[str, int], Set[Resource]]
+    reads_extra_keys: Dict[str, Set[str]]  # per component
+
+
+class TaintAnalysis:
+    """Whole-app taint analysis, reported per component."""
+
+    def __init__(
+        self, apk: Apk, callgraph: CallGraph, values: ValueAnalysis,
+        outer_rounds: int = 3, all_roots: bool = False,
+    ) -> None:
+        self.apk = apk
+        self.callgraph = callgraph
+        self.values = values
+        self.outer_rounds = outer_rounds
+        self.all_roots = all_roots
+        self.paths: Dict[str, Set[PathModel]] = {}
+        self.extras_taint: Dict[Tuple[str, int], Set[Resource]] = {}
+        self.resolver_taint: Dict[Tuple[str, int], Set[Resource]] = {}
+        self.reads_extra_keys: Dict[str, Set[str]] = {}
+        # Heap taint: per (site, field) when resolvable, else per field name.
+        self._heap_site: Dict[Tuple[Tuple[str, int], str], Set[Resource]] = {}
+        self._heap_field: Dict[str, Set[Resource]] = {}
+        self._statics: Dict[str, Set[Resource]] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> TaintResult:
+        for _ in range(self.outer_rounds):
+            before = self._snapshot()
+            for comp in self.apk.manifest.components:
+                qualified = self.apk.manifest.qualified(comp)
+                self._analyze_component(comp.name, qualified)
+            if self._snapshot() == before:
+                break
+        return TaintResult(
+            paths=self.paths,
+            extras_taint=self.extras_taint,
+            resolver_taint=self.resolver_taint,
+            reads_extra_keys=self.reads_extra_keys,
+        )
+
+    def _snapshot(self):
+        return (
+            {k: frozenset(v) for k, v in self.paths.items()},
+            {k: frozenset(v) for k, v in self.extras_taint.items()},
+            {k: frozenset(v) for k, v in self._heap_site.items()},
+            {k: frozenset(v) for k, v in self._heap_field.items()},
+            {k: frozenset(v) for k, v in self._statics.items()},
+        )
+
+    def _analyze_component(self, class_name: str, qualified: str) -> None:
+        cls = self.apk.component_class(class_name)
+        if cls is None:
+            return
+        self._current = qualified
+        self._memo: Dict[Tuple[str, Tuple[TaintSet, ...]], TaintSet] = {}
+        self._in_progress: Set[Tuple[str, Tuple[TaintSet, ...]]] = set()
+        self.paths.setdefault(qualified, set())
+        provider_entries = {"query", "insert", "update", "delete"}
+        for method in cls.methods:
+            if method.is_entry_point or self.all_roots:
+                if method.name in provider_entries:
+                    # Provider operations receive caller-controlled data:
+                    # every parameter is ICC-source tainted.
+                    params = tuple(
+                        frozenset({Resource.ICC}) for _ in method.params
+                    )
+                else:
+                    params = tuple(EMPTY_TAINT for _ in method.params)
+                self._analyze_method(method, params, depth=0)
+
+    # ------------------------------------------------------------------
+    def _analyze_method(
+        self, method: DexMethod, param_taints: Tuple[TaintSet, ...], depth: int
+    ) -> TaintSet:
+        """Flow-sensitive analysis of one method body under a calling
+        context; returns the taint of the returned value."""
+        key = (method.qualified_name, param_taints)
+        if key in self._memo:
+            return self._memo[key]
+        if key in self._in_progress or depth > _MAX_CALL_DEPTH:
+            return EMPTY_TAINT  # recursion: converges via the outer rounds
+        self._in_progress.add(key)
+
+        cfg = self.callgraph.cfgs[method.qualified_name]
+        return_taint: Set[Resource] = set()
+        if cfg.blocks:
+            entry: Dict[str, TaintSet] = {}
+            for pi, param in enumerate(method.params):
+                entry[param] = param_taints[pi] if pi < len(param_taints) else EMPTY_TAINT
+            block_in: Dict[int, Dict[str, TaintSet]] = {0: entry}
+            worklist = [0]
+            seen_out: Dict[int, Dict[str, TaintSet]] = {}
+            reachable = cfg.reachable_blocks()
+            while worklist:
+                bi = worklist.pop()
+                if bi not in reachable:
+                    continue
+                state = dict(block_in.get(bi, {}))
+                block = cfg.blocks[bi]
+                for ii in block.instruction_indices:
+                    self._transfer(
+                        method, ii, method.instructions[ii], state,
+                        return_taint, depth,
+                    )
+                prev = seen_out.get(bi)
+                if prev == state:
+                    continue
+                seen_out[bi] = dict(state)
+                for succ in block.successors:
+                    merged = self._merge(block_in.get(succ), state)
+                    if merged != block_in.get(succ):
+                        block_in[succ] = merged
+                        if succ not in worklist:
+                            worklist.append(succ)
+
+        self._in_progress.discard(key)
+        result = frozenset(return_taint)
+        self._memo[key] = result
+        return result
+
+    @staticmethod
+    def _merge(
+        left: Optional[Dict[str, TaintSet]], right: Dict[str, TaintSet]
+    ) -> Dict[str, TaintSet]:
+        if left is None:
+            return dict(right)
+        merged = dict(left)
+        for reg, taint in right.items():
+            merged[reg] = merged.get(reg, EMPTY_TAINT) | taint
+        return merged
+
+    # ------------------------------------------------------------------
+    def _transfer(
+        self,
+        method: DexMethod,
+        index: int,
+        instr: Instr,
+        state: Dict[str, TaintSet],
+        return_taint: Set[Resource],
+        depth: int,
+    ) -> None:
+        if isinstance(instr, ConstString):
+            state[instr.dest] = EMPTY_TAINT
+        elif isinstance(instr, Move):
+            state[instr.dest] = state.get(instr.src, EMPTY_TAINT)
+        elif isinstance(instr, NewInstance):
+            state[instr.dest] = EMPTY_TAINT
+        elif isinstance(instr, IGet):
+            taint: Set[Resource] = set()
+            bases = self.values.receiver_objects(
+                method.qualified_name, index, instr.obj
+            )
+            if bases:
+                for obj in bases:
+                    taint |= self._heap_site.get((obj.site, instr.field_name), set())
+            taint |= self._heap_field.get(instr.field_name, set())
+            state[instr.dest] = frozenset(taint)
+        elif isinstance(instr, IPut):
+            stored = state.get(instr.src, EMPTY_TAINT)
+            if not stored:
+                return
+            bases = self.values.receiver_objects(
+                method.qualified_name, index, instr.obj
+            )
+            if bases:
+                for obj in bases:
+                    self._heap_site.setdefault(
+                        (obj.site, instr.field_name), set()
+                    ).update(stored)
+            else:
+                self._heap_field.setdefault(instr.field_name, set()).update(stored)
+        elif isinstance(instr, SGet):
+            state[instr.dest] = frozenset(self._statics.get(instr.class_field, set()))
+        elif isinstance(instr, SPut):
+            stored = state.get(instr.src, EMPTY_TAINT)
+            if stored:
+                self._statics.setdefault(instr.class_field, set()).update(stored)
+        elif isinstance(instr, Return):
+            if instr.src is not None:
+                return_taint |= state.get(instr.src, EMPTY_TAINT)
+        elif isinstance(instr, Invoke):
+            self._transfer_invoke(method, index, instr, state, depth)
+
+    # ------------------------------------------------------------------
+    def _transfer_invoke(
+        self,
+        method: DexMethod,
+        index: int,
+        instr: Invoke,
+        state: Dict[str, TaintSet],
+        depth: int,
+    ) -> None:
+        sig = instr.signature
+        mq = method.qualified_name
+
+        # 1. Sensitive source APIs.
+        if sig in SOURCE_API_MAP:
+            if instr.dest is not None:
+                state[instr.dest] = frozenset({SOURCE_API_MAP[sig]})
+            return
+
+        # 2. Reading Intent payload: the ICC source (or a same-app relay).
+        if sig in _EXTRA_GETTERS and instr.receiver is not None:
+            taint: Set[Resource] = set()
+            values = self.values.values_before(mq, index).get(
+                instr.receiver, frozenset()
+            )
+            for value in values:
+                if isinstance(value, IntentParamVal):
+                    taint.add(Resource.ICC)
+                    if instr.args:
+                        self.reads_extra_keys.setdefault(
+                            self._current, set()
+                        ).update(self.values.strings_of(mq, index, instr.args[0]))
+                elif isinstance(value, ObjVal) and value.type_name == "Intent":
+                    taint |= self.extras_taint.get(value.site, set())
+            if instr.dest is not None:
+                state[instr.dest] = frozenset(taint)
+            return
+
+        # 3. Writing Intent payload.
+        if sig == "Intent.putExtra" and instr.receiver is not None:
+            if len(instr.args) >= 2:
+                stored = state.get(instr.args[1], EMPTY_TAINT)
+                arg_values = self.values.values_before(mq, index).get(
+                    instr.args[1], frozenset()
+                )
+                extra: Set[Resource] = set(stored)
+                if any(isinstance(v, IntentParamVal) for v in arg_values):
+                    extra.add(Resource.ICC)
+                if extra:
+                    for obj in self.values.receiver_objects(
+                        mq, index, instr.receiver
+                    ):
+                        if obj.type_name == "Intent":
+                            self.extras_taint.setdefault(obj.site, set()).update(
+                                extra
+                            )
+            return
+
+        # 4. Sink APIs.
+        if sig in SINK_API_MAP:
+            sink_resource, data_arg = SINK_API_MAP[sig]
+            if data_arg < len(instr.args):
+                reg = instr.args[data_arg]
+                for resource in state.get(reg, EMPTY_TAINT):
+                    self._add_path(resource, sink_resource)
+                arg_values = self.values.values_before(mq, index).get(
+                    reg, frozenset()
+                )
+                if any(isinstance(v, IntentParamVal) for v in arg_values):
+                    self._add_path(Resource.ICC, sink_resource)
+            return
+
+        # 4b. ContentResolver operations: provider-directed ICC.  Tainted
+        # arguments (selection strings, values) flow to the ICC sink; the
+        # per-call-site record lets the extractor build provider accesses.
+        if sig in RESOLVER_APIS:
+            merged: Set[Resource] = set()
+            for arg in instr.args[1:] or instr.args:
+                merged |= state.get(arg, EMPTY_TAINT)
+            if merged:
+                self.resolver_taint.setdefault((mq, index), set()).update(merged)
+                for resource in merged:
+                    self._add_path(resource, Resource.ICC)
+            if instr.dest is not None:
+                # Query results come from another protection domain.
+                state[instr.dest] = frozenset({Resource.ICC})
+            return
+
+        # 5. ICC sends: data carried by the Intent reaches the ICC sink.
+        if (sig in ICC_SEND_APIS or sig == SET_RESULT_API) and instr.args:
+            reg = instr.args[0]
+            arg_values = self.values.values_before(mq, index).get(reg, frozenset())
+            for value in arg_values:
+                if isinstance(value, ObjVal) and value.type_name == "Intent":
+                    for resource in self.extras_taint.get(value.site, set()):
+                        self._add_path(resource, Resource.ICC)
+                elif isinstance(value, IntentParamVal):
+                    # Forwarding the received Intent verbatim: a transit path.
+                    self._add_path(Resource.ICC, Resource.ICC)
+            return
+
+        # 6. App-internal calls: context-sensitive descent.
+        callee = self._resolve_internal(method, instr)
+        if callee is not None:
+            arg_taints = tuple(
+                state.get(arg, EMPTY_TAINT) for arg in instr.args
+            )
+            returned = self._analyze_method(callee, arg_taints, depth + 1)
+            if instr.dest is not None:
+                state[instr.dest] = returned
+            return
+
+        # 7. Unmodeled platform call: conservative propagation through the
+        # receiver and arguments (covers toString/concat/format chains).
+        if instr.dest is not None:
+            taint = set()
+            if instr.receiver is not None:
+                taint |= state.get(instr.receiver, EMPTY_TAINT)
+            for arg in instr.args:
+                taint |= state.get(arg, EMPTY_TAINT)
+            state[instr.dest] = frozenset(taint)
+
+    def _resolve_internal(self, method: DexMethod, instr: Invoke) -> Optional[DexMethod]:
+        if instr.class_name == "this":
+            cls = self.callgraph.program.cls(method.class_name)
+            if cls.has_method(instr.method_name):
+                return cls.method(instr.method_name)
+            return None
+        return self.callgraph.program.lookup(instr.signature)
+
+    def _add_path(self, source: Resource, sink: Resource) -> None:
+        self.paths.setdefault(self._current, set()).add(PathModel(source, sink))

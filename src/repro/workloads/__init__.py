@@ -1,0 +1,22 @@
+"""Synthetic app-market corpus generation (the RQ2/RQ3 workload).
+
+The paper evaluates SEPAR on 4,000 apps drawn from four repositories
+(Google Play, F-Droid, Malgenome, Bazaar) partitioned into 80 bundles of
+50.  With no access to those archives, :mod:`repro.workloads.corpus`
+generates a seeded synthetic population whose structure matches what the
+evaluation depends on: per-repository app-size distributions, a shared
+Intent-action vocabulary, and per-repository base rates of the four
+vulnerability patterns calibrated to the paper's reported counts (97
+Intent-hijack, 124 launch, 128 information-leak, 36
+privilege-escalation vulnerable apps in 4,000).
+"""
+
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator, REPOSITORIES
+from repro.workloads.bundles import partition_bundles
+
+__all__ = [
+    "CorpusConfig",
+    "CorpusGenerator",
+    "REPOSITORIES",
+    "partition_bundles",
+]

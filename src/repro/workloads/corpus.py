@@ -1,0 +1,370 @@
+"""Seeded synthetic market corpus.
+
+Every generated app is a real IR program the full AME pipeline analyzes;
+vulnerability patterns are *injected as code*, not as labels -- whether
+SEPAR finds them is up to the analysis.  The generator also tracks what it
+injected, giving the RQ2 benchmark a ground-truth baseline to report
+against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.android.apk import Apk
+from repro.android.components import ComponentDecl, ComponentKind
+from repro.android.intents import IntentFilter
+from repro.android.manifest import Manifest
+from repro.android import permissions as perms
+from repro.dex import DexClass, DexProgram, MethodBuilder
+
+A = ComponentKind.ACTIVITY
+S = ComponentKind.SERVICE
+R = ComponentKind.RECEIVER
+
+# A shared action vocabulary: cross-app filter collisions (and therefore
+# inter-app attack surface) require apps to speak overlapping dialects.
+COMMON_ACTIONS = [f"market.action.COMMON{i}" for i in range(30)]
+
+SOURCE_APIS = [
+    "TelephonyManager.getDeviceId",
+    "LocationManager.getLastKnownLocation",
+    "ContactsProvider.query",
+    "AccountManager.getAccounts",
+    "SmsProvider.query",
+]
+
+SINK_APIS = [
+    "SmsManager.sendTextMessage",
+    "URL.openConnection",
+    "Log.d",
+    "ExternalStorage.writeFile",
+]
+
+GUARDED_APIS = {
+    "SmsManager.sendTextMessage": perms.SEND_SMS,
+    "URL.openConnection": perms.INTERNET,
+    "LocationManager.getLastKnownLocation": perms.ACCESS_FINE_LOCATION,
+    "TelephonyManager.getDeviceId": perms.READ_PHONE_STATE,
+}
+
+
+@dataclass
+class RepositoryProfile:
+    """Population parameters for one app market."""
+
+    name: str
+    count: int
+    # app size: components per app and filler methods per component
+    components: Tuple[int, int]
+    filler_methods: Tuple[int, int]
+    # per-app injection probabilities
+    p_hijack: float
+    p_launch: float
+    p_leak: float
+    p_escalation: float
+
+
+# Calibrated so 4,000 apps yield roughly the paper's counts
+# (97 / 124 / 128 / 36 vulnerable apps).  Malgenome apps -- repackaged
+# malware carriers -- skew toward exposed surfaces and sensitive flows.
+REPOSITORIES: Dict[str, RepositoryProfile] = {
+    "google_play": RepositoryProfile(
+        "google_play", 1600, (4, 9), (1, 6), 0.020, 0.020, 0.028, 0.007
+    ),
+    "f_droid": RepositoryProfile(
+        "f_droid", 1100, (3, 7), (1, 5), 0.014, 0.012, 0.020, 0.004
+    ),
+    "malgenome": RepositoryProfile(
+        "malgenome", 1200, (4, 8), (1, 4), 0.035, 0.036, 0.050, 0.017
+    ),
+    "bazaar": RepositoryProfile(
+        "bazaar", 100, (4, 9), (1, 6), 0.030, 0.028, 0.040, 0.010
+    ),
+}
+
+
+@dataclass
+class CorpusConfig:
+    seed: int = 2016  # the paper's year; fixed for reproducibility
+    scale: float = 1.0  # fraction of each repository's population
+    repositories: Dict[str, RepositoryProfile] = field(
+        default_factory=lambda: dict(REPOSITORIES)
+    )
+
+    def scaled_count(self, profile: RepositoryProfile) -> int:
+        return max(1, round(profile.count * self.scale))
+
+
+@dataclass
+class InjectionLedger:
+    """What the generator actually injected (RQ2's ground truth)."""
+
+    hijack_apps: Set[str] = field(default_factory=set)
+    launch_apps: Set[str] = field(default_factory=set)
+    leak_apps: Set[str] = field(default_factory=set)
+    escalation_apps: Set[str] = field(default_factory=set)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "intent_hijack": len(self.hijack_apps),
+            "activity_service_launch": len(self.launch_apps),
+            "information_leak": len(self.leak_apps),
+            "privilege_escalation": len(self.escalation_apps),
+        }
+
+
+class CorpusGenerator:
+    def __init__(self, config: Optional[CorpusConfig] = None) -> None:
+        self.config = config or CorpusConfig()
+        self.rng = random.Random(self.config.seed)
+        self.ledger = InjectionLedger()
+
+    # ------------------------------------------------------------------
+    def generate(self) -> List[Apk]:
+        apks: List[Apk] = []
+        for profile in self.config.repositories.values():
+            for i in range(self.config.scaled_count(profile)):
+                apks.append(self._generate_app(profile, i))
+        return apks
+
+    # ------------------------------------------------------------------
+    def _generate_app(self, profile: RepositoryProfile, index: int) -> Apk:
+        rng = self.rng
+        package = f"{profile.name}.app{index}"
+        decls: List[ComponentDecl] = []
+        classes: List[DexClass] = []
+        permissions: Set[str] = set()
+
+        n_components = rng.randint(*profile.components)
+        decls.append(ComponentDecl("Launcher", A, exported=True))
+        classes.append(self._benign_activity("Launcher", profile, rng))
+        for ci in range(1, n_components):
+            name = f"Cmp{ci}"
+            kind = rng.choice([A, A, S, S, R])
+            filters = []
+            if kind is not ComponentKind.PROVIDER and rng.random() < 0.60:
+                filters = [IntentFilter.for_action(f"{package}.ACT{ci}")]
+            decls.append(ComponentDecl(name, kind, intent_filters=filters))
+            classes.append(self._benign_component(name, kind, profile, rng))
+
+        # --- vulnerability injections -----------------------------------
+        if rng.random() < profile.p_hijack:
+            self._inject_hijack(package, decls, classes, permissions, rng)
+            self.ledger.hijack_apps.add(package)
+        if rng.random() < profile.p_launch:
+            self._inject_launch(package, decls, classes, permissions, rng)
+            self.ledger.launch_apps.add(package)
+        if rng.random() < profile.p_leak:
+            self._inject_leak(package, decls, classes, permissions, rng)
+            self.ledger.leak_apps.add(package)
+        if rng.random() < profile.p_escalation:
+            self._inject_escalation(package, decls, classes, permissions, rng)
+            self.ledger.escalation_apps.add(package)
+
+        return Apk(
+            Manifest(
+                package=package,
+                uses_permissions=frozenset(permissions),
+                components=decls,
+            ),
+            DexProgram(classes),
+            repository=profile.name,
+        )
+
+    # ------------------------------------------------------------------
+    def _benign_activity(
+        self, name: str, profile: RepositoryProfile, rng: random.Random
+    ) -> DexClass:
+        return self._benign_component(name, A, profile, rng)
+
+    def _benign_component(
+        self,
+        name: str,
+        kind: ComponentKind,
+        profile: RepositoryProfile,
+        rng: random.Random,
+    ) -> DexClass:
+        entry = {A: "onCreate", S: "onStartCommand", R: "onReceive"}[kind]
+        main = MethodBuilder(entry, params=("p0",))
+        for i in range(rng.randint(2, 10)):
+            main.const_string(f"v{i % 8}", f"ui-state-{i}")
+        # Benign ICC chatter: real apps send plenty of harmless Intents
+        # (Table II averages ~6 Intent entities per app), mostly addressed
+        # within the app or under app-private actions.
+        roll = rng.random()
+        if roll < 0.65:
+            main.new_instance("v0", "Intent")
+            main.const_string("v1", f"{name}.internal")
+            main.invoke("Intent.setAction", receiver="v0", args=("v1",))
+            main.invoke(
+                "Context.startService" if kind is not R else "Context.sendBroadcast",
+                args=("v0",),
+            )
+        elif roll < 0.95:
+            main.new_instance("v0", "Intent")
+            main.const_string("v1", "Launcher")
+            main.invoke("Intent.setClassName", receiver="v0", args=("v1",))
+            main.invoke("Context.startActivity", args=("v0",))
+        main.ret()
+        methods = [main.build()]
+        # Long-tailed code volume: most components are small, a few are
+        # huge, mirroring real market size distributions (Figure 5's x-axis
+        # spans two orders of magnitude).
+        n_fillers = rng.randint(*profile.filler_methods)
+        if rng.random() < 0.12:
+            n_fillers += rng.randint(10, 60)
+        for mi in range(n_fillers):
+            helper = MethodBuilder(f"helper{mi}", params=("p0",))
+            for i in range(rng.randint(5, 60)):
+                helper.const_string(f"v{i % 8}", f"work-{i}")
+            helper.ret("v0")
+            methods.append(helper.build())
+        superclass = {A: "Activity", S: "Service", R: "BroadcastReceiver"}[kind]
+        return DexClass(name, superclass=superclass, methods=methods)
+
+    # ------------------------------------------------------------------
+    def _inject_hijack(self, package, decls, classes, permissions, rng) -> None:
+        """A component broadcasting sensitive data under a common action."""
+        source_api = rng.choice(SOURCE_APIS)
+        action = rng.choice(COMMON_ACTIONS)
+        permissions.add(GUARDED_APIS.get(source_api, perms.INTERNET))
+        name = "LeakyBroadcaster"
+        decls.append(ComponentDecl(name, S))
+        classes.append(
+            DexClass(
+                name,
+                superclass="Service",
+                methods=[
+                    MethodBuilder("onStartCommand", params=("p0",))
+                    .invoke(source_api, receiver="v9", dest="v8")
+                    .new_instance("v0", "Intent")
+                    .const_string("v1", action)
+                    .invoke("Intent.setAction", receiver="v0", args=("v1",))
+                    .const_string("v2", "payload")
+                    .invoke("Intent.putExtra", receiver="v0", args=("v2", "v8"))
+                    .invoke(
+                        rng.choice(
+                            ["Context.sendBroadcast", "Context.startService"]
+                        ),
+                        args=("v0",),
+                    )
+                    .ret()
+                    .build()
+                ],
+            )
+        )
+
+    def _inject_launch(self, package, decls, classes, permissions, rng) -> None:
+        """An exported component whose ICC surface drives a sink.
+
+        Sinks here are normal-permission or unguarded so the injection is a
+        launch vulnerability but not also a privilege escalation (the
+        escalation injection covers that pattern separately)."""
+        sink_api = rng.choice(["Log.d", "URL.openConnection"])
+        permissions.add(GUARDED_APIS.get(sink_api, perms.INTERNET))
+        kind = rng.choice([A, S])
+        name = "OpenWorker"
+        action = rng.choice(COMMON_ACTIONS)
+        decls.append(
+            ComponentDecl(
+                name, kind, intent_filters=[IntentFilter.for_action(action)]
+            )
+        )
+        entry = "onCreate" if kind is A else "onStartCommand"
+        b = (
+            MethodBuilder(entry, params=("p0",))
+            .const_string("v1", "task")
+            .invoke("Intent.getStringExtra", receiver="p0", args=("v1",), dest="v2")
+        )
+        if sink_api == "SmsManager.sendTextMessage":
+            b.invoke("SmsManager.getDefault", dest="v3")
+            b.invoke(sink_api, receiver="v3", args=("v2", "v2", "v2", "v2", "v2"))
+        elif sink_api == "ExternalStorage.writeFile":
+            b.const_string("v4", "/sdcard/task")
+            b.invoke(sink_api, args=("v4", "v2"))
+        elif sink_api == "Log.d":
+            b.invoke(sink_api, args=("v0", "v2"))
+        else:
+            b.invoke(sink_api, args=("v2",))
+        b.ret()
+        classes.append(
+            DexClass(
+                name,
+                superclass="Activity" if kind is A else "Service",
+                methods=[b.build()],
+            )
+        )
+
+    def _inject_leak(self, package, decls, classes, permissions, rng) -> None:
+        """A two-component intra-app leak: source -> Intent -> sink."""
+        source_api = rng.choice(SOURCE_APIS)
+        sink_api = rng.choice(SINK_APIS)
+        permissions.add(GUARDED_APIS.get(source_api, perms.INTERNET))
+        permissions.add(GUARDED_APIS.get(sink_api, perms.INTERNET))
+        decls.append(ComponentDecl("Gather", A, exported=True))
+        decls.append(ComponentDecl("Relay", S))
+        classes.append(
+            DexClass(
+                "Gather",
+                superclass="Activity",
+                methods=[
+                    MethodBuilder("onCreate", params=("p0",))
+                    .invoke(source_api, receiver="v9", dest="v8")
+                    .new_instance("v0", "Intent")
+                    .const_string("v1", f"{package}/Relay")
+                    .invoke("Intent.setClassName", receiver="v0", args=("v1",))
+                    .const_string("v2", "data")
+                    .invoke("Intent.putExtra", receiver="v0", args=("v2", "v8"))
+                    .invoke("Context.startService", args=("v0",))
+                    .ret()
+                    .build()
+                ],
+            )
+        )
+        b = (
+            MethodBuilder("onStartCommand", params=("p0",))
+            .const_string("v1", "data")
+            .invoke("Intent.getStringExtra", receiver="p0", args=("v1",), dest="v2")
+        )
+        if sink_api == "SmsManager.sendTextMessage":
+            b.invoke("SmsManager.getDefault", dest="v3")
+            b.invoke(sink_api, receiver="v3", args=("v2", "v2", "v2", "v2", "v2"))
+        elif sink_api == "ExternalStorage.writeFile":
+            b.const_string("v4", "/sdcard/cache")
+            b.invoke(sink_api, args=("v4", "v2"))
+        elif sink_api == "Log.d":
+            b.invoke(sink_api, args=("v0", "v2"))
+        else:
+            b.invoke(sink_api, args=("v2",))
+        b.ret()
+        classes.append(DexClass("Relay", superclass="Service", methods=[b.build()]))
+
+    def _inject_escalation(self, package, decls, classes, permissions, rng) -> None:
+        """An exported component handing out a guarded capability."""
+        permissions.add(perms.SEND_SMS)
+        decls.append(ComponentDecl("Composer", A, exported=True))
+        classes.append(
+            DexClass(
+                "Composer",
+                superclass="Activity",
+                methods=[
+                    MethodBuilder("onCreate", params=("p0",))
+                    .const_string("v1", "msg")
+                    .invoke(
+                        "Intent.getStringExtra",
+                        receiver="p0", args=("v1",), dest="v2",
+                    )
+                    .invoke("SmsManager.getDefault", dest="v3")
+                    .invoke(
+                        "SmsManager.sendTextMessage",
+                        receiver="v3",
+                        args=("v2", "v2", "v2", "v2", "v2"),
+                    )
+                    .ret()
+                    .build()
+                ],
+            )
+        )

@@ -1,0 +1,141 @@
+"""Tests for resources, permissions, components, manifests, and APKs."""
+
+import pytest
+
+from repro.android.apk import Apk
+from repro.android.components import ComponentDecl, ComponentKind
+from repro.android.intents import IntentFilter
+from repro.android.manifest import Manifest
+from repro.android import permissions as perms
+from repro.android.resources import Resource, SOURCES, SINKS, is_sink, is_source
+from repro.dex import DexClass, DexProgram, MethodBuilder
+
+
+class TestResources:
+    def test_source_count(self):
+        # 13 canonical sources plus the ICC augmentation.
+        assert len(SOURCES) == 14
+        assert Resource.ICC in SOURCES
+
+    def test_sink_count(self):
+        # 5 canonical sinks plus the ICC augmentation.
+        assert len(SINKS) == 6
+        assert Resource.ICC in SINKS
+
+    def test_predicates(self):
+        assert is_source(Resource.LOCATION)
+        assert not is_sink(Resource.LOCATION)
+        assert is_sink(Resource.SMS)
+        assert is_source(Resource.ICC) and is_sink(Resource.ICC)
+
+
+class TestPermissions:
+    def test_api_map_lookup(self):
+        required = perms.permissions_for_api("SmsManager.sendTextMessage")
+        assert perms.SEND_SMS in required
+
+    def test_unknown_api_unguarded(self):
+        assert perms.permissions_for_api("Widget.frobnicate") == frozenset()
+
+    def test_resource_permission(self):
+        assert perms.permission_for_resource(Resource.LOCATION) == (
+            perms.ACCESS_FINE_LOCATION
+        )
+        assert perms.permission_for_resource(Resource.ICC) is None
+
+    def test_protection_levels(self):
+        assert perms.protection_level(perms.SEND_SMS).value == "dangerous"
+        assert perms.protection_level(perms.INTERNET).value == "normal"
+        assert perms.protection_level("com.example.UNKNOWN").value == "normal"
+
+    def test_every_source_api_has_resource(self):
+        for sig in perms.SOURCE_API_MAP:
+            assert is_source(perms.SOURCE_API_MAP[sig])
+
+    def test_every_sink_api_has_sink_resource(self):
+        for sig, (resource, _) in perms.SINK_API_MAP.items():
+            assert is_sink(resource)
+
+
+class TestComponents:
+    def test_provider_rejects_filters(self):
+        with pytest.raises(ValueError):
+            ComponentDecl(
+                "P",
+                ComponentKind.PROVIDER,
+                intent_filters=[IntentFilter.for_action("a")],
+            )
+
+    def test_public_by_filter(self):
+        c = ComponentDecl(
+            "S", ComponentKind.SERVICE,
+            intent_filters=[IntentFilter.for_action("a")],
+        )
+        assert c.is_public
+
+    def test_private_by_default(self):
+        assert not ComponentDecl("S", ComponentKind.SERVICE).is_public
+
+    def test_exported_attribute_wins(self):
+        c = ComponentDecl(
+            "S", ComponentKind.SERVICE, exported=False,
+            intent_filters=[IntentFilter.for_action("a")],
+        )
+        assert not c.is_public
+        assert ComponentDecl("T", ComponentKind.SERVICE, exported=True).is_public
+
+
+class TestManifest:
+    def make(self):
+        return Manifest(
+            package="com.example.app",
+            uses_permissions=frozenset({perms.SEND_SMS}),
+            components=[
+                ComponentDecl("Main", ComponentKind.ACTIVITY, exported=True),
+                ComponentDecl("Worker", ComponentKind.SERVICE),
+            ],
+        )
+
+    def test_lookup(self):
+        m = self.make()
+        assert m.component("Main").kind is ComponentKind.ACTIVITY
+        with pytest.raises(KeyError):
+            m.component("Nope")
+
+    def test_qualified(self):
+        m = self.make()
+        assert m.qualified(m.component("Main")) == "com.example.app/Main"
+
+    def test_public_components(self):
+        m = self.make()
+        assert [c.name for c in m.public_components()] == ["Main"]
+
+    def test_kind_filter(self):
+        m = self.make()
+        assert [c.name for c in m.components_of_kind(ComponentKind.SERVICE)] == [
+            "Worker"
+        ]
+
+    def test_duplicate_component_rejected(self):
+        with pytest.raises(ValueError):
+            Manifest(
+                package="p",
+                components=[
+                    ComponentDecl("A", ComponentKind.ACTIVITY),
+                    ComponentDecl("A", ComponentKind.SERVICE),
+                ],
+            )
+
+
+class TestApk:
+    def test_size_estimate(self):
+        method = MethodBuilder("onCreate", params=("p0",)).ret().build()
+        program = DexProgram([DexClass("Main", methods=[method])])
+        apk = Apk(Manifest(package="p", components=[]), program)
+        assert apk.size_kb > 120
+
+    def test_component_class_lookup(self):
+        program = DexProgram([DexClass("Main")])
+        apk = Apk(Manifest(package="p", components=[]), program)
+        assert apk.component_class("Main") is not None
+        assert apk.component_class("Ghost") is None

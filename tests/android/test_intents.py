@@ -1,0 +1,193 @@
+"""Tests for Intent/IntentFilter matching and resolution."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.android.components import ComponentKind
+from repro.android.intents import (
+    CATEGORY_DEFAULT,
+    Intent,
+    IntentFilter,
+    action_test,
+    app_of,
+    category_test,
+    data_test,
+    filter_matches,
+    resolve_intent,
+)
+
+
+class FakeComponent:
+    def __init__(self, name, app, exported=True, filters=()):
+        self.name = name
+        self.app = app
+        self.exported = exported
+        self.intent_filters = list(filters)
+
+
+class TestFilterConstruction:
+    def test_requires_action(self):
+        with pytest.raises(ValueError):
+            IntentFilter(actions=frozenset())
+
+    def test_for_action_helper(self):
+        f = IntentFilter.for_action("a", "b")
+        assert f.actions == {"a", "b"}
+
+
+class TestActionTest:
+    def test_matching_action(self):
+        f = IntentFilter.for_action("showLoc")
+        assert action_test(Intent(sender="x", action="showLoc"), f)
+
+    def test_non_matching_action(self):
+        f = IntentFilter.for_action("showLoc")
+        assert not action_test(Intent(sender="x", action="other"), f)
+
+    def test_actionless_intent_passes(self):
+        f = IntentFilter.for_action("showLoc")
+        assert action_test(Intent(sender="x"), f)
+
+
+class TestCategoryTest:
+    def test_filter_superset_ok(self):
+        f = IntentFilter(
+            actions=frozenset({"a"}),
+            categories=frozenset({CATEGORY_DEFAULT, "extra"}),
+        )
+        intent = Intent(sender="x", action="a", categories=frozenset({CATEGORY_DEFAULT}))
+        assert category_test(intent, f)
+
+    def test_intent_extra_category_fails(self):
+        f = IntentFilter(actions=frozenset({"a"}))
+        intent = Intent(sender="x", action="a", categories=frozenset({CATEGORY_DEFAULT}))
+        assert not category_test(intent, f)
+
+    def test_empty_categories_match(self):
+        f = IntentFilter(actions=frozenset({"a"}))
+        assert category_test(Intent(sender="x", action="a"), f)
+
+
+class TestDataTest:
+    def test_no_data_both_sides(self):
+        f = IntentFilter(actions=frozenset({"a"}))
+        assert data_test(Intent(sender="x", action="a"), f)
+
+    def test_intent_data_filter_none_fails(self):
+        f = IntentFilter(actions=frozenset({"a"}))
+        assert not data_test(Intent(sender="x", action="a", data_scheme="http"), f)
+
+    def test_filter_data_intent_none_fails(self):
+        f = IntentFilter(
+            actions=frozenset({"a"}), data_schemes=frozenset({"http"})
+        )
+        assert not data_test(Intent(sender="x", action="a"), f)
+
+    def test_scheme_match(self):
+        f = IntentFilter(
+            actions=frozenset({"a"}), data_schemes=frozenset({"http", "https"})
+        )
+        assert data_test(Intent(sender="x", action="a", data_scheme="https"), f)
+        assert not data_test(Intent(sender="x", action="a", data_scheme="ftp"), f)
+
+    def test_mime_exact(self):
+        f = IntentFilter(actions=frozenset({"a"}), data_types=frozenset({"text/plain"}))
+        assert data_test(Intent(sender="x", action="a", data_type="text/plain"), f)
+
+    def test_mime_wildcard_subtype(self):
+        f = IntentFilter(actions=frozenset({"a"}), data_types=frozenset({"image/*"}))
+        assert data_test(Intent(sender="x", action="a", data_type="image/png"), f)
+        assert not data_test(Intent(sender="x", action="a", data_type="text/plain"), f)
+
+    def test_mime_full_wildcard(self):
+        f = IntentFilter(actions=frozenset({"a"}), data_types=frozenset({"*/*"}))
+        assert data_test(Intent(sender="x", action="a", data_type="video/mp4"), f)
+
+    def test_scheme_and_type_both_required(self):
+        f = IntentFilter(
+            actions=frozenset({"a"}),
+            data_schemes=frozenset({"content"}),
+            data_types=frozenset({"text/plain"}),
+        )
+        intent = Intent(
+            sender="x", action="a", data_scheme="content", data_type="text/plain"
+        )
+        assert data_test(intent, f)
+        assert not data_test(
+            Intent(sender="x", action="a", data_scheme="content"), f
+        )
+
+
+class TestResolution:
+    def setup_method(self):
+        self.receiver = FakeComponent(
+            "app2/Recv",
+            "app2",
+            filters=[IntentFilter.for_action("showLoc")],
+        )
+        self.private = FakeComponent(
+            "app2/Private", "app2", exported=False,
+            filters=[IntentFilter.for_action("showLoc")],
+        )
+        self.own = FakeComponent(
+            "app1/Own", "app1", exported=False,
+            filters=[IntentFilter.for_action("showLoc")],
+        )
+
+    def test_implicit_resolves_to_exported_matching(self):
+        intent = Intent(sender="app1/Sender", action="showLoc")
+        matches = resolve_intent(intent, [self.receiver, self.private, self.own])
+        assert {c.name for c in matches} == {"app2/Recv", "app1/Own"}
+
+    def test_explicit_resolves_to_named(self):
+        intent = Intent(sender="app1/Sender", target="app2/Recv", action="anything")
+        matches = resolve_intent(intent, [self.receiver, self.private])
+        assert [c.name for c in matches] == ["app2/Recv"]
+
+    def test_explicit_private_cross_app_blocked(self):
+        intent = Intent(sender="app1/Sender", target="app2/Private")
+        assert resolve_intent(intent, [self.private]) == []
+
+    def test_explicit_private_same_app_ok(self):
+        intent = Intent(sender="app1/Sender", target="app1/Own")
+        assert resolve_intent(intent, [self.own]) == [self.own]
+
+    def test_hijack_scenario(self):
+        """A malicious exported component with a matching filter intercepts
+        an implicit Intent meant for a sibling component (the paper's
+        Intent-hijack vulnerability)."""
+        mal = FakeComponent(
+            "evil/Thief", "evil", filters=[IntentFilter.for_action("showLoc")]
+        )
+        intent = Intent(sender="app1/LocationFinder", action="showLoc")
+        matches = resolve_intent(intent, [self.own, mal])
+        assert mal in matches
+
+
+class TestHelpers:
+    def test_app_of(self):
+        assert app_of("pkg/Cmp") == "pkg"
+        assert app_of("bare") == "bare"
+
+    def test_with_target(self):
+        i = Intent(sender="a/b", action="x").with_target("c/d")
+        assert i.explicit and i.target == "c/d" and i.action == "x"
+
+
+@given(
+    action=st.sampled_from(["a1", "a2", None]),
+    filter_actions=st.sets(st.sampled_from(["a1", "a2", "a3"]), min_size=1),
+    cats=st.sets(st.sampled_from(["c1", "c2"]), max_size=2),
+    filter_cats=st.sets(st.sampled_from(["c1", "c2", "c3"]), max_size=3),
+)
+@settings(max_examples=100, deadline=None)
+def test_filter_matches_is_conjunction(action, filter_actions, cats, filter_cats):
+    intent = Intent(sender="x", action=action, categories=frozenset(cats))
+    filt = IntentFilter(
+        actions=frozenset(filter_actions), categories=frozenset(filter_cats)
+    )
+    expected = (
+        (action is None or action in filter_actions)
+        and set(cats) <= set(filter_cats)
+    )
+    assert filter_matches(intent, filt) == expected

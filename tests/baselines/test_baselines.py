@@ -1,0 +1,146 @@
+"""Tests for the comparison-tool capability profiles."""
+
+import pytest
+
+from repro.baselines import AmanDroid, Covert, DidFail, SeparTool
+from repro.baselines.common import (
+    FULL_PROFILE,
+    LeakCompositionProfile,
+    compose_leaks,
+)
+from repro.benchsuite.droidbench import (
+    bind_service1,
+    droidbench_cases,
+    iac_case,
+    provider_case,
+    start_activity_for_result_n,
+    start_activity_n,
+    start_activity_unreachable,
+    start_service_n,
+)
+from repro.benchsuite.iccbench import dyn_registered_receiver, implicit_action
+from repro.benchsuite.running_example import build_app1, build_app2
+from repro.android.components import ComponentKind
+from repro.statics import extract_bundle
+
+
+class TestDidFailProfile:
+    def test_misses_explicit(self):
+        case = start_activity_n(1)
+        assert not DidFail().find_leaks(case.apks)
+        assert SeparTool().find_leaks(case.apks) == case.expected
+
+    def test_flags_unreachable_code(self):
+        case = start_activity_unreachable(4)
+        findings = DidFail().find_leaks(case.apks)
+        assert findings, "DidFail must report the dead-code leak"
+        assert not SeparTool().find_leaks(case.apks)
+
+    def test_scheme_blind_decoy(self):
+        case = start_service_n(1)
+        didfail = DidFail().find_leaks(case.apks)
+        separ = SeparTool().find_leaks(case.apks)
+        assert separ == case.expected
+        assert didfail > case.expected  # true pair plus the decoy
+
+    def test_no_provider_support(self):
+        case = provider_case("insert")
+        assert not DidFail().find_leaks(case.apks)
+
+    def test_finds_implicit_iac(self):
+        case = iac_case("Context.sendBroadcast", "x", ComponentKind.RECEIVER)
+        findings = DidFail().find_leaks(case.apks)
+        assert case.expected <= findings
+
+
+class TestAmanDroidProfile:
+    def test_handles_explicit_intra_app(self):
+        case = start_activity_n(1)
+        assert AmanDroid().find_leaks(case.apks) == case.expected
+
+    def test_misses_bound_services(self):
+        case = bind_service1()
+        assert not AmanDroid().find_leaks(case.apks)
+
+    def test_misses_result_channels(self):
+        case = start_activity_for_result_n(1)
+        assert not AmanDroid().find_leaks(case.apks)
+
+    def test_misses_inter_app(self):
+        case = iac_case("Context.startService", "y", ComponentKind.SERVICE)
+        assert not AmanDroid().find_leaks(case.apks)
+
+    def test_dynamic_receiver_resolvable_only(self):
+        case1 = dyn_registered_receiver(1)
+        case2 = dyn_registered_receiver(2)
+        aman = AmanDroid()
+        assert aman.find_leaks(case1.apks) == case1.expected
+        assert not aman.find_leaks(case2.apks)
+
+    def test_no_provider_support(self):
+        case = provider_case("query")
+        assert not AmanDroid().find_leaks(case.apks)
+
+
+class TestCovertProfile:
+    def test_no_leak_detection(self):
+        case = implicit_action()
+        assert Covert().find_leaks(case.apks) == set()
+
+    def test_detects_escalation(self):
+        escalations = Covert().find_escalations([build_app1(), build_app2()])
+        assert "com.example.messenger/MessageSender" in escalations
+
+
+class TestSeparTool:
+    def test_full_suite_no_false_positives(self):
+        tool = SeparTool()
+        for case in droidbench_cases():
+            findings = tool.find_leaks(case.apks)
+            assert findings <= case.expected, case.name
+
+    def test_dynamic_receiver_ablation(self):
+        """With the extension flag, SEPAR recovers DynRegisteredReceiver1."""
+        case = dyn_registered_receiver(1)
+        assert not SeparTool().find_leaks(case.apks)
+        assert (
+            SeparTool(handle_dynamic_receivers=True).find_leaks(case.apks)
+            == case.expected
+        )
+
+
+class TestCompositionProfiles:
+    def test_full_profile_is_default_semantics(self):
+        bundle = extract_bundle([build_app1(), build_app2()])
+        pairs = compose_leaks(bundle, FULL_PROFILE)
+        # LocationFinder's LOCATION intent reaches RouteFinder which logs.
+        assert (
+            "com.example.navigation/LocationFinder",
+            "com.example.navigation/RouteFinder",
+        ) in pairs
+
+    def test_intra_app_only_filters_cross_app(self):
+        case = iac_case("Context.sendBroadcast", "z", ComponentKind.RECEIVER)
+        bundle = extract_bundle(case.apks)
+        full = compose_leaks(bundle, FULL_PROFILE)
+        restricted = compose_leaks(
+            bundle, LeakCompositionProfile(intra_app_only=True)
+        )
+        assert case.expected <= full
+        assert not restricted
+
+    def test_profiles_monotone(self):
+        """Restricting capabilities never adds findings (except the
+        scheme-blindness over-approximation)."""
+        for case in droidbench_cases():
+            bundle = extract_bundle(case.apks)
+            full = compose_leaks(bundle, FULL_PROFILE)
+            narrowed = compose_leaks(
+                bundle,
+                LeakCompositionProfile(
+                    include_result_channels=False,
+                    include_providers=False,
+                    intra_app_only=True,
+                ),
+            )
+            assert narrowed <= full, case.name

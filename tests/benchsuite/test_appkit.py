@@ -1,0 +1,128 @@
+"""Tests for the benchmark app-builder kit."""
+
+import pytest
+
+from repro.android.components import ComponentKind
+from repro.android.resources import Resource
+from repro.benchsuite.appkit import (
+    component_decl,
+    leaking_receiver_class,
+    make_apk,
+    result_consuming_class,
+    result_returning_class,
+    source_sender_class,
+)
+from repro.core.model import PathModel
+from repro.statics import extract_app
+
+A = ComponentKind.ACTIVITY
+S = ComponentKind.SERVICE
+R = ComponentKind.RECEIVER
+P = ComponentKind.PROVIDER
+
+
+class TestComponentDecl:
+    def test_filter_attributes(self):
+        decl = component_decl(
+            "C", S, action="go", category="cat", data_scheme="content",
+            data_type="text/plain",
+        )
+        [filt] = decl.intent_filters
+        assert filt.actions == {"go"}
+        assert filt.categories == {"cat"}
+        assert filt.data_schemes == {"content"}
+        assert filt.data_types == {"text/plain"}
+
+    def test_no_action_no_filter(self):
+        assert not component_decl("C", S).intent_filters
+
+    def test_provider_authority(self):
+        decl = component_decl("Prov", P, exported=True, authority="x.y")
+        assert decl.authority == "x.y"
+
+
+class TestSenderBuilder:
+    def _extract(self, cls, kind=A, extra_decl=None):
+        decls = [component_decl("Main", kind, exported=True)]
+        if extra_decl is not None:
+            decls.append(extra_decl)
+        apk = make_apk("p", decls, [cls])
+        return extract_app(apk)
+
+    def test_implicit_sender(self):
+        cls = source_sender_class("Main", A, "Context.startService", action="go")
+        model = self._extract(cls)
+        [intent] = model.intents
+        assert intent.action == "go"
+        assert not intent.explicit
+        assert Resource.IMEI in intent.extras
+
+    def test_explicit_sender(self):
+        cls = source_sender_class("Main", A, "Context.startService", target="p/T")
+        model = self._extract(cls)
+        [intent] = model.intents
+        assert intent.target == "p/T"
+
+    def test_data_attributes(self):
+        cls = source_sender_class(
+            "Main", A, "Context.startService",
+            action="go", data_scheme="content", data_type="text/plain",
+            category="c",
+        )
+        model = self._extract(cls)
+        [intent] = model.intents
+        assert intent.data_scheme == "content"
+        assert intent.data_type == "text/plain"
+        assert intent.categories == {"c"}
+
+    def test_helper_routing(self):
+        cls = source_sender_class(
+            "Main", A, "Context.startService", action="go", via_helper=True
+        )
+        model = self._extract(cls)
+        assert [i.action for i in model.intents] == ["go"]
+
+    def test_custom_source(self):
+        cls = source_sender_class(
+            "Main", A, "Context.startService", action="go",
+            source_api="LocationManager.getLastKnownLocation",
+        )
+        model = self._extract(cls)
+        assert Resource.LOCATION in model.intents[0].extras
+
+
+class TestReceiverBuilder:
+    @pytest.mark.parametrize(
+        "sink_api,sink_resource",
+        [
+            ("SmsManager.sendTextMessage", Resource.SMS),
+            ("Log.d", Resource.LOG),
+            ("URL.openConnection", Resource.NETWORK),
+            ("ExternalStorage.writeFile", Resource.SDCARD),
+        ],
+    )
+    def test_sink_variants(self, sink_api, sink_resource):
+        cls = leaking_receiver_class("Recv", S, sink_api=sink_api)
+        apk = make_apk("p", [component_decl("Recv", S, action="x")], [cls])
+        model = extract_app(apk)
+        assert PathModel(Resource.ICC, sink_resource) in model.component(
+            "p/Recv"
+        ).paths
+
+    def test_result_pair(self):
+        caller = result_consuming_class("Caller", "p/Callee")
+        callee = result_returning_class("Callee")
+        apk = make_apk(
+            "p",
+            [
+                component_decl("Caller", A, exported=True),
+                component_decl("Callee", A),
+            ],
+            [caller, callee],
+        )
+        model = extract_app(apk)
+        passive = [i for i in model.intents if i.passive]
+        assert passive and passive[0].passive_targets == {"p/Caller"}
+        assert PathModel(Resource.ICC, Resource.SMS) in model.component(
+            "p/Caller"
+        ).paths

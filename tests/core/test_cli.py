@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--scenarios", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "bundle: 2 apps" in out
+        assert "policy (" in out
+
+
+class TestCorpusAndAnalyze:
+    def test_corpus_then_analyze(self, tmp_path, capsys):
+        out_dir = tmp_path / "models"
+        assert main(["corpus", "--scale", "0.005", "-o", str(out_dir)]) == 0
+        models = sorted(out_dir.glob("*.json"))
+        assert models
+        capsys.readouterr()
+
+        subset = [str(p) for p in models[:10]]
+        alloy_path = tmp_path / "bundle.als"
+        assert main(
+            ["analyze", *subset, "--scenarios", "2", "--alloy", str(alloy_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bundle:" in out
+        assert alloy_path.exists()
+        assert "abstract sig Component" in alloy_path.read_text()
+
+    def test_analyze_roundtrip_consistency(self, tmp_path, capsys):
+        """Saved models analyzed via the CLI agree with in-memory analysis."""
+        from repro.benchsuite.running_example import build_app1, build_app2
+        from repro.core import serialize
+        from repro.statics import extract_bundle
+
+        bundle = extract_bundle([build_app1(), build_app2()])
+        paths = []
+        for app in bundle.apps:
+            path = tmp_path / f"{app.package}.json"
+            path.write_text(serialize.dumps_app(app))
+            paths.append(str(path))
+        assert main(["analyze", *paths, "--scenarios", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "intent_hijack" in out
+        assert "service_launch" in out
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,220 @@
+"""Cross-validation properties between independent system layers.
+
+Three implementations of "what can happen" exist in this repository and
+must agree where their domains overlap:
+
+1. the static analyses (AME) predict flows;
+2. the concrete runtime executes them;
+3. the SAT-based synthesis and the plain-Python detector decide
+   vulnerability existence.
+
+These property tests generate random small apps/bundles and check the
+layers against each other -- the strongest evidence that none of them is
+quietly wrong.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.android.apk import Apk
+from repro.android.components import ComponentDecl, ComponentKind
+from repro.android.intents import IntentFilter
+from repro.android.manifest import Manifest
+from repro.android.resources import Resource
+from repro.core.detector import SeparDetector
+from repro.core.separ import Separ
+from repro.dex import DexClass, DexProgram, MethodBuilder
+from repro.enforcement import AndroidRuntime
+from repro.statics import extract_app, extract_bundle
+
+SOURCES = ["TelephonyManager.getDeviceId", "LocationManager.getLastKnownLocation"]
+SOURCE_RESOURCE = {
+    "TelephonyManager.getDeviceId": Resource.IMEI,
+    "LocationManager.getLastKnownLocation": Resource.LOCATION,
+}
+
+
+# ---------------------------------------------------------------------------
+# Random two-component leak apps
+# ---------------------------------------------------------------------------
+@st.composite
+def leak_apps(draw):
+    """A sender component and a receiver component; the sender may or may
+    not taint the payload, the receiver may or may not leak it, and the
+    addressing may or may not connect them."""
+    source_api = draw(st.sampled_from(SOURCES))
+    tainted = draw(st.booleans())
+    explicit = draw(st.booleans())
+    action_match = draw(st.booleans())
+    receiver_leaks = draw(st.booleans())
+
+    sender = MethodBuilder("onCreate", params=("p0",))
+    if tainted:
+        sender.invoke(source_api, receiver="v9", dest="v8")
+    else:
+        sender.const_string("v8", "benign")
+    sender.new_instance("v0", "Intent")
+    if explicit:
+        sender.const_string("v1", "pkg/Recv")
+        sender.invoke("Intent.setClassName", receiver="v0", args=("v1",))
+    else:
+        sender.const_string("v1", "go" if action_match else "other")
+        sender.invoke("Intent.setAction", receiver="v0", args=("v1",))
+    sender.const_string("v2", "k")
+    sender.invoke("Intent.putExtra", receiver="v0", args=("v2", "v8"))
+    sender.invoke("Context.startService", args=("v0",))
+    sender.ret()
+
+    recv = MethodBuilder("onStartCommand", params=("p0",))
+    recv.const_string("v1", "k")
+    recv.invoke("Intent.getStringExtra", receiver="p0", args=("v1",), dest="v2")
+    if receiver_leaks:
+        recv.invoke("Log.d", args=("v0", "v2"))
+    recv.ret()
+
+    apk = Apk(
+        Manifest(
+            package="pkg",
+            components=[
+                ComponentDecl("Main", ComponentKind.ACTIVITY, exported=True),
+                ComponentDecl(
+                    "Recv",
+                    ComponentKind.SERVICE,
+                    intent_filters=[IntentFilter.for_action("go")],
+                ),
+            ],
+        ),
+        DexProgram(
+            [
+                DexClass("Main", superclass="Activity", methods=[sender.build()]),
+                DexClass("Recv", superclass="Service", methods=[recv.build()]),
+            ]
+        ),
+    )
+    connected = explicit or action_match
+    resource = SOURCE_RESOURCE[source_api]
+    leak_expected = tainted and connected and receiver_leaks
+    return apk, leak_expected, resource
+
+
+@given(leak_apps())
+@settings(max_examples=60, deadline=None)
+def test_static_leak_iff_runtime_leak(case):
+    """The detector reports the leak pair exactly when running the app on
+    the concrete runtime exfiltrates tagged data to the sink."""
+    apk, leak_expected, resource = case
+
+    # Static verdict.
+    bundle = extract_bundle([apk])
+    report = SeparDetector().detect(bundle)
+    static_leak = ("pkg/Main", "pkg/Recv") in report.leak_pairs
+
+    # Dynamic ground truth.
+    runtime = AndroidRuntime()
+    runtime.install(apk)
+    runtime.start_component("pkg/Main")
+    dynamic_leak = any(
+        resource in effect.detail["taints"]
+        for effect in runtime.effects_of_kind("log")
+    )
+
+    assert static_leak == leak_expected
+    assert dynamic_leak == leak_expected
+
+
+@given(leak_apps())
+@settings(max_examples=20, deadline=None)
+def test_detector_agrees_with_sat_synthesis_on_leaks(case):
+    """The plain-Python detector and the SAT pipeline agree on whether an
+    information-leak scenario exists for the bundle."""
+    apk, leak_expected, _ = case
+    bundle = extract_bundle([apk])
+    detector_says = bool(
+        SeparDetector().detect(bundle).components("information_leak")
+    )
+    separ = Separ(scenarios_per_signature=2)
+    result = separ.engine.run(bundle)
+    sat_says = any(
+        s.vulnerability == "information_leak" for s in result.scenarios
+    )
+    assert detector_says == sat_says == leak_expected
+
+
+# ---------------------------------------------------------------------------
+# Value analysis vs concrete interpretation on straight-line code
+# ---------------------------------------------------------------------------
+@st.composite
+def straight_line_programs(draw):
+    """Random straight-line register programs over const/move/iput/iget."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    builder = MethodBuilder("onCreate", params=("p0",))
+    regs = [f"v{i}" for i in range(4)]
+    written = set()
+    fields_written = set()
+    for i in range(n):
+        choice = draw(st.integers(min_value=0, max_value=3))
+        if choice == 0 or not written:
+            reg = draw(st.sampled_from(regs))
+            builder.const_string(reg, f"s{i}")
+            written.add(reg)
+        elif choice == 1:
+            src = draw(st.sampled_from(sorted(written)))
+            dst = draw(st.sampled_from(regs))
+            builder.move(dst, src)
+            written.add(dst)
+        elif choice == 2:
+            src = draw(st.sampled_from(sorted(written)))
+            builder.iput("this", "field", src)
+            fields_written.add("field")
+        elif fields_written:
+            dst = draw(st.sampled_from(regs))
+            builder.iget(dst, "this", "field")
+            written.add(dst)
+    final_reg = draw(st.sampled_from(sorted(written)))
+    builder.invoke("Log.d", args=("v9", final_reg))
+    builder.ret()
+    return builder.build(), final_reg
+
+
+@given(straight_line_programs())
+@settings(max_examples=60, deadline=None)
+def test_value_analysis_covers_concrete_value(program):
+    """For straight-line code, the value analysis' string set at the sink
+    instruction contains the concretely observed value (soundness)."""
+    method, final_reg = program
+    cls = DexClass("Main", superclass="Activity", methods=[method])
+    apk = Apk(
+        Manifest(
+            package="p",
+            components=[ComponentDecl("Main", ComponentKind.ACTIVITY, exported=True)],
+        ),
+        DexProgram([cls]),
+    )
+
+    # Concrete execution.
+    runtime = AndroidRuntime()
+    runtime.install(apk)
+    runtime.start_component("p/Main")
+    logs = runtime.effects_of_kind("log")
+    concrete = logs[0].detail["payload"] if logs else None
+
+    # Static value analysis at the Log.d instruction.
+    from repro.statics.callgraph import CallGraph
+    from repro.statics.constprop import ValueAnalysis
+    from repro.dex.instructions import Invoke
+
+    callgraph = CallGraph(apk)
+    values = ValueAnalysis(callgraph)
+    sink_index = next(
+        i
+        for i, instr in enumerate(method.instructions)
+        if isinstance(instr, Invoke) and instr.signature == "Log.d"
+    )
+    predicted = values.strings_of("Main.onCreate", sink_index, final_reg)
+
+    if concrete is not None:
+        assert concrete in predicted, (
+            f"concrete value {concrete!r} not in predicted set {predicted}"
+        )

@@ -1,0 +1,303 @@
+"""Unit tests for the concrete detector and the policy module."""
+
+import pytest
+
+from repro.android.components import ComponentKind
+from repro.android import permissions as perms
+from repro.android.resources import Resource
+from repro.core.detector import DetectionReport, SeparDetector
+from repro.core.model import (
+    AppModel,
+    BundleModel,
+    ComponentModel,
+    IntentFilterModel,
+    IntentModel,
+    PathModel,
+    ProviderAccessModel,
+)
+from repro.core.policy import (
+    ECAPolicy,
+    IccEvent,
+    PolicyAction,
+    PolicyEvent,
+    derive_policies,
+)
+from repro.core.vulnerabilities.base import ExploitScenario
+
+
+def component(name, app, kind=ComponentKind.SERVICE, **kwargs):
+    return ComponentModel(name=f"{app}/{name}", kind=kind, app=app, **kwargs)
+
+
+def bundle_of(*apps):
+    return BundleModel(apps=list(apps))
+
+
+class TestDetectorHijack:
+    def make_intent(self, **kwargs):
+        defaults = dict(
+            entity_id="a:1",
+            sender="a/S",
+            action="go",
+            extras=frozenset({Resource.LOCATION}),
+        )
+        defaults.update(kwargs)
+        return IntentModel(**defaults)
+
+    def detect(self, intent):
+        app = AppModel(
+            package="a",
+            components=[component("S", "a", exported=False)],
+            intents=[intent],
+        )
+        return SeparDetector().detect(bundle_of(app))
+
+    def test_implicit_sensitive_flagged(self):
+        report = self.detect(self.make_intent())
+        assert "a/S" in report.components("intent_hijack")
+
+    def test_explicit_not_flagged(self):
+        report = self.detect(self.make_intent(target="a/T"))
+        assert not report.components("intent_hijack")
+
+    def test_actionless_not_flagged(self):
+        report = self.detect(self.make_intent(action=None))
+        assert not report.components("intent_hijack")
+
+    def test_empty_payload_not_flagged(self):
+        report = self.detect(self.make_intent(extras=frozenset()))
+        assert not report.components("intent_hijack")
+
+    def test_passive_not_flagged(self):
+        report = self.detect(self.make_intent(passive=True))
+        assert not report.components("intent_hijack")
+
+
+class TestDetectorLaunch:
+    def detect(self, comp):
+        app = AppModel(package="a", components=[comp])
+        return SeparDetector().detect(bundle_of(app))
+
+    def test_exported_icc_path_service(self):
+        comp = component(
+            "S", "a", exported=True,
+            paths=(PathModel(Resource.ICC, Resource.SMS),),
+        )
+        assert "a/S" in self.detect(comp).components("service_launch")
+
+    def test_activity_variant(self):
+        comp = component(
+            "A", "a", kind=ComponentKind.ACTIVITY, exported=True,
+            paths=(PathModel(Resource.ICC, Resource.LOG),),
+        )
+        assert "a/A" in self.detect(comp).components("activity_launch")
+
+    def test_private_component_safe(self):
+        comp = component(
+            "S", "a", exported=False,
+            paths=(PathModel(Resource.ICC, Resource.SMS),),
+        )
+        assert not self.detect(comp).components("service_launch")
+
+    def test_non_icc_path_safe(self):
+        comp = component(
+            "S", "a", exported=True,
+            paths=(PathModel(Resource.LOCATION, Resource.SMS),),
+        )
+        assert not self.detect(comp).components("service_launch")
+
+    def test_unreachable_component_safe(self):
+        comp = component(
+            "S", "a", exported=True, reachable=False,
+            paths=(PathModel(Resource.ICC, Resource.SMS),),
+        )
+        assert not self.detect(comp).components("service_launch")
+
+
+class TestDetectorEscalation:
+    def detect(self, comp):
+        app = AppModel(package="a", components=[comp])
+        return SeparDetector().detect(bundle_of(app))
+
+    def base(self, **kwargs):
+        defaults = dict(
+            exported=True,
+            uses_permissions=frozenset({perms.SEND_SMS}),
+            paths=(PathModel(Resource.ICC, Resource.SMS),),
+        )
+        defaults.update(kwargs)
+        return component("S", "a", **defaults)
+
+    def test_unenforced_dangerous_flagged(self):
+        assert "a/S" in self.detect(self.base()).components(
+            "privilege_escalation"
+        )
+
+    def test_enforced_safe(self):
+        comp = self.base(permissions=frozenset({perms.SEND_SMS}))
+        assert not self.detect(comp).components("privilege_escalation")
+
+    def test_normal_level_permission_safe(self):
+        comp = self.base(uses_permissions=frozenset({perms.INTERNET}))
+        assert not self.detect(comp).components("privilege_escalation")
+
+    def test_no_icc_surface_safe(self):
+        comp = self.base(paths=())
+        assert not self.detect(comp).components("privilege_escalation")
+
+
+class TestDetectorLeak:
+    def test_cross_app_filter_match(self):
+        sender_app = AppModel(
+            package="a",
+            components=[component("Src", "a", exported=True)],
+            intents=[
+                IntentModel(
+                    entity_id="a:1",
+                    sender="a/Src",
+                    action="go",
+                    extras=frozenset({Resource.IMEI}),
+                )
+            ],
+        )
+        sink_app = AppModel(
+            package="b",
+            components=[
+                component(
+                    "Dst", "b", exported=True,
+                    intent_filters=(
+                        IntentFilterModel(actions=frozenset({"go"})),
+                    ),
+                    paths=(PathModel(Resource.ICC, Resource.NETWORK),),
+                )
+            ],
+        )
+        report = SeparDetector().detect(bundle_of(sender_app, sink_app))
+        assert ("a/Src", "b/Dst") in report.leak_pairs
+
+    def test_provider_leak_authority_match(self):
+        sender_app = AppModel(
+            package="a",
+            components=[component("Src", "a", exported=True)],
+            provider_accesses=[
+                ProviderAccessModel(
+                    sender="a/Src",
+                    operation="insert",
+                    authority="b.provider",
+                    payload=frozenset({Resource.CONTACTS}),
+                )
+            ],
+        )
+        provider_app = AppModel(
+            package="b",
+            components=[
+                component(
+                    "Prov", "b", kind=ComponentKind.PROVIDER, exported=True,
+                    authority="b.provider",
+                    paths=(PathModel(Resource.ICC, Resource.SDCARD),),
+                )
+            ],
+        )
+        report = SeparDetector().detect(bundle_of(sender_app, provider_app))
+        assert ("a/Src", "b/Prov") in report.leak_pairs
+
+    def test_provider_wrong_authority_safe(self):
+        sender_app = AppModel(
+            package="a",
+            components=[component("Src", "a", exported=True)],
+            provider_accesses=[
+                ProviderAccessModel(
+                    sender="a/Src",
+                    operation="insert",
+                    authority="other.provider",
+                    payload=frozenset({Resource.CONTACTS}),
+                )
+            ],
+        )
+        provider_app = AppModel(
+            package="b",
+            components=[
+                component(
+                    "Prov", "b", kind=ComponentKind.PROVIDER, exported=True,
+                    authority="b.provider",
+                    paths=(PathModel(Resource.ICC, Resource.SDCARD),),
+                )
+            ],
+        )
+        report = SeparDetector().detect(bundle_of(sender_app, provider_app))
+        assert not report.leak_pairs
+
+
+class TestDetectionReport:
+    def test_apps_projection(self):
+        report = DetectionReport()
+        report.add("intent_hijack", "pkg.x/Cmp")
+        report.add("intent_hijack", "pkg.x/Other")
+        report.add("intent_hijack", "pkg.y/Cmp")
+        assert report.apps("intent_hijack") == {"pkg.x", "pkg.y"}
+
+    def test_unknown_vulnerability_empty(self):
+        assert DetectionReport().components("nope") == set()
+
+
+class TestPolicyDerivation:
+    def test_unknown_vulnerability_skipped(self):
+        scenario = ExploitScenario(vulnerability="mystery", roles={})
+        assert derive_policies([scenario], BundleModel()) == []
+
+    def test_launch_policy_shape(self):
+        scenario = ExploitScenario(
+            vulnerability="service_launch",
+            roles={"victim": "a/S"},
+            intent={"extras": frozenset({Resource.LOCATION})},
+        )
+        [policy] = derive_policies([scenario], BundleModel())
+        assert policy.event is PolicyEvent.ICC_RECEIVE
+        assert policy.receiver == "a/S"
+        assert policy.extras_any == {Resource.LOCATION}
+        assert policy.action is PolicyAction.PROMPT
+
+    def test_duplicate_scenarios_one_policy(self):
+        scenario = ExploitScenario(
+            vulnerability="service_launch",
+            roles={"victim": "a/S"},
+            intent={"extras": frozenset({Resource.LOCATION})},
+        )
+        assert len(derive_policies([scenario, scenario], BundleModel())) == 1
+
+    def test_escalation_policy_shape(self):
+        scenario = ExploitScenario(
+            vulnerability="privilege_escalation",
+            roles={"victim": "a/S", "escalated_permission": perms.SEND_SMS},
+        )
+        [policy] = derive_policies([scenario], BundleModel())
+        assert policy.sender_lacks_permission == perms.SEND_SMS
+
+    def test_incomplete_scenario_skipped(self):
+        scenario = ExploitScenario(
+            vulnerability="privilege_escalation", roles={"victim": "a/S"}
+        )
+        assert derive_policies([scenario], BundleModel()) == []
+
+
+class TestIccEvent:
+    def test_sender_app(self):
+        event = IccEvent(sender="pkg.a/Cmp", receiver=None)
+        assert event.sender_app == "pkg.a"
+
+    def test_policy_event_mismatch(self):
+        policy = ECAPolicy(
+            event=PolicyEvent.ICC_SEND, vulnerability="x", sender="a/S"
+        )
+        event = IccEvent(sender="a/S", receiver="b/T")
+        assert not policy.matches(PolicyEvent.ICC_RECEIVE, event)
+
+    def test_unresolved_receiver_never_violates_allowlist(self):
+        policy = ECAPolicy(
+            event=PolicyEvent.ICC_SEND,
+            vulnerability="intent_hijack",
+            sender="a/S",
+            allowed_receivers=frozenset({"a/T"}),
+        )
+        event = IccEvent(sender="a/S", receiver=None)
+        assert not policy.matches(PolicyEvent.ICC_SEND, event)

@@ -1,0 +1,95 @@
+"""Tests for Alloy export and JSON model serialization."""
+
+import pytest
+
+from repro.benchsuite.running_example import build_app1, build_app2
+from repro.core import alloy_export
+from repro.core import serialize
+from repro.core.detector import SeparDetector
+from repro.statics import extract_app, extract_bundle
+from repro.workloads import CorpusConfig, CorpusGenerator
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return extract_bundle([build_app1(), build_app2()])
+
+
+class TestAlloyExport:
+    def test_framework_module_structure(self):
+        text = alloy_export.render_framework()
+        assert "abstract sig Component" in text
+        assert "fact IFandComponent" in text
+        assert "fact NoIFforProviders" in text
+        assert "receiver : lone Component" in text
+
+    def test_app_module_listing4_shape(self, bundle):
+        app1 = bundle.apps[0]
+        text = alloy_export.render_app(app1)
+        assert "open androidDeclaration" in text
+        # LocationFinder: a Service with no filters and a LOCATION->ICC path.
+        assert "extends Service" in text
+        assert "no intentFilters" in text
+        assert "source = LOCATION" in text
+        assert "sink = ICC" in text
+        # The implicit Intent: sender, no receiver, action, extras.
+        assert "no receiver" in text
+        assert "extra = LOCATION" in text
+
+    def test_identifiers_mangled(self, bundle):
+        text = alloy_export.render_bundle(bundle)
+        # No raw slashes or dots may survive in identifiers.
+        for line in text.splitlines():
+            if line.strip().startswith("one sig"):
+                name = line.split()[2]
+                assert "/" not in name and "." not in name
+
+    def test_signature_listing5(self):
+        text = alloy_export.render_service_launch_signature()
+        assert "GeneratedServiceLaunch" in text
+        assert "disj launchedCmp, malCmp" in text
+        assert "not (malCmp.app in Device.apps)" in text
+
+    def test_bundle_concatenates_all_apps(self, bundle):
+        text = alloy_export.render_bundle(bundle)
+        for app in bundle.apps:
+            assert f"// module for app {app.package}" in text
+
+
+class TestSerialization:
+    def test_roundtrip_running_example(self, bundle):
+        for app in bundle.apps:
+            text = serialize.dumps_app(app)
+            loaded = serialize.loads_app(text)
+            assert loaded.package == app.package
+            assert loaded.components == app.components
+            assert loaded.intents == app.intents
+            assert loaded.uses_permissions == app.uses_permissions
+
+    def test_bundle_roundtrip_preserves_detection(self, bundle):
+        text = serialize.dumps_bundle(bundle)
+        loaded = serialize.loads_bundle(text)
+        original = SeparDetector().detect(bundle)
+        restored = SeparDetector().detect(loaded)
+        assert original.findings == restored.findings
+        assert original.leak_pairs == restored.leak_pairs
+
+    def test_roundtrip_generated_corpus_sample(self):
+        generator = CorpusGenerator(CorpusConfig(scale=0.01, seed=5))
+        for apk in generator.generate()[:10]:
+            app = extract_app(apk)
+            loaded = serialize.loads_app(serialize.dumps_app(app))
+            assert loaded.components == app.components
+            assert loaded.intents == app.intents
+            assert loaded.provider_accesses == app.provider_accesses
+
+    def test_version_guard(self):
+        with pytest.raises(ValueError):
+            serialize.app_from_dict(
+                {"format_version": 999, "package": "x",
+                 "uses_permissions": [], "components": [], "intents": []}
+            )
+
+    def test_json_is_stable(self, bundle):
+        app = bundle.apps[0]
+        assert serialize.dumps_app(app) == serialize.dumps_app(app)

@@ -1,0 +1,153 @@
+"""Tests for incremental analysis (the Marshmallow scenario, Section IX)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.android import permissions as perms
+from repro.benchsuite.running_example import (
+    build_app1,
+    build_app2,
+    build_malicious_app,
+)
+from repro.core.detector import SeparDetector
+from repro.core.incremental import IncrementalAnalyzer
+from repro.statics import extract_app, extract_bundle
+
+
+@pytest.fixture()
+def analyzer():
+    bundle = extract_bundle([build_app1(), build_app2()])
+    return IncrementalAnalyzer(bundle)
+
+
+class TestPermissionRevocation:
+    def test_initial_state_has_escalation(self, analyzer):
+        assert "com.example.messenger/MessageSender" in analyzer.report.components(
+            "privilege_escalation"
+        )
+
+    def test_revoking_sms_removes_escalation(self, analyzer):
+        """Once the messenger loses SEND_SMS, there is no capability left
+        for a caller to escalate through."""
+        delta = analyzer.revoke_permission(
+            "com.example.messenger", perms.SEND_SMS
+        )
+        assert "com.example.messenger/MessageSender" in delta.removed.get(
+            "privilege_escalation", set()
+        )
+        assert "com.example.messenger/MessageSender" not in (
+            analyzer.report.components("privilege_escalation")
+        )
+
+    def test_regranting_restores_finding(self, analyzer):
+        analyzer.revoke_permission("com.example.messenger", perms.SEND_SMS)
+        delta = analyzer.grant_permission(
+            "com.example.messenger", perms.SEND_SMS
+        )
+        assert "com.example.messenger/MessageSender" in delta.added.get(
+            "privilege_escalation", set()
+        )
+
+    def test_unrelated_revocation_is_noop(self, analyzer):
+        delta = analyzer.revoke_permission(
+            "com.example.navigation", perms.SEND_SMS  # never held
+        )
+        assert delta.is_empty
+
+    def test_unknown_package_rejected(self, analyzer):
+        with pytest.raises(KeyError):
+            analyzer.revoke_permission("ghost.app", perms.SEND_SMS)
+
+
+class TestInstallUninstall:
+    def test_install_reports_new_findings(self, analyzer):
+        malicious = extract_app(build_malicious_app())
+        delta = analyzer.install(malicious)
+        # The thief's filter turns LocationFinder's implicit Intent into a
+        # cross-app leak composition.
+        assert any(delta.added.values())
+
+    def test_uninstall_reverses_install(self, analyzer):
+        before = {
+            vuln: set(components)
+            for vuln, components in analyzer.report.findings.items()
+        }
+        malicious = extract_app(build_malicious_app())
+        analyzer.install(malicious)
+        analyzer.uninstall("com.evil.innocuous")
+        after = {
+            vuln: set(components)
+            for vuln, components in analyzer.report.findings.items()
+            if components
+        }
+        before = {v: c for v, c in before.items() if c}
+        assert after == before
+
+    def test_double_install_rejected(self, analyzer):
+        malicious = extract_app(build_malicious_app())
+        analyzer.install(malicious)
+        with pytest.raises(ValueError):
+            analyzer.install(malicious)
+
+    def test_uninstall_unknown_rejected(self, analyzer):
+        with pytest.raises(KeyError):
+            analyzer.uninstall("ghost.app")
+
+    def test_describe_renders(self, analyzer):
+        malicious = extract_app(build_malicious_app())
+        delta = analyzer.install(malicious)
+        text = delta.describe()
+        assert text.startswith("+") or text == "(no change)"
+
+
+MUTATIONS = st.lists(
+    st.sampled_from(
+        [
+            ("revoke", "com.example.messenger", perms.SEND_SMS),
+            ("grant", "com.example.messenger", perms.SEND_SMS),
+            ("revoke", "com.example.navigation", perms.ACCESS_FINE_LOCATION),
+            ("grant", "com.example.navigation", perms.ACCESS_FINE_LOCATION),
+        ]
+    ),
+    max_size=8,
+)
+
+
+@given(MUTATIONS)
+@settings(max_examples=30, deadline=None)
+def test_incremental_equals_from_scratch(mutations):
+    """After any mutation sequence, incremental state matches a fresh
+    detection over the current effective bundle."""
+    bundle = extract_bundle([build_app1(), build_app2()])
+    analyzer = IncrementalAnalyzer(bundle)
+    for op, package, permission in mutations:
+        if op == "revoke":
+            analyzer.revoke_permission(package, permission)
+        else:
+            analyzer.grant_permission(package, permission)
+    fresh = SeparDetector().detect(analyzer.current_bundle())
+    incremental = {
+        vuln: components
+        for vuln, components in analyzer.report.findings.items()
+        if components
+    }
+    scratch = {
+        vuln: components
+        for vuln, components in fresh.findings.items()
+        if components
+    }
+    assert incremental == scratch
+
+
+def test_policy_refresh_after_revocation(analyzer):
+    """The Marshmallow loop: revoke -> re-synthesize -> fewer policies."""
+    policies_before = analyzer.refresh_policies()
+    analyzer.revoke_permission("com.example.messenger", perms.SEND_SMS)
+    policies_after = analyzer.refresh_policies()
+    escalation_before = [
+        p for p in policies_before if p.vulnerability == "privilege_escalation"
+    ]
+    escalation_after = [
+        p for p in policies_after if p.vulnerability == "privilege_escalation"
+    ]
+    assert escalation_before and not escalation_after

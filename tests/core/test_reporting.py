@@ -1,0 +1,82 @@
+"""Tests for the reporting helpers (tables, histograms, scenario boxes)."""
+
+import pytest
+
+from repro.android.resources import Resource
+from repro.benchsuite.running_example import build_app1, build_app2
+from repro.core.separ import Separ
+from repro.core.vulnerabilities.base import ExploitScenario
+from repro.reporting import render_histogram, render_table
+from repro.reporting.scenario import render_scenario, render_scenarios
+
+
+class TestTable:
+    def test_alignment(self):
+        text = render_table(["a", "bbbb"], [["xx", "y"], ["x", "yyyyy"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a  | bbbb")
+        assert all("|" in l for l in lines if "-+-" not in l)
+
+    def test_title(self):
+        text = render_table(["h"], [["v"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_non_string_cells(self):
+        text = render_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+
+class TestHistogram:
+    def test_bars_scale(self):
+        text = render_histogram(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 2 * lines[0].count("#")
+
+    def test_zero_values(self):
+        text = render_histogram(["a"], [0.0])
+        assert "a" in text
+
+    def test_empty(self):
+        assert render_histogram([], [], title="t") == "t"
+
+
+class TestScenarioRendering:
+    @pytest.fixture(scope="class")
+    def scenarios(self):
+        report = Separ(scenarios_per_signature=2).analyze_apks(
+            [build_app1(), build_app2()]
+        )
+        return report.scenarios
+
+    def test_hijack_scenario_shows_filter(self, scenarios):
+        hijack = next(
+            s for s in scenarios if s.vulnerability == "intent_hijack"
+        )
+        text = render_scenario(hijack)
+        assert "declares filter" in text
+        assert "showLoc" in text
+        assert "app NOT on device" in text
+
+    def test_launch_scenario_shows_victim(self, scenarios):
+        launch = next(
+            s for s in scenarios if s.vulnerability == "service_launch"
+        )
+        text = render_scenario(launch)
+        assert "victim:" in text
+        assert "app on device" in text
+
+    def test_escalation_scenario_shows_permission(self, scenarios):
+        escalation = next(
+            s for s in scenarios if s.vulnerability == "privilege_escalation"
+        )
+        text = render_scenario(escalation)
+        assert "unenforced" in text
+
+    def test_render_all(self, scenarios):
+        text = render_scenarios(scenarios)
+        assert text.count("=== synthesized scenario") == len(scenarios)
+
+    def test_minimal_scenario_without_roles(self):
+        scenario = ExploitScenario(vulnerability="custom", roles={})
+        text = render_scenario(scenario)
+        assert "custom" in text

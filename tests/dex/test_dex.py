@@ -1,0 +1,138 @@
+"""Tests for the bytecode IR: instructions, programs, and the builder."""
+
+import pytest
+
+from repro.dex import (
+    ConstString,
+    DexClass,
+    DexMethod,
+    DexProgram,
+    Goto,
+    If,
+    Invoke,
+    MethodBuilder,
+    Move,
+    Return,
+)
+from repro.dex.instructions import defined_register, used_registers
+
+
+class TestInstructions:
+    def test_invoke_signature_parts(self):
+        inv = Invoke("Intent.setAction", receiver="v0", args=("v1",))
+        assert inv.class_name == "Intent"
+        assert inv.method_name == "setAction"
+
+    def test_defined_register(self):
+        assert defined_register(ConstString("v0", "x")) == "v0"
+        assert defined_register(Move("v1", "v0")) == "v1"
+        assert defined_register(Invoke("A.b", dest="v2")) == "v2"
+        assert defined_register(Return("v0")) is None
+
+    def test_used_registers(self):
+        inv = Invoke("A.b", receiver="v0", args=("v1", "v2"))
+        assert used_registers(inv) == ("v0", "v1", "v2")
+        assert used_registers(Move("a", "b")) == ("b",)
+        assert used_registers(Return()) == ()
+
+
+class TestMethodValidation:
+    def test_branch_target_bounds(self):
+        with pytest.raises(ValueError):
+            DexMethod("m", instructions=[Goto(99)])
+
+    def test_valid_branch(self):
+        m = DexMethod("m", instructions=[If("v0", 2), Return(), Return()])
+        assert m.instructions[0].target == 2
+
+    def test_entry_point_detection(self):
+        m = DexMethod("onStartCommand", params=("p0",))
+        assert m.is_entry_point and m.receives_intent
+        helper = DexMethod("helper")
+        assert not helper.is_entry_point
+
+    def test_provider_entry_no_intent(self):
+        m = DexMethod("query", params=("p0",))
+        assert m.is_entry_point and not m.receives_intent
+
+
+class TestClassAndProgram:
+    def test_duplicate_method_rejected(self):
+        with pytest.raises(ValueError):
+            DexClass("C", methods=[DexMethod("m"), DexMethod("m")])
+
+    def test_method_class_name_backref(self):
+        cls = DexClass("C", methods=[DexMethod("m")])
+        assert cls.method("m").qualified_name == "C.m"
+
+    def test_program_lookup(self):
+        prog = DexProgram([DexClass("C", methods=[DexMethod("m")])])
+        assert prog.lookup("C.m") is not None
+        assert prog.lookup("C.nope") is None
+        assert prog.lookup("D.m") is None
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(ValueError):
+            DexProgram([DexClass("C"), DexClass("C")])
+
+    def test_add_class_and_count(self):
+        prog = DexProgram()
+        cls = DexClass("C")
+        cls.add_method(MethodBuilder("m").const_string("v0", "s").ret().build())
+        prog.add_class(cls)
+        assert prog.instruction_count() == 2  # const + implicit return
+
+
+class TestBuilder:
+    def test_implicit_return_added(self):
+        m = MethodBuilder("m").const_string("v0", "x").build()
+        assert isinstance(m.instructions[-1], Return)
+
+    def test_explicit_return_not_duplicated(self):
+        m = MethodBuilder("m").ret("v0").build()
+        assert len(m.instructions) == 1
+
+    def test_forward_label(self):
+        m = (
+            MethodBuilder("m")
+            .if_goto("v0", "end")
+            .const_string("v1", "skipped")
+            .label("end")
+            .ret()
+            .build()
+        )
+        assert m.instructions[0].target == 2
+
+    def test_backward_label_loop(self):
+        m = (
+            MethodBuilder("m")
+            .label("top")
+            .const_string("v0", "x")
+            .if_goto("v1", "top")
+            .ret()
+            .build()
+        )
+        assert m.instructions[1].target == 0
+
+    def test_undefined_label_rejected(self):
+        builder = MethodBuilder("m").goto("nowhere")
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_duplicate_label_rejected(self):
+        builder = MethodBuilder("m").label("l")
+        with pytest.raises(ValueError):
+            builder.label("l")
+
+    def test_fluent_chain_produces_expected_sequence(self):
+        m = (
+            MethodBuilder("onStartCommand", params=("p0",))
+            .new_instance("v0", "Intent")
+            .const_string("v1", "showLoc")
+            .invoke("Intent.setAction", receiver="v0", args=("v1",))
+            .invoke("Context.startService", args=("v0",))
+            .ret()
+            .build()
+        )
+        kinds = [type(i).__name__ for i in m.instructions]
+        assert kinds == ["NewInstance", "ConstString", "Invoke", "Invoke", "Return"]

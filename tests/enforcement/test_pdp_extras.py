@@ -1,0 +1,79 @@
+"""Extra PDP coverage: prompt formatting and decision logging."""
+
+from repro.android.resources import Resource
+from repro.core.policy import ECAPolicy, IccEvent, PolicyAction, PolicyEvent
+from repro.enforcement.pdp import (
+    Decision,
+    PolicyDecisionPoint,
+    format_prompt,
+)
+
+
+def make_policy(action=PolicyAction.PROMPT):
+    return ECAPolicy(
+        event=PolicyEvent.ICC_RECEIVE,
+        vulnerability="service_launch",
+        receiver="a/Victim",
+        extras_any=frozenset({Resource.LOCATION}),
+        action=action,
+        description="Every Intent delivering LOCATION to a/Victim needs approval.",
+    )
+
+
+def make_event():
+    return IccEvent(
+        sender="evil/Thief",
+        receiver="a/Victim",
+        action="go",
+        extras=frozenset({Resource.LOCATION}),
+    )
+
+
+class TestPromptFormatting:
+    def test_contains_threat_and_event_parameters(self):
+        text = format_prompt(make_policy(), make_event())
+        assert "service_launch" in text
+        assert "evil/Thief" in text
+        assert "a/Victim" in text
+        assert "LOCATION" in text
+        assert "Allow this operation?" in text
+
+    def test_unresolved_receiver_rendered(self):
+        event = IccEvent(sender="a/S", receiver=None)
+        text = format_prompt(make_policy(), event)
+        assert "(unresolved)" in text
+
+
+class TestDecisionLogging:
+    def test_deny_policy_skips_prompt(self):
+        pdp = PolicyDecisionPoint([make_policy(action=PolicyAction.DENY)])
+        decision = pdp.decide(PolicyEvent.ICC_RECEIVE, make_event())
+        assert decision is Decision.DENY
+        assert not pdp.log[-1].prompted
+
+    def test_first_matching_policy_wins(self):
+        deny = make_policy(action=PolicyAction.DENY)
+        prompt = make_policy(action=PolicyAction.PROMPT)
+        pdp = PolicyDecisionPoint(
+            [deny, prompt], prompt_callback=lambda p, e: True
+        )
+        assert pdp.decide(PolicyEvent.ICC_RECEIVE, make_event()) is Decision.DENY
+
+    def test_log_records_policy_reference(self):
+        policy = make_policy()
+        pdp = PolicyDecisionPoint([policy])
+        pdp.decide(PolicyEvent.ICC_RECEIVE, make_event())
+        assert pdp.log[-1].policy is policy
+
+    def test_allow_logged_without_policy(self):
+        pdp = PolicyDecisionPoint([make_policy()])
+        event = IccEvent(sender="x/Y", receiver="other/Cmp")
+        assert pdp.decide(PolicyEvent.ICC_RECEIVE, event) is Decision.ALLOW
+        assert pdp.log[-1].policy is None
+
+    def test_add_policy_dynamic(self):
+        pdp = PolicyDecisionPoint([])
+        event = make_event()
+        assert pdp.decide(PolicyEvent.ICC_RECEIVE, event) is Decision.ALLOW
+        pdp.add_policy(make_policy(action=PolicyAction.DENY))
+        assert pdp.decide(PolicyEvent.ICC_RECEIVE, event) is Decision.DENY

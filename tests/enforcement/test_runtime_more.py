@@ -1,0 +1,236 @@
+"""Additional runtime-semantics tests: providers, statics, branching,
+budgets, and the benchmark-case apps executed concretely."""
+
+import pytest
+
+from repro.android.apk import Apk
+from repro.android.components import ComponentDecl, ComponentKind
+from repro.android.manifest import Manifest
+from repro.android import permissions as perms
+from repro.android.resources import Resource
+from repro.benchsuite.droidbench import provider_case, start_activity_for_result_n
+from repro.dex import DexClass, DexProgram, MethodBuilder
+from repro.enforcement import AndroidRuntime
+
+
+class TestProviderDispatch:
+    def test_provider_case_executes_end_to_end(self):
+        """The DroidBench provider case leaks concretely at runtime: the
+        IMEI reaches the provider's SMS sink."""
+        case = provider_case("insert")
+        rt = AndroidRuntime()
+        for apk in case.apks:
+            rt.install(apk)
+        rt.start_component(f"{case.apks[0].package}/Main")
+        assert rt.effects_of_kind("provider_access")
+        sms = rt.effects_of_kind("sms_sent")
+        assert sms and Resource.IMEI in sms[0].detail["taints"]
+
+    def test_wrong_authority_not_dispatched(self):
+        sender = DexClass(
+            "Main",
+            superclass="Activity",
+            methods=[
+                MethodBuilder("onCreate", params=("p0",))
+                .const_string("v0", "content://unknown.authority/items")
+                .const_string("v1", "data")
+                .invoke("ContentResolver.insert", args=("v0", "v1"))
+                .ret()
+                .build()
+            ],
+        )
+        provider = DexClass(
+            "Prov",
+            superclass="ContentProvider",
+            methods=[
+                MethodBuilder("insert", params=("p0", "p1"))
+                .invoke("Log.d", args=("p0", "p1"))
+                .ret()
+                .build()
+            ],
+        )
+        rt = AndroidRuntime()
+        rt.install(
+            Apk(
+                Manifest(
+                    package="p",
+                    components=[
+                        ComponentDecl("Main", ComponentKind.ACTIVITY, exported=True),
+                        ComponentDecl(
+                            "Prov",
+                            ComponentKind.PROVIDER,
+                            exported=True,
+                            authority="p.provider",
+                        ),
+                    ],
+                ),
+                DexProgram([sender, provider]),
+            )
+        )
+        rt.start_component("p/Main")
+        assert not rt.effects_of_kind("provider_access")
+
+    def test_private_provider_cross_app_blocked(self):
+        sender = DexClass(
+            "Main",
+            superclass="Activity",
+            methods=[
+                MethodBuilder("onCreate", params=("p0",))
+                .const_string("v0", "content://b.provider/items")
+                .const_string("v1", "data")
+                .invoke("ContentResolver.insert", args=("v0", "v1"))
+                .ret()
+                .build()
+            ],
+        )
+        provider = DexClass(
+            "Prov",
+            superclass="ContentProvider",
+            methods=[
+                MethodBuilder("insert", params=("p0", "p1")).ret().build()
+            ],
+        )
+        rt = AndroidRuntime()
+        rt.install(
+            Apk(
+                Manifest(
+                    package="a",
+                    components=[
+                        ComponentDecl("Main", ComponentKind.ACTIVITY, exported=True)
+                    ],
+                ),
+                DexProgram([sender]),
+            )
+        )
+        rt.install(
+            Apk(
+                Manifest(
+                    package="b",
+                    components=[
+                        ComponentDecl(
+                            "Prov",
+                            ComponentKind.PROVIDER,
+                            exported=False,
+                            authority="b.provider",
+                        )
+                    ],
+                ),
+                DexProgram([provider]),
+            )
+        )
+        rt.start_component("a/Main")
+        assert not rt.effects_of_kind("provider_access")
+
+
+class TestInterpreterSemantics:
+    def _run(self, methods, package="p"):
+        rt = AndroidRuntime()
+        rt.install(
+            Apk(
+                Manifest(
+                    package=package,
+                    components=[
+                        ComponentDecl("Main", ComponentKind.ACTIVITY, exported=True)
+                    ],
+                ),
+                DexProgram(
+                    [DexClass("Main", superclass="Activity", methods=methods)]
+                ),
+            )
+        )
+        rt.start_component(f"{package}/Main")
+        return rt
+
+    def test_static_fields_roundtrip(self):
+        rt = self._run(
+            [
+                MethodBuilder("onCreate", params=("p0",))
+                .const_string("v0", "stored")
+                .sput("Main.cache", "v0")
+                .sget("v1", "Main.cache")
+                .invoke("Log.d", args=("v9", "v1"))
+                .ret()
+                .build()
+            ]
+        )
+        assert rt.effects_of_kind("log")[0].detail["payload"] == "stored"
+
+    def test_branch_taken_on_truthy(self):
+        rt = self._run(
+            [
+                MethodBuilder("onCreate", params=("p0",))
+                .const_string("v0", "truthy")
+                .if_goto("v0", "skip")
+                .const_string("v1", "not-taken")
+                .invoke("Log.d", args=("v9", "v1"))
+                .label("skip")
+                .ret()
+                .build()
+            ]
+        )
+        assert not rt.effects_of_kind("log")
+
+    def test_branch_not_taken_on_none(self):
+        rt = self._run(
+            [
+                MethodBuilder("onCreate", params=("p0",))
+                .if_goto("vNone", "skip")
+                .const_string("v1", "taken")
+                .invoke("Log.d", args=("v9", "v1"))
+                .label("skip")
+                .ret()
+                .build()
+            ]
+        )
+        assert rt.effects_of_kind("log")
+
+    def test_internal_call_return_value(self):
+        rt = self._run(
+            [
+                MethodBuilder("onCreate", params=("p0",))
+                .invoke("this.make", dest="v0")
+                .invoke("Log.d", args=("v9", "v0"))
+                .ret()
+                .build(),
+                MethodBuilder("make")
+                .const_string("v0", "made")
+                .ret("v0")
+                .build(),
+            ]
+        )
+        assert rt.effects_of_kind("log")[0].detail["payload"] == "made"
+
+    def test_infinite_loop_budget(self):
+        with pytest.raises(RuntimeError):
+            self._run(
+                [
+                    MethodBuilder("onCreate", params=("p0",))
+                    .label("top")
+                    .const_string("v0", "x")
+                    .goto("top")
+                    .build()
+                ]
+            )
+
+    def test_set_result_without_channel_is_noop(self):
+        rt = self._run(
+            [
+                MethodBuilder("onCreate", params=("p0",))
+                .new_instance("v0", "Intent")
+                .invoke("Activity.setResult", args=("v0",))
+                .ret()
+                .build()
+            ]
+        )
+        assert not rt.effects_of_kind("icc_delivered")
+
+
+class TestResultChannelConcrete:
+    def test_droidbench_result_case_leaks_at_runtime(self):
+        case = start_activity_for_result_n(1)
+        rt = AndroidRuntime()
+        for apk in case.apks:
+            rt.install(apk)
+        rt.start_component(f"{case.apks[0].package}/Caller")
+        sms = rt.effects_of_kind("sms_sent")
+        assert sms and Resource.IMEI in sms[0].detail["taints"]

@@ -1,0 +1,221 @@
+"""Edge-case coverage for the relational engine: conditional expressions,
+disjointness, subset-sig pins, arity validation, and enumeration corners."""
+
+import pytest
+
+from repro.relational import Universe, Relation, Bounds, RelationalProblem
+from repro.relational import ast as rast
+from repro.relational.sigs import Module
+from repro.relational.translate import Translator
+from repro.sat import tseitin as ts
+
+
+class TestIfExpr:
+    def test_condition_selects_branch(self):
+        universe = Universe(["a", "b"])
+        bounds = Bounds(universe)
+        flag = Relation("flag", 1)
+        left = Relation("left", 1)
+        right = Relation("right", 1)
+        out = Relation("out", 1)
+        bounds.bound(flag, [], [("a",)])  # solver chooses
+        bounds.bound_exact(left, [("a",)])
+        bounds.bound_exact(right, [("b",)])
+        bounds.bound(out, [], [("a",), ("b",)])
+        chosen = rast.ite_expr(
+            rast.some(flag.to_expr()), left.to_expr(), right.to_expr()
+        )
+        problem = RelationalProblem(
+            bounds, out.to_expr().eq(chosen) & rast.some(flag.to_expr())
+        )
+        instance = problem.solve()
+        assert instance.atoms(out) == {"a"}
+        problem2 = RelationalProblem(
+            bounds, out.to_expr().eq(chosen) & rast.no(flag.to_expr())
+        )
+        instance2 = problem2.solve()
+        assert instance2.atoms(out) == {"b"}
+
+    def test_branch_arity_mismatch_rejected(self):
+        r1 = Relation("r1", 1)
+        r2 = Relation("r2", 2)
+        with pytest.raises(ValueError):
+            rast.IfExpr(rast.TRUE_F, r1.to_expr(), r2.to_expr())
+
+
+class TestAstValidation:
+    def test_union_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            Relation("a", 1).to_expr() + Relation("b", 2).to_expr()
+
+    def test_join_of_unaries_rejected(self):
+        with pytest.raises(ValueError):
+            Relation("a", 1).to_expr().join(Relation("b", 1).to_expr())
+
+    def test_closure_requires_binary(self):
+        with pytest.raises(ValueError):
+            Relation("a", 1).to_expr().closure()
+
+    def test_comparison_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            Relation("a", 1).to_expr().eq(Relation("b", 2).to_expr())
+
+    def test_quantifier_bound_must_be_unary(self):
+        v = rast.Variable("v")
+        with pytest.raises(ValueError):
+            rast.all_(v, Relation("b", 2).to_expr(), rast.TRUE_F)
+
+    def test_unknown_multiplicity_rejected(self):
+        with pytest.raises(ValueError):
+            rast.MultiplicityFormula("many", Relation("a", 1).to_expr())
+
+    def test_disjoint_helper(self):
+        universe = Universe(["a", "b"])
+        bounds = Bounds(universe)
+        r1, r2 = Relation("r1", 1), Relation("r2", 1)
+        bounds.bound(r1, [], [("a",), ("b",)])
+        bounds.bound(r2, [], [("a",), ("b",)])
+        formula = (
+            rast.disjoint([r1.to_expr(), r2.to_expr()])
+            & rast.some(r1.to_expr())
+            & rast.some(r2.to_expr())
+        )
+        instance = RelationalProblem(bounds, formula).solve()
+        assert instance is not None
+        assert not (instance.atoms(r1) & instance.atoms(r2))
+
+
+class TestTranslatorErrors:
+    def test_unbound_relation_rejected(self):
+        universe = Universe(["a"])
+        bounds = Bounds(universe)
+        translator = Translator(bounds)
+        with pytest.raises(KeyError):
+            translator.evaluate(Relation("ghost", 1).to_expr())
+
+    def test_unbound_variable_rejected(self):
+        universe = Universe(["a"])
+        bounds = Bounds(universe)
+        translator = Translator(bounds)
+        with pytest.raises(KeyError):
+            translator.evaluate(rast.Variable("loose"))
+
+    def test_universe_constants(self):
+        universe = Universe(["a", "b"])
+        bounds = Bounds(universe)
+        translator = Translator(bounds)
+        univ = translator.evaluate(rast.UNIV)
+        iden = translator.evaluate(rast.IDEN)
+        none = translator.evaluate(rast.NONE)
+        assert len(univ.entries) == 2
+        assert set(iden.entries) == {(0, 0), (1, 1)}
+        assert not none.entries
+
+
+class TestSubsetSigs:
+    def test_pin_conflict_rejected(self):
+        m = Module()
+        s = m.sig("S")
+        m.one_sig("X", extends=s)
+        sub = m.subset_sig("Sub", s)
+        sub.pin("X", True)
+        with pytest.raises(ValueError):
+            sub.pin("X", False)
+
+    def test_pin_outside_parent_rejected(self):
+        m = Module()
+        s = m.sig("S")
+        t = m.sig("T")
+        m.one_sig("X", extends=t)
+        sub = m.subset_sig("Sub", s)
+        sub.pin("X", True)
+        with pytest.raises(ValueError):
+            m.build()
+
+    def test_unpinned_membership_solver_chosen(self):
+        m = Module()
+        s = m.sig("S")
+        m.one_sig("X", extends=s)
+        sub = m.subset_sig("Sub", s)
+        problem = m.solve_problem()
+        memberships = set()
+        for inst in problem.solutions():
+            memberships.add(frozenset(inst.atoms(sub.relation)))
+        assert memberships == {frozenset(), frozenset({"X"})}
+
+    def test_subset_name_collision_rejected(self):
+        m = Module()
+        s = m.sig("S")
+        with pytest.raises(ValueError):
+            m.subset_sig("S", s)
+
+
+class TestEnumerationCorners:
+    def test_zero_limit(self):
+        universe = Universe(["a"])
+        bounds = Bounds(universe)
+        r = Relation("r", 1)
+        bounds.bound(r, [], [("a",)])
+        problem = RelationalProblem(bounds, rast.TRUE_F)
+        assert list(problem.solutions(limit=0)) == []
+
+    def test_fully_pinned_problem_single_solution(self):
+        universe = Universe(["a"])
+        bounds = Bounds(universe)
+        r = Relation("r", 1)
+        bounds.bound_exact(r, [("a",)])
+        problem = RelationalProblem(bounds, rast.TRUE_F)
+        solutions = list(problem.solutions())
+        assert len(solutions) == 1
+
+    def test_block_on_pinned_tuples_exhausts(self):
+        universe = Universe(["a"])
+        bounds = Bounds(universe)
+        r = Relation("r", 1)
+        bounds.bound_exact(r, [("a",)])
+        problem = RelationalProblem(bounds, rast.TRUE_F)
+        assert problem.solve() is not None
+        # Blocking a lower-bound tuple is impossible: enumeration is done.
+        assert problem.block([(r, ("a",))]) is False
+
+    def test_minimal_solution_unsat(self):
+        universe = Universe(["a"])
+        bounds = Bounds(universe)
+        r = Relation("r", 1)
+        bounds.bound(r, [], [("a",)])
+        problem = RelationalProblem(
+            bounds, rast.some(r.to_expr()) & rast.no(r.to_expr())
+        )
+        assert problem.minimal_solution() is None
+
+    def test_minimal_respects_lower_bounds(self):
+        universe = Universe(["a", "b"])
+        bounds = Bounds(universe)
+        r = Relation("r", 1)
+        bounds.bound(r, [("a",)], [("a",), ("b",)])
+        problem = RelationalProblem(bounds, rast.TRUE_F)
+        instance = problem.minimal_solution()
+        assert instance.atoms(r) == {"a"}  # lower kept, free tuple dropped
+
+
+class TestInstanceApi:
+    def test_describe_and_positive_size(self):
+        universe = Universe(["a", "b"])
+        bounds = Bounds(universe)
+        r = Relation("edge", 2)
+        bounds.bound_exact(r, [("a", "b")])
+        problem = RelationalProblem(bounds, rast.TRUE_F)
+        instance = problem.solve()
+        assert instance.positive_size() == 1
+        assert "edge = {a->b}" in instance.describe()
+
+    def test_instance_equality_and_hash(self):
+        universe = Universe(["a"])
+        bounds = Bounds(universe)
+        r = Relation("r", 1)
+        bounds.bound_exact(r, [("a",)])
+        p1 = RelationalProblem(bounds, rast.TRUE_F)
+        p2 = RelationalProblem(bounds, rast.TRUE_F)
+        i1, i2 = p1.solve(), p2.solve()
+        assert i1 == i2
+        assert hash(i1) == hash(i2)

@@ -1,0 +1,90 @@
+"""Property test: Aluminum-style minimal enumeration against brute force.
+
+For random small relational problems, ``minimal_solutions`` must yield
+exactly the set-inclusion-minimal models of the formula, each exactly
+once -- the defining property of Aluminum's principled scenario
+exploration.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import Universe, Relation, Bounds, RelationalProblem
+from repro.relational import ast as rast
+
+ATOMS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def problems(draw):
+    """A free unary relation constrained by a random monotone-ish formula
+    built from membership tests of individual atoms."""
+    r = Relation("r", 1)
+    singles = {atom: Relation(f"s_{atom}", 1) for atom in ATOMS}
+
+    def literal():
+        atom = draw(st.sampled_from(ATOMS))
+        member = rast.some(singles[atom].to_expr() & r.to_expr())
+        return atom, member
+
+    def clause():
+        size = draw(st.integers(min_value=1, max_value=3))
+        atoms, members = zip(*[literal() for _ in range(size)])
+        return set(atoms), rast.or_all(members)
+
+    n_clauses = draw(st.integers(min_value=1, max_value=4))
+    clauses = [clause() for _ in range(n_clauses)]
+    formula = rast.and_all([c[1] for c in clauses])
+    sem_clauses = [c[0] for c in clauses]
+    return formula, sem_clauses, r, singles
+
+
+def brute_force_minimal(sem_clauses):
+    """All inclusion-minimal subsets of ATOMS hitting every clause."""
+    satisfying = []
+    for bits in itertools.product([False, True], repeat=len(ATOMS)):
+        chosen = {a for a, b in zip(ATOMS, bits) if b}
+        if all(chosen & clause for clause in sem_clauses):
+            satisfying.append(frozenset(chosen))
+    minimal = [
+        s for s in satisfying
+        if not any(other < s for other in satisfying)
+    ]
+    return set(minimal)
+
+
+@given(problems())
+@settings(max_examples=60, deadline=None)
+def test_minimal_solutions_match_brute_force(problem):
+    formula, sem_clauses, r, singles = problem
+    universe = Universe(ATOMS)
+    bounds = Bounds(universe)
+    bounds.bound(r, [], [(a,) for a in ATOMS])
+    for atom, rel in singles.items():
+        bounds.bound_exact(rel, [(atom,)])
+    rel_problem = RelationalProblem(bounds, formula)
+    found = [frozenset(inst.atoms(r)) for inst in rel_problem.minimal_solutions()]
+    assert len(found) == len(set(found)), "a minimal model repeated"
+    assert set(found) == brute_force_minimal(sem_clauses)
+
+
+@given(problems())
+@settings(max_examples=30, deadline=None)
+def test_every_solution_extends_some_minimal(problem):
+    """Completeness of minimization: every full model is a superset of a
+    reported minimal model."""
+    formula, sem_clauses, r, singles = problem
+    universe = Universe(ATOMS)
+
+    def fresh():
+        bounds = Bounds(universe)
+        bounds.bound(r, [], [(a,) for a in ATOMS])
+        for atom, rel in singles.items():
+            bounds.bound_exact(rel, [(atom,)])
+        return RelationalProblem(bounds, formula)
+
+    minima = [frozenset(i.atoms(r)) for i in fresh().minimal_solutions()]
+    for instance in fresh().solutions():
+        model = frozenset(instance.atoms(r))
+        assert any(m <= model for m in minima)

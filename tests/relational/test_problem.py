@@ -1,0 +1,193 @@
+"""Tests for relational solving, enumeration, and Aluminum minimization."""
+
+import itertools
+
+import pytest
+
+from repro.relational import Universe, Relation, Bounds, RelationalProblem
+from repro.relational import ast as rast
+from repro.relational.universe import products
+
+
+def make_free_unary(atoms):
+    universe = Universe(atoms)
+    bounds = Bounds(universe)
+    r = Relation("r", 1)
+    bounds.bound(r, [], [(a,) for a in atoms])
+    return universe, bounds, r
+
+
+class TestSolve:
+    def test_some_free_relation(self):
+        _, bounds, r = make_free_unary(["a", "b", "c"])
+        problem = RelationalProblem(bounds, rast.some(r.to_expr()))
+        instance = problem.solve()
+        assert instance is not None
+        assert len(instance.tuples(r)) >= 1
+
+    def test_unsat_contradiction(self):
+        _, bounds, r = make_free_unary(["a", "b"])
+        formula = rast.some(r.to_expr()) & rast.no(r.to_expr())
+        assert RelationalProblem(bounds, formula).solve() is None
+
+    def test_exact_cardinality_via_one(self):
+        _, bounds, r = make_free_unary(["a", "b", "c"])
+        problem = RelationalProblem(bounds, rast.one(r.to_expr()))
+        instance = problem.solve()
+        assert len(instance.tuples(r)) == 1
+
+    def test_lower_bound_respected(self):
+        universe = Universe(["a", "b"])
+        bounds = Bounds(universe)
+        r = Relation("r", 1)
+        bounds.bound(r, [("a",)], [("a",), ("b",)])
+        problem = RelationalProblem(bounds, rast.TRUE_F)
+        instance = problem.solve()
+        assert ("a",) in instance.tuples(r)
+
+    def test_stats_populated(self):
+        _, bounds, r = make_free_unary(["a", "b", "c"])
+        problem = RelationalProblem(bounds, rast.some(r.to_expr()))
+        problem.solve()
+        assert problem.stats.num_primary_vars == 3
+        assert problem.stats.translation_seconds >= 0.0
+
+
+class TestEnumeration:
+    def test_counts_all_subsets(self):
+        _, bounds, r = make_free_unary(["a", "b", "c"])
+        problem = RelationalProblem(bounds, rast.some(r.to_expr()))
+        found = list(problem.solutions())
+        assert len(found) == 7  # non-empty subsets of a 3-atom set
+
+    def test_distinct_instances(self):
+        _, bounds, r = make_free_unary(["a", "b", "c"])
+        problem = RelationalProblem(bounds, rast.TRUE_F)
+        found = [frozenset(i.tuples(r)) for i in problem.solutions()]
+        assert len(found) == len(set(found)) == 8
+
+    def test_limit(self):
+        _, bounds, r = make_free_unary(["a", "b", "c"])
+        problem = RelationalProblem(bounds, rast.TRUE_F)
+        assert len(list(problem.solutions(limit=3))) == 3
+
+    def test_unsat_enumeration_empty(self):
+        _, bounds, r = make_free_unary(["a"])
+        formula = rast.some(r.to_expr()) & rast.no(r.to_expr())
+        assert list(RelationalProblem(bounds, formula).solutions()) == []
+
+
+class TestMinimal:
+    def test_minimal_solutions_are_singletons(self):
+        _, bounds, r = make_free_unary(["a", "b", "c"])
+        problem = RelationalProblem(bounds, rast.some(r.to_expr()))
+        minima = list(problem.minimal_solutions())
+        assert len(minima) == 3
+        for instance in minima:
+            assert len(instance.tuples(r)) == 1
+
+    def test_minimal_with_forced_pairs(self):
+        """r must contain a and (b or c): minima are {a,b} and {a,c}."""
+        universe = Universe(["a", "b", "c"])
+        bounds = Bounds(universe)
+        r = Relation("r", 1)
+        bounds.bound(r, [], [(x,) for x in "abc"])
+        a_in = rast.RelationExpr(r)  # subset test via singleton sigs
+        # Encode membership with exact-bound helper relations.
+        sa, sb, sc = (Relation(f"s{x}", 1) for x in "abc")
+        bounds.bound_exact(sa, [("a",)])
+        bounds.bound_exact(sb, [("b",)])
+        bounds.bound_exact(sc, [("c",)])
+        formula = rast.some(sa.to_expr() & a_in) & (
+            rast.some(sb.to_expr() & a_in) | rast.some(sc.to_expr() & a_in)
+        )
+        problem = RelationalProblem(bounds, formula)
+        minima = [frozenset(i.atoms(r)) for i in problem.minimal_solutions()]
+        assert sorted(minima, key=sorted) == [
+            frozenset({"a", "b"}),
+            frozenset({"a", "c"}),
+        ]
+
+    def test_empty_instance_short_circuits(self):
+        _, bounds, r = make_free_unary(["a", "b"])
+        problem = RelationalProblem(bounds, rast.TRUE_F)
+        minima = list(problem.minimal_solutions())
+        assert len(minima) == 1
+        assert not minima[0].tuples(r)
+
+    def test_later_minima_not_supersets(self):
+        _, bounds, r = make_free_unary(["a", "b", "c", "d"])
+        problem = RelationalProblem(bounds, rast.some(r.to_expr()))
+        minima = [frozenset(i.atoms(r)) for i in problem.minimal_solutions()]
+        for i, early in enumerate(minima):
+            for late in minima[i + 1:]:
+                assert not early <= late
+
+
+class TestBinaryProblems:
+    def test_function_synthesis(self):
+        """Find a total function f: dom -> cod as a binary relation."""
+        universe = Universe(["d0", "d1", "c0", "c1"])
+        bounds = Bounds(universe)
+        dom = Relation("dom", 1)
+        cod = Relation("cod", 1)
+        f = Relation("f", 2)
+        bounds.bound_exact(dom, [("d0",), ("d1",)])
+        bounds.bound_exact(cod, [("c0",), ("c1",)])
+        bounds.bound(f, [], products([["d0", "d1"], ["c0", "c1"]]))
+        x = rast.Variable("x")
+        total = rast.all_(x, dom.to_expr(), rast.one(x.join(f.to_expr())))
+        problem = RelationalProblem(bounds, total)
+        instance = problem.solve()
+        tuples = instance.tuples(f)
+        assert len(tuples) == 2
+        assert {t[0] for t in tuples} == {"d0", "d1"}
+
+    def test_injective_function_count(self):
+        universe = Universe(["d0", "d1", "c0", "c1"])
+        bounds = Bounds(universe)
+        dom = Relation("dom", 1)
+        f = Relation("f", 2)
+        bounds.bound_exact(dom, [("d0",), ("d1",)])
+        bounds.bound(f, [], products([["d0", "d1"], ["c0", "c1"]]))
+        x = rast.Variable("x")
+        y = rast.Variable("y")
+        total = rast.all_(x, dom.to_expr(), rast.one(x.join(f.to_expr())))
+        injective = rast.all_(
+            x,
+            dom.to_expr(),
+            rast.all_(
+                y,
+                dom.to_expr(),
+                rast.some(x.join(f.to_expr()) & y.join(f.to_expr())).implies(
+                    x.eq(y)
+                ),
+            ),
+        )
+        problem = RelationalProblem(bounds, total & injective)
+        assert len(list(problem.solutions())) == 2  # the two bijections
+
+    def test_transitive_closure_reachability(self):
+        """next = a->b, b->c; require d reachable from a: UNSAT."""
+        universe = Universe(["a", "b", "c", "d"])
+        bounds = Bounds(universe)
+        nxt = Relation("next", 2)
+        start = Relation("start", 1)
+        target = Relation("target", 1)
+        bounds.bound_exact(nxt, [("a", "b"), ("b", "c")])
+        bounds.bound_exact(start, [("a",)])
+        bounds.bound_exact(target, [("d",)])
+        reach = start.to_expr().join(nxt.to_expr().closure())
+        problem = RelationalProblem(
+            bounds, target.to_expr().in_(reach)
+        )
+        assert problem.solve() is None
+        # but c is reachable
+        bounds2 = Bounds(universe)
+        bounds2.bound_exact(nxt, [("a", "b"), ("b", "c")])
+        bounds2.bound_exact(start, [("a",)])
+        bounds2.bound_exact(target, [("c",)])
+        problem2 = RelationalProblem(
+            bounds2, target.to_expr().in_(reach)
+        )
+        assert problem2.solve() is not None

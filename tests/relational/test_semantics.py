@@ -1,0 +1,265 @@
+"""Property-based semantics tests for the relational translator.
+
+Strategy: build relations with *exact* bounds (constant contents).  Every
+expression then evaluates to a constant matrix and every formula folds to
+the TRUE/FALSE circuit constant, which we compare against a straightforward
+set-theoretic reference evaluator.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import Universe, Relation, Bounds
+from repro.relational import ast as rast
+from repro.relational.translate import Translator
+from repro.sat import tseitin as ts
+
+ATOMS = ["a0", "a1", "a2", "a3"]
+
+
+# ---------------------------------------------------------------------------
+# Reference semantics over plain Python sets
+# ---------------------------------------------------------------------------
+def ref_join(left, right):
+    return {
+        l[:-1] + r[1:] for l in left for r in right if l[-1] == r[0]
+    }
+
+
+def ref_closure(rel):
+    result = set(rel)
+    while True:
+        extra = ref_join(result, result) - result
+        if not extra:
+            return result
+        result |= extra
+
+
+def ref_eval(expr, contents, env):
+    if isinstance(expr, rast.RelationExpr):
+        return contents[expr.relation]
+    if isinstance(expr, rast.Variable):
+        return {(env[expr],)}
+    if isinstance(expr, rast.ConstantExpr):
+        if expr.kind == "none":
+            return set()
+        if expr.kind == "univ":
+            return {(a,) for a in ATOMS}
+        return {(a, a) for a in ATOMS}
+    if isinstance(expr, rast.BinaryExpr):
+        left = ref_eval(expr.left, contents, env)
+        right = ref_eval(expr.right, contents, env)
+        if expr.op == "union":
+            return left | right
+        if expr.op == "intersection":
+            return left & right
+        return left - right
+    if isinstance(expr, rast.JoinExpr):
+        return ref_join(
+            ref_eval(expr.left, contents, env), ref_eval(expr.right, contents, env)
+        )
+    if isinstance(expr, rast.ProductExpr):
+        left = ref_eval(expr.left, contents, env)
+        right = ref_eval(expr.right, contents, env)
+        return {l + r for l in left for r in right}
+    if isinstance(expr, rast.UnaryExpr):
+        operand = ref_eval(expr.operand, contents, env)
+        if expr.op == "transpose":
+            return {(b, a) for a, b in operand}
+        closed = ref_closure(operand)
+        if expr.op == "closure":
+            return closed
+        return closed | {(a, a) for a in ATOMS}
+    raise TypeError(type(expr))
+
+
+def ref_formula(formula, contents, env):
+    if isinstance(formula, rast.TrueFormula):
+        return True
+    if isinstance(formula, rast.FalseFormula):
+        return False
+    if isinstance(formula, rast.NotFormula):
+        return not ref_formula(formula.operand, contents, env)
+    if isinstance(formula, rast.NaryFormula):
+        results = [ref_formula(f, contents, env) for f in formula.operands]
+        return all(results) if formula.op == "and" else any(results)
+    if isinstance(formula, rast.ComparisonFormula):
+        left = ref_eval(formula.left, contents, env)
+        right = ref_eval(formula.right, contents, env)
+        return left <= right if formula.op == "subset" else left == right
+    if isinstance(formula, rast.MultiplicityFormula):
+        size = len(ref_eval(formula.expr, contents, env))
+        return {
+            "some": size >= 1,
+            "no": size == 0,
+            "one": size == 1,
+            "lone": size <= 1,
+        }[formula.mult]
+    if isinstance(formula, rast.QuantifiedFormula):
+        domain = [t[0] for t in ref_eval(formula.bound, contents, env)]
+        holds = [
+            ref_formula(formula.body, contents, {**env, formula.variable: atom})
+            for atom in domain
+        ]
+        count = sum(holds)
+        return {
+            "all": all(holds),
+            "some": any(holds),
+            "no": not any(holds),
+            "one": count == 1,
+            "lone": count <= 1,
+        }[formula.quant]
+    raise TypeError(type(formula))
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+def tuple_sets(arity):
+    universe_tuples = list(itertools.product(ATOMS, repeat=arity))
+    return st.sets(st.sampled_from(universe_tuples), max_size=5)
+
+
+@st.composite
+def exprs(draw, unary, binary, depth=3, want_arity=None):
+    """Random expression over fixed unary/binary relation pools."""
+    if depth == 0 or draw(st.booleans()):
+        if want_arity == 1 or (want_arity is None and draw(st.booleans())):
+            return rast.RelationExpr(draw(st.sampled_from(unary)))
+        return rast.RelationExpr(draw(st.sampled_from(binary)))
+    kind = draw(
+        st.sampled_from(["binary_op", "join", "product", "unary_op", "const"])
+    )
+    if kind == "const":
+        if want_arity == 1:
+            return draw(st.sampled_from([rast.NONE, rast.UNIV]))
+        if want_arity == 2:
+            return rast.IDEN
+        return draw(st.sampled_from([rast.NONE, rast.UNIV, rast.IDEN]))
+    if kind == "binary_op":
+        left = draw(exprs(unary, binary, depth - 1, want_arity))
+        right = draw(exprs(unary, binary, depth - 1, want_arity=left.arity))
+        op = draw(st.sampled_from(["union", "intersection", "difference"]))
+        return rast.BinaryExpr(op, left, right)
+    if kind == "join":
+        # unary.binary keeps arity predictable
+        left = draw(exprs(unary, binary, depth - 1, want_arity=1))
+        right = draw(exprs(unary, binary, depth - 1, want_arity=2))
+        return (
+            left.join(right)
+            if want_arity in (1, None)
+            else rast.BinaryExpr("union", right, right)
+        )
+    if kind == "product":
+        if want_arity == 1:
+            return rast.RelationExpr(draw(st.sampled_from(unary)))
+        left = draw(exprs(unary, binary, depth - 1, want_arity=1))
+        right = draw(exprs(unary, binary, depth - 1, want_arity=1))
+        return left.product(right)
+    # unary_op
+    operand = draw(exprs(unary, binary, depth - 1, want_arity=2))
+    op = draw(st.sampled_from(["transpose", "closure", "reflexive_closure"]))
+    result = rast.UnaryExpr(op, operand)
+    if want_arity == 1:
+        return rast.RelationExpr(draw(st.sampled_from(unary)))
+    return result
+
+
+@st.composite
+def problems(draw):
+    unary = [Relation(f"u{i}", 1) for i in range(2)]
+    binary = [Relation(f"b{i}", 2) for i in range(2)]
+    contents = {}
+    for rel in unary:
+        contents[rel] = draw(tuple_sets(1))
+    for rel in binary:
+        contents[rel] = draw(tuple_sets(2))
+    expr = draw(exprs(unary, binary))
+    return unary, binary, contents, expr
+
+
+def make_translator(unary, binary, contents):
+    universe = Universe(ATOMS)
+    bounds = Bounds(universe)
+    for rel in unary + binary:
+        bounds.bound_exact(rel, contents[rel])
+    return Translator(bounds), universe
+
+
+@given(problems())
+@settings(max_examples=200, deadline=None)
+def test_expression_semantics_match_reference(problem):
+    unary, binary, contents, expr = problem
+    translator, universe = make_translator(unary, binary, contents)
+    matrix = translator.evaluate(expr)
+    expected = ref_eval(expr, contents, {})
+    actual = set()
+    for key, node in matrix.entries.items():
+        assert node in (ts.TRUE, ts.FALSE), "constant bounds must fold"
+        if node is ts.TRUE:
+            actual.add(tuple(ATOMS[i] for i in key))
+    assert actual == expected
+
+
+@st.composite
+def formulas(draw, unary, binary, depth=2):
+    kind = draw(
+        st.sampled_from(["cmp", "mult", "not", "nary", "quant"])
+    )
+    if depth == 0:
+        kind = draw(st.sampled_from(["cmp", "mult"]))
+    if kind == "cmp":
+        left = draw(exprs(unary, binary, depth=2))
+        right = draw(exprs(unary, binary, depth=2, want_arity=left.arity))
+        op = draw(st.sampled_from(["subset", "equals"]))
+        return rast.ComparisonFormula(op, left, right)
+    if kind == "mult":
+        expr = draw(exprs(unary, binary, depth=2))
+        mult = draw(st.sampled_from(["some", "no", "one", "lone"]))
+        return rast.MultiplicityFormula(mult, expr)
+    if kind == "not":
+        return rast.NotFormula(draw(formulas(unary, binary, depth - 1)))
+    if kind == "nary":
+        op = draw(st.sampled_from(["and", "or"]))
+        size = draw(st.integers(min_value=1, max_value=3))
+        return rast.NaryFormula(
+            op, [draw(formulas(unary, binary, depth - 1)) for _ in range(size)]
+        )
+    # quantifier over a unary expression; body mentions the variable
+    var = rast.Variable(f"x{depth}")
+    bound = draw(exprs(unary, binary, depth=1, want_arity=1))
+    quant = draw(st.sampled_from(["all", "some", "no", "one", "lone"]))
+    body_rel = rast.RelationExpr(draw(st.sampled_from(binary)))
+    body_kind = draw(st.sampled_from(["member", "some_join", "eq"]))
+    if body_kind == "member":
+        body = var.in_(draw(exprs(unary, binary, depth=1, want_arity=1)))
+    elif body_kind == "some_join":
+        body = rast.some(var.join(body_rel))
+    else:
+        body = var.join(body_rel).eq(draw(exprs(unary, binary, depth=1, want_arity=1)))
+    return rast.QuantifiedFormula(quant, var, bound, body)
+
+
+@st.composite
+def formula_problems(draw):
+    unary = [Relation(f"u{i}", 1) for i in range(2)]
+    binary = [Relation(f"b{i}", 2) for i in range(2)]
+    contents = {}
+    for rel in unary:
+        contents[rel] = draw(tuple_sets(1))
+    for rel in binary:
+        contents[rel] = draw(tuple_sets(2))
+    formula = draw(formulas(unary, binary))
+    return unary, binary, contents, formula
+
+
+@given(formula_problems())
+@settings(max_examples=200, deadline=None)
+def test_formula_semantics_match_reference(problem):
+    unary, binary, contents, formula = problem
+    translator, universe = make_translator(unary, binary, contents)
+    node = translator.translate_formula(formula)
+    expected = ref_formula(formula, contents, {})
+    assert node in (ts.TRUE, ts.FALSE), "constant bounds must fold formulas"
+    assert (node is ts.TRUE) == expected

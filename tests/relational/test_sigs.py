@@ -1,0 +1,183 @@
+"""Tests for the Alloy-style signature frontend, including the paper's
+Figure 4 example (Application/Component with the ownership fact)."""
+
+import pytest
+
+from repro.relational import ast as rast
+from repro.relational.sigs import Module
+
+
+def app_component_module():
+    m = Module()
+    application = m.sig("Application")
+    component = m.sig("Component")
+    cmps = m.field(application, "cmps", component, mult="set")
+    return m, application, component, cmps
+
+
+class TestFig4:
+    """Reproduces the paper's Alloy walkthrough (Section V, Fig. 4)."""
+
+    def test_instances_without_ownership_fact(self):
+        """`some Component` for scope 2 admits orphan components (Fig 4a)."""
+        m, application, component, cmps = app_component_module()
+        problem = m.solve_problem(
+            rast.some(component.expr), extra={application: 1, component: 2}
+        )
+        instances = list(problem.solutions())
+        assert instances, "expected satisfiable"
+        # Some instance must have a component not owned by any application
+        # (Fig 4a) -- i.e., cmps misses a component atom.
+        orphan_found = any(
+            len({t[1] for t in inst.tuples(cmps.relation)}) < 2
+            for inst in instances
+        )
+        assert orphan_found
+
+    def test_ownership_fact_eliminates_orphans(self):
+        """fact: all c: Component | one c.~cmps  (Fig 4b survives)."""
+        m, application, component, cmps = app_component_module()
+        c = rast.Variable("c")
+        m.fact(
+            rast.all_(
+                c, component.expr, rast.one(c.join(cmps.expr.transpose()))
+            )
+        )
+        problem = m.solve_problem(
+            rast.some(component.expr), extra={application: 2, component: 2}
+        )
+        for inst in problem.solutions():
+            owners = {}
+            for app_atom, cmp_atom in inst.tuples(cmps.relation):
+                owners.setdefault(cmp_atom, set()).add(app_atom)
+            component_atoms = inst.atoms(component.relation)
+            for cmp_atom in component_atoms:
+                assert len(owners.get(cmp_atom, ())) == 1
+
+
+class TestHierarchy:
+    def test_abstract_sig_is_union_of_children(self):
+        m = Module()
+        component = m.sig("Component", abstract=True)
+        activity = m.sig("Activity", extends=component)
+        service = m.sig("Service", extends=component)
+        m.one_sig("Act1", extends=activity)
+        m.one_sig("Svc1", extends=service)
+        bounds, _ = m.build()
+        assert set(bounds.lower(component.relation)) == {("Act1",), ("Svc1",)}
+
+    def test_extra_atoms(self):
+        m = Module()
+        component = m.sig("Component", abstract=True)
+        activity = m.sig("Activity", extends=component)
+        m.one_sig("Act1", extends=activity)
+        bounds, _ = m.build(extra={activity: 2})
+        atoms = {t[0] for t in bounds.lower(activity.relation)}
+        assert atoms == {"Act1", "Activity$0", "Activity$1"}
+
+    def test_extra_on_abstract_rejected(self):
+        m = Module()
+        component = m.sig("Component", abstract=True)
+        with pytest.raises(ValueError):
+            m.build(extra={component: 1})
+
+    def test_extra_on_one_sig_rejected(self):
+        m = Module()
+        s = m.one_sig("S")
+        with pytest.raises(ValueError):
+            m.build(extra={s: 1})
+
+    def test_duplicate_sig_rejected(self):
+        m = Module()
+        m.sig("S")
+        with pytest.raises(ValueError):
+            m.sig("S")
+        with pytest.raises(ValueError):
+            m.one_sig("S")
+
+    def test_atoms_of_after_build(self):
+        m = Module()
+        s = m.sig("S")
+        m.one_sig("X", extends=s)
+        m.build(extra={s: 1})
+        assert set(m.atoms_of(s)) == {"X", "S$0"}
+
+
+class TestFieldMultiplicity:
+    def test_one_field_enforced_on_free_atoms(self):
+        m = Module()
+        a = m.sig("A")
+        b = m.sig("B")
+        m.one_sig("B1", extends=b)
+        m.one_sig("B2", extends=b)
+        f = m.field(a, "f", b, mult="one")
+        problem = m.solve_problem(extra={a: 2})
+        instance = problem.solve()
+        rows = {}
+        for owner, value in instance.tuples(f.relation):
+            rows.setdefault(owner, []).append(value)
+        for owner_atom in ("A$0", "A$1"):
+            assert len(rows.get(owner_atom, [])) == 1
+
+    def test_lone_field(self):
+        m = Module()
+        a = m.sig("A")
+        b = m.sig("B")
+        m.one_sig("B1", extends=b)
+        f = m.field(a, "f", b, mult="lone")
+        problem = m.solve_problem(extra={a: 1})
+        for inst in problem.solutions():
+            assert len(inst.tuples(f.relation)) <= 1
+
+    def test_some_field(self):
+        m = Module()
+        a = m.sig("A")
+        b = m.sig("B")
+        m.one_sig("B1", extends=b)
+        f = m.field(a, "f", b, mult="some")
+        instance = m.solve_problem(extra={a: 1}).solve()
+        assert len(instance.tuples(f.relation)) == 1
+
+
+class TestPins:
+    def make(self):
+        m = Module()
+        cmp_ = m.sig("Component", abstract=True)
+        svc = m.sig("Service", extends=cmp_)
+        app = m.sig("Application")
+        a1 = m.one_sig("App1", extends=app)
+        s1 = m.one_sig("Svc1", extends=svc)
+        f = m.field(cmp_, "app", app, mult="one")
+        return m, svc, app, a1, s1, f
+
+    def test_pin_fixes_value(self):
+        m, svc, app, a1, s1, f = self.make()
+        m.pin(f, s1, ["App1"])
+        instance = m.solve_problem().solve()
+        assert instance.tuples(f.relation) == {("Svc1", "App1")}
+
+    def test_pin_multiplicity_validated(self):
+        m, svc, app, a1, s1, f = self.make()
+        with pytest.raises(ValueError):
+            m.pin(f, s1, [])  # 'one' field needs exactly one value
+
+    def test_pin_requires_one_sig(self):
+        m, svc, app, a1, s1, f = self.make()
+        with pytest.raises(ValueError):
+            m.pin(f, svc, ["App1"])
+
+    def test_duplicate_pin_rejected(self):
+        m, svc, app, a1, s1, f = self.make()
+        m.pin(f, s1, ["App1"])
+        m.build()  # single pin is fine
+        m2, svc2, app2, a2, s2, f2 = self.make()
+        m2.pin(f2, s2, ["App1"])
+        m2.pin(f2, s2, ["App1"])
+        with pytest.raises(ValueError):
+            m2.build()
+
+    def test_pinned_rows_cost_no_variables(self):
+        m, svc, app, a1, s1, f = self.make()
+        m.pin(f, s1, ["App1"])
+        problem = m.solve_problem()
+        assert problem.stats.num_primary_vars == 0

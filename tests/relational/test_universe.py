@@ -1,0 +1,85 @@
+"""Tests for atoms, relations, and bounds."""
+
+import pytest
+
+from repro.relational import Universe, Relation, Bounds
+from repro.relational.universe import products
+
+
+class TestUniverse:
+    def test_order_and_index(self):
+        u = Universe(["a", "b", "c"])
+        assert list(u) == ["a", "b", "c"]
+        assert u.index("b") == 1
+        assert len(u) == 3
+
+    def test_duplicate_atom_rejected(self):
+        u = Universe(["a"])
+        with pytest.raises(ValueError):
+            u.add("a")
+
+    def test_missing_atom_lookup(self):
+        u = Universe(["a"])
+        with pytest.raises(KeyError):
+            u.index("z")
+
+    def test_contains(self):
+        u = Universe(["a"])
+        assert "a" in u
+        assert "b" not in u
+
+
+class TestRelation:
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            Relation("r", 0)
+
+    def test_to_expr(self):
+        r = Relation("r", 2)
+        assert r.to_expr().arity == 2
+
+
+class TestBounds:
+    def setup_method(self):
+        self.u = Universe(["a", "b", "c"])
+        self.b = Bounds(self.u)
+
+    def test_exact_bound(self):
+        r = Relation("r", 1)
+        self.b.bound_exact(r, [("a",), ("b",)])
+        assert self.b.lower(r) == self.b.upper(r) == {("a",), ("b",)}
+
+    def test_partial_bound(self):
+        r = Relation("r", 2)
+        self.b.bound(r, [("a", "b")], [("a", "b"), ("b", "c")])
+        assert ("a", "b") in self.b.lower(r)
+        assert ("b", "c") in self.b.upper(r)
+        assert ("b", "c") not in self.b.lower(r)
+
+    def test_lower_must_be_within_upper(self):
+        r = Relation("r", 1)
+        with pytest.raises(ValueError):
+            self.b.bound(r, [("a",)], [("b",)])
+
+    def test_arity_mismatch_rejected(self):
+        r = Relation("r", 2)
+        with pytest.raises(ValueError):
+            self.b.bound_exact(r, [("a",)])
+
+    def test_unknown_atom_rejected(self):
+        r = Relation("r", 1)
+        with pytest.raises(KeyError):
+            self.b.bound_exact(r, [("zzz",)])
+
+    def test_relations_listing(self):
+        r1, r2 = Relation("r1", 1), Relation("r2", 1)
+        self.b.bound_exact(r1, [])
+        self.b.bound_exact(r2, [("a",)])
+        assert set(self.b.relations) == {r1, r2}
+        assert r1 in self.b
+
+
+def test_products_helper():
+    result = products([["a", "b"], ["x"]])
+    assert sorted(result) == [("a", "x"), ("b", "x")]
+    assert products([]) == [()]

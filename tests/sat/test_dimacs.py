@@ -1,0 +1,73 @@
+"""Tests for DIMACS serialization round-tripping."""
+
+import pytest
+
+from repro.sat import CNF
+from repro.sat.dimacs import dumps, loads
+
+
+def test_roundtrip():
+    cnf = CNF()
+    cnf.add_clause([1, -2, 3])
+    cnf.add_clause([-1])
+    cnf.add_clause([2, 3])
+    text = dumps(cnf)
+    parsed = loads(text)
+    assert parsed.num_vars == cnf.num_vars
+    assert list(parsed.clauses) == list(cnf.clauses)
+
+
+def test_header_and_terminators():
+    cnf = CNF()
+    cnf.add_clause([1, 2])
+    text = dumps(cnf)
+    lines = text.strip().splitlines()
+    assert lines[0] == "p cnf 2 1"
+    assert lines[1] == "1 2 0"
+
+
+def test_parse_with_comments():
+    text = "c a comment\np cnf 3 2\n1 -3 0\nc another\n2 0\n"
+    cnf = loads(text)
+    assert cnf.num_clauses == 2
+    assert cnf.clauses[0] == (1, -3)
+
+
+def test_parse_multiline_clause():
+    text = "p cnf 3 1\n1 2\n3 0\n"
+    cnf = loads(text)
+    assert cnf.clauses[0] == (1, 2, 3)
+
+
+def test_missing_header_rejected():
+    with pytest.raises(ValueError):
+        loads("1 2 0\n")
+
+
+def test_malformed_header_rejected():
+    with pytest.raises(ValueError):
+        loads("p sat 3\n1 0\n")
+
+
+def test_cnf_var_allocation():
+    cnf = CNF()
+    a = cnf.new_var()
+    b = cnf.new_var()
+    assert (a, b) == (1, 2)
+    cnf.add_clause([5])
+    assert cnf.num_vars == 5
+    assert cnf.new_var() == 6
+
+
+def test_cnf_rejects_zero():
+    cnf = CNF()
+    with pytest.raises(ValueError):
+        cnf.add_clause([0])
+
+
+def test_cnf_rejects_negative_alloc():
+    with pytest.raises(ValueError):
+        CNF(-1)
+    cnf = CNF()
+    with pytest.raises(ValueError):
+        cnf.new_vars(-2)

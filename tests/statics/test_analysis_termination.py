@@ -1,0 +1,128 @@
+"""Termination and convergence properties of the dataflow analyses.
+
+Random programs with loops and branches must never hang the fixpoint
+engines, and re-running an analysis must be deterministic.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.android.apk import Apk
+from repro.android.components import ComponentDecl, ComponentKind
+from repro.android.manifest import Manifest
+from repro.dex import DexClass, DexProgram, MethodBuilder
+from repro.statics import extract_app
+from repro.statics.callgraph import CallGraph
+from repro.statics.constprop import ValueAnalysis
+
+
+@st.composite
+def looping_methods(draw):
+    """A method with random const/move/branch structure, always valid."""
+    n_blocks = draw(st.integers(min_value=1, max_value=5))
+    b = MethodBuilder("onStartCommand", params=("p0",))
+    labels = [f"L{i}" for i in range(n_blocks)]
+    for i, label in enumerate(labels):
+        b.label(label)
+        for j in range(draw(st.integers(min_value=1, max_value=4))):
+            reg = f"v{draw(st.integers(min_value=0, max_value=3))}"
+            b.const_string(reg, f"s{i}_{j}")
+        # Random branch to any block (back edges create loops).
+        if draw(st.booleans()):
+            target = draw(st.sampled_from(labels))
+            b.if_goto(f"v{draw(st.integers(min_value=0, max_value=3))}", target)
+    b.ret()
+    return b.build()
+
+
+@given(looping_methods())
+@settings(max_examples=50, deadline=None)
+def test_value_analysis_terminates_on_loops(method):
+    apk = Apk(
+        Manifest(
+            package="p",
+            components=[ComponentDecl("Svc", ComponentKind.SERVICE)],
+        ),
+        DexProgram([DexClass("Svc", superclass="Service", methods=[method])]),
+    )
+    callgraph = CallGraph(apk)
+    values = ValueAnalysis(callgraph)
+    assert values.states_before is not None
+
+
+@given(looping_methods())
+@settings(max_examples=30, deadline=None)
+def test_full_extraction_deterministic(method):
+    apk = Apk(
+        Manifest(
+            package="p",
+            components=[ComponentDecl("Svc", ComponentKind.SERVICE)],
+        ),
+        DexProgram([DexClass("Svc", superclass="Service", methods=[method])]),
+    )
+    a = extract_app(apk)
+    b = extract_app(apk)
+    assert a.components == b.components
+    assert a.intents == b.intents
+
+
+def test_mutually_recursive_methods_terminate():
+    cls = DexClass(
+        "Svc",
+        superclass="Service",
+        methods=[
+            MethodBuilder("onStartCommand", params=("p0",))
+            .invoke("this.ping", args=("p0",), dest="v0")
+            .invoke("Log.d", args=("v1", "v0"))
+            .ret()
+            .build(),
+            MethodBuilder("ping", params=("p0",))
+            .invoke("this.pong", args=("p0",), dest="v0")
+            .ret("v0")
+            .build(),
+            MethodBuilder("pong", params=("p0",))
+            .invoke("this.ping", args=("p0",), dest="v0")
+            .ret("v0")
+            .build(),
+        ],
+    )
+    apk = Apk(
+        Manifest(
+            package="p", components=[ComponentDecl("Svc", ComponentKind.SERVICE)]
+        ),
+        DexProgram([cls]),
+    )
+    model = extract_app(apk)  # must not hang
+    assert model.components
+
+
+def test_self_recursive_taint_terminates():
+    cls = DexClass(
+        "Svc",
+        superclass="Service",
+        methods=[
+            MethodBuilder("onStartCommand", params=("p0",))
+            .invoke("TelephonyManager.getDeviceId", receiver="v9", dest="v1")
+            .invoke("this.spin", args=("v1",), dest="v2")
+            .invoke("Log.d", args=("v3", "v2"))
+            .ret()
+            .build(),
+            MethodBuilder("spin", params=("p0",))
+            .invoke("this.spin", args=("p0",), dest="v0")
+            .move("v1", "p0")
+            .ret("v1")
+            .build(),
+        ],
+    )
+    apk = Apk(
+        Manifest(
+            package="p", components=[ComponentDecl("Svc", ComponentKind.SERVICE)]
+        ),
+        DexProgram([cls]),
+    )
+    model = extract_app(apk)
+    from repro.android.resources import Resource
+    from repro.core.model import PathModel
+
+    # The recursive identity still carries the taint to the sink.
+    assert PathModel(Resource.IMEI, Resource.LOG) in model.component("p/Svc").paths

@@ -1,0 +1,102 @@
+"""Tests for control-flow graph construction and reachability."""
+
+from repro.dex import MethodBuilder
+from repro.statics.cfg import ControlFlowGraph
+
+
+def cfg_of(builder):
+    return ControlFlowGraph(builder.build())
+
+
+class TestBlocks:
+    def test_straight_line_single_block(self):
+        cfg = cfg_of(
+            MethodBuilder("m").const_string("v0", "a").const_string("v1", "b").ret()
+        )
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].successors == []
+
+    def test_if_splits_blocks(self):
+        cfg = cfg_of(
+            MethodBuilder("m")
+            .if_goto("v0", "else")
+            .const_string("v1", "then")
+            .ret()
+            .label("else")
+            .const_string("v1", "else")
+            .ret()
+        )
+        assert len(cfg.blocks) == 3
+        assert sorted(cfg.blocks[0].successors) == [1, 2]
+
+    def test_goto_edge(self):
+        cfg = cfg_of(
+            MethodBuilder("m")
+            .goto("end")
+            .const_string("v0", "dead")
+            .label("end")
+            .ret()
+        )
+        first = cfg.blocks[0]
+        assert len(first.successors) == 1
+
+    def test_loop_back_edge(self):
+        cfg = cfg_of(
+            MethodBuilder("m")
+            .label("top")
+            .const_string("v0", "x")
+            .if_goto("v1", "top")
+            .ret()
+        )
+        reach = cfg.reachable_blocks()
+        assert len(reach) == len(cfg.blocks)
+        # a predecessor relationship closes the loop
+        assert any(0 in b.successors for b in cfg.blocks)
+
+    def test_empty_method(self):
+        cfg = ControlFlowGraph(
+            MethodBuilder("m").build()
+        )  # builder inserts a lone return
+        assert len(cfg.blocks) == 1
+
+
+class TestReachability:
+    def test_code_after_goto_unreachable(self):
+        cfg = cfg_of(
+            MethodBuilder("m")
+            .goto("end")
+            .const_string("v0", "dead")
+            .label("end")
+            .ret()
+        )
+        live = cfg.reachable_instructions()
+        assert 1 not in live
+        assert 0 in live and 2 in live
+
+    def test_code_after_return_unreachable(self):
+        cfg = cfg_of(
+            MethodBuilder("m").ret().const_string("v0", "dead").ret()
+        )
+        assert 1 not in cfg.reachable_instructions()
+
+    def test_both_branch_arms_reachable(self):
+        cfg = cfg_of(
+            MethodBuilder("m")
+            .if_goto("v0", "skip")
+            .const_string("v1", "then")
+            .label("skip")
+            .ret()
+        )
+        assert cfg.reachable_instructions() == frozenset({0, 1, 2})
+
+    def test_block_of_lookup(self):
+        cfg = cfg_of(
+            MethodBuilder("m")
+            .const_string("v0", "a")
+            .if_goto("v0", "end")
+            .const_string("v1", "b")
+            .label("end")
+            .ret()
+        )
+        assert cfg.block_of(0).index == cfg.block_of(1).index
+        assert cfg.block_of(2).index != cfg.block_of(0).index

@@ -1,0 +1,276 @@
+"""Additional static-analysis coverage: permission extraction, data/type
+Intent attributes, resolver extraction, static fields, and attribution of
+shared helper methods."""
+
+import pytest
+
+from repro.android.apk import Apk
+from repro.android.components import ComponentDecl, ComponentKind
+from repro.android.manifest import Manifest
+from repro.android import permissions as perms
+from repro.android.resources import Resource
+from repro.core.model import PathModel
+from repro.dex import DexClass, DexProgram, MethodBuilder
+from repro.statics import extract_app
+from repro.statics.callgraph import CallGraph
+from repro.statics.constprop import ValueAnalysis
+from repro.statics.permission_extraction import PermissionExtraction
+
+A = ComponentKind.ACTIVITY
+S = ComponentKind.SERVICE
+
+
+def service_app(methods, package="p", name="Svc", extra_decls=(), extra_classes=()):
+    return Apk(
+        Manifest(
+            package=package,
+            components=[ComponentDecl(name, S)] + list(extra_decls),
+        ),
+        DexProgram(
+            [DexClass(name, superclass="Service", methods=methods)]
+            + list(extra_classes)
+        ),
+    )
+
+
+class TestPermissionExtraction:
+    def test_direct_api_tagging(self):
+        apk = service_app(
+            [
+                MethodBuilder("onStartCommand", params=("p0",))
+                .invoke("SmsManager.getDefault", dest="v0")
+                .const_string("v1", "x")
+                .invoke(
+                    "SmsManager.sendTextMessage",
+                    receiver="v0",
+                    args=("v1", "v1", "v1", "v1", "v1"),
+                )
+                .ret()
+                .build()
+            ]
+        )
+        model = extract_app(apk)
+        assert perms.SEND_SMS in model.component("p/Svc").uses_permissions
+
+    def test_transitive_tagging_through_call_chain(self):
+        """Tags propagate from children to parents up to entry points."""
+        apk = service_app(
+            [
+                MethodBuilder("onStartCommand", params=("p0",))
+                .invoke("this.level1")
+                .ret()
+                .build(),
+                MethodBuilder("level1").invoke("this.level2").ret().build(),
+                MethodBuilder("level2")
+                .invoke("LocationManager.getLastKnownLocation", receiver="v9", dest="v0")
+                .ret()
+                .build(),
+            ]
+        )
+        model = extract_app(apk)
+        assert perms.ACCESS_FINE_LOCATION in model.component("p/Svc").uses_permissions
+
+    def test_unreachable_api_not_tagged(self):
+        apk = service_app(
+            [
+                MethodBuilder("onStartCommand", params=("p0",)).ret().build(),
+                MethodBuilder("orphan")
+                .invoke("Camera.takePicture", receiver="v9")
+                .ret()
+                .build(),
+            ]
+        )
+        model = extract_app(apk)
+        assert perms.CAMERA not in model.component("p/Svc").uses_permissions
+
+    def test_enforce_calling_permission_variant(self):
+        apk = service_app(
+            [
+                MethodBuilder("onStartCommand", params=("p0",))
+                .const_string("v0", perms.READ_CONTACTS)
+                .invoke("Context.enforceCallingPermission", args=("v0",))
+                .ret()
+                .build()
+            ]
+        )
+        model = extract_app(apk)
+        assert perms.READ_CONTACTS in model.component("p/Svc").permissions
+
+    def test_component_without_class_empty(self):
+        apk = Apk(
+            Manifest(package="p", components=[ComponentDecl("Ghost", S)]),
+            DexProgram([]),
+        )
+        callgraph = CallGraph(apk)
+        values = ValueAnalysis(callgraph)
+        result = PermissionExtraction(apk, callgraph, values).run()
+        assert result["p/Ghost"].exposed == frozenset()
+
+
+class TestIntentAttributeExtraction:
+    def _extract_intent(self, builder_ops):
+        b = MethodBuilder("onStartCommand", params=("p0",))
+        b.new_instance("v0", "Intent")
+        builder_ops(b)
+        b.invoke("Context.startService", args=("v0",))
+        b.ret()
+        model = extract_app(service_app([b.build()]))
+        assert len(model.intents) >= 1
+        return model.intents
+
+    def test_set_data_and_type(self):
+        def ops(b):
+            b.const_string("v1", "content://media/images")
+            b.const_string("v2", "image/png")
+            b.invoke("Intent.setDataAndType", receiver="v0", args=("v1", "v2"))
+
+        [intent] = self._extract_intent(ops)
+        assert intent.data_scheme == "content"
+        assert intent.data_type == "image/png"
+
+    def test_categories_collected_as_set(self):
+        def ops(b):
+            b.const_string("v1", "cat.ONE")
+            b.invoke("Intent.addCategory", receiver="v0", args=("v1",))
+            b.const_string("v2", "cat.TWO")
+            b.invoke("Intent.addCategory", receiver="v0", args=("v2",))
+
+        [intent] = self._extract_intent(ops)
+        assert intent.categories == {"cat.ONE", "cat.TWO"}
+
+    def test_multiple_targets_explode(self):
+        def ops(b):
+            b.const_string("v1", "T1")
+            b.if_goto("v9", "set")
+            b.const_string("v1", "T2")
+            b.label("set")
+            b.invoke("Intent.setClassName", receiver="v0", args=("v1",))
+
+        intents = self._extract_intent(ops)
+        assert {i.target for i in intents} == {"p/T1", "p/T2"}
+
+    def test_addressed_kind_recorded(self):
+        [intent] = self._extract_intent(lambda b: None)
+        assert intent.addressed_kind is ComponentKind.SERVICE
+
+    def test_unsent_intent_not_materialized(self):
+        b = (
+            MethodBuilder("onStartCommand", params=("p0",))
+            .new_instance("v0", "Intent")
+            .const_string("v1", "never.sent")
+            .invoke("Intent.setAction", receiver="v0", args=("v1",))
+            .ret()
+        )
+        model = extract_app(service_app([b.build()]))
+        assert not model.intents
+
+
+class TestResolverExtraction:
+    def test_access_recorded_with_payload(self):
+        apk = service_app(
+            [
+                MethodBuilder("onStartCommand", params=("p0",))
+                .invoke("TelephonyManager.getDeviceId", receiver="v9", dest="v8")
+                .const_string("v0", "content://x.y/items")
+                .invoke("ContentResolver.update", args=("v0", "v8"))
+                .ret()
+                .build()
+            ]
+        )
+        model = extract_app(apk)
+        [access] = model.provider_accesses
+        assert access.operation == "update"
+        assert access.authority == "x.y"
+        assert Resource.IMEI in access.payload
+        # The sender gains an IMEI -> ICC path.
+        assert PathModel(Resource.IMEI, Resource.ICC) in model.component(
+            "p/Svc"
+        ).paths
+
+    def test_query_result_is_icc_tainted(self):
+        apk = service_app(
+            [
+                MethodBuilder("onStartCommand", params=("p0",))
+                .const_string("v0", "content://x.y/items")
+                .invoke("ContentResolver.query", args=("v0",), dest="v2")
+                .invoke("Log.d", args=("v9", "v2"))
+                .ret()
+                .build()
+            ]
+        )
+        model = extract_app(apk)
+        assert PathModel(Resource.ICC, Resource.LOG) in model.component(
+            "p/Svc"
+        ).paths
+
+
+class TestValueAnalysisStatics:
+    def test_static_field_flow(self):
+        apk = service_app(
+            [
+                MethodBuilder("onStartCommand", params=("p0",))
+                .const_string("v0", "static.ACTION")
+                .sput("Config.action", "v0")
+                .invoke("this.send")
+                .ret()
+                .build(),
+                MethodBuilder("send")
+                .new_instance("v0", "Intent")
+                .sget("v1", "Config.action")
+                .invoke("Intent.setAction", receiver="v0", args=("v1",))
+                .invoke("Context.sendBroadcast", args=("v0",))
+                .ret()
+                .build(),
+            ]
+        )
+        model = extract_app(apk)
+        assert [i.action for i in model.intents] == ["static.ACTION"]
+
+
+class TestSharedHelperAttribution:
+    def test_intent_attributed_to_both_components(self):
+        """A helper reachable from two components' entries attributes its
+        ICC sends to both senders."""
+        shared = DexClass(
+            "Shared",
+            superclass="Object",
+            methods=[
+                MethodBuilder("fire", params=("p0",))
+                .new_instance("v0", "Intent")
+                .const_string("v1", "shared.GO")
+                .invoke("Intent.setAction", receiver="v0", args=("v1",))
+                .invoke("Context.startService", args=("v0",))
+                .ret()
+                .build()
+            ],
+        )
+        cmp_a = DexClass(
+            "CmpA",
+            superclass="Activity",
+            methods=[
+                MethodBuilder("onCreate", params=("p0",))
+                .invoke("Shared.fire", args=("p0",))
+                .ret()
+                .build()
+            ],
+        )
+        cmp_b = DexClass(
+            "CmpB",
+            superclass="Service",
+            methods=[
+                MethodBuilder("onStartCommand", params=("p0",))
+                .invoke("Shared.fire", args=("p0",))
+                .ret()
+                .build()
+            ],
+        )
+        apk = Apk(
+            Manifest(
+                package="p",
+                components=[ComponentDecl("CmpA", A), ComponentDecl("CmpB", S)],
+            ),
+            DexProgram([shared, cmp_a, cmp_b]),
+        )
+        model = extract_app(apk)
+        senders = {i.sender for i in model.intents}
+        assert senders == {"p/CmpA", "p/CmpB"}

@@ -1,0 +1,133 @@
+"""Tests for the synthetic market corpus generator and bundling."""
+
+import pytest
+
+from repro.statics import extract_app, extract_bundle
+from repro.core.detector import SeparDetector
+from repro.workloads import (
+    CorpusConfig,
+    CorpusGenerator,
+    REPOSITORIES,
+    partition_bundles,
+)
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    # seed 11, scale 0.05 injects at least one of every vulnerability kind.
+    generator = CorpusGenerator(CorpusConfig(scale=0.05, seed=11))
+    return generator, generator.generate()
+
+
+class TestGeneration:
+    def test_deterministic_under_seed(self):
+        a = CorpusGenerator(CorpusConfig(scale=0.02, seed=42)).generate()
+        b = CorpusGenerator(CorpusConfig(scale=0.02, seed=42)).generate()
+        assert [x.package for x in a] == [y.package for y in b]
+        assert [x.size_kb for x in a] == [y.size_kb for y in b]
+
+    def test_different_seeds_differ(self):
+        a = CorpusGenerator(CorpusConfig(scale=0.02, seed=1)).generate()
+        b = CorpusGenerator(CorpusConfig(scale=0.02, seed=2)).generate()
+        assert [x.size_kb for x in a] != [y.size_kb for y in b]
+
+    def test_repository_populations(self, small_corpus):
+        _, apks = small_corpus
+        by_repo = {}
+        for apk in apks:
+            by_repo[apk.repository] = by_repo.get(apk.repository, 0) + 1
+        for name, profile in REPOSITORIES.items():
+            assert by_repo[name] == max(1, round(profile.count * 0.05))
+
+    def test_full_scale_population(self):
+        config = CorpusConfig(scale=1.0)
+        total = sum(
+            config.scaled_count(p) for p in config.repositories.values()
+        )
+        assert total == 4000  # the paper's corpus size
+
+    def test_packages_unique(self, small_corpus):
+        _, apks = small_corpus
+        packages = [a.package for a in apks]
+        assert len(packages) == len(set(packages))
+
+    def test_ledger_tracks_injections(self, small_corpus):
+        generator, apks = small_corpus
+        counts = generator.ledger.counts()
+        assert all(v >= 0 for v in counts.values())
+        packages = {a.package for a in apks}
+        for bucket in (
+            generator.ledger.hijack_apps,
+            generator.ledger.leak_apps,
+        ):
+            assert bucket <= packages
+
+
+class TestGeneratedAppsAnalyzable:
+    def test_every_app_extracts(self, small_corpus):
+        _, apks = small_corpus
+        for apk in apks[:40]:
+            model = extract_app(apk)
+            assert model.components
+
+    def test_injected_hijack_detected(self, small_corpus):
+        generator, apks = small_corpus
+        target = next(iter(generator.ledger.hijack_apps))
+        apk = next(a for a in apks if a.package == target)
+        bundle = extract_bundle([apk])
+        report = SeparDetector().detect(bundle)
+        assert target in report.apps("intent_hijack")
+
+    def test_injected_leak_detected(self, small_corpus):
+        generator, apks = small_corpus
+        target = next(iter(generator.ledger.leak_apps))
+        apk = next(a for a in apks if a.package == target)
+        report = SeparDetector().detect(extract_bundle([apk]))
+        assert target in report.apps("information_leak")
+
+    def test_injected_escalation_detected(self, small_corpus):
+        generator, apks = small_corpus
+        target = next(iter(generator.ledger.escalation_apps))
+        apk = next(a for a in apks if a.package == target)
+        report = SeparDetector().detect(extract_bundle([apk]))
+        assert target in report.apps("privilege_escalation")
+
+    def test_benign_app_clean(self, small_corpus):
+        generator, apks = small_corpus
+        injected = (
+            generator.ledger.hijack_apps
+            | generator.ledger.launch_apps
+            | generator.ledger.leak_apps
+            | generator.ledger.escalation_apps
+        )
+        benign = next(a for a in apks if a.package not in injected)
+        report = SeparDetector().detect(extract_bundle([benign]))
+        for vuln in report.findings.values():
+            assert not vuln
+
+
+class TestBundles:
+    def test_partition_sizes(self):
+        bundles = partition_bundles(list(range(230)), bundle_size=50)
+        assert [len(b) for b in bundles] == [50, 50, 50, 50, 30]
+
+    def test_partition_disjoint_and_complete(self):
+        items = list(range(173))
+        bundles = partition_bundles(items, bundle_size=50, seed=3)
+        flat = [x for b in bundles for x in b]
+        assert sorted(flat) == items
+
+    def test_partition_deterministic(self):
+        a = partition_bundles(list(range(100)), seed=9)
+        b = partition_bundles(list(range(100)), seed=9)
+        assert a == b
+
+    def test_partition_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            partition_bundles([1, 2, 3], bundle_size=0)
+
+    def test_paper_partition_shape(self):
+        """4,000 apps -> 80 bundles of 50."""
+        bundles = partition_bundles(list(range(4000)), bundle_size=50)
+        assert len(bundles) == 80
+        assert all(len(b) == 50 for b in bundles)
