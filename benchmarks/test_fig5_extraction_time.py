@@ -108,3 +108,30 @@ def test_benchmark_single_extraction(benchmark, scale):
     apk = max(apks, key=lambda a: a.size_kb)
     model = benchmark(extract_app, apk)
     assert model.components
+
+
+def test_fig5_pipeline_extraction_cached(tmp_path, scale):
+    """Per-app extraction through the pipeline: each app is an independent
+    unit of work (the property behind Fig 5's linear scaling), so a warm
+    cache turns the whole stage into pure lookups."""
+    from repro.pipeline import AnalysisPipeline, PipelineCache
+    from repro.pipeline.stats import RunReport
+
+    generator = CorpusGenerator(CorpusConfig(scale=min(scale, 0.02)))
+    apks = generator.generate()
+
+    cold_report = RunReport()
+    pipeline = AnalysisPipeline(jobs=1, cache=PipelineCache(tmp_path))
+    cold_models = pipeline.extract_apps(apks, report=cold_report)
+    assert cold_report.cache.misses.get("extract") == len(apks)
+
+    warm_report = RunReport()
+    warm_pipeline = AnalysisPipeline(jobs=1, cache=PipelineCache(tmp_path))
+    warm_models = warm_pipeline.extract_apps(apks, report=warm_report)
+    assert warm_report.cache.hits.get("extract") == len(apks)
+    cold_s = cold_report.stage("extract").seconds
+    warm_s = warm_report.stage("extract").seconds
+    print(f"\nextract stage: cold {cold_s:.3f}s, warm {warm_s:.3f}s")
+    assert [m.package for m in warm_models] == [
+        m.package for m in cold_models
+    ]

@@ -147,6 +147,12 @@ def resolve_intent(
     passes sender app via the Intent's sender component naming convention
     ``package/Component``).  Implicit Intents resolve to every exported
     component with a matching filter.
+
+    Components may additionally expose ``kind``: for Activities, the
+    framework's ``startActivity`` resolution only considers filters that
+    declare ``android.intent.category.DEFAULT`` (Services and Receivers are
+    exempt).  Components without a ``kind`` attribute are not subjected to
+    the default-category requirement.
     """
     sender_app = app_of(intent.sender)
     matches = []
@@ -158,8 +164,13 @@ def resolve_intent(
             continue
         if not component.exported and not same_app:
             continue
-        if any(filter_matches(intent, f) for f in component.intent_filters):
-            matches.append(component)
+        needs_default = str(getattr(component, "kind", "")) == "Activity"
+        for filt in component.intent_filters:
+            if needs_default and CATEGORY_DEFAULT not in filt.categories:
+                continue
+            if filter_matches(intent, filt):
+                matches.append(component)
+                break
     return matches
 
 

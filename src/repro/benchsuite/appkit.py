@@ -13,7 +13,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.android.apk import Apk
 from repro.android.components import ComponentDecl, ComponentKind
-from repro.android.intents import IntentFilter
+from repro.android.intents import CATEGORY_DEFAULT, IntentFilter
 from repro.android.manifest import Manifest
 from repro.dex import DexClass, DexProgram, MethodBuilder
 
@@ -179,10 +179,15 @@ def component_decl(
 ) -> ComponentDecl:
     filters = []
     if action is not None:
+        categories = {category} if category else set()
+        # Real manifests declare DEFAULT on Activity filters so implicit
+        # startActivity Intents can resolve to them; mirror that here.
+        if kind is ComponentKind.ACTIVITY:
+            categories.add(CATEGORY_DEFAULT)
         filters.append(
             IntentFilter(
                 actions=frozenset({action}),
-                categories=frozenset({category} if category else ()),
+                categories=frozenset(categories),
                 data_schemes=frozenset({data_scheme} if data_scheme else ()),
                 data_types=frozenset({data_type} if data_type else ()),
             )

@@ -27,7 +27,7 @@ from typing import List
 
 from repro.android.apk import Apk
 from repro.android.components import ComponentDecl, ComponentKind
-from repro.android.intents import IntentFilter
+from repro.android.intents import CATEGORY_DEFAULT, IntentFilter
 from repro.android.manifest import Manifest
 from repro.android import permissions as perms
 from repro.dex import DexClass, DexProgram, MethodBuilder
@@ -84,9 +84,14 @@ def build_barcoder() -> Apk:
                 ComponentDecl(
                     "InquiryActivity",
                     A,
-                    # The published defect: an unprotected Intent Filter.
+                    # The published defect: an unprotected Intent Filter
+                    # (DEFAULT declared, as real manifests do, so implicit
+                    # startActivity Intents resolve to it).
                     intent_filters=[
-                        IntentFilter.for_action("ir.barcoder.PAY_BILL")
+                        IntentFilter(
+                            actions=frozenset({"ir.barcoder.PAY_BILL"}),
+                            categories=frozenset({CATEGORY_DEFAULT}),
+                        )
                     ],
                 ),
             ],
@@ -135,7 +140,10 @@ def build_hesabdar() -> Apk:
                     "TransactionReportActivity",
                     A,
                     intent_filters=[
-                        IntentFilter.for_action("ir.hesabdar.SHOW_TRANSACTIONS")
+                        IntentFilter(
+                            actions=frozenset({"ir.hesabdar.SHOW_TRANSACTIONS"}),
+                            categories=frozenset({CATEGORY_DEFAULT}),
+                        )
                     ],
                 ),
             ],

@@ -1,9 +1,10 @@
-"""Scoring: per-case TP/FP/FN and aggregate precision/recall/F-measure."""
+"""Scoring: per-case TP/FP/FN and aggregate precision/recall/F-measure,
+plus pipeline run-report summarization for the performance benchmarks."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set
+from typing import Any, Dict, Iterable, List, Set
 
 from repro.benchsuite.groundtruth import BenchmarkCase, LeakPair
 
@@ -85,3 +86,37 @@ def score_tool(
     for case in cases:
         score.cases.append(score_case(case, results.get(case.name, set())))
     return score
+
+
+def summarize_run_report(report: Any) -> Dict[str, float]:
+    """Flatten a pipeline :class:`~repro.pipeline.stats.RunReport` (or its
+    dict form) into the key figures the Table 2 / Fig 5 benchmark tables
+    print: per-stage wall time, the construction/solving split, cache hit
+    rate, and CDCL solver effort."""
+    data = report.to_dict() if hasattr(report, "to_dict") else dict(report)
+    cache = data.get("cache", {})
+    solver = data.get("solver", {})
+    hits = cache.get("total_hits", 0)
+    misses = cache.get("total_misses", 0)
+    lookups = hits + misses
+    summary: Dict[str, float] = {
+        "jobs": float(data.get("jobs", 1)),
+        "num_apps": float(data.get("num_apps", 0)),
+        "num_bundles": float(data.get("num_bundles", 0)),
+        "num_scenarios": float(data.get("num_scenarios", 0)),
+        "num_policies": float(data.get("num_policies", 0)),
+        "total_seconds": float(data.get("total_seconds", 0.0)),
+        "construction_seconds": float(data.get("construction_seconds", 0.0)),
+        "solving_seconds": float(data.get("solving_seconds", 0.0)),
+        "cache_hits": float(hits),
+        "cache_misses": float(misses),
+        "cache_invalidations": float(cache.get("total_invalidations", 0)),
+        "cache_hit_rate": (hits / lookups) if lookups else 0.0,
+        "solver_calls": float(solver.get("solver_calls", 0)),
+        "conflicts": float(solver.get("conflicts", 0)),
+        "decisions": float(solver.get("decisions", 0)),
+        "propagations": float(solver.get("propagations", 0)),
+    }
+    for stage in data.get("stages", ()):
+        summary[f"stage_{stage['name']}_seconds"] = float(stage["seconds"])
+    return summary

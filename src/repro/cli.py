@@ -7,7 +7,12 @@ Usage (``python -m repro <command>``):
   save each app's extracted model as JSON into DIR.
 - ``analyze MODEL.json ...``    -- analyze a bundle of saved app models:
   print scenarios and policies; ``--alloy FILE`` additionally exports the
-  bundle's Alloy specification.
+  bundle's Alloy specification; ``--jobs N`` fans synthesis across
+  signatures in parallel.
+- ``pipeline``                  -- generate a corpus, partition it into
+  bundles, and run the parallel cached analysis pipeline end to end;
+  ``--jobs N`` controls the process pool, ``--cache-dir`` the persistent
+  cache, ``--report``/``--findings`` write machine-readable outputs.
 """
 
 from __future__ import annotations
@@ -62,8 +67,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         text = pathlib.Path(path).read_text()
         apps.append(serialize.loads_app(text))
     bundle = BundleModel(apps=apps)
-    separ = Separ(scenarios_per_signature=args.scenarios)
-    report = separ.analyze_bundle(bundle)
+    if args.jobs > 1:
+        from repro.pipeline import AnalysisPipeline
+
+        pipeline = AnalysisPipeline(
+            jobs=args.jobs, scenarios_per_signature=args.scenarios
+        )
+        report = pipeline.analyze_bundles([bundle]).reports[0]
+    else:
+        separ = Separ(scenarios_per_signature=args.scenarios)
+        report = separ.analyze_bundle(bundle)
     print(report.summary())
     for scenario in report.scenarios:
         print(f"\n[{scenario.vulnerability}] {scenario.description}")
@@ -75,6 +88,62 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
         pathlib.Path(args.alloy).write_text(alloy_export.render_bundle(bundle))
         print(f"\nAlloy specification written to {args.alloy}")
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.pipeline import AnalysisPipeline, NullCache, PipelineCache
+    from repro.workloads import CorpusConfig, CorpusGenerator
+    from repro.workloads.bundles import partition_bundles
+
+    generator = CorpusGenerator(CorpusConfig(scale=args.scale, seed=args.seed))
+    apks = generator.generate()
+    bundles = partition_bundles(
+        apks, bundle_size=args.bundle_size, seed=args.seed
+    )
+    if args.no_cache:
+        cache = NullCache()
+    else:
+        cache_dir = pathlib.Path(args.cache_dir) if args.cache_dir else None
+        cache = PipelineCache(cache_dir)
+    pipeline = AnalysisPipeline(
+        jobs=args.jobs,
+        cache=cache,
+        scenarios_per_signature=args.scenarios,
+    )
+    result = pipeline.run(bundles)
+    report = result.run_report
+    print(
+        f"pipeline: {report.num_apps} apps in {report.num_bundles} bundles, "
+        f"jobs={report.jobs}"
+    )
+    print(
+        f"  scenarios: {report.num_scenarios}, "
+        f"policies: {report.num_policies}"
+    )
+    for timing in report.stages:
+        print(f"  {timing.name}: {timing.seconds:.2f}s")
+    print(
+        f"  cache: {report.cache.total_hits} hits, "
+        f"{report.cache.total_misses} misses, "
+        f"{report.cache.total_invalidations} invalidations"
+    )
+    solver = report.solver
+    print(
+        f"  solver: {solver.solver_calls} calls, "
+        f"{solver.conflicts} conflicts, {solver.decisions} decisions, "
+        f"{solver.propagations} propagations"
+    )
+    if args.report:
+        pathlib.Path(args.report).write_text(report.dumps())
+        print(f"run report written to {args.report}")
+    if args.findings:
+        import json
+
+        pathlib.Path(args.findings).write_text(
+            json.dumps(result.findings_dict(), indent=2, sort_keys=True)
+        )
+        print(f"findings written to {args.findings}")
     return 0
 
 
@@ -106,7 +175,36 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("models", nargs="+")
     analyze.add_argument("--scenarios", type=int, default=8)
     analyze.add_argument("--alloy", help="export the Alloy spec here")
+    analyze.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for per-signature synthesis",
+    )
     analyze.set_defaults(func=_cmd_analyze)
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="run the parallel cached analysis pipeline over a corpus",
+    )
+    pipeline.add_argument("--scale", type=float, default=0.01)
+    pipeline.add_argument("--seed", type=int, default=2016)
+    pipeline.add_argument("--bundle-size", type=int, default=8)
+    pipeline.add_argument("--scenarios", type=int, default=4)
+    pipeline.add_argument(
+        "--jobs", type=int, default=1, help="worker processes"
+    )
+    pipeline.add_argument(
+        "--cache-dir",
+        help="persistent cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro-pipeline)",
+    )
+    pipeline.add_argument(
+        "--no-cache", action="store_true", help="disable the persistent cache"
+    )
+    pipeline.add_argument("--report", help="write the JSON run report here")
+    pipeline.add_argument(
+        "--findings", help="write canonical JSON findings here"
+    )
+    pipeline.set_defaults(func=_cmd_pipeline)
 
     return parser
 

@@ -41,6 +41,26 @@ class DetectionReport:
     def add(self, vulnerability: str, component: str) -> None:
         self.findings.setdefault(vulnerability, set()).add(component)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical form for run reports and findings files (sorted)."""
+        return {
+            "findings": {
+                vuln: sorted(comps)
+                for vuln, comps in sorted(self.findings.items())
+            },
+            "leak_pairs": sorted(list(pair) for pair in self.leak_pairs),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "DetectionReport":
+        return DetectionReport(
+            findings={
+                vuln: set(comps)
+                for vuln, comps in data.get("findings", {}).items()
+            },
+            leak_pairs={tuple(pair) for pair in data.get("leak_pairs", ())},
+        )
+
 
 class SeparDetector:
     """Decision-procedure twin of the synthesis signatures."""

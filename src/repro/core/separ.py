@@ -88,6 +88,17 @@ class Separ:
 
     def analyze_bundle(self, bundle: BundleModel) -> SeparReport:
         result: SynthesisResult = self.engine.run(bundle)
+        return self.assemble_report(bundle, result)
+
+    @staticmethod
+    def assemble_report(
+        bundle: BundleModel, result: SynthesisResult
+    ) -> SeparReport:
+        """Policy derivation + detection over a precomputed synthesis.
+
+        Split out so the parallel pipeline can fan synthesis out across
+        (bundle, signature) pairs and still assemble the exact report
+        `analyze_bundle` would have produced."""
         spec = BundleSpec(bundle)
         policies = derive_policies(result.scenarios, bundle, spec)
         detection = SeparDetector().detect(bundle)

@@ -10,10 +10,12 @@ the workflow behind the paper's incremental vision (Section IX).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.android.components import ComponentKind
 from repro.android.resources import Resource
+from repro.core.policy import ECAPolicy, PolicyAction, PolicyEvent
+from repro.core.vulnerabilities.base import ExploitScenario
 from repro.core.model import (
     AppModel,
     BundleModel,
@@ -171,6 +173,102 @@ def app_from_dict(data: Dict[str, Any]) -> AppModel:
         extraction_seconds=data.get("extraction_seconds", 0.0),
         apk_size_kb=data.get("apk_size_kb", 0),
         repository=data.get("repository", "unknown"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Synthesis outputs: scenarios, policies, detection reports.  These back
+# the pipeline's persistent cache and the machine-readable findings files,
+# so the round-trip must be lossless (policies derived from a deserialized
+# scenario must equal policies derived from the original).
+
+_ATTR_RESOURCE_KEYS = {"extras"}
+_ATTR_SET_KEYS = {
+    "extras", "categories", "actions", "data_types", "data_schemes",
+}
+
+
+def _attrs_to_dict(attrs: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    if attrs is None:
+        return None
+    out: Dict[str, Any] = {}
+    for key in sorted(attrs):
+        value = attrs[key]
+        if key in _ATTR_RESOURCE_KEYS:
+            out[key] = sorted(r.value for r in value)
+        elif key in _ATTR_SET_KEYS:
+            out[key] = sorted(value)
+        else:
+            out[key] = value
+    return out
+
+
+def _attrs_from_dict(data: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    if data is None:
+        return None
+    out: Dict[str, Any] = {}
+    for key, value in data.items():
+        if key in _ATTR_RESOURCE_KEYS:
+            out[key] = frozenset(Resource(r) for r in value)
+        elif key in _ATTR_SET_KEYS:
+            out[key] = frozenset(value)
+        else:
+            out[key] = value
+    return out
+
+
+def scenario_to_dict(scenario: ExploitScenario) -> Dict[str, Any]:
+    return {
+        "vulnerability": scenario.vulnerability,
+        "roles": {k: scenario.roles[k] for k in sorted(scenario.roles)},
+        "intent": _attrs_to_dict(scenario.intent),
+        "malicious_filter": _attrs_to_dict(scenario.malicious_filter),
+        "description": scenario.description,
+    }
+
+
+def scenario_from_dict(data: Dict[str, Any]) -> ExploitScenario:
+    return ExploitScenario(
+        vulnerability=data["vulnerability"],
+        roles=dict(data["roles"]),
+        intent=_attrs_from_dict(data.get("intent")),
+        malicious_filter=_attrs_from_dict(data.get("malicious_filter")),
+        description=data.get("description", ""),
+    )
+
+
+def policy_to_dict(policy: ECAPolicy) -> Dict[str, Any]:
+    return {
+        "event": policy.event.value,
+        "vulnerability": policy.vulnerability,
+        "action": policy.action.value,
+        "description": policy.description,
+        "receiver": policy.receiver,
+        "sender": policy.sender,
+        "intent_action": policy.intent_action,
+        "extras_any": sorted(r.value for r in policy.extras_any),
+        "allowed_receivers": (
+            sorted(policy.allowed_receivers)
+            if policy.allowed_receivers is not None
+            else None
+        ),
+        "sender_lacks_permission": policy.sender_lacks_permission,
+    }
+
+
+def policy_from_dict(data: Dict[str, Any]) -> ECAPolicy:
+    allowed = data.get("allowed_receivers")
+    return ECAPolicy(
+        event=PolicyEvent(data["event"]),
+        vulnerability=data["vulnerability"],
+        action=PolicyAction(data["action"]),
+        description=data.get("description", ""),
+        receiver=data.get("receiver"),
+        sender=data.get("sender"),
+        intent_action=data.get("intent_action"),
+        extras_any=frozenset(Resource(r) for r in data.get("extras_any", ())),
+        allowed_receivers=frozenset(allowed) if allowed is not None else None,
+        sender_lacks_permission=data.get("sender_lacks_permission"),
     )
 
 

@@ -25,13 +25,60 @@ from repro.core.vulnerabilities.base import ExploitScenario, VulnerabilitySignat
 
 @dataclass
 class SynthesisStats:
-    """Construction vs solving time, per signature and total (Table II)."""
+    """Construction vs solving time, per signature and total (Table II).
+
+    Solver counters (conflicts/decisions/propagations) are accumulated
+    across every SAT call the signatures triggered, for the pipeline run
+    report."""
 
     construction_seconds: float = 0.0
     solving_seconds: float = 0.0
     num_vars: int = 0
     num_clauses: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    solver_calls: int = 0
     per_signature: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def merge(self, other: "SynthesisStats") -> None:
+        """Fold another stats block into this one (pipeline roll-up)."""
+        self.construction_seconds += other.construction_seconds
+        self.solving_seconds += other.solving_seconds
+        self.num_vars += other.num_vars
+        self.num_clauses += other.num_clauses
+        self.conflicts += other.conflicts
+        self.decisions += other.decisions
+        self.propagations += other.propagations
+        self.solver_calls += other.solver_calls
+        self.per_signature.update(other.per_signature)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "construction_seconds": self.construction_seconds,
+            "solving_seconds": self.solving_seconds,
+            "num_vars": self.num_vars,
+            "num_clauses": self.num_clauses,
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "solver_calls": self.solver_calls,
+            "per_signature": self.per_signature,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "SynthesisStats":
+        return SynthesisStats(
+            construction_seconds=data.get("construction_seconds", 0.0),
+            solving_seconds=data.get("solving_seconds", 0.0),
+            num_vars=data.get("num_vars", 0),
+            num_clauses=data.get("num_clauses", 0),
+            conflicts=data.get("conflicts", 0),
+            decisions=data.get("decisions", 0),
+            propagations=data.get("propagations", 0),
+            solver_calls=data.get("solver_calls", 0),
+            per_signature=dict(data.get("per_signature", {})),
+        )
 
 
 @dataclass
@@ -74,29 +121,44 @@ class AnalysisAndSynthesisEngine:
         stats = SynthesisStats()
         scenarios: List[ExploitScenario] = []
         for signature in self.signatures:
-            start = time.perf_counter()
-            # Modules are mutated by instantiation: build a fresh embedding
-            # per signature.
-            spec = BundleSpec(bundle)
-            instantiation = signature.instantiate(spec)
-            problem = spec.module.solve_problem(
-                goal=instantiation.goal, extra=instantiation.extra_scopes
-            )
-            construction = time.perf_counter() - start
-            solve_start = time.perf_counter()
-            found = self._enumerate(problem, instantiation)
-            solving = time.perf_counter() - solve_start
-            for instance in found:
-                scenarios.append(instantiation.decode(instance))
-            stats.construction_seconds += construction
-            stats.solving_seconds += solving
-            stats.num_vars += problem.stats.num_vars
-            stats.num_clauses += problem.stats.num_clauses
-            stats.per_signature[signature.name] = {
-                "construction_seconds": construction,
-                "solving_seconds": solving,
-                "scenarios": float(len(found)),
-            }
+            result = self.run_signature(bundle, signature)
+            scenarios.extend(result.scenarios)
+            stats.merge(result.stats)
+        return SynthesisResult(scenarios=scenarios, stats=stats)
+
+    def run_signature(
+        self, bundle: BundleModel, signature: VulnerabilitySignature
+    ) -> SynthesisResult:
+        """Run a single signature against the bundle.
+
+        The per-signature unit of work the parallel pipeline fans out:
+        independent of every other signature (modules are mutated by
+        instantiation, so each run builds a fresh embedding)."""
+        stats = SynthesisStats()
+        start = time.perf_counter()
+        spec = BundleSpec(bundle)
+        instantiation = signature.instantiate(spec)
+        problem = spec.module.solve_problem(
+            goal=instantiation.goal, extra=instantiation.extra_scopes
+        )
+        construction = time.perf_counter() - start
+        solve_start = time.perf_counter()
+        found = self._enumerate(problem, instantiation)
+        solving = time.perf_counter() - solve_start
+        scenarios = [instantiation.decode(instance) for instance in found]
+        stats.construction_seconds = construction
+        stats.solving_seconds = solving
+        stats.num_vars = problem.stats.num_vars
+        stats.num_clauses = problem.stats.num_clauses
+        stats.conflicts = problem.stats.conflicts
+        stats.decisions = problem.stats.decisions
+        stats.propagations = problem.stats.propagations
+        stats.solver_calls = problem.stats.solver_calls
+        stats.per_signature[signature.name] = {
+            "construction_seconds": construction,
+            "solving_seconds": solving,
+            "scenarios": float(len(found)),
+        }
         return SynthesisResult(scenarios=scenarios, stats=stats)
 
     def _enumerate(self, problem, instantiation) -> List:

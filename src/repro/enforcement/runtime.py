@@ -145,6 +145,10 @@ class InstalledComponent:
     def name(self) -> str:
         return self.qualified
 
+    @property
+    def kind(self) -> "ComponentKind":
+        return self.decl.kind
+
 
 @dataclass
 class InstalledApp:

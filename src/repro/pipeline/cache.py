@@ -1,0 +1,202 @@
+"""Content-addressed persistent cache for extraction and synthesis results.
+
+Keys are SHA-256 digests over *canonical JSON* of everything the cached
+computation depends on: the app/bundle content, the engine parameters, the
+vulnerability signature, and a fingerprint of the analysis code itself
+(framework meta-model, translator, solver).  Any change to the inputs or
+to the analysis semantics therefore changes the key and the stale entry is
+simply never addressed again; entries whose on-disk envelope predates the
+current format version are discarded and counted as invalidations.
+
+Canonical JSON matters: ``frozenset`` iteration order varies across
+interpreter runs under hash randomization, so every set is sorted (by its
+own canonical encoding) before hashing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import inspect
+import json
+import os
+import pathlib
+from functools import lru_cache
+from typing import Any, Dict, Optional
+
+from repro.pipeline.stats import CacheAccounting
+
+#: Bump to invalidate every persisted entry (envelope format change).
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable consulted for the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce an object tree to deterministic JSON-encodable data.
+
+    Handles dataclasses, enums, sets/frozensets (sorted by their canonical
+    encoding), mappings (sorted keys), and sequences.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            "fields": {
+                f.name: canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__name__, "name": obj.name}
+    if isinstance(obj, (set, frozenset)):
+        return sorted(
+            (canonical(item) for item in obj),
+            key=lambda c: json.dumps(c, sort_keys=True),
+        )
+    if isinstance(obj, dict):
+        return {str(k): canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item) for item in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}")
+
+
+def canonical_json(obj: Any) -> str:
+    return json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(obj: Any) -> str:
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def framework_fingerprint() -> str:
+    """Digest of the analysis code a cached result depends on.
+
+    Covers model extraction, the relational embedding and meta-model, the
+    translator/solver substrate, and the vulnerability signatures: editing
+    any of them changes every cache key, which is exactly the invalidation
+    the correctness argument needs.
+    """
+    import repro.android.intents
+    import repro.core.app_to_spec
+    import repro.core.model
+    import repro.core.serialize
+    import repro.core.synthesis
+    import repro.core.vulnerabilities.base
+    import repro.core.vulnerabilities.escalation
+    import repro.core.vulnerabilities.hijack
+    import repro.core.vulnerabilities.launch
+    import repro.core.vulnerabilities.leak
+    import repro.relational.problem
+    import repro.relational.translate
+    import repro.sat.solver
+    import repro.statics
+
+    modules = [
+        repro.android.intents,
+        repro.core.app_to_spec,
+        repro.core.model,
+        repro.core.serialize,
+        repro.core.synthesis,
+        repro.core.vulnerabilities.base,
+        repro.core.vulnerabilities.escalation,
+        repro.core.vulnerabilities.hijack,
+        repro.core.vulnerabilities.launch,
+        repro.core.vulnerabilities.leak,
+        repro.relational.problem,
+        repro.relational.translate,
+        repro.sat.solver,
+        repro.statics,
+    ]
+    digest = hashlib.sha256()
+    for module in modules:
+        digest.update(module.__name__.encode("utf-8"))
+        try:
+            digest.update(inspect.getsource(module).encode("utf-8"))
+        except (OSError, TypeError):  # no source (frozen/zipped): name only
+            pass
+    return digest.hexdigest()
+
+
+def default_cache_dir() -> pathlib.Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-pipeline"
+
+
+class PipelineCache:
+    """A directory of JSON entries addressed by content hash.
+
+    Layout: ``<root>/<namespace>/<hash[:2]>/<hash>.json``.  Entries carry a
+    format-version envelope; a version mismatch counts as an invalidation
+    (the file is removed) plus a miss.
+    """
+
+    def __init__(self, root: Optional[pathlib.Path] = None) -> None:
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.accounting = CacheAccounting()
+
+    def _path(self, namespace: str, key: str) -> pathlib.Path:
+        return self.root / namespace / key[:2] / f"{key}.json"
+
+    def get(self, namespace: str, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path(namespace, key)
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.accounting.record_miss(namespace)
+            return None
+        if envelope.get("version") != CACHE_FORMAT_VERSION:
+            self.accounting.record_invalidation(namespace)
+            self.accounting.record_miss(namespace)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.accounting.record_hit(namespace)
+        return envelope["payload"]
+
+    def put(self, namespace: str, key: str, payload: Dict[str, Any]) -> None:
+        path = self._path(namespace, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"version": CACHE_FORMAT_VERSION, "payload": payload}
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(envelope, sort_keys=True))
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of files removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+class NullCache(PipelineCache):
+    """Cache-shaped no-op for cacheless runs; still counts misses."""
+
+    def __init__(self) -> None:  # no root directory at all
+        self.root = None  # type: ignore[assignment]
+        self.accounting = CacheAccounting()
+
+    def get(self, namespace: str, key: str) -> Optional[Dict[str, Any]]:
+        self.accounting.record_miss(namespace)
+        return None
+
+    def put(self, namespace: str, key: str, payload: Dict[str, Any]) -> None:
+        pass
+
+    def clear(self) -> int:
+        return 0

@@ -1,0 +1,310 @@
+"""The parallel, cached analysis/synthesis pipeline.
+
+Extraction is fanned out across apps and synthesis across
+(bundle, vulnerability-signature) pairs -- the two embarrassingly parallel
+axes of SEPAR's workload (per-app facts are independent until composition;
+signatures never share solver state).  Results flow through the
+content-addressed :class:`~repro.pipeline.cache.PipelineCache`, so a rerun
+over unchanged inputs skips extraction and SAT solving entirely.
+
+Determinism: workers communicate via the canonical JSON forms in
+``repro.core.serialize`` and results are reassembled in (bundle, signature)
+index order, so serial (``jobs=1``) and parallel runs produce byte-identical
+findings and policies.  Signatures are addressed by registry name
+(``repro.core.vulnerabilities.lookup``) to stay picklable.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.android.apk import Apk
+from repro.core import serialize
+from repro.core.detector import DetectionReport
+from repro.core.model import AppModel, BundleModel
+from repro.core.separ import Separ, SeparReport
+from repro.core.synthesis import (
+    AnalysisAndSynthesisEngine,
+    SynthesisResult,
+    SynthesisStats,
+)
+from repro.core.vulnerabilities import default_signatures, lookup
+from repro.pipeline.cache import (
+    NullCache,
+    PipelineCache,
+    content_hash,
+    framework_fingerprint,
+)
+from repro.pipeline.stats import RunReport
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+# ----------------------------------------------------------------------
+# Worker functions: module-level (picklable), plain-data in and out.
+
+def _extract_worker(task: Tuple[Any, bool]) -> Dict[str, Any]:
+    from repro.statics import extract_app
+
+    apk, handle_dynamic_receivers = task
+    model = extract_app(apk, handle_dynamic_receivers=handle_dynamic_receivers)
+    return serialize.app_to_dict(model)
+
+
+def _synthesis_worker(task: Dict[str, Any]) -> Dict[str, Any]:
+    bundle = BundleModel(
+        apps=[serialize.app_from_dict(a) for a in task["apps"]]
+    )
+    signature = lookup(task["signature"])()
+    engine = AnalysisAndSynthesisEngine(
+        signatures=[signature],
+        scenarios_per_signature=task["scenarios_per_signature"],
+        minimal=task["minimal"],
+    )
+    result = engine.run_signature(bundle, signature)
+    return {
+        "scenarios": [
+            serialize.scenario_to_dict(s) for s in result.scenarios
+        ],
+        "stats": result.stats.to_dict(),
+    }
+
+
+# ----------------------------------------------------------------------
+
+@dataclass
+class PipelineResult:
+    """Everything a pipeline run produced."""
+
+    reports: List[SeparReport]
+    run_report: RunReport
+
+    def findings_dict(self) -> Dict[str, Any]:
+        """Canonical findings across all bundles (for files and diffing)."""
+        return {
+            "bundles": [
+                {
+                    "apps": sorted(a.package for a in report.bundle.apps),
+                    "scenarios": [
+                        serialize.scenario_to_dict(s)
+                        for s in report.scenarios
+                    ],
+                    "policies": [
+                        serialize.policy_to_dict(p) for p in report.policies
+                    ],
+                    "detection": report.detection.to_dict(),
+                }
+                for report in self.reports
+            ],
+        }
+
+
+class AnalysisPipeline:
+    """Fan-out + cache orchestration for multi-bundle SEPAR analysis.
+
+    ``jobs <= 1`` runs everything serially in-process; higher values use a
+    :class:`~concurrent.futures.ProcessPoolExecutor`, falling back to the
+    serial path if worker processes cannot be spawned.  Both paths execute
+    the same worker functions, so outputs are identical byte for byte.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[PipelineCache] = None,
+        signature_names: Optional[Sequence[str]] = None,
+        scenarios_per_signature: int = 8,
+        minimal: bool = True,
+        handle_dynamic_receivers: bool = False,
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.cache = cache if cache is not None else NullCache()
+        self.signature_names = (
+            list(signature_names)
+            if signature_names is not None
+            else [s.name for s in default_signatures()]
+        )
+        self.scenarios_per_signature = scenarios_per_signature
+        self.minimal = minimal
+        self.handle_dynamic_receivers = handle_dynamic_receivers
+
+    # ------------------------------------------------------------------
+    def _map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Order-preserving map, parallel when jobs > 1."""
+        if self.jobs <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        try:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                return list(pool.map(fn, items))
+        except (OSError, ValueError, RuntimeError):
+            # No process support (restricted environments): serial fallback.
+            return [fn(item) for item in items]
+
+    def _engine_params(self) -> Dict[str, Any]:
+        return {
+            "scenarios_per_signature": self.scenarios_per_signature,
+            "minimal": self.minimal,
+        }
+
+    @staticmethod
+    def _app_content_key(app_dict: Dict[str, Any]) -> str:
+        """Hash of an app's *analysis-relevant* content.
+
+        ``extraction_seconds`` is a wall-clock measurement that changes on
+        every fresh extraction; hashing it would give re-extracted apps new
+        synthesis keys and spuriously miss otherwise-valid cache entries.
+        """
+        return content_hash(
+            {k: v for k, v in app_dict.items() if k != "extraction_seconds"}
+        )
+
+    # ------------------------------------------------------------------
+    def extract_apps(
+        self, apks: Sequence[Apk], report: Optional[RunReport] = None
+    ) -> List[AppModel]:
+        """Extract app models, fanning cache misses out across processes."""
+        start = time.perf_counter()
+        fingerprint = framework_fingerprint()
+        keys = [
+            content_hash(
+                {
+                    "task": "extract",
+                    "apk": apk,
+                    "handle_dynamic_receivers": self.handle_dynamic_receivers,
+                    "fingerprint": fingerprint,
+                }
+            )
+            for apk in apks
+        ]
+        dicts: List[Optional[Dict[str, Any]]] = [
+            self.cache.get("extract", key) for key in keys
+        ]
+        miss_indices = [i for i, d in enumerate(dicts) if d is None]
+        extracted = self._map(
+            _extract_worker,
+            [(apks[i], self.handle_dynamic_receivers) for i in miss_indices],
+        )
+        for index, app_dict in zip(miss_indices, extracted):
+            self.cache.put("extract", keys[index], app_dict)
+            dicts[index] = app_dict
+        models = [serialize.app_from_dict(d) for d in dicts]
+        if report is not None:
+            report.add_stage("extract", time.perf_counter() - start)
+            report.num_apps += len(models)
+            report.cache = self.cache.accounting
+        return models
+
+    # ------------------------------------------------------------------
+    def run(self, bundles: Sequence[Sequence[Apk]]) -> PipelineResult:
+        """Analyze every bundle: extraction, synthesis, policies, detection."""
+        run_report = RunReport(jobs=self.jobs)
+        all_apks = [apk for bundle in bundles for apk in bundle]
+        models = self.extract_apps(all_apks, report=run_report)
+        bundle_models: List[BundleModel] = []
+        cursor = 0
+        for bundle in bundles:
+            size = len(bundle)
+            bundle_models.append(
+                BundleModel(apps=models[cursor:cursor + size])
+            )
+            cursor += size
+        return self.analyze_bundles(bundle_models, run_report=run_report)
+
+    def analyze_bundles(
+        self,
+        bundle_models: Sequence[BundleModel],
+        run_report: Optional[RunReport] = None,
+    ) -> PipelineResult:
+        """Synthesis + policy derivation + detection over extracted bundles."""
+        run_report = run_report if run_report is not None else RunReport(jobs=self.jobs)
+        run_report.num_bundles += len(bundle_models)
+        fingerprint = framework_fingerprint()
+        params = self._engine_params()
+
+        start = time.perf_counter()
+        bundle_apps: List[List[Dict[str, Any]]] = [
+            [serialize.app_to_dict(a) for a in bundle.apps]
+            for bundle in bundle_models
+        ]
+        app_hashes = [
+            sorted(self._app_content_key(d) for d in apps)
+            for apps in bundle_apps
+        ]
+        tasks: List[Tuple[int, int]] = [
+            (b, s)
+            for b in range(len(bundle_models))
+            for s in range(len(self.signature_names))
+        ]
+        keys = [
+            content_hash(
+                {
+                    "task": "synthesis",
+                    "apps": app_hashes[b],
+                    "signature": self.signature_names[s],
+                    "params": params,
+                    "fingerprint": fingerprint,
+                }
+            )
+            for b, s in tasks
+        ]
+        cached: List[Optional[Dict[str, Any]]] = [
+            self.cache.get("synthesis", key) for key in keys
+        ]
+        miss_indices = [i for i, c in enumerate(cached) if c is None]
+        solved = self._map(
+            _synthesis_worker,
+            [
+                {
+                    "apps": bundle_apps[tasks[i][0]],
+                    "signature": self.signature_names[tasks[i][1]],
+                    **params,
+                }
+                for i in miss_indices
+            ],
+        )
+        for index, payload in zip(miss_indices, solved):
+            self.cache.put("synthesis", keys[index], payload)
+            cached[index] = payload
+        run_report.add_stage("synthesis", time.perf_counter() - start)
+
+        # Reassemble in (bundle, signature) index order: exactly the order
+        # the serial engine would have produced.
+        start = time.perf_counter()
+        reports: List[SeparReport] = []
+        for b, bundle in enumerate(bundle_models):
+            scenarios = []
+            stats = SynthesisStats()
+            for i, (tb, _ts) in enumerate(tasks):
+                if tb != b:
+                    continue
+                payload = cached[i]
+                scenarios.extend(
+                    serialize.scenario_from_dict(s)
+                    for s in payload["scenarios"]
+                )
+                stats.merge(SynthesisStats.from_dict(payload["stats"]))
+            result = SynthesisResult(scenarios=scenarios, stats=stats)
+            report = Separ.assemble_report(bundle, result)
+            reports.append(report)
+            run_report.solver.add_synthesis_stats(stats)
+            run_report.construction_seconds += stats.construction_seconds
+            run_report.solving_seconds += stats.solving_seconds
+            run_report.num_scenarios += len(report.scenarios)
+            run_report.num_policies += len(report.policies)
+            run_report.per_bundle.append(
+                {
+                    "apps": len(bundle.apps),
+                    "scenarios": len(report.scenarios),
+                    "policies": len(report.policies),
+                    "conflicts": stats.conflicts,
+                    "decisions": stats.decisions,
+                    "propagations": stats.propagations,
+                }
+            )
+        run_report.add_stage("assemble", time.perf_counter() - start)
+        run_report.cache = self.cache.accounting
+        return PipelineResult(reports=reports, run_report=run_report)

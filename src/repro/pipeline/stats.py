@@ -1,0 +1,195 @@
+"""Pipeline instrumentation: stage timings, cache accounting, run reports.
+
+A :class:`RunReport` is the machine-readable record of one pipeline run:
+per-stage wall time, the CDCL solver counters rolled up across every
+synthesis call, and the cache's hit/miss/invalidation accounting.  The
+Table 2 / Fig 5 benchmark harnesses and ``benchsuite.metrics`` consume it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class StageTiming:
+    """Wall-clock seconds spent in one pipeline stage."""
+
+    name: str
+    seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "seconds": self.seconds}
+
+
+@dataclass
+class CacheAccounting:
+    """Hit/miss/invalidation counters, kept per namespace.
+
+    ``invalidations`` counts persisted entries that were found but
+    discarded (stale format version); every invalidation is also a miss.
+    """
+
+    hits: Dict[str, int] = field(default_factory=dict)
+    misses: Dict[str, int] = field(default_factory=dict)
+    invalidations: Dict[str, int] = field(default_factory=dict)
+
+    def record_hit(self, namespace: str) -> None:
+        self.hits[namespace] = self.hits.get(namespace, 0) + 1
+
+    def record_miss(self, namespace: str) -> None:
+        self.misses[namespace] = self.misses.get(namespace, 0) + 1
+
+    def record_invalidation(self, namespace: str) -> None:
+        self.invalidations[namespace] = (
+            self.invalidations.get(namespace, 0) + 1
+        )
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+    @property
+    def total_invalidations(self) -> int:
+        return sum(self.invalidations.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": dict(sorted(self.hits.items())),
+            "misses": dict(sorted(self.misses.items())),
+            "invalidations": dict(sorted(self.invalidations.items())),
+            "total_hits": self.total_hits,
+            "total_misses": self.total_misses,
+            "total_invalidations": self.total_invalidations,
+        }
+
+
+@dataclass
+class SolverCounters:
+    """CDCL work rolled up across every SAT call of a run."""
+
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    solver_calls: int = 0
+    num_vars: int = 0
+    num_clauses: int = 0
+
+    def add_synthesis_stats(self, stats: "SynthesisStatsLike") -> None:
+        self.conflicts += stats.conflicts
+        self.decisions += stats.decisions
+        self.propagations += stats.propagations
+        self.solver_calls += stats.solver_calls
+        self.num_vars += stats.num_vars
+        self.num_clauses += stats.num_clauses
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "solver_calls": self.solver_calls,
+            "num_vars": self.num_vars,
+            "num_clauses": self.num_clauses,
+        }
+
+
+class SynthesisStatsLike:
+    """Structural protocol: anything carrying the rolled-up counters."""
+
+    conflicts: int
+    decisions: int
+    propagations: int
+    solver_calls: int
+    num_vars: int
+    num_clauses: int
+
+
+@dataclass
+class RunReport:
+    """The machine-readable record of one pipeline run."""
+
+    jobs: int = 1
+    num_apps: int = 0
+    num_bundles: int = 0
+    num_scenarios: int = 0
+    num_policies: int = 0
+    stages: List[StageTiming] = field(default_factory=list)
+    cache: CacheAccounting = field(default_factory=CacheAccounting)
+    solver: SolverCounters = field(default_factory=SolverCounters)
+    construction_seconds: float = 0.0
+    solving_seconds: float = 0.0
+    per_bundle: List[Dict[str, Any]] = field(default_factory=list)
+
+    def stage(self, name: str) -> Optional[StageTiming]:
+        for timing in self.stages:
+            if timing.name == name:
+                return timing
+        return None
+
+    def add_stage(self, name: str, seconds: float) -> StageTiming:
+        timing = StageTiming(name=name, seconds=seconds)
+        self.stages.append(timing)
+        return timing
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.stages)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "num_apps": self.num_apps,
+            "num_bundles": self.num_bundles,
+            "num_scenarios": self.num_scenarios,
+            "num_policies": self.num_policies,
+            "stages": [t.to_dict() for t in self.stages],
+            "total_seconds": self.total_seconds,
+            "cache": self.cache.to_dict(),
+            "solver": self.solver.to_dict(),
+            "construction_seconds": self.construction_seconds,
+            "solving_seconds": self.solving_seconds,
+            "per_bundle": self.per_bundle,
+        }
+
+    def dumps(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "RunReport":
+        report = RunReport(
+            jobs=data.get("jobs", 1),
+            num_apps=data.get("num_apps", 0),
+            num_bundles=data.get("num_bundles", 0),
+            num_scenarios=data.get("num_scenarios", 0),
+            num_policies=data.get("num_policies", 0),
+            construction_seconds=data.get("construction_seconds", 0.0),
+            solving_seconds=data.get("solving_seconds", 0.0),
+            per_bundle=list(data.get("per_bundle", ())),
+        )
+        for timing in data.get("stages", ()):
+            report.add_stage(timing["name"], timing["seconds"])
+        cache = data.get("cache", {})
+        report.cache.hits = dict(cache.get("hits", {}))
+        report.cache.misses = dict(cache.get("misses", {}))
+        report.cache.invalidations = dict(cache.get("invalidations", {}))
+        solver = data.get("solver", {})
+        report.solver = SolverCounters(
+            conflicts=solver.get("conflicts", 0),
+            decisions=solver.get("decisions", 0),
+            propagations=solver.get("propagations", 0),
+            solver_calls=solver.get("solver_calls", 0),
+            num_vars=solver.get("num_vars", 0),
+            num_clauses=solver.get("num_clauses", 0),
+        )
+        return report
+
+    @staticmethod
+    def loads(text: str) -> "RunReport":
+        return RunReport.from_dict(json.loads(text))

@@ -26,13 +26,22 @@ from repro.sat import Solver
 
 @dataclass
 class SolveStats:
-    """Timing and size statistics exposed for the RQ3 benchmark harness."""
+    """Timing and size statistics exposed for the RQ3 benchmark harness.
+
+    ``conflicts``/``decisions``/``propagations`` accumulate the CDCL
+    counters over every solver call made through this problem (including
+    minimization and enumeration re-solves), feeding the pipeline run
+    report."""
 
     translation_seconds: float = 0.0
     solving_seconds: float = 0.0
     num_vars: int = 0
     num_clauses: int = 0
     num_primary_vars: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    solver_calls: int = 0
 
 
 class RelationalProblem:
@@ -60,14 +69,23 @@ class RelationalProblem:
     def primary_vars(self) -> Dict[Tuple[Relation, AtomTuple], int]:
         return self._record.primary_vars
 
+    def _timed_solve(self, assumptions=()):
+        """Run the solver, folding wall time and CDCL counters into stats."""
+        start = time.perf_counter()
+        result = self._solver.solve(assumptions=assumptions)
+        self.stats.solving_seconds += time.perf_counter() - start
+        self.stats.conflicts += result.conflicts
+        self.stats.decisions += result.decisions
+        self.stats.propagations += result.propagations
+        self.stats.solver_calls += 1
+        return result
+
     # ------------------------------------------------------------------
     def solve(self) -> Optional[Instance]:
         """Return one satisfying instance, or None if unsatisfiable."""
         if self._trivially_unsat:
             return None
-        start = time.perf_counter()
-        result = self._solver.solve()
-        self.stats.solving_seconds += time.perf_counter() - start
+        result = self._timed_solve()
         if not result.satisfiable:
             return None
         return instance_from_model(self.bounds, self.primary_vars, result.model)
@@ -83,9 +101,7 @@ class RelationalProblem:
         count = 0
         primary = list(self.primary_vars.values())
         while limit is None or count < limit:
-            start = time.perf_counter()
-            result = self._solver.solve()
-            self.stats.solving_seconds += time.perf_counter() - start
+            result = self._timed_solve()
             if not result.satisfiable:
                 return
             yield instance_from_model(self.bounds, self.primary_vars, result.model)
@@ -112,9 +128,7 @@ class RelationalProblem:
         primary = list(self.primary_vars.values())
         count = 0
         while limit is None or count < limit:
-            start = time.perf_counter()
-            result = self._solver.solve()
-            self.stats.solving_seconds += time.perf_counter() - start
+            result = self._timed_solve()
             if not result.satisfiable:
                 return
             model = result.model
@@ -131,9 +145,7 @@ class RelationalProblem:
         """One satisfying instance, minimized (no enumeration blocking)."""
         if self._trivially_unsat:
             return None
-        start = time.perf_counter()
-        result = self._solver.solve()
-        self.stats.solving_seconds += time.perf_counter() - start
+        result = self._timed_solve()
         if not result.satisfiable:
             return None
         primary = list(self.primary_vars.values())
@@ -170,9 +182,7 @@ class RelationalProblem:
             # act -> (some currently-true var is false)
             self._solver.add_clause([-activation] + [-v for v in true_vars])
             assumptions = [activation] + [-v for v in false_vars]
-            start = time.perf_counter()
-            result = self._solver.solve(assumptions=assumptions)
-            self.stats.solving_seconds += time.perf_counter() - start
+            result = self._timed_solve(assumptions=assumptions)
             if not result.satisfiable:
                 # Retire the activation literal and stop: current is minimal.
                 self._solver.add_clause([-activation])

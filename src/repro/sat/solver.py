@@ -73,6 +73,11 @@ class Solver:
         self._reason: List[Optional[int]] = [None]
         self._activity: List[float] = [0.0]
         self._phase: List[bool] = [False]
+        # VSIDS order heap: a lazily-cleaned binary max-heap over variable
+        # activities.  Every unassigned variable is in the heap; assigned
+        # variables may linger and are dropped when popped.
+        self._heap: List[int] = []
+        self._heap_pos: List[int] = [-1]
         self._var_inc = 1.0
         self._var_decay = 0.95
         self._cla_inc = 1.0
@@ -99,6 +104,8 @@ class Solver:
             self._reason.append(None)
             self._activity.append(0.0)
             self._phase.append(False)
+            self._heap_pos.append(-1)
+            self._heap_insert(self._num_vars)
 
     def add_clause(self, literals: Iterable[int]) -> bool:
         """Add a clause; returns False if the formula is now trivially UNSAT.
@@ -184,6 +191,7 @@ class Solver:
             self._phase[var] = self._assigns[var]  # phase saving
             self._assigns[var] = None
             self._reason[var] = None
+            self._heap_insert(var)
         del self._trail[bound:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
@@ -343,9 +351,13 @@ class Solver:
     def _bump_var(self, var: int) -> None:
         self._activity[var] += self._var_inc
         if self._activity[var] > _RESCALE_LIMIT:
+            # Uniform rescaling preserves the relative order of activities,
+            # so the heap needs no fixing.
             for v in range(1, self._num_vars + 1):
                 self._activity[v] *= _RESCALE_FACTOR
             self._var_inc *= _RESCALE_FACTOR
+        if self._heap_pos[var] >= 0:
+            self._heap_sift_up(self._heap_pos[var])
 
     def _decay_var_activity(self) -> None:
         self._var_inc /= self._var_decay
@@ -403,16 +415,70 @@ class Solver:
         ]
 
     # ------------------------------------------------------------------
-    # Decisions
+    # Decisions (VSIDS order heap, MiniSat-style)
     # ------------------------------------------------------------------
+    def _heap_insert(self, var: int) -> None:
+        if self._heap_pos[var] >= 0:
+            return
+        self._heap.append(var)
+        self._heap_pos[var] = len(self._heap) - 1
+        self._heap_sift_up(len(self._heap) - 1)
+
+    def _heap_sift_up(self, i: int) -> None:
+        heap, pos, act = self._heap, self._heap_pos, self._activity
+        var = heap[i]
+        key = act[var]
+        while i > 0:
+            parent = (i - 1) >> 1
+            pvar = heap[parent]
+            if act[pvar] >= key:
+                break
+            heap[i] = pvar
+            pos[pvar] = i
+            i = parent
+        heap[i] = var
+        pos[var] = i
+
+    def _heap_sift_down(self, i: int) -> None:
+        heap, pos, act = self._heap, self._heap_pos, self._activity
+        n = len(heap)
+        var = heap[i]
+        key = act[var]
+        while True:
+            left = 2 * i + 1
+            if left >= n:
+                break
+            child = left
+            right = left + 1
+            if right < n and act[heap[right]] > act[heap[left]]:
+                child = right
+            cvar = heap[child]
+            if key >= act[cvar]:
+                break
+            heap[i] = cvar
+            pos[cvar] = i
+            i = child
+        heap[i] = var
+        pos[var] = i
+
+    def _heap_pop(self) -> int:
+        heap, pos = self._heap, self._heap_pos
+        top = heap[0]
+        pos[top] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            pos[last] = 0
+            self._heap_sift_down(0)
+        return top
+
     def _pick_branch_var(self) -> Optional[int]:
-        best = None
-        best_act = -1.0
-        for var in range(1, self._num_vars + 1):
-            if self._assigns[var] is None and self._activity[var] > best_act:
-                best = var
-                best_act = self._activity[var]
-        return best
+        # Lazy cleaning: assigned variables linger in the heap until popped.
+        while self._heap:
+            var = self._heap_pop()
+            if self._assigns[var] is None:
+                return var
+        return None
 
     # ------------------------------------------------------------------
     # Main search
@@ -470,10 +536,6 @@ class Solver:
                         self._enqueue(learnt[0], idx)
                     self._decay_var_activity()
                     self._decay_clause_activity()
-                    if back_level < len(assumptions):
-                        # Conflict reached into assumption territory; re-seat
-                        # assumptions on the next descent.
-                        pass
                     continue
 
                 learned_count = len(self._clauses) - base_clause_count
@@ -509,8 +571,11 @@ class Solver:
                 self._new_decision_level()
                 self._enqueue(next_lit, None)
         finally:
-            if not self._ok:
-                self._cancel_until(0)
+            # Always unwind to level 0: every exit path -- UNSAT, assumption
+            # failure, and notably a BudgetExhausted raise -- must leave the
+            # solver ready for further add_clause/solve calls.  (_finish has
+            # already cancelled on normal returns; this is then a no-op.)
+            self._cancel_until(0)
 
     def _finish(self, sat: bool) -> SolveResult:
         model: Optional[Dict[int, bool]] = None

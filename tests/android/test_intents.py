@@ -164,6 +164,79 @@ class TestResolution:
         assert mal in matches
 
 
+class TestDefaultCategory:
+    """Implicit Activity resolution requires CATEGORY_DEFAULT on the filter
+    (official startActivity semantics); Services/Receivers are exempt, as
+    are kind-less components (the detector's spec-level view)."""
+
+    @staticmethod
+    def activity(name, app, categories=frozenset(), **kw):
+        c = FakeComponent(
+            name, app,
+            filters=[IntentFilter(
+                actions=frozenset({"showLoc"}), categories=categories,
+            )],
+            **kw,
+        )
+        c.kind = ComponentKind.ACTIVITY
+        return c
+
+    def test_activity_without_default_not_resolved(self):
+        act = self.activity("app2/View", "app2")
+        intent = Intent(sender="app1/Sender", action="showLoc")
+        assert resolve_intent(intent, [act]) == []
+
+    def test_activity_with_default_resolved(self):
+        act = self.activity(
+            "app2/View", "app2", categories=frozenset({CATEGORY_DEFAULT})
+        )
+        intent = Intent(sender="app1/Sender", action="showLoc")
+        assert resolve_intent(intent, [act]) == [act]
+
+    def test_default_not_required_on_intent_itself(self):
+        """startActivity adds DEFAULT to the *query*, not the Intent object:
+        an Intent without categories still matches a DEFAULT-only filter."""
+        act = self.activity(
+            "app2/View", "app2", categories=frozenset({CATEGORY_DEFAULT})
+        )
+        intent = Intent(sender="app1/Sender", action="showLoc",
+                        categories=frozenset())
+        assert resolve_intent(intent, [act]) == [act]
+
+    def test_explicit_activity_exempt(self):
+        act = self.activity("app2/View", "app2")
+        intent = Intent(sender="app1/Sender", target="app2/View")
+        assert resolve_intent(intent, [act]) == [act]
+
+    def test_service_exempt(self):
+        svc = FakeComponent(
+            "app2/Svc", "app2", filters=[IntentFilter.for_action("showLoc")]
+        )
+        svc.kind = ComponentKind.SERVICE
+        intent = Intent(sender="app1/Sender", action="showLoc")
+        assert resolve_intent(intent, [svc]) == [svc]
+
+    def test_kindless_component_exempt(self):
+        comp = FakeComponent(
+            "app2/Spec", "app2", filters=[IntentFilter.for_action("showLoc")]
+        )
+        intent = Intent(sender="app1/Sender", action="showLoc")
+        assert resolve_intent(intent, [comp]) == [comp]
+
+    def test_second_filter_with_default_matches(self):
+        """Only DEFAULT-declaring filters are consulted, but any one of a
+        component's filters may supply the match."""
+        act = self.activity("app2/View", "app2")
+        act.intent_filters.append(
+            IntentFilter(
+                actions=frozenset({"showLoc"}),
+                categories=frozenset({CATEGORY_DEFAULT}),
+            )
+        )
+        intent = Intent(sender="app1/Sender", action="showLoc")
+        assert resolve_intent(intent, [act]) == [act]
+
+
 class TestHelpers:
     def test_app_of(self):
         assert app_of("pkg/Cmp") == "pkg"

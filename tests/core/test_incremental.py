@@ -107,24 +107,46 @@ MUTATIONS = st.lists(
             ("grant", "com.example.messenger", perms.SEND_SMS),
             ("revoke", "com.example.navigation", perms.ACCESS_FINE_LOCATION),
             ("grant", "com.example.navigation", perms.ACCESS_FINE_LOCATION),
+            ("install", None, None),
+            ("uninstall", None, None),
         ]
     ),
-    max_size=8,
+    max_size=10,
 )
+
+_MALICIOUS = None
+
+
+def _malicious_model():
+    global _MALICIOUS
+    if _MALICIOUS is None:
+        _MALICIOUS = extract_app(build_malicious_app())
+    return _MALICIOUS
 
 
 @given(MUTATIONS)
 @settings(max_examples=30, deadline=None)
 def test_incremental_equals_from_scratch(mutations):
-    """After any mutation sequence, incremental state matches a fresh
-    detection over the current effective bundle."""
+    """After any mutation sequence -- grants, revocations, installs and
+    uninstalls interleaved -- incremental state matches a fresh detection
+    over the current effective bundle (the promise in incremental.py's
+    docstring)."""
     bundle = extract_bundle([build_app1(), build_app2()])
     analyzer = IncrementalAnalyzer(bundle)
+    malicious_installed = False
     for op, package, permission in mutations:
         if op == "revoke":
             analyzer.revoke_permission(package, permission)
-        else:
+        elif op == "grant":
             analyzer.grant_permission(package, permission)
+        elif op == "install":
+            if not malicious_installed:
+                analyzer.install(_malicious_model())
+                malicious_installed = True
+        elif op == "uninstall":
+            if malicious_installed:
+                analyzer.uninstall(_malicious_model().package)
+                malicious_installed = False
     fresh = SeparDetector().detect(analyzer.current_bundle())
     incremental = {
         vuln: components

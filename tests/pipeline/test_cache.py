@@ -1,0 +1,110 @@
+"""Tests for the content-addressed pipeline cache."""
+
+import json
+
+import pytest
+
+from repro.benchsuite.running_example import build_app1, build_app2
+from repro.pipeline import cache as cache_mod
+from repro.pipeline.cache import (
+    NullCache,
+    PipelineCache,
+    canonical,
+    canonical_json,
+    content_hash,
+    framework_fingerprint,
+)
+
+
+class TestCanonical:
+    def test_primitives_pass_through(self):
+        assert canonical(3) == 3
+        assert canonical("x") == "x"
+        assert canonical(None) is None
+        assert canonical(True) is True
+
+    def test_sets_sorted(self):
+        assert canonical(frozenset({"b", "a", "c"})) == ["a", "b", "c"]
+
+    def test_dict_keys_sorted(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_dataclass_fields_covered(self):
+        apk = build_app1()
+        encoded = canonical_json(apk)
+        assert apk.package in encoded
+        assert '"__dataclass__":"Apk"' in encoded
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonical(object())
+
+    def test_hash_differs_on_content(self):
+        assert content_hash(build_app1()) != content_hash(build_app2())
+
+    def test_hash_stable_for_equal_content(self):
+        assert content_hash(build_app1()) == content_hash(build_app1())
+
+    def test_fingerprint_is_hex_digest(self):
+        fp = framework_fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)
+
+
+class TestPipelineCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = PipelineCache(tmp_path)
+        assert cache.get("ns", "k" * 64) is None
+        cache.put("ns", "k" * 64, {"value": 1})
+        assert cache.get("ns", "k" * 64) == {"value": 1}
+        assert cache.accounting.misses["ns"] == 1
+        assert cache.accounting.hits["ns"] == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        PipelineCache(tmp_path).put("ns", "a" * 64, {"x": [1, 2]})
+        fresh = PipelineCache(tmp_path)
+        assert fresh.get("ns", "a" * 64) == {"x": [1, 2]}
+
+    def test_stale_version_invalidated(self, tmp_path):
+        cache = PipelineCache(tmp_path)
+        key = "b" * 64
+        cache.put("ns", key, {"x": 1})
+        path = cache._path("ns", key)
+        envelope = json.loads(path.read_text())
+        envelope["version"] = cache_mod.CACHE_FORMAT_VERSION - 1
+        path.write_text(json.dumps(envelope))
+        assert cache.get("ns", key) is None
+        assert cache.accounting.invalidations["ns"] == 1
+        assert cache.accounting.misses["ns"] == 1
+        assert not path.exists()  # stale entry removed
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = PipelineCache(tmp_path)
+        key = "c" * 64
+        path = cache._path("ns", key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get("ns", key) is None
+        assert cache.accounting.misses["ns"] == 1
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = PipelineCache(tmp_path)
+        cache.put("ns", "d" * 64, {"x": 1})
+        cache.put("other", "e" * 64, {"y": 2})
+        assert cache.clear() == 2
+        assert cache.get("ns", "d" * 64) is None
+
+    def test_env_var_controls_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache_mod.CACHE_DIR_ENV, str(tmp_path / "env"))
+        assert cache_mod.default_cache_dir() == tmp_path / "env"
+
+
+class TestNullCache:
+    def test_never_stores(self):
+        cache = NullCache()
+        cache.put("ns", "f" * 64, {"x": 1})
+        assert cache.get("ns", "f" * 64) is None
+        assert cache.accounting.misses["ns"] == 1
+        assert cache.clear() == 0

@@ -106,6 +106,23 @@ class TestAssumptions:
         assert res.model[2] is False
         assert res.model[3] is True
 
+    def test_learned_unit_negating_assumption(self):
+        """A conflict under an assumption learns that assumption's negation
+        as a level-0 unit: the assumed solve must come back UNSAT, and the
+        solver must stay sound for later assumption-free calls."""
+        s = Solver()
+        s.add_clauses([[-1, 2], [-1, -2], [3, 4]])
+        assert not s.solve(assumptions=[1]).satisfiable
+        # The learned unit -1 is a real consequence of the clauses, so the
+        # unassumed formula remains satisfiable and respects it.
+        res = s.solve()
+        assert res.satisfiable
+        assert res.model[1] is False
+        assert res.model[3] or res.model[4]
+        # Re-assuming the refuted literal still reports UNSAT.
+        assert not s.solve(assumptions=[1]).satisfiable
+        assert s.solve(assumptions=[-1, 3]).satisfiable
+
 
 class TestIncremental:
     def test_add_clauses_between_solves(self):
@@ -163,6 +180,41 @@ class TestPigeonhole:
         s.add_clauses(self.pigeonhole(7))
         with pytest.raises(BudgetExhausted):
             s.solve(conflict_budget=5)
+
+    def test_add_clause_after_budget_miss(self):
+        """Regression: BudgetExhausted used to leave the trail at a nonzero
+        decision level, so the next add_clause raised RuntimeError."""
+        s = Solver()
+        s.add_clauses(self.pigeonhole(7))
+        with pytest.raises(BudgetExhausted):
+            s.solve(conflict_budget=5)
+        assert s.add_clause([1, 2])
+        # A level-0 contradiction added post-miss must be honoured.
+        s.add_clause([100])
+        assert not s.add_clause([-100])
+        assert not s.solve().satisfiable
+
+    def test_resume_solving_after_budget_miss(self):
+        """A budget miss is a pause, not corruption: retrying with a larger
+        budget converges to the right answer on the same solver."""
+        s = Solver()
+        s.add_clauses(self.pigeonhole(5))
+        budget = 5
+        misses = 0
+        result = None
+        while result is None:
+            try:
+                result = s.solve(conflict_budget=budget)
+            except BudgetExhausted:
+                misses += 1
+                budget *= 4
+        assert misses >= 1
+        assert not result.satisfiable
+        # And a satisfiable query on the same solver (new variables bridged
+        # by a fresh clause) still completes after the misses.
+        s.add_clause([101, 102])
+        res = s.solve(assumptions=[-101])
+        assert not res.satisfiable  # pigeonhole core is still UNSAT
 
 
 class TestGraphColoring:
