@@ -1,0 +1,14 @@
+"""SEPAR reproduction: formal synthesis and automatic enforcement of
+Android security policies (DSN 2016)."""
+
+try:  # single source of truth: the installed package metadata
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        __version__ = version("repro")
+    except PackageNotFoundError:
+        __version__ = "1.0.0"
+except ImportError:  # pragma: no cover - Python < 3.8 has no importlib.metadata
+    __version__ = "1.0.0"
+
+__all__ = ["__version__"]

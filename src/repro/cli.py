@@ -12,7 +12,16 @@ Usage (``python -m repro <command>``):
 - ``pipeline``                  -- generate a corpus, partition it into
   bundles, and run the parallel cached analysis pipeline end to end;
   ``--jobs N`` controls the process pool, ``--cache-dir`` the persistent
-  cache, ``--report``/``--findings`` write machine-readable outputs.
+  cache, ``--report``/``--findings`` write machine-readable outputs, and
+  ``--trace FILE`` records a JSONL span trace of the whole run.
+- ``simulate``                  -- synthesize policies for the running
+  example, enforce them on the simulated device while the malicious app
+  attacks, and print (or save with ``--audit``) the enforcement audit log.
+- ``trace FILE``                -- render the span tree and top-k hotspots
+  of a JSONL trace produced by ``pipeline --trace`` or ``enable_tracing``.
+
+``repro --version`` prints the package version.  Every subcommand
+documents its flags via ``repro <command> --help``.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ import pathlib
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.core import serialize
 from repro.core.model import BundleModel
 from repro.core.separ import Separ
@@ -92,9 +102,22 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
-    from repro.pipeline import AnalysisPipeline, NullCache, PipelineCache
+    from repro.obs import enable_metrics, enable_tracing
+    from repro.pipeline import (
+        AnalysisPipeline,
+        NullCache,
+        PipelineCache,
+        attach_observability,
+    )
     from repro.workloads import CorpusConfig, CorpusGenerator
     from repro.workloads.bundles import partition_bundles
+
+    if args.trace:
+        # Truncate any previous trace, then append (workers inherit the
+        # REPRO_TRACE environment variable and append to the same file).
+        pathlib.Path(args.trace).write_text("")
+        enable_tracing(args.trace)
+    enable_metrics()
 
     generator = CorpusGenerator(CorpusConfig(scale=args.scale, seed=args.seed))
     apks = generator.generate()
@@ -113,6 +136,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     )
     result = pipeline.run(bundles)
     report = result.run_report
+    # Re-aggregate now that every span (including pipeline.run) is closed.
+    attach_observability(report, trace_path=args.trace if args.trace else None)
     print(
         f"pipeline: {report.num_apps} apps in {report.num_bundles} bundles, "
         f"jobs={report.jobs}"
@@ -134,6 +159,9 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         f"{solver.conflicts} conflicts, {solver.decisions} decisions, "
         f"{solver.propagations} propagations"
     )
+    if args.trace:
+        span_count = int(sum(e["count"] for e in report.spans.values()))
+        print(f"  trace: {span_count} spans written to {args.trace}")
     if args.report:
         pathlib.Path(args.report).write_text(report.dumps())
         print(f"run report written to {args.report}")
@@ -147,6 +175,81 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.benchsuite.running_example import (
+        build_app1,
+        build_app2,
+        build_malicious_app,
+    )
+    from repro.enforcement import (
+        AndroidRuntime,
+        PolicyDecisionPoint,
+        PolicyEnforcementPoint,
+    )
+
+    print("synthesizing policies for the benign bundle (app1 + app2)...")
+    report = Separ(
+        scenarios_per_signature=args.scenarios
+    ).analyze_apks([build_app1(), build_app2()])
+    print(
+        f"  {len(report.scenarios)} exploit scenarios, "
+        f"{len(report.policies)} policies"
+    )
+
+    runtime = AndroidRuntime()
+    for apk in (build_app1(), build_app2(), build_malicious_app()):
+        runtime.install(apk)
+    prompt = (lambda policy, event: True) if args.consent else None
+    if prompt is not None:
+        pdp = PolicyDecisionPoint(report.policies, prompt_callback=prompt)
+    else:
+        pdp = PolicyDecisionPoint(report.policies)
+    pep = PolicyEnforcementPoint(runtime, pdp)
+    pep.install()
+    runtime.start_component(args.entry)
+
+    audit = pdp.audit
+    summary = audit.summary()
+    print(
+        f"\naudit log: {summary['decisions']} decisions "
+        f"({summary['allowed']} allowed, {summary['denied']} denied, "
+        f"{summary['prompted']} prompted)"
+    )
+    for record in audit:
+        policy = record.policy_vulnerability or "-"
+        print(
+            f"  [{record.seq:3d}] {record.verdict:5s} {record.event_kind:12s}"
+            f" {record.sender} -> {record.receiver or '(unresolved)'}"
+            f"  policy={policy}"
+        )
+    exfiltrated = bool(runtime.effects_of_kind("sms_sent"))
+    print(
+        "\n=> "
+        + ("LOCATION EXFILTRATED" if exfiltrated else "no exfiltration")
+        + f" ({pep.blocked_deliveries} deliveries blocked)"
+    )
+    if args.audit:
+        audit.write(args.audit)
+        print(f"audit log written to {args.audit}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import read_trace, render_hotspots, render_span_tree
+
+    try:
+        records = read_trace(args.trace_file)
+    except OSError as exc:
+        print(f"repro trace: cannot read {args.trace_file}: {exc}", file=sys.stderr)
+        return 1
+    print(f"{len(records)} spans in {args.trace_file}")
+    print()
+    print(render_span_tree(records, max_depth=args.max_depth))
+    print()
+    print(render_hotspots(records, top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -155,42 +258,128 @@ def build_parser() -> argparse.ArgumentParser:
             "of Android security policies (DSN 2016)."
         ),
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+        help="print the package version and exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    demo = sub.add_parser("demo", help="run the paper's running example")
-    demo.add_argument("--scenarios", type=int, default=8)
+    demo = sub.add_parser(
+        "demo",
+        help="run the paper's running example",
+        description=(
+            "Extract, synthesize and derive policies for the paper's "
+            "two-app running example, printing every scenario and policy."
+        ),
+    )
+    demo.add_argument(
+        "--scenarios",
+        type=int,
+        default=8,
+        help="max scenarios to enumerate per vulnerability signature "
+        "(default: %(default)s)",
+    )
     demo.set_defaults(func=_cmd_demo)
 
     corpus = sub.add_parser(
-        "corpus", help="generate the synthetic market corpus"
+        "corpus",
+        help="generate the synthetic market corpus",
+        description=(
+            "Generate the seeded synthetic market corpus, extract each "
+            "app, and save the models as JSON (one file per app)."
+        ),
     )
-    corpus.add_argument("--scale", type=float, default=0.01)
-    corpus.add_argument("--seed", type=int, default=2016)
-    corpus.add_argument("-o", "--output", required=True)
+    corpus.add_argument(
+        "--scale",
+        type=float,
+        default=0.01,
+        help="corpus fraction of the paper's 4,000 apps "
+        "(default: %(default)s)",
+    )
+    corpus.add_argument(
+        "--seed",
+        type=int,
+        default=2016,
+        help="corpus generator seed (default: %(default)s)",
+    )
+    corpus.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="directory receiving one <package>.json model per app",
+    )
     corpus.set_defaults(func=_cmd_corpus)
 
     analyze = sub.add_parser(
-        "analyze", help="analyze a bundle of saved app models"
+        "analyze",
+        help="analyze a bundle of saved app models",
+        description=(
+            "Load saved app models as one bundle, synthesize exploit "
+            "scenarios and preventive policies, and print them."
+        ),
     )
-    analyze.add_argument("models", nargs="+")
-    analyze.add_argument("--scenarios", type=int, default=8)
-    analyze.add_argument("--alloy", help="export the Alloy spec here")
     analyze.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for per-signature synthesis",
+        "models", nargs="+", help="app-model JSON files (from `repro corpus`)"
+    )
+    analyze.add_argument(
+        "--scenarios",
+        type=int,
+        default=8,
+        help="max scenarios per signature (default: %(default)s)",
+    )
+    analyze.add_argument(
+        "--alloy", help="also export the bundle's Alloy specification here"
+    )
+    analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for per-signature synthesis "
+        "(default: %(default)s = serial)",
     )
     analyze.set_defaults(func=_cmd_analyze)
 
     pipeline = sub.add_parser(
         "pipeline",
         help="run the parallel cached analysis pipeline over a corpus",
+        description=(
+            "Generate a corpus, partition it into bundles, and run the "
+            "parallel cached analysis pipeline end to end, with optional "
+            "JSONL span tracing and a machine-readable run report."
+        ),
     )
-    pipeline.add_argument("--scale", type=float, default=0.01)
-    pipeline.add_argument("--seed", type=int, default=2016)
-    pipeline.add_argument("--bundle-size", type=int, default=8)
-    pipeline.add_argument("--scenarios", type=int, default=4)
     pipeline.add_argument(
-        "--jobs", type=int, default=1, help="worker processes"
+        "--scale",
+        type=float,
+        default=0.01,
+        help="corpus fraction (default: %(default)s)",
+    )
+    pipeline.add_argument(
+        "--seed",
+        type=int,
+        default=2016,
+        help="corpus/partition seed (default: %(default)s)",
+    )
+    pipeline.add_argument(
+        "--bundle-size",
+        type=int,
+        default=8,
+        help="apps per bundle (default: %(default)s)",
+    )
+    pipeline.add_argument(
+        "--scenarios",
+        type=int,
+        default=4,
+        help="max scenarios per signature (default: %(default)s)",
+    )
+    pipeline.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default: %(default)s = serial; any value "
+        "produces byte-identical findings)",
     )
     pipeline.add_argument(
         "--cache-dir",
@@ -200,11 +389,73 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument(
         "--no-cache", action="store_true", help="disable the persistent cache"
     )
+    pipeline.add_argument(
+        "--trace",
+        help="record a JSONL span trace here (render with `repro trace`)",
+    )
     pipeline.add_argument("--report", help="write the JSON run report here")
     pipeline.add_argument(
         "--findings", help="write canonical JSON findings here"
     )
     pipeline.set_defaults(func=_cmd_pipeline)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="enforce synthesized policies against the Figure 1 attack",
+        description=(
+            "Synthesize policies for the running example, install the two "
+            "benign apps plus the malicious app on the simulated device, "
+            "run the attack under PEP/PDP enforcement, and print the "
+            "enforcement audit log (every decision, in order)."
+        ),
+    )
+    simulate.add_argument(
+        "--scenarios",
+        type=int,
+        default=8,
+        help="max scenarios per signature during synthesis "
+        "(default: %(default)s)",
+    )
+    simulate.add_argument(
+        "--entry",
+        default="com.example.navigation/LocationFinder",
+        help="component the framework starts to trigger the attack "
+        "(default: %(default)s)",
+    )
+    simulate.add_argument(
+        "--consent",
+        action="store_true",
+        help="answer every security prompt with 'allow' "
+        "(default: the cautious user denies)",
+    )
+    simulate.add_argument(
+        "--audit", help="write the audit log here as JSONL"
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
+    trace = sub.add_parser(
+        "trace",
+        help="render a JSONL span trace: tree + top-k hotspots",
+        description=(
+            "Read a JSONL trace file (from `pipeline --trace` or "
+            "repro.obs.enable_tracing) and print the nested span tree "
+            "followed by the top-k span names by self time."
+        ),
+    )
+    trace.add_argument("trace_file", help="JSONL trace file to render")
+    trace.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="hotspot rows to show (default: %(default)s)",
+    )
+    trace.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="limit the rendered tree depth (default: unlimited)",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     return parser
 

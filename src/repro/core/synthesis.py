@@ -21,6 +21,7 @@ from repro.core.app_to_spec import BundleSpec
 from repro.core.model import BundleModel
 from repro.core.vulnerabilities import default_signatures
 from repro.core.vulnerabilities.base import ExploitScenario, VulnerabilitySignature
+from repro.obs import get_metrics, get_tracer
 
 
 @dataclass
@@ -134,18 +135,36 @@ class AnalysisAndSynthesisEngine:
         The per-signature unit of work the parallel pipeline fans out:
         independent of every other signature (modules are mutated by
         instantiation, so each run builds a fresh embedding)."""
+        tracer = get_tracer()
         stats = SynthesisStats()
-        start = time.perf_counter()
-        spec = BundleSpec(bundle)
-        instantiation = signature.instantiate(spec)
-        problem = spec.module.solve_problem(
-            goal=instantiation.goal, extra=instantiation.extra_scopes
-        )
-        construction = time.perf_counter() - start
-        solve_start = time.perf_counter()
-        found = self._enumerate(problem, instantiation)
-        solving = time.perf_counter() - solve_start
-        scenarios = [instantiation.decode(instance) for instance in found]
+        with tracer.span(
+            "ase.signature",
+            signature=signature.name,
+            apps=len(bundle.apps),
+        ):
+            start = time.perf_counter()
+            with tracer.span("ase.construct", signature=signature.name):
+                spec = BundleSpec(bundle)
+                instantiation = signature.instantiate(spec)
+                problem = spec.module.solve_problem(
+                    goal=instantiation.goal, extra=instantiation.extra_scopes
+                )
+            construction = time.perf_counter() - start
+            solve_start = time.perf_counter()
+            with tracer.span("ase.solve", signature=signature.name):
+                found = self._enumerate(problem, instantiation)
+            solving = time.perf_counter() - solve_start
+            scenarios = [instantiation.decode(instance) for instance in found]
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("ase.signature_runs").inc()
+            metrics.counter("ase.scenarios").inc(len(found))
+            metrics.histogram("ase.num_vars").observe(problem.stats.num_vars)
+            metrics.histogram("ase.num_clauses").observe(
+                problem.stats.num_clauses
+            )
+            metrics.histogram("ase.construction_seconds").observe(construction)
+            metrics.histogram("ase.solving_seconds").observe(solving)
         stats.construction_seconds = construction
         stats.solving_seconds = solving
         stats.num_vars = problem.stats.num_vars

@@ -8,15 +8,20 @@ evaluates intercepted ICC events against the synthesized ECA policies, and
 the policy enforcement point (:mod:`repro.enforcement.pep`) installs the
 hooks, consults the PDP, and skips violating calls -- the app continues in
 degraded mode, exactly as inhibiting an asynchronous ICC call does on real
-Android.
+Android.  Every decision the PDP makes is appended, in decision order, to
+an :class:`~repro.enforcement.audit.AuditLog` (:mod:`repro.enforcement.audit`)
+that can be queried and serialized to JSONL after a run.
 """
 
+from repro.enforcement.audit import AuditLog, AuditRecord
 from repro.enforcement.hooks import HookManager, MethodCall
 from repro.enforcement.runtime import AndroidRuntime, Device, RuntimeIntent
 from repro.enforcement.pdp import Decision, PolicyDecisionPoint
 from repro.enforcement.pep import PolicyEnforcementPoint
 
 __all__ = [
+    "AuditLog",
+    "AuditRecord",
     "HookManager",
     "MethodCall",
     "AndroidRuntime",

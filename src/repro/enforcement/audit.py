@@ -1,0 +1,186 @@
+"""The enforcement audit log: every PDP decision, ordered and queryable.
+
+A real reference-validation mechanism must leave an audit trail; here
+every call to :meth:`~repro.enforcement.pdp.PolicyDecisionPoint.decide`
+appends one :class:`AuditRecord` carrying the intercepted ICC event, the
+policy that matched (if any), the verdict, and -- for PROMPT policies --
+the user's answer.  Records are numbered with a monotonically increasing
+sequence counter under a lock, so the log's order is exactly the order in
+which decisions were made even when the runtime's queued ICC dispatch
+interleaves deliveries from many components.
+
+The log is in-memory during a run and serializes to JSONL for later
+querying (``AuditLog.write`` / ``AuditLog.load``); the ``repro simulate``
+CLI subcommand writes one per enforcement run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+
+@dataclass
+class AuditRecord:
+    """One PDP decision over one intercepted ICC event."""
+
+    seq: int
+    event_kind: str  # icc_send / icc_receive
+    sender: str
+    receiver: Optional[str]
+    action: Optional[str]
+    payload: List[str]  # sorted resource names carried by the event
+    sender_permissions: List[str]
+    verdict: str  # allow / deny
+    policy_vulnerability: Optional[str] = None
+    policy_action: Optional[str] = None  # deny / prompt (None: no match)
+    policy_description: Optional[str] = None
+    prompted: bool = False
+    prompt_approved: Optional[bool] = None
+    context: Optional[str] = None  # hooked API signature, when known
+
+    @property
+    def matched(self) -> bool:
+        return self.policy_vulnerability is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "event_kind": self.event_kind,
+            "sender": self.sender,
+            "receiver": self.receiver,
+            "action": self.action,
+            "payload": list(self.payload),
+            "sender_permissions": list(self.sender_permissions),
+            "verdict": self.verdict,
+            "policy_vulnerability": self.policy_vulnerability,
+            "policy_action": self.policy_action,
+            "policy_description": self.policy_description,
+            "prompted": self.prompted,
+            "prompt_approved": self.prompt_approved,
+            "context": self.context,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "AuditRecord":
+        return AuditRecord(
+            seq=data["seq"],
+            event_kind=data["event_kind"],
+            sender=data["sender"],
+            receiver=data.get("receiver"),
+            action=data.get("action"),
+            payload=list(data.get("payload", ())),
+            sender_permissions=list(data.get("sender_permissions", ())),
+            verdict=data["verdict"],
+            policy_vulnerability=data.get("policy_vulnerability"),
+            policy_action=data.get("policy_action"),
+            policy_description=data.get("policy_description"),
+            prompted=data.get("prompted", False),
+            prompt_approved=data.get("prompt_approved"),
+            context=data.get("context"),
+        )
+
+
+class AuditLog:
+    """An append-only, thread-safe, ordered log of PDP decisions."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.records: List[AuditRecord] = []
+
+    def append(self, **fields: Any) -> AuditRecord:
+        """Number and store a record (``seq`` is assigned here)."""
+        with self._lock:
+            record = AuditRecord(seq=len(self.records), **fields)
+            self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(list(self.records))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        verdict: Optional[str] = None,
+        vulnerability: Optional[str] = None,
+        sender: Optional[str] = None,
+        receiver: Optional[str] = None,
+        prompted: Optional[bool] = None,
+        matched: Optional[bool] = None,
+    ) -> List[AuditRecord]:
+        """Filter records; every given criterion must hold."""
+        out = []
+        for record in self.records:
+            if verdict is not None and record.verdict != verdict:
+                continue
+            if (
+                vulnerability is not None
+                and record.policy_vulnerability != vulnerability
+            ):
+                continue
+            if sender is not None and record.sender != sender:
+                continue
+            if receiver is not None and record.receiver != receiver:
+                continue
+            if prompted is not None and record.prompted != prompted:
+                continue
+            if matched is not None and record.matched != matched:
+                continue
+            out.append(record)
+        return out
+
+    def denials(self) -> List[AuditRecord]:
+        return self.query(verdict="deny")
+
+    def allows(self) -> List[AuditRecord]:
+        return self.query(verdict="allow")
+
+    def summary(self) -> Dict[str, int]:
+        """Headline counts for dashboards and CLI output."""
+        return {
+            "decisions": len(self.records),
+            "allowed": sum(1 for r in self.records if r.verdict == "allow"),
+            "denied": sum(1 for r in self.records if r.verdict == "deny"),
+            "prompted": sum(1 for r in self.records if r.prompted),
+            "matched": sum(1 for r in self.records if r.matched),
+        }
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def dumps(self) -> str:
+        """JSONL: one record per line, in sequence order."""
+        return "".join(
+            json.dumps(r.to_dict(), sort_keys=True) + "\n" for r in self.records
+        )
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps())
+
+    @staticmethod
+    def from_records(records: Iterable[AuditRecord]) -> "AuditLog":
+        log = AuditLog()
+        log.records = sorted(records, key=lambda r: r.seq)
+        return log
+
+    @staticmethod
+    def loads(text: str) -> "AuditLog":
+        records = [
+            AuditRecord.from_dict(json.loads(line))
+            for line in text.splitlines()
+            if line.strip()
+        ]
+        return AuditLog.from_records(records)
+
+    @staticmethod
+    def load(path: str) -> "AuditLog":
+        with open(path, "r", encoding="utf-8") as handle:
+            return AuditLog.loads(handle.read())

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.core.policy import ECAPolicy, IccEvent, PolicyAction, PolicyEvent
+from repro.enforcement.audit import AuditLog
+from repro.obs import get_metrics
 
 
 class Decision(enum.Enum):
@@ -65,18 +67,59 @@ class PolicyDecisionPoint:
         self,
         policies: Sequence[ECAPolicy] = (),
         prompt_callback: PromptCallback = deny_all_prompts,
+        audit: Optional[AuditLog] = None,
     ) -> None:
         self.policies: List[ECAPolicy] = list(policies)
         self.prompt_callback = prompt_callback
         self.log: List[DecisionRecord] = []
+        #: Every decision is recorded here, in decision order, including the
+        #: default-allow fallthroughs that match no policy.
+        self.audit = audit if audit is not None else AuditLog()
 
     def add_policy(self, policy: ECAPolicy) -> None:
         self.policies.append(policy)
 
-    def decide(self, event_kind: PolicyEvent, event: IccEvent) -> Decision:
+    def _audit(
+        self,
+        event_kind: PolicyEvent,
+        event: IccEvent,
+        policy: Optional[ECAPolicy],
+        decision: Decision,
+        prompted: bool,
+        approved: Optional[bool],
+        context: Optional[str],
+    ) -> None:
+        self.audit.append(
+            event_kind=event_kind.value,
+            sender=event.sender,
+            receiver=event.receiver,
+            action=event.action,
+            payload=sorted(r.value for r in event.extras),
+            sender_permissions=sorted(event.sender_permissions),
+            verdict=decision.value,
+            policy_vulnerability=policy.vulnerability if policy else None,
+            policy_action=policy.action.value if policy else None,
+            policy_description=policy.description if policy else None,
+            prompted=prompted,
+            prompt_approved=approved,
+            context=context,
+        )
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(f"pdp.decisions.{decision.value}").inc()
+            if prompted:
+                metrics.counter("pdp.prompts").inc()
+
+    def decide(
+        self,
+        event_kind: PolicyEvent,
+        event: IccEvent,
+        context: Optional[str] = None,
+    ) -> Decision:
         for policy in self.policies:
             if not policy.matches(event_kind, event):
                 continue
+            approved: Optional[bool] = None
             if policy.action is PolicyAction.DENY:
                 decision = Decision.DENY
                 prompted = False
@@ -87,6 +130,12 @@ class PolicyDecisionPoint:
             self.log.append(
                 DecisionRecord(event_kind, event, policy, decision, prompted)
             )
+            self._audit(
+                event_kind, event, policy, decision, prompted, approved, context
+            )
             return decision
         self.log.append(DecisionRecord(event_kind, event, None, Decision.ALLOW))
+        self._audit(
+            event_kind, event, None, Decision.ALLOW, False, None, context
+        )
         return Decision.ALLOW

@@ -21,6 +21,7 @@ from repro.enforcement.runtime import (
     RuntimeIntent,
     _SEND_KIND,
 )
+from repro.obs import get_metrics
 
 
 class PolicyEnforcementPoint:
@@ -29,6 +30,7 @@ class PolicyEnforcementPoint:
     def __init__(self, runtime: AndroidRuntime, pdp: PolicyDecisionPoint) -> None:
         self.runtime = runtime
         self.pdp = pdp
+        self.audit = pdp.audit  # the shared enforcement audit trail
         self.blocked_deliveries = 0
         self.allowed_deliveries = 0
         self._installed = False
@@ -65,10 +67,15 @@ class PolicyEnforcementPoint:
                 sender_permissions=sender_perms,
             )
             send_ok = (
-                self.pdp.decide(PolicyEvent.ICC_SEND, event) is Decision.ALLOW
+                self.pdp.decide(
+                    PolicyEvent.ICC_SEND, event, context=call.signature
+                )
+                is Decision.ALLOW
             )
             receive_ok = (
-                self.pdp.decide(PolicyEvent.ICC_RECEIVE, event)
+                self.pdp.decide(
+                    PolicyEvent.ICC_RECEIVE, event, context=call.signature
+                )
                 is Decision.ALLOW
             )
             if send_ok and receive_ok:
@@ -76,6 +83,12 @@ class PolicyEnforcementPoint:
                 self.allowed_deliveries += 1
             else:
                 self.blocked_deliveries += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("pep.allowed_deliveries").inc(len(allowed))
+            metrics.counter("pep.blocked_deliveries").inc(
+                len(matches) - len(allowed)
+            )
         if len(allowed) == len(matches):
             return  # nothing denied: let the framework dispatch normally
         # Replace the framework's own dispatch with the approved subset.
@@ -97,8 +110,13 @@ class PolicyEnforcementPoint:
             extras=intent.carried_resources,
             sender_permissions=self.runtime.sender_permissions(sender),
         )
-        if self.pdp.decide(PolicyEvent.ICC_SEND, event) is Decision.ALLOW and (
-            self.pdp.decide(PolicyEvent.ICC_RECEIVE, event) is Decision.ALLOW
+        if self.pdp.decide(
+            PolicyEvent.ICC_SEND, event, context=call.signature
+        ) is Decision.ALLOW and (
+            self.pdp.decide(
+                PolicyEvent.ICC_RECEIVE, event, context=call.signature
+            )
+            is Decision.ALLOW
         ):
             self.allowed_deliveries += 1
             return  # let the call proceed normally

@@ -39,6 +39,7 @@ from repro.dex.instructions import (
 )
 from repro.dex.program import DexMethod
 from repro.enforcement.hooks import HookManager, MethodCall
+from repro.obs import get_metrics, get_tracer
 
 _MAX_DISPATCH = 10_000  # runaway-broadcast backstop
 _MAX_FRAMES = 256
@@ -281,12 +282,24 @@ class AndroidRuntime:
         self._drain()
 
     def _drain(self) -> None:
+        tracer = get_tracer()
+        metrics = get_metrics()
         while self._queue:
             self._dispatch_count += 1
             if self._dispatch_count > _MAX_DISPATCH:
                 raise RuntimeError("ICC dispatch budget exceeded")
             delivery = self._queue.popleft()
-            self._execute_entry(delivery)
+            if metrics.enabled:
+                metrics.counter("runtime.dispatches").inc()
+            if tracer.enabled:
+                with tracer.span(
+                    "runtime.dispatch",
+                    receiver=delivery.receiver,
+                    entry=delivery.entry,
+                ):
+                    self._execute_entry(delivery)
+            else:
+                self._execute_entry(delivery)
 
     # ------------------------------------------------------------------
     # ICC dispatch
@@ -339,6 +352,9 @@ class AndroidRuntime:
     ) -> None:
         """Delivery half: permission checks, effects, queueing."""
         self.icc_sent += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("runtime.icc_sent").inc()
         kind = _SEND_KIND[signature]
         sender_app = sender.split("/", 1)[0]
         sender_perms = self.sender_permissions(sender)
@@ -355,6 +371,8 @@ class AndroidRuntime:
                 )
                 continue
             self.icc_delivered += 1
+            if metrics.enabled:
+                metrics.counter("runtime.icc_delivered").inc()
             self.effects.append(
                 Effect(
                     "icc_delivered",

@@ -1,0 +1,78 @@
+"""Observability: tracing spans, a metrics registry, trace rendering.
+
+Three pillars, all zero-cost when disabled:
+
+- :mod:`repro.obs.trace` -- nestable wall-clock spans emitted as JSONL
+  events.  The global tracer defaults to a no-op; enable it with
+  :func:`enable_tracing` (or the ``REPRO_TRACE`` environment variable,
+  which worker processes inherit so spans from a parallel pipeline run
+  land in the same file).
+- :mod:`repro.obs.metrics` -- a registry of counters, gauges and
+  histograms that the SAT solver, the static analyses, the cache and the
+  pipeline executor publish into.  Defaults to a no-op registry; enable
+  with :func:`enable_metrics`.
+- :mod:`repro.obs.view` -- span-tree and hotspot rendering for the
+  ``repro trace`` CLI subcommand, plus the aggregation rolled into
+  :class:`~repro.pipeline.stats.RunReport`.
+
+Instrumentation never feeds cache keys (tracer/registry state is not part
+of any content hash) and never touches analysis outputs, so enabling or
+disabling observability cannot perturb the byte-identical serial/parallel
+guarantee or invalidate cached pipeline entries.
+"""
+
+from repro.obs.metrics import (
+    METRICS_ENV,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    enable_metrics,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    TRACE_ENV,
+    InMemoryTracer,
+    JsonlTracer,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    enable_tracing,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    span,
+)
+from repro.obs.view import aggregate_spans, render_hotspots, render_span_tree
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemoryTracer",
+    "JsonlTracer",
+    "METRICS_ENV",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "SpanRecord",
+    "TRACE_ENV",
+    "Tracer",
+    "aggregate_spans",
+    "enable_metrics",
+    "enable_tracing",
+    "get_metrics",
+    "get_tracer",
+    "read_trace",
+    "render_hotspots",
+    "render_span_tree",
+    "set_metrics",
+    "set_tracer",
+    "span",
+]

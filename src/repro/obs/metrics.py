@@ -1,0 +1,245 @@
+"""A process-local metrics registry: counters, gauges, histograms.
+
+Instrumented subsystems publish here -- the SAT solver its
+conflicts/decisions/propagations, the static analyses their CFG/call-graph
+/taint sizes, the cache its hits and misses, the pipeline executor its
+task counts.  The registry is thread-safe (instrument creation is locked;
+updates touch per-instrument state under the GIL-atomic operations used
+below) and process-local: pipeline worker processes collect into their
+own registry and ship per-task :meth:`MetricsRegistry.snapshot` deltas
+back with their results, which the parent folds in with
+:meth:`MetricsRegistry.merge`.  Workers activate collection through the
+``REPRO_METRICS`` environment variable (checked once at import), which
+they inherit from the parent whether the pool forks or spawns.
+
+The default registry is :data:`NULL_METRICS`: every instrument method is
+a no-op on a shared singleton, so disabled instrumentation costs one
+method call and records nothing.  Enable collection with
+:func:`enable_metrics`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, Optional
+
+#: Environment variable activating metrics collection; set before a run
+#: (``enable_metrics`` does this) so pipeline worker processes collect too.
+METRICS_ENV = "REPRO_METRICS"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Any] = {}
+
+    def _get(self, name: str, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.setdefault(name, factory(name))
+        if not isinstance(instrument, (Counter, Gauge, Histogram)):
+            raise TypeError(f"metric {name!r} already registered")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All instruments as a plain, JSON-ready, sorted dict."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return {name: instrument.to_dict() for name, instrument in items}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+    def merge(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this
+        registry: counters and histogram sums add, min/max widen, gauges
+        take the incoming value (last write wins)."""
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name).inc(data.get("value", 0))
+            elif kind == "gauge":
+                self.gauge(name).set(data.get("value", 0.0))
+            elif kind == "histogram":
+                hist = self.histogram(name)
+                hist.count += data.get("count", 0)
+                hist.total += data.get("sum", 0.0)
+                for bound, widen in (("min", min), ("max", max)):
+                    incoming = data.get(bound)
+                    if incoming is None:
+                        continue
+                    current = getattr(hist, bound)
+                    setattr(
+                        hist,
+                        bound,
+                        incoming if current is None else widen(current, incoming),
+                    )
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+    mean = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The disabled registry: hands out one shared no-op instrument."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        pass
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return {}
+
+    def reset(self) -> None:
+        return None
+
+    def merge(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        return None
+
+
+NULL_METRICS = NullMetricsRegistry()
+_metrics: MetricsRegistry = NULL_METRICS
+
+# Worker processes inherit REPRO_METRICS from the parent; activating here
+# at import means spawn-mode workers (fresh interpreters) collect metrics
+# without any explicit plumbing through the process pool.
+if os.environ.get(METRICS_ENV):
+    _metrics = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    return _metrics
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` globally; returns the previous registry."""
+    global _metrics
+    previous = _metrics
+    _metrics = registry
+    return previous
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Install (and return) a fresh collecting registry, here and in
+    pipeline worker processes."""
+    return_value = MetricsRegistry()
+    set_metrics(return_value)
+    os.environ[METRICS_ENV] = "1"
+    return return_value

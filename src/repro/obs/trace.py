@@ -1,0 +1,267 @@
+"""Lightweight tracing: nestable wall-clock spans emitted as JSONL.
+
+A span is one timed region of work with a name, key/value attributes, and
+a parent -- the enclosing span on the same thread (nesting is tracked with
+a :class:`contextvars.ContextVar`, so spans nest correctly across threads
+and ``asyncio`` tasks without any locking on the hot path).  Completed
+spans become single-line JSON events.
+
+Process safety: every event is written as one ``os.write`` of a complete
+line to a file descriptor opened with ``O_APPEND``, which POSIX keeps
+atomic for writes of this size -- so the pipeline's worker processes can
+all append to the same trace file without interleaving.  Workers activate
+tracing through the ``REPRO_TRACE`` environment variable (checked once at
+import), which they inherit from the parent no matter whether the pool
+forks or spawns.
+
+The default tracer is :data:`NULL_TRACER`: ``span()`` returns a shared
+singleton context manager that records nothing, writes nothing, and
+allocates nothing, so instrumented code pays only a method call when
+tracing is disabled.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Environment variable holding the trace-file path; setting it before a
+#: run (the ``pipeline --trace`` flag does this) activates tracing in the
+#: current process *and* in every pipeline worker process.
+TRACE_ENV = "REPRO_TRACE"
+
+_current_span_id: ContextVar[Optional[str]] = ContextVar(
+    "repro_current_span", default=None
+)
+
+
+@dataclass
+class SpanRecord:
+    """One completed span, as read back from (or written to) a trace."""
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    start: float  # epoch seconds (wall clock)
+    seconds: float  # duration (monotonic clock)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    pid: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "seconds": self.seconds,
+            "attrs": self.attrs,
+            "pid": self.pid,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "SpanRecord":
+        return SpanRecord(
+            name=data["name"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            start=data.get("start", 0.0),
+            seconds=data.get("seconds", 0.0),
+            attrs=dict(data.get("attrs", {})),
+            pid=data.get("pid", 0),
+        )
+
+
+class _NullSpan:
+    """The do-nothing span: one shared instance, reused forever."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span; finishes (and emits) on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "_token", "_t0", "_wall")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self.span_id = self._tracer._next_id()
+        self._token = _current_span_id.set(self.span_id)
+        self._wall = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        seconds = time.perf_counter() - self._t0
+        _current_span_id.reset(self._token)
+        # The parent is whatever was current *before* this span started.
+        parent = _current_span_id.get()
+        self._tracer._emit(
+            SpanRecord(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=parent,
+                start=self._wall,
+                seconds=seconds,
+                attrs=self.attrs,
+                pid=os.getpid(),
+            )
+        )
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is running."""
+        self.attrs.update(attrs)
+
+
+class Tracer:
+    """Base tracer: allocates spans, hands completed records to ``_emit``."""
+
+    #: Hot paths may guard expensive attribute computation on this flag.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def _next_id(self) -> str:
+        # The pid is read per call, not captured at construction: a forked
+        # pool worker inherits this tracer (counter state and all), and
+        # stamping the *current* pid keeps its span ids distinct from every
+        # sibling worker's.
+        return f"{os.getpid()}-{next(self._counter)}"
+
+    def span(self, name: str, **attrs: Any):
+        """Context manager timing one region of work."""
+        return _Span(self, name, attrs)
+
+    def _emit(self, record: SpanRecord) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: no records, no I/O, no allocation."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # no counter state needed
+        pass
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def _emit(self, record: SpanRecord) -> None:
+        return None
+
+
+class InMemoryTracer(Tracer):
+    """Collects spans in a list -- for tests and in-process aggregation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.records: List[SpanRecord] = []
+        self._lock = threading.Lock()
+
+    def _emit(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.records.append(record)
+
+
+class JsonlTracer(Tracer):
+    """Appends one JSON line per completed span to ``path``.
+
+    The descriptor is opened with ``O_APPEND`` and every event is a single
+    ``os.write`` call, so concurrent writers (pipeline worker processes)
+    never interleave partial lines.
+    """
+
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        self.path = str(path)
+        self._fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+
+    def _emit(self, record: SpanRecord) -> None:
+        line = json.dumps(record.to_dict(), sort_keys=True) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+
+    def close(self) -> None:
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+
+
+NULL_TRACER = NullTracer()
+_tracer: Tracer = NULL_TRACER
+
+# Worker processes inherit REPRO_TRACE from the parent; activating here at
+# import means their instrumented code traces into the same file with no
+# explicit plumbing through the process pool.
+_env_path = os.environ.get(TRACE_ENV)
+if _env_path:
+    _tracer = JsonlTracer(_env_path)
+del _env_path
+
+
+def get_tracer() -> Tracer:
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` globally; returns the previous tracer."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+def enable_tracing(path: str) -> JsonlTracer:
+    """Trace into ``path`` (JSONL), here and in pipeline workers."""
+    tracer = JsonlTracer(path)
+    set_tracer(tracer)
+    os.environ[TRACE_ENV] = str(path)
+    return tracer
+
+
+def span(name: str, **attrs: Any):
+    """Convenience: a span on the global tracer."""
+    return _tracer.span(name, **attrs)
+
+
+def read_trace(path: str) -> List[SpanRecord]:
+    """Load every span event from a JSONL trace file (blank lines skipped)."""
+    records: List[SpanRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            records.append(SpanRecord.from_dict(json.loads(line)))
+    return records
+
+
+def write_trace(path: str, records: Iterable[SpanRecord]) -> None:
+    """Write span records as JSONL (the inverse of :func:`read_trace`)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")

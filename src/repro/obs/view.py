@@ -1,0 +1,131 @@
+"""Trace rendering: span trees, hotspot tables, run-report aggregation.
+
+Consumed by the ``repro trace`` CLI subcommand and by the pipeline, which
+folds :func:`aggregate_spans` output into the run report's ``spans``
+field so one JSON file carries both the stage timings and the span
+breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import SpanRecord
+
+
+def _children_index(records: List[SpanRecord]) -> Dict[Optional[str], List[SpanRecord]]:
+    ids = {r.span_id for r in records}
+    children: Dict[Optional[str], List[SpanRecord]] = {}
+    for record in records:
+        # A parent that never completed (or lives in an unflushed process)
+        # is absent from the file; treat such spans as roots.  Self-parented
+        # spans (malformed input) are forced to roots as well, so the tree
+        # walk terminates on any input.
+        parent = record.parent_id if record.parent_id in ids else None
+        if parent == record.span_id:
+            parent = None
+        children.setdefault(parent, []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda r: (r.start, r.span_id))
+    return children
+
+
+def self_seconds(records: List[SpanRecord]) -> Dict[str, float]:
+    """Per-span self time: duration minus the duration of direct children."""
+    children = _children_index(records)
+    out: Dict[str, float] = {}
+    for record in records:
+        child_total = sum(
+            c.seconds for c in children.get(record.span_id, ())
+        )
+        out[record.span_id] = max(0.0, record.seconds - child_total)
+    return out
+
+
+def aggregate_spans(records: List[SpanRecord]) -> Dict[str, Dict[str, float]]:
+    """Roll spans up by name: count, total/self/max seconds.
+
+    Self time attributes each wall-clock second to exactly one span name,
+    so the self-time column sums (approximately) to the traced run's total
+    even though spans nest.
+    """
+    selfs = self_seconds(records)
+    out: Dict[str, Dict[str, float]] = {}
+    for record in records:
+        entry = out.setdefault(
+            record.name,
+            {"count": 0.0, "total_seconds": 0.0, "self_seconds": 0.0,
+             "max_seconds": 0.0},
+        )
+        entry["count"] += 1
+        entry["total_seconds"] += record.seconds
+        entry["self_seconds"] += selfs[record.span_id]
+        entry["max_seconds"] = max(entry["max_seconds"], record.seconds)
+    return dict(sorted(out.items()))
+
+
+def _format_attrs(attrs: Dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+    return " {" + inner + "}"
+
+
+def render_span_tree(
+    records: List[SpanRecord], max_depth: Optional[int] = None
+) -> str:
+    """An indented tree of every span, children ordered by start time."""
+    if not records:
+        return "(empty trace)"
+    children = _children_index(records)
+    lines: List[str] = []
+    visited = set()
+
+    def walk(
+        record: SpanRecord, line_prefix: str, child_prefix: str, depth: int
+    ) -> None:
+        # Duplicate span ids (malformed traces) could otherwise cycle.
+        if id(record) in visited:
+            return
+        visited.add(id(record))
+        label = f"{record.name}{_format_attrs(record.attrs)}"
+        lines.append(f"{line_prefix}{label}  [{record.seconds * 1000:.1f} ms]")
+        if max_depth is not None and depth + 1 >= max_depth:
+            return
+        kids = children.get(record.span_id, [])
+        for i, child in enumerate(kids):
+            last = i == len(kids) - 1
+            walk(
+                child,
+                child_prefix + ("`- " if last else "|- "),
+                child_prefix + ("   " if last else "|  "),
+                depth + 1,
+            )
+
+    for root in children.get(None, []):
+        walk(root, "", "", 0)
+    return "\n".join(lines)
+
+
+def render_hotspots(records: List[SpanRecord], top: int = 10) -> str:
+    """Top-k span names by *self* time (where the wall clock really went)."""
+    aggregated = aggregate_spans(records)
+    ranked = sorted(
+        aggregated.items(), key=lambda kv: -kv[1]["self_seconds"]
+    )[: max(0, top)]
+    if not ranked:
+        return "(no spans)"
+    name_width = max(len(name) for name, _ in ranked)
+    header = (
+        f"{'span':<{name_width}}  {'count':>6}  {'self':>10}  "
+        f"{'total':>10}  {'max':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, entry in ranked:
+        lines.append(
+            f"{name:<{name_width}}  {int(entry['count']):>6}  "
+            f"{entry['self_seconds'] * 1000:>8.1f}ms  "
+            f"{entry['total_seconds'] * 1000:>8.1f}ms  "
+            f"{entry['max_seconds'] * 1000:>8.1f}ms"
+        )
+    return "\n".join(lines)

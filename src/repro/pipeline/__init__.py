@@ -18,7 +18,11 @@ from repro.pipeline.cache import (
     default_cache_dir,
     framework_fingerprint,
 )
-from repro.pipeline.executor import AnalysisPipeline, PipelineResult
+from repro.pipeline.executor import (
+    AnalysisPipeline,
+    PipelineResult,
+    attach_observability,
+)
 from repro.pipeline.stats import (
     CacheAccounting,
     RunReport,
@@ -29,6 +33,7 @@ from repro.pipeline.stats import (
 __all__ = [
     "AnalysisPipeline",
     "PipelineResult",
+    "attach_observability",
     "PipelineCache",
     "NullCache",
     "CacheAccounting",

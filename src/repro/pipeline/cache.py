@@ -25,6 +25,7 @@ import pathlib
 from functools import lru_cache
 from typing import Any, Dict, Optional
 
+from repro.obs import get_metrics
 from repro.pipeline.stats import CacheAccounting
 
 #: Bump to invalidate every persisted entry (envelope format change).
@@ -146,20 +147,28 @@ class PipelineCache:
 
     def get(self, namespace: str, key: str) -> Optional[Dict[str, Any]]:
         path = self._path(namespace, key)
+        metrics = get_metrics()
         try:
             envelope = json.loads(path.read_text())
         except (OSError, ValueError):
             self.accounting.record_miss(namespace)
+            if metrics.enabled:
+                metrics.counter(f"cache.{namespace}.misses").inc()
             return None
         if envelope.get("version") != CACHE_FORMAT_VERSION:
             self.accounting.record_invalidation(namespace)
             self.accounting.record_miss(namespace)
+            if metrics.enabled:
+                metrics.counter(f"cache.{namespace}.invalidations").inc()
+                metrics.counter(f"cache.{namespace}.misses").inc()
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.accounting.record_hit(namespace)
+        if metrics.enabled:
+            metrics.counter(f"cache.{namespace}.hits").inc()
         return envelope["payload"]
 
     def put(self, namespace: str, key: str, payload: Dict[str, Any]) -> None:
@@ -193,6 +202,9 @@ class NullCache(PipelineCache):
 
     def get(self, namespace: str, key: str) -> Optional[Dict[str, Any]]:
         self.accounting.record_miss(namespace)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(f"cache.{namespace}.misses").inc()
         return None
 
     def put(self, namespace: str, key: str, payload: Dict[str, Any]) -> None:

@@ -32,6 +32,7 @@ from repro.core.synthesis import (
     SynthesisStats,
 )
 from repro.core.vulnerabilities import default_signatures, lookup
+from repro.obs import aggregate_spans, get_metrics, get_tracer, read_trace
 from repro.pipeline.cache import (
     NullCache,
     PipelineCache,
@@ -51,21 +52,32 @@ def _extract_worker(task: Tuple[Any, bool]) -> Dict[str, Any]:
     from repro.statics import extract_app
 
     apk, handle_dynamic_receivers = task
-    model = extract_app(apk, handle_dynamic_receivers=handle_dynamic_receivers)
+    # Spans emitted here land in the shared REPRO_TRACE file whether this
+    # runs in the parent (serial path) or in a pool worker (the env var and
+    # the O_APPEND descriptor discipline make the file multi-process safe).
+    with get_tracer().span("pipeline.extract_app", package=apk.package):
+        model = extract_app(
+            apk, handle_dynamic_receivers=handle_dynamic_receivers
+        )
     return serialize.app_to_dict(model)
 
 
 def _synthesis_worker(task: Dict[str, Any]) -> Dict[str, Any]:
-    bundle = BundleModel(
-        apps=[serialize.app_from_dict(a) for a in task["apps"]]
-    )
-    signature = lookup(task["signature"])()
-    engine = AnalysisAndSynthesisEngine(
-        signatures=[signature],
-        scenarios_per_signature=task["scenarios_per_signature"],
-        minimal=task["minimal"],
-    )
-    result = engine.run_signature(bundle, signature)
+    with get_tracer().span(
+        "pipeline.synthesize",
+        signature=task["signature"],
+        apps=len(task["apps"]),
+    ):
+        bundle = BundleModel(
+            apps=[serialize.app_from_dict(a) for a in task["apps"]]
+        )
+        signature = lookup(task["signature"])()
+        engine = AnalysisAndSynthesisEngine(
+            signatures=[signature],
+            scenarios_per_signature=task["scenarios_per_signature"],
+            minimal=task["minimal"],
+        )
+        result = engine.run_signature(bundle, signature)
     return {
         "scenarios": [
             serialize.scenario_to_dict(s) for s in result.scenarios
@@ -74,7 +86,61 @@ def _synthesis_worker(task: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _with_metrics_delta(fn: Callable[[T], R], task: T) -> Tuple[R, Any]:
+    """Run ``fn`` in a pool worker and capture its per-task metrics delta.
+
+    The worker's registry is reset before the task (a forked worker
+    inherits the parent's counts; a reused worker carries the previous
+    task's), so the returned snapshot is exactly what this task added.
+    The parent merges it -- only on the parallel path, where in-process
+    increments never happened.
+    """
+    metrics = get_metrics()
+    if not metrics.enabled:
+        return fn(task), None
+    metrics.reset()
+    payload = fn(task)
+    return payload, metrics.snapshot()
+
+
+def _extract_worker_obs(task: Tuple[Any, bool]) -> Tuple[Dict[str, Any], Any]:
+    return _with_metrics_delta(_extract_worker, task)
+
+
+def _synthesis_worker_obs(task: Dict[str, Any]) -> Tuple[Dict[str, Any], Any]:
+    return _with_metrics_delta(_synthesis_worker, task)
+
+
 # ----------------------------------------------------------------------
+
+def attach_observability(
+    report: RunReport, trace_path: Optional[str] = None
+) -> RunReport:
+    """Fold the active observability state into a run report.
+
+    Copies the global metrics registry's snapshot into ``report.metrics``
+    (when collection is enabled) and aggregates span records into
+    ``report.spans`` -- from ``trace_path`` if given, else from the global
+    tracer (in-memory records, or the JSONL file a :class:`JsonlTracer`
+    appends to, which also contains the worker processes' spans).
+    No-op on both fields when observability is disabled.
+    """
+    metrics = get_metrics()
+    if metrics.enabled:
+        report.metrics = metrics.snapshot()
+    records = None
+    if trace_path is not None:
+        records = read_trace(trace_path)
+    else:
+        tracer = get_tracer()
+        if getattr(tracer, "records", None) is not None:
+            records = list(tracer.records)
+        elif getattr(tracer, "path", None):
+            records = read_trace(tracer.path)
+    if records:
+        report.spans = aggregate_spans(records)
+    return report
+
 
 @dataclass
 class PipelineResult:
@@ -133,12 +199,31 @@ class AnalysisPipeline:
         self.handle_dynamic_receivers = handle_dynamic_receivers
 
     # ------------------------------------------------------------------
-    def _map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-        """Order-preserving map, parallel when jobs > 1."""
+    def _map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        obs_fn: Optional[Callable[[T], Tuple[R, Any]]] = None,
+    ) -> List[R]:
+        """Order-preserving map, parallel when jobs > 1.
+
+        On the parallel path, ``obs_fn`` (when given and metrics are on)
+        replaces ``fn`` with a wrapper that also ships each task's metrics
+        delta back for merging -- the serial path publishes into the
+        parent's registry directly, so it uses plain ``fn``.
+        """
         if self.jobs <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
         try:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                metrics = get_metrics()
+                if obs_fn is not None and metrics.enabled:
+                    results: List[R] = []
+                    for payload, delta in pool.map(obs_fn, items):
+                        if delta:
+                            metrics.merge(delta)
+                        results.append(payload)
+                    return results
                 return list(pool.map(fn, items))
         except (OSError, ValueError, RuntimeError):
             # No process support (restricted environments): serial fallback.
@@ -168,30 +253,36 @@ class AnalysisPipeline:
     ) -> List[AppModel]:
         """Extract app models, fanning cache misses out across processes."""
         start = time.perf_counter()
-        fingerprint = framework_fingerprint()
-        keys = [
-            content_hash(
-                {
-                    "task": "extract",
-                    "apk": apk,
-                    "handle_dynamic_receivers": self.handle_dynamic_receivers,
-                    "fingerprint": fingerprint,
-                }
+        with get_tracer().span("pipeline.extract", apps=len(apks)) as stage:
+            fingerprint = framework_fingerprint()
+            keys = [
+                content_hash(
+                    {
+                        "task": "extract",
+                        "apk": apk,
+                        "handle_dynamic_receivers": self.handle_dynamic_receivers,
+                        "fingerprint": fingerprint,
+                    }
+                )
+                for apk in apks
+            ]
+            dicts: List[Optional[Dict[str, Any]]] = [
+                self.cache.get("extract", key) for key in keys
+            ]
+            miss_indices = [i for i, d in enumerate(dicts) if d is None]
+            stage.set(cache_misses=len(miss_indices))
+            extracted = self._map(
+                _extract_worker,
+                [
+                    (apks[i], self.handle_dynamic_receivers)
+                    for i in miss_indices
+                ],
+                obs_fn=_extract_worker_obs,
             )
-            for apk in apks
-        ]
-        dicts: List[Optional[Dict[str, Any]]] = [
-            self.cache.get("extract", key) for key in keys
-        ]
-        miss_indices = [i for i, d in enumerate(dicts) if d is None]
-        extracted = self._map(
-            _extract_worker,
-            [(apks[i], self.handle_dynamic_receivers) for i in miss_indices],
-        )
-        for index, app_dict in zip(miss_indices, extracted):
-            self.cache.put("extract", keys[index], app_dict)
-            dicts[index] = app_dict
-        models = [serialize.app_from_dict(d) for d in dicts]
+            for index, app_dict in zip(miss_indices, extracted):
+                self.cache.put("extract", keys[index], app_dict)
+                dicts[index] = app_dict
+            models = [serialize.app_from_dict(d) for d in dicts]
         if report is not None:
             report.add_stage("extract", time.perf_counter() - start)
             report.num_apps += len(models)
@@ -202,17 +293,21 @@ class AnalysisPipeline:
     def run(self, bundles: Sequence[Sequence[Apk]]) -> PipelineResult:
         """Analyze every bundle: extraction, synthesis, policies, detection."""
         run_report = RunReport(jobs=self.jobs)
-        all_apks = [apk for bundle in bundles for apk in bundle]
-        models = self.extract_apps(all_apks, report=run_report)
-        bundle_models: List[BundleModel] = []
-        cursor = 0
-        for bundle in bundles:
-            size = len(bundle)
-            bundle_models.append(
-                BundleModel(apps=models[cursor:cursor + size])
-            )
-            cursor += size
-        return self.analyze_bundles(bundle_models, run_report=run_report)
+        with get_tracer().span(
+            "pipeline.run", jobs=self.jobs, bundles=len(bundles)
+        ):
+            all_apks = [apk for bundle in bundles for apk in bundle]
+            models = self.extract_apps(all_apks, report=run_report)
+            bundle_models: List[BundleModel] = []
+            cursor = 0
+            for bundle in bundles:
+                size = len(bundle)
+                bundle_models.append(
+                    BundleModel(apps=models[cursor:cursor + size])
+                )
+                cursor += size
+            result = self.analyze_bundles(bundle_models, run_report=run_report)
+        return result
 
     def analyze_bundles(
         self,
@@ -222,89 +317,97 @@ class AnalysisPipeline:
         """Synthesis + policy derivation + detection over extracted bundles."""
         run_report = run_report if run_report is not None else RunReport(jobs=self.jobs)
         run_report.num_bundles += len(bundle_models)
+        tracer = get_tracer()
         fingerprint = framework_fingerprint()
         params = self._engine_params()
 
         start = time.perf_counter()
-        bundle_apps: List[List[Dict[str, Any]]] = [
-            [serialize.app_to_dict(a) for a in bundle.apps]
-            for bundle in bundle_models
-        ]
-        app_hashes = [
-            sorted(self._app_content_key(d) for d in apps)
-            for apps in bundle_apps
-        ]
-        tasks: List[Tuple[int, int]] = [
-            (b, s)
-            for b in range(len(bundle_models))
-            for s in range(len(self.signature_names))
-        ]
-        keys = [
-            content_hash(
-                {
-                    "task": "synthesis",
-                    "apps": app_hashes[b],
-                    "signature": self.signature_names[s],
-                    "params": params,
-                    "fingerprint": fingerprint,
-                }
+        with tracer.span(
+            "pipeline.synthesis", bundles=len(bundle_models)
+        ) as stage:
+            bundle_apps: List[List[Dict[str, Any]]] = [
+                [serialize.app_to_dict(a) for a in bundle.apps]
+                for bundle in bundle_models
+            ]
+            app_hashes = [
+                sorted(self._app_content_key(d) for d in apps)
+                for apps in bundle_apps
+            ]
+            tasks: List[Tuple[int, int]] = [
+                (b, s)
+                for b in range(len(bundle_models))
+                for s in range(len(self.signature_names))
+            ]
+            keys = [
+                content_hash(
+                    {
+                        "task": "synthesis",
+                        "apps": app_hashes[b],
+                        "signature": self.signature_names[s],
+                        "params": params,
+                        "fingerprint": fingerprint,
+                    }
+                )
+                for b, s in tasks
+            ]
+            cached: List[Optional[Dict[str, Any]]] = [
+                self.cache.get("synthesis", key) for key in keys
+            ]
+            miss_indices = [i for i, c in enumerate(cached) if c is None]
+            stage.set(tasks=len(tasks), cache_misses=len(miss_indices))
+            solved = self._map(
+                _synthesis_worker,
+                [
+                    {
+                        "apps": bundle_apps[tasks[i][0]],
+                        "signature": self.signature_names[tasks[i][1]],
+                        **params,
+                    }
+                    for i in miss_indices
+                ],
+                obs_fn=_synthesis_worker_obs,
             )
-            for b, s in tasks
-        ]
-        cached: List[Optional[Dict[str, Any]]] = [
-            self.cache.get("synthesis", key) for key in keys
-        ]
-        miss_indices = [i for i, c in enumerate(cached) if c is None]
-        solved = self._map(
-            _synthesis_worker,
-            [
-                {
-                    "apps": bundle_apps[tasks[i][0]],
-                    "signature": self.signature_names[tasks[i][1]],
-                    **params,
-                }
-                for i in miss_indices
-            ],
-        )
-        for index, payload in zip(miss_indices, solved):
-            self.cache.put("synthesis", keys[index], payload)
-            cached[index] = payload
+            for index, payload in zip(miss_indices, solved):
+                self.cache.put("synthesis", keys[index], payload)
+                cached[index] = payload
         run_report.add_stage("synthesis", time.perf_counter() - start)
 
         # Reassemble in (bundle, signature) index order: exactly the order
         # the serial engine would have produced.
         start = time.perf_counter()
         reports: List[SeparReport] = []
-        for b, bundle in enumerate(bundle_models):
-            scenarios = []
-            stats = SynthesisStats()
-            for i, (tb, _ts) in enumerate(tasks):
-                if tb != b:
-                    continue
-                payload = cached[i]
-                scenarios.extend(
-                    serialize.scenario_from_dict(s)
-                    for s in payload["scenarios"]
+        with tracer.span("pipeline.assemble", bundles=len(bundle_models)):
+            for b, bundle in enumerate(bundle_models):
+                scenarios = []
+                stats = SynthesisStats()
+                for i, (tb, _ts) in enumerate(tasks):
+                    if tb != b:
+                        continue
+                    payload = cached[i]
+                    scenarios.extend(
+                        serialize.scenario_from_dict(s)
+                        for s in payload["scenarios"]
+                    )
+                    stats.merge(SynthesisStats.from_dict(payload["stats"]))
+                result = SynthesisResult(scenarios=scenarios, stats=stats)
+                report = Separ.assemble_report(bundle, result)
+                reports.append(report)
+                run_report.solver.add_synthesis_stats(stats)
+                run_report.construction_seconds += stats.construction_seconds
+                run_report.solving_seconds += stats.solving_seconds
+                run_report.num_scenarios += len(report.scenarios)
+                run_report.num_policies += len(report.policies)
+                run_report.per_bundle.append(
+                    {
+                        "apps": len(bundle.apps),
+                        "scenarios": len(report.scenarios),
+                        "policies": len(report.policies),
+                        "conflicts": stats.conflicts,
+                        "decisions": stats.decisions,
+                        "propagations": stats.propagations,
+                    }
                 )
-                stats.merge(SynthesisStats.from_dict(payload["stats"]))
-            result = SynthesisResult(scenarios=scenarios, stats=stats)
-            report = Separ.assemble_report(bundle, result)
-            reports.append(report)
-            run_report.solver.add_synthesis_stats(stats)
-            run_report.construction_seconds += stats.construction_seconds
-            run_report.solving_seconds += stats.solving_seconds
-            run_report.num_scenarios += len(report.scenarios)
-            run_report.num_policies += len(report.policies)
-            run_report.per_bundle.append(
-                {
-                    "apps": len(bundle.apps),
-                    "scenarios": len(report.scenarios),
-                    "policies": len(report.policies),
-                    "conflicts": stats.conflicts,
-                    "decisions": stats.decisions,
-                    "propagations": stats.propagations,
-                }
-            )
         run_report.add_stage("assemble", time.perf_counter() - start)
         run_report.cache = self.cache.accounting
+        attach_observability(run_report)
         return PipelineResult(reports=reports, run_report=run_report)

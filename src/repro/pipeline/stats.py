@@ -113,7 +113,14 @@ class SynthesisStatsLike:
 
 @dataclass
 class RunReport:
-    """The machine-readable record of one pipeline run."""
+    """The machine-readable record of one pipeline run.
+
+    ``spans`` and ``metrics`` are populated only when observability is
+    enabled for the run: ``spans`` carries the per-span-name roll-up of a
+    JSONL trace (:func:`repro.obs.view.aggregate_spans` output) and
+    ``metrics`` a :meth:`repro.obs.metrics.MetricsRegistry.snapshot`.
+    Both default to empty and serialize round-trip losslessly.
+    """
 
     jobs: int = 1
     num_apps: int = 0
@@ -126,6 +133,8 @@ class RunReport:
     construction_seconds: float = 0.0
     solving_seconds: float = 0.0
     per_bundle: List[Dict[str, Any]] = field(default_factory=list)
+    spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def stage(self, name: str) -> Optional[StageTiming]:
         for timing in self.stages:
@@ -156,6 +165,8 @@ class RunReport:
             "construction_seconds": self.construction_seconds,
             "solving_seconds": self.solving_seconds,
             "per_bundle": self.per_bundle,
+            "spans": self.spans,
+            "metrics": self.metrics,
         }
 
     def dumps(self, indent: int = 2) -> str:
@@ -172,6 +183,8 @@ class RunReport:
             construction_seconds=data.get("construction_seconds", 0.0),
             solving_seconds=data.get("solving_seconds", 0.0),
             per_bundle=list(data.get("per_bundle", ())),
+            spans={k: dict(v) for k, v in data.get("spans", {}).items()},
+            metrics={k: dict(v) for k, v in data.get("metrics", {}).items()},
         )
         for timing in data.get("stages", ()):
             report.add_stage(timing["name"], timing["seconds"])

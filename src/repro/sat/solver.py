@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.obs import get_metrics
+
 _RESCALE_LIMIT = 1e100
 _RESCALE_FACTOR = 1e-100
 
@@ -585,6 +587,15 @@ class Solver:
                 value = self._assigns[var]
                 model[var] = bool(value) if value is not None else False
         self._cancel_until(0)
+        metrics = get_metrics()
+        if metrics.enabled:
+            # One registry round-trip per solve() call, never per conflict:
+            # the counters below are already accumulated in plain ints.
+            metrics.counter("sat.solver_calls").inc()
+            metrics.counter("sat.conflicts").inc(self._conflicts)
+            metrics.counter("sat.decisions").inc(self._decisions)
+            metrics.counter("sat.propagations").inc(self._propagations)
+            metrics.counter(f"sat.results.{'sat' if sat else 'unsat'}").inc()
         return SolveResult(
             satisfiable=sat,
             model=model,

@@ -19,6 +19,7 @@ from typing import List, Set
 
 from repro.android.apk import Apk
 from repro.android.components import ComponentKind
+from repro.obs import get_metrics, get_tracer
 from repro.core.model import (
     AppModel,
     BundleModel,
@@ -48,16 +49,41 @@ class ModelExtractor:
         self.reachability_pruning = reachability_pruning
 
     def extract(self, apk: Apk) -> AppModel:
+        tracer = get_tracer()
+        with tracer.span("ame.extract", package=apk.package):
+            return self._extract(apk, tracer)
+
+    def _extract(self, apk: Apk, tracer) -> AppModel:
         start = time.perf_counter()
-        callgraph = CallGraph(apk)
-        values = ValueAnalysis(callgraph)
+        with tracer.span("ame.callgraph"):
+            callgraph = CallGraph(apk)
+            values = ValueAnalysis(callgraph)
 
         all_roots = not self.reachability_pruning
-        taint = TaintAnalysis(apk, callgraph, values, all_roots=all_roots).run()
-        intents_result = IntentExtraction(
-            apk, callgraph, values, all_roots=all_roots
-        ).run(extras_taint=taint.extras_taint)
-        permissions = PermissionExtraction(apk, callgraph, values).run()
+        with tracer.span("ame.taint"):
+            taint = TaintAnalysis(
+                apk, callgraph, values, all_roots=all_roots
+            ).run()
+        with tracer.span("ame.intents"):
+            intents_result = IntentExtraction(
+                apk, callgraph, values, all_roots=all_roots
+            ).run(extras_taint=taint.extras_taint)
+        with tracer.span("ame.permissions"):
+            permissions = PermissionExtraction(apk, callgraph, values).run()
+
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("ame.apps_extracted").inc()
+            metrics.histogram("ame.cfg_count").observe(len(callgraph.cfgs))
+            metrics.histogram("ame.callgraph_edges").observe(
+                sum(len(sites) for sites in callgraph.edges.values())
+            )
+            metrics.histogram("ame.taint_paths").observe(
+                sum(len(paths) for paths in taint.paths.values())
+            )
+            metrics.histogram("ame.intents").observe(
+                len(intents_result.intents)
+            )
 
         components = []
         for decl in apk.manifest.components:

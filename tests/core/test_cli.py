@@ -52,3 +52,86 @@ class TestCorpusAndAnalyze:
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_every_subcommand_has_help(self, capsys):
+        for sub in ("demo", "corpus", "analyze", "pipeline", "simulate", "trace"):
+            with pytest.raises(SystemExit) as excinfo:
+                main([sub, "--help"])
+            assert excinfo.value.code == 0
+            out = capsys.readouterr().out
+            assert out.startswith(f"usage: repro {sub}")
+            assert "-h, --help" in out
+
+
+class TestSimulate:
+    def test_attack_denied_and_audited(self, tmp_path, capsys):
+        audit_path = tmp_path / "audit.jsonl"
+        assert main(
+            ["simulate", "--scenarios", "2", "--audit", str(audit_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "denied" in out
+        assert "no exfiltration" in out
+
+        from repro.enforcement import AuditLog
+
+        log = AuditLog.load(str(audit_path))
+        assert len(log) > 0
+        assert [r.seq for r in log] == list(range(len(log)))
+        assert log.denials()
+
+    def test_consenting_user_lets_data_flow(self, capsys):
+        assert main(["simulate", "--scenarios", "2", "--consent"]) == 0
+        out = capsys.readouterr().out
+        assert "EXFILTRATED" in out or "allowed" in out
+
+
+class TestTraceCommands:
+    def test_pipeline_trace_then_render(self, tmp_path, capsys, monkeypatch):
+        from repro.obs import METRICS_ENV, NULL_METRICS, NULL_TRACER, TRACE_ENV
+        from repro.obs import set_metrics, set_tracer
+
+        trace_path = tmp_path / "out.jsonl"
+        report_path = tmp_path / "rr.json"
+        try:
+            assert main(
+                [
+                    "pipeline", "--scale", "0.002", "--bundle-size", "4",
+                    "--scenarios", "2", "--no-cache",
+                    "--trace", str(trace_path), "--report", str(report_path),
+                ]
+            ) == 0
+        finally:  # the CLI installs a global tracer/registry: restore
+            set_tracer(NULL_TRACER)
+            set_metrics(NULL_METRICS)
+            monkeypatch.delenv(TRACE_ENV, raising=False)
+            monkeypatch.delenv(METRICS_ENV, raising=False)
+        out = capsys.readouterr().out
+        assert "spans written" in out
+
+        import json
+
+        report = json.loads(report_path.read_text())
+        for stage in ("pipeline.run", "pipeline.extract", "pipeline.synthesize"):
+            assert stage in report["spans"]
+        assert "ame.apps_extracted" in report["metrics"]
+
+        assert main(["trace", str(trace_path), "--top", "5"]) == 0
+        rendered = capsys.readouterr().out
+        assert "pipeline.run" in rendered
+        assert "span" in rendered  # hotspot table header
+
+    def test_trace_rejects_missing_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["trace", str(missing)]) != 0
+        assert "no such" in capsys.readouterr().err.lower()

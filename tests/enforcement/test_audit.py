@@ -1,0 +1,144 @@
+"""The enforcement audit log: every PDP decision recorded, in dispatch
+order, queryable, and round-trippable through JSONL."""
+
+import threading
+
+import pytest
+
+from repro.benchsuite.running_example import (
+    build_app1,
+    build_app2,
+    build_malicious_app,
+)
+from repro.core.separ import Separ
+from repro.enforcement import (
+    AndroidRuntime,
+    AuditLog,
+    AuditRecord,
+    PolicyDecisionPoint,
+    PolicyEnforcementPoint,
+)
+
+ENTRY = "com.example.navigation/LocationFinder"
+
+
+@pytest.fixture(scope="module")
+def policies():
+    report = Separ().analyze_apks([build_app1(), build_app2()])
+    return report.policies
+
+
+def run_protected(policies, consent=False):
+    rt = AndroidRuntime()
+    rt.install(build_app1())
+    rt.install(build_app2())
+    rt.install(build_malicious_app())
+    kwargs = {"prompt_callback": (lambda policy, event: True)} if consent else {}
+    pdp = PolicyDecisionPoint(policies, **kwargs)
+    PolicyEnforcementPoint(rt, pdp).install()
+    rt.start_component(ENTRY)
+    return rt, pdp
+
+
+class TestOrderingUnderDispatch:
+    def test_every_decision_audited_in_sequence(self, policies):
+        """Queued ICC dispatch interleaves deliveries from several
+        components; the audit log must still be gap-free and ordered."""
+        _, pdp = run_protected(policies)
+        log = pdp.audit
+        assert len(log) > 0
+        assert [r.seq for r in log] == list(range(len(log)))
+        # One audit record per legacy decision record, same order.
+        assert len(log) == len(pdp.log)
+        for audit_rec, decision in zip(log, pdp.log):
+            assert audit_rec.verdict == decision.decision.value
+
+    def test_attack_denial_is_queryable(self, policies):
+        _, pdp = run_protected(policies)
+        denials = pdp.audit.denials()
+        assert denials
+        assert all(r.verdict == "deny" for r in denials)
+        assert any(r.matched for r in denials)
+        # The synthesized policy that fired names its vulnerability.
+        assert any(r.policy_vulnerability for r in denials)
+
+    def test_consent_flips_prompted_outcomes(self, policies):
+        _, cautious = run_protected(policies, consent=False)
+        _, consenting = run_protected(policies, consent=True)
+        prompted_deny = cautious.audit.query(prompted=True)
+        prompted_allow = consenting.audit.query(prompted=True)
+        if prompted_deny or prompted_allow:  # prompts exist for this bundle
+            assert all(r.prompt_approved is False for r in prompted_deny)
+            assert all(r.prompt_approved is True for r in prompted_allow)
+        assert consenting.audit.summary()["denied"] <= (
+            cautious.audit.summary()["denied"]
+        )
+
+    def test_summary_counts_are_consistent(self, policies):
+        _, pdp = run_protected(policies)
+        summary = pdp.audit.summary()
+        assert summary["decisions"] == len(pdp.audit)
+        assert summary["allowed"] + summary["denied"] == summary["decisions"]
+        assert summary["matched"] >= summary["denied"]
+
+
+class TestConcurrentAppend:
+    def test_seq_is_gap_free_across_threads(self):
+        log = AuditLog()
+        barrier = threading.Barrier(8)
+
+        def work():
+            barrier.wait()
+            for _ in range(50):
+                log.append(
+                    event_kind="icc_send", sender="s", receiver="r",
+                    action=None, payload=[], sender_permissions=[],
+                    verdict="allow",
+                )
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert [r.seq for r in log] == list(range(400))
+
+
+class TestRoundTrip:
+    def test_jsonl_round_trip(self, policies, tmp_path):
+        _, pdp = run_protected(policies)
+        path = tmp_path / "audit.jsonl"
+        pdp.audit.write(str(path))
+        restored = AuditLog.load(str(path))
+        assert [r.to_dict() for r in restored] == [
+            r.to_dict() for r in pdp.audit
+        ]
+        assert restored.summary() == pdp.audit.summary()
+
+    def test_record_round_trip_preserves_optionals(self):
+        record = AuditRecord(
+            seq=3, event_kind="icc_receive", sender="a", receiver=None,
+            action="android.intent.action.VIEW", payload=["LOCATION"],
+            sender_permissions=["p1"], verdict="deny",
+            policy_vulnerability="intent_hijack", policy_action="deny",
+            policy_description="d", prompted=True, prompt_approved=False,
+            context="Context.startActivity",
+        )
+        assert AuditRecord.from_dict(record.to_dict()) == record
+        assert record.matched
+
+    def test_query_filters_compose(self):
+        log = AuditLog()
+        log.append(
+            event_kind="icc_send", sender="a", receiver="x", action=None,
+            payload=[], sender_permissions=[], verdict="deny",
+            policy_vulnerability="intent_hijack",
+        )
+        log.append(
+            event_kind="icc_send", sender="b", receiver="x", action=None,
+            payload=[], sender_permissions=[], verdict="allow",
+        )
+        assert len(log.query(receiver="x")) == 2
+        assert len(log.query(receiver="x", verdict="deny")) == 1
+        assert log.query(matched=False)[0].sender == "b"
+        assert log.query(vulnerability="intent_hijack")[0].sender == "a"

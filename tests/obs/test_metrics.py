@@ -1,0 +1,129 @@
+"""The metrics registry: instruments, snapshots, cross-process merging,
+and the no-op registry's zero-cost guarantee."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    METRICS_ENV,
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    enable_metrics,
+    get_metrics,
+    set_metrics,
+)
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    previous = set_metrics(reg)
+    yield reg
+    set_metrics(previous)
+
+
+class TestInstruments:
+    def test_counter(self, registry):
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        assert registry.counter("c").value == 5
+
+    def test_gauge_last_write_wins(self, registry):
+        registry.gauge("g").set(3.0)
+        registry.gauge("g").set(1.5)
+        assert registry.gauge("g").value == 1.5
+
+    def test_histogram_summary(self, registry):
+        for v in (2.0, 8.0, 5.0):
+            registry.histogram("h").observe(v)
+        h = registry.histogram("h")
+        assert (h.count, h.total, h.min, h.max, h.mean) == (3, 15.0, 2.0, 8.0, 5.0)
+
+    def test_same_name_same_instrument(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_snapshot_is_sorted_and_json_ready(self, registry):
+        registry.counter("z.count").inc()
+        registry.gauge("a.level").set(2.0)
+        registry.histogram("m.sizes").observe(7)
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)  # must not raise
+        assert snap["z.count"] == {"type": "counter", "value": 1}
+        assert snap["m.sizes"]["mean"] == 7
+
+    def test_reset_clears(self, registry):
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+class TestMerge:
+    def test_counters_add(self, registry):
+        registry.counter("c").inc(2)
+        other = MetricsRegistry()
+        other.counter("c").inc(3)
+        other.counter("new").inc()
+        registry.merge(other.snapshot())
+        assert registry.counter("c").value == 5
+        assert registry.counter("new").value == 1
+
+    def test_gauges_take_incoming(self, registry):
+        registry.gauge("g").set(1.0)
+        other = MetricsRegistry()
+        other.gauge("g").set(9.0)
+        registry.merge(other.snapshot())
+        assert registry.gauge("g").value == 9.0
+
+    def test_histograms_widen(self, registry):
+        registry.histogram("h").observe(5.0)
+        other = MetricsRegistry()
+        other.histogram("h").observe(1.0)
+        other.histogram("h").observe(10.0)
+        registry.merge(other.snapshot())
+        h = registry.histogram("h")
+        assert (h.count, h.total, h.min, h.max) == (3, 16.0, 1.0, 10.0)
+
+    def test_merge_into_empty_equals_source(self, registry):
+        other = MetricsRegistry()
+        other.counter("c").inc(2)
+        other.histogram("h").observe(4.0)
+        registry.merge(other.snapshot())
+        assert registry.snapshot() == other.snapshot()
+
+
+class TestDisabled:
+    def test_null_registry_hands_out_shared_noop(self):
+        reg = NullMetricsRegistry()
+        c = reg.counter("a")
+        assert c is reg.counter("b") is reg.gauge("g") is reg.histogram("h")
+        c.inc(100)
+        c.observe(5.0)
+        c.set(3.0)
+        assert c.value == 0 and c.count == 0
+        assert reg.snapshot() == {}
+        assert reg.enabled is False
+
+    def test_null_merge_is_inert(self):
+        reg = NullMetricsRegistry()
+        reg.merge({"c": {"type": "counter", "value": 5}})
+        assert reg.snapshot() == {}
+
+    def test_enable_metrics_installs_and_flags_workers(self, monkeypatch):
+        monkeypatch.delenv(METRICS_ENV, raising=False)
+        previous = get_metrics()
+        try:
+            reg = enable_metrics()
+            import os
+
+            assert get_metrics() is reg
+            assert reg.enabled
+            assert os.environ.get(METRICS_ENV) == "1"
+        finally:
+            set_metrics(previous)
+            monkeypatch.delenv(METRICS_ENV, raising=False)
+
+    def test_default_is_null(self):
+        assert isinstance(NULL_METRICS, NullMetricsRegistry)

@@ -1,0 +1,188 @@
+"""Tracing spans: nesting, round-trip serialization, concurrency, and the
+zero-cost-when-disabled guarantee."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    TRACE_ENV,
+    InMemoryTracer,
+    JsonlTracer,
+    NullTracer,
+    SpanRecord,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+)
+from repro.obs.trace import read_trace, write_trace
+
+
+@pytest.fixture
+def tracer():
+    """Install an in-memory tracer; restore the previous one afterwards."""
+    t = InMemoryTracer()
+    previous = set_tracer(t)
+    yield t
+    set_tracer(previous)
+
+
+class TestNesting:
+    def test_parent_child(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_children_close_before_parents(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert [r.name for r in tracer.records] == ["b", "c", "a"]
+
+    def test_sibling_spans_share_parent(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("x"):
+                pass
+            with tracer.span("y"):
+                pass
+        root = next(r for r in tracer.records if r.name == "root")
+        kids = [r for r in tracer.records if r.name in ("x", "y")]
+        assert all(k.parent_id == root.span_id for k in kids)
+
+    def test_attributes_at_open_and_via_set(self, tracer):
+        with tracer.span("s", static="yes") as span:
+            span.set(discovered=3)
+        (record,) = tracer.records
+        assert record.attrs == {"static": "yes", "discovered": 3}
+
+    def test_duration_measured(self, tracer):
+        with tracer.span("timed"):
+            time.sleep(0.01)
+        (record,) = tracer.records
+        assert record.seconds >= 0.005
+        assert record.pid == os.getpid()
+
+    def test_span_ids_unique(self, tracer):
+        for _ in range(50):
+            with tracer.span("s"):
+                pass
+        ids = [r.span_id for r in tracer.records]
+        assert len(set(ids)) == len(ids)
+
+
+class TestThreadSafety:
+    def test_nesting_is_per_thread(self, tracer):
+        """Concurrent threads never adopt each other's spans as parents."""
+        barrier = threading.Barrier(4)
+
+        def work(i):
+            barrier.wait()
+            with tracer.span(f"outer-{i}"):
+                with tracer.span(f"inner-{i}"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        by_name = {r.name: r for r in tracer.records}
+        assert len(tracer.records) == 8
+        for i in range(4):
+            assert (
+                by_name[f"inner-{i}"].parent_id
+                == by_name[f"outer-{i}"].span_id
+            )
+
+
+class TestRoundTrip:
+    def test_record_dict_round_trip(self):
+        record = SpanRecord(
+            name="n", span_id="1-1", parent_id=None, start=1.5,
+            seconds=0.25, attrs={"k": "v"}, pid=42,
+        )
+        assert SpanRecord.from_dict(record.to_dict()) == record
+
+    def test_write_then_read(self, tmp_path, tracer):
+        with tracer.span("outer", apps=2):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "t.jsonl"
+        write_trace(str(path), tracer.records)
+        assert read_trace(str(path)) == tracer.records
+
+    def test_jsonl_tracer_emits_parseable_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        t = JsonlTracer(str(path))
+        previous = set_tracer(t)
+        try:
+            with t.span("a"):
+                with t.span("b"):
+                    pass
+        finally:
+            set_tracer(previous)
+            t.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        names = {json.loads(line)["name"] for line in lines}
+        assert names == {"a", "b"}
+        records = read_trace(str(path))
+        by_name = {r.name: r for r in records}
+        assert by_name["b"].parent_id == by_name["a"].span_id
+
+    def test_enable_tracing_sets_env_for_workers(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        path = tmp_path / "t.jsonl"
+        previous = get_tracer()
+        t = enable_tracing(str(path))
+        try:
+            assert os.environ[TRACE_ENV] == str(path)
+            assert get_tracer() is t
+        finally:
+            set_tracer(previous)
+            t.close()
+            monkeypatch.delenv(TRACE_ENV, raising=False)
+
+
+class TestDisabled:
+    def test_null_tracer_returns_shared_singleton(self):
+        t = NullTracer()
+        s1 = t.span("anything", big_attr="x" * 100)
+        s2 = t.span("other")
+        assert s1 is s2  # no per-span allocation at all
+
+    def test_null_span_protocol_is_inert(self):
+        t = NullTracer()
+        with t.span("s") as span:
+            span.set(k=1)  # swallowed, not stored
+        assert not hasattr(span, "attrs")
+        assert t.enabled is False
+
+    def test_default_tracer_is_null(self):
+        # The module-level default (absent REPRO_TRACE) must be the no-op.
+        if not os.environ.get(TRACE_ENV):
+            assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_noop_overhead_guard(self):
+        """Disabled tracing must stay within noise of a bare loop.
+
+        Generous absolute bound: 20k no-op spans in well under a second on
+        any machine -- a regression that allocates or serializes per span
+        blows straight through it.
+        """
+        t = NullTracer()
+        start = time.perf_counter()
+        for _ in range(20_000):
+            with t.span("hot", a=1):
+                pass
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0

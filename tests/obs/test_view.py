@@ -1,0 +1,114 @@
+"""Trace rendering: aggregation, self time, tree layout, hotspots -- and
+termination on malformed traces."""
+
+from repro.obs import SpanRecord, aggregate_spans, render_hotspots, render_span_tree
+from repro.obs.view import self_seconds
+
+
+def rec(name, span_id, parent_id=None, start=0.0, seconds=1.0, **attrs):
+    return SpanRecord(
+        name=name, span_id=span_id, parent_id=parent_id,
+        start=start, seconds=seconds, attrs=attrs, pid=1,
+    )
+
+
+class TestAggregation:
+    def test_self_time_subtracts_direct_children(self):
+        records = [
+            rec("root", "r", seconds=10.0),
+            rec("child", "c1", parent_id="r", seconds=3.0),
+            rec("child", "c2", parent_id="r", seconds=4.0),
+        ]
+        selfs = self_seconds(records)
+        assert selfs["r"] == 3.0  # 10 - (3 + 4)
+        assert selfs["c1"] == 3.0 and selfs["c2"] == 4.0
+
+    def test_self_time_clamped_at_zero(self):
+        # Children measured longer than the parent (clock jitter) must not
+        # produce negative self time.
+        records = [
+            rec("root", "r", seconds=1.0),
+            rec("child", "c", parent_id="r", seconds=2.0),
+        ]
+        assert self_seconds(records)["r"] == 0.0
+
+    def test_aggregate_by_name(self):
+        records = [
+            rec("work", "a", seconds=2.0),
+            rec("work", "b", seconds=6.0),
+            rec("other", "c", seconds=1.0),
+        ]
+        agg = aggregate_spans(records)
+        assert agg["work"] == {
+            "count": 2, "total_seconds": 8.0,
+            "self_seconds": 8.0, "max_seconds": 6.0,
+        }
+        assert list(agg) == sorted(agg)
+
+    def test_orphan_parent_treated_as_root(self):
+        # A parent that never flushed (e.g. killed worker) is absent from
+        # the file; its children still aggregate and render.
+        records = [rec("lost", "x", parent_id="never-written", seconds=2.0)]
+        assert aggregate_spans(records)["lost"]["count"] == 1
+        assert "lost" in render_span_tree(records)
+
+
+class TestTree:
+    def test_nested_layout(self):
+        records = [
+            rec("root", "r", start=0.0, seconds=5.0),
+            rec("first", "a", parent_id="r", start=1.0, seconds=1.0),
+            rec("second", "b", parent_id="r", start=2.0, seconds=1.0, n=3),
+        ]
+        tree = render_span_tree(records)
+        lines = tree.splitlines()
+        assert lines[0].startswith("root")
+        assert "|- first" in lines[1]  # ordered by start time
+        assert "`- second {n=3}" in lines[2]
+
+    def test_max_depth_truncates(self):
+        records = [
+            rec("root", "r", seconds=3.0),
+            rec("mid", "m", parent_id="r", seconds=2.0),
+            rec("leaf", "l", parent_id="m", seconds=1.0),
+        ]
+        tree = render_span_tree(records, max_depth=2)
+        assert "mid" in tree and "leaf" not in tree
+
+    def test_empty_trace(self):
+        assert render_span_tree([]) == "(empty trace)"
+
+    def test_self_parented_span_terminates(self):
+        records = [rec("weird", "x", parent_id="x", seconds=1.0)]
+        assert "weird" in render_span_tree(records)
+
+    def test_duplicate_span_ids_terminate(self):
+        # Two processes once stamped identical ids (fork bug); rendering
+        # such a malformed trace must finish, not walk a cycle.
+        records = [
+            rec("a", "1", parent_id="2", seconds=1.0),
+            rec("b", "2", parent_id="1", seconds=1.0),
+            rec("a", "1", parent_id=None, seconds=1.0),
+        ]
+        tree = render_span_tree(records)
+        assert tree.count("a") >= 1
+
+
+class TestHotspots:
+    def test_ranked_by_self_time(self):
+        records = [
+            rec("cheap_wrapper", "r", seconds=10.0),
+            rec("hot_inner", "h", parent_id="r", seconds=9.5),
+        ]
+        table = render_hotspots(records, top=5)
+        lines = table.splitlines()
+        assert "hot_inner" in lines[2]  # header, rule, then hottest first
+        assert "cheap_wrapper" in lines[3]
+
+    def test_top_limits_rows(self):
+        records = [rec(f"n{i}", str(i), seconds=float(i + 1)) for i in range(6)]
+        table = render_hotspots(records, top=2)
+        assert len(table.splitlines()) == 4  # header + rule + 2 rows
+
+    def test_empty(self):
+        assert render_hotspots([]) == "(no spans)"

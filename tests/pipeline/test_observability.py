@@ -1,0 +1,130 @@
+"""Observability through the pipeline: run-report round-trips carrying
+spans/metrics, attach_observability, and traced end-to-end runs."""
+
+import pytest
+
+from repro.benchsuite.running_example import build_app1, build_app2
+from repro.obs import (
+    NULL_METRICS,
+    NULL_TRACER,
+    InMemoryTracer,
+    MetricsRegistry,
+    set_metrics,
+    set_tracer,
+)
+from repro.pipeline import AnalysisPipeline, RunReport, attach_observability
+
+
+@pytest.fixture
+def observed():
+    """Install a collecting tracer+registry; restore the no-ops after."""
+    tracer = InMemoryTracer()
+    registry = MetricsRegistry()
+    prev_tracer = set_tracer(tracer)
+    prev_metrics = set_metrics(registry)
+    yield tracer, registry
+    set_tracer(prev_tracer)
+    set_metrics(prev_metrics)
+
+
+class TestRunReportRoundTrip:
+    def test_spans_and_metrics_survive_serialization(self):
+        report = RunReport(jobs=2)
+        report.add_stage("extract", 1.5)
+        report.spans = {
+            "pipeline.extract": {
+                "count": 1, "total_seconds": 1.5,
+                "self_seconds": 0.2, "max_seconds": 1.5,
+            }
+        }
+        report.metrics = {
+            "sat.conflicts": {"type": "counter", "value": 7},
+            "ame.cfg_count": {
+                "type": "histogram", "count": 2, "sum": 10.0,
+                "min": 3, "max": 7, "mean": 5.0,
+            },
+        }
+        restored = RunReport.loads(report.dumps())
+        assert restored.spans == report.spans
+        assert restored.metrics == report.metrics
+        assert restored.to_dict() == report.to_dict()
+
+    def test_fields_default_empty_for_old_reports(self):
+        # Reports written before observability existed must still load.
+        report = RunReport(jobs=1)
+        data = report.to_dict()
+        del data["spans"], data["metrics"]
+        import json
+
+        restored = RunReport.loads(json.dumps(data))
+        assert restored.spans == {} and restored.metrics == {}
+
+
+class TestAttachObservability:
+    def test_folds_tracer_and_registry_into_report(self, observed):
+        tracer, registry = observed
+        with tracer.span("work"):
+            pass
+        registry.counter("sat.solver_calls").inc(3)
+        report = attach_observability(RunReport(jobs=1))
+        assert report.spans["work"]["count"] == 1
+        assert report.metrics["sat.solver_calls"]["value"] == 3
+
+    def test_noop_when_disabled(self):
+        # Default no-op tracer/registry: the report stays untouched.
+        report = attach_observability(RunReport(jobs=1))
+        assert report.spans == {} and report.metrics == {}
+
+    def test_reads_trace_file_when_given(self, tmp_path, observed):
+        tracer, _ = observed
+        with tracer.span("recorded"):
+            pass
+        from repro.obs.trace import write_trace
+
+        path = tmp_path / "t.jsonl"
+        write_trace(str(path), tracer.records)
+        report = attach_observability(RunReport(jobs=1), trace_path=str(path))
+        assert "recorded" in report.spans
+
+
+class TestTracedPipelineRun:
+    def test_spans_cover_every_stage_and_synthesis_call(self, observed):
+        tracer, registry = observed
+        apks = [build_app1(), build_app2()]
+        pipeline = AnalysisPipeline(jobs=1, scenarios_per_signature=2)
+        result = pipeline.run([apks])
+        names = {r.name for r in tracer.records}
+        # Every stage...
+        for stage in (
+            "pipeline.run", "pipeline.extract", "pipeline.synthesis",
+            "pipeline.assemble",
+        ):
+            assert stage in names
+        # ...every per-app extraction and per-(bundle, signature) call.
+        per_app = [r for r in tracer.records if r.name == "pipeline.extract_app"]
+        per_sig = [r for r in tracer.records if r.name == "pipeline.synthesize"]
+        assert len(per_app) == 2
+        assert len(per_sig) == len(pipeline.signature_names)
+        # The engine's inner spans nest under the worker span.
+        sig_ids = {r.span_id for r in per_sig}
+        inner = [r for r in tracer.records if r.name == "ase.signature"]
+        assert inner and all(r.parent_id in sig_ids for r in inner)
+        # Aggregates landed in the run report, metrics included.
+        report = result.run_report
+        assert report.spans["pipeline.synthesize"]["count"] == len(per_sig)
+        assert report.metrics["ame.apps_extracted"]["value"] == 2
+        assert registry.counter("ase.signature_runs").value == len(per_sig)
+
+    def test_observability_does_not_change_findings(self, observed):
+        apks = [build_app1(), build_app2()]
+        observed_result = AnalysisPipeline(
+            jobs=1, scenarios_per_signature=2
+        ).run([apks])
+        set_tracer(NULL_TRACER)
+        set_metrics(NULL_METRICS)
+        plain_result = AnalysisPipeline(
+            jobs=1, scenarios_per_signature=2
+        ).run([apks])
+        assert (
+            observed_result.findings_dict() == plain_result.findings_dict()
+        )

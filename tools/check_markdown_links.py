@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve.
+
+Scans the given markdown files (default: README.md, DESIGN.md,
+EXPERIMENTS.md and docs/*.md) for inline links and verifies that every
+relative target exists on disk, including `path#anchor` fragments against
+the target file's headings.  External (http/https/mailto) links are not
+fetched -- CI must not depend on network weather.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+#: Inline links: [text](target) -- skipping images is unnecessary since
+#: image targets must resolve too.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, drop punctuation."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set:
+    return {slugify(m.group(1)) for m in HEADING_RE.finditer(path.read_text())}
+
+
+def check_file(path: pathlib.Path) -> List[Tuple[str, str]]:
+    """Return (link, reason) for every broken link in ``path``."""
+    broken = []
+    for match in LINK_RE.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if slugify(target[1:]) not in anchors_of(path):
+                broken.append((target, "missing anchor"))
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            broken.append((target, "missing file"))
+            continue
+        if anchor and resolved.suffix == ".md":
+            if slugify(anchor) not in anchors_of(resolved):
+                broken.append((target, f"missing anchor in {file_part}"))
+    return broken
+
+
+def default_files(root: pathlib.Path) -> Iterable[pathlib.Path]:
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+        candidate = root / name
+        if candidate.exists():
+            yield candidate
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def main(argv: List[str]) -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    files = [pathlib.Path(a) for a in argv] or list(default_files(root))
+    failures = 0
+    for path in files:
+        for link, reason in check_file(path):
+            print(f"{path}: broken link {link!r} ({reason})")
+            failures += 1
+    def display(path: pathlib.Path) -> str:
+        try:
+            return str(path.relative_to(root))
+        except ValueError:
+            return str(path)
+
+    checked = ", ".join(display(p) for p in files)
+    print(f"checked {len(files)} files ({checked}): {failures} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
