@@ -116,6 +116,8 @@ def summarize_run_report(report: Any) -> Dict[str, float]:
         "conflicts": float(solver.get("conflicts", 0)),
         "decisions": float(solver.get("decisions", 0)),
         "propagations": float(solver.get("propagations", 0)),
+        "num_failures": float(len(data.get("failures", ()))),
+        "num_degraded": float(len(data.get("degraded", ()))),
     }
     for stage in data.get("stages", ()):
         summary[f"stage_{stage['name']}_seconds"] = float(stage["seconds"])

@@ -105,6 +105,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     from repro.obs import enable_metrics, enable_tracing
     from repro.pipeline import (
         AnalysisPipeline,
+        FaultPolicy,
         NullCache,
         PipelineCache,
         attach_observability,
@@ -133,6 +134,12 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=cache,
         scenarios_per_signature=args.scenarios,
+        faults=FaultPolicy(
+            task_timeout=args.task_timeout,
+            max_retries=args.task_retries,
+        ),
+        conflict_budget=args.conflict_budget,
+        time_budget_seconds=args.time_budget,
     )
     result = pipeline.run(bundles)
     report = result.run_report
@@ -159,6 +166,22 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         f"{solver.conflicts} conflicts, {solver.decisions} decisions, "
         f"{solver.propagations} propagations"
     )
+    if report.failures:
+        print(f"  failures: {len(report.failures)} task(s)")
+        for failure in report.failures:
+            print(
+                f"    [{failure['kind']}] {failure['stage']}"
+                f" {failure['task']} after {failure['attempts']} attempt(s):"
+                f" {failure['error']}"
+            )
+    if report.degraded:
+        print(f"  degraded: {len(report.degraded)} task(s)")
+        for entry in report.degraded:
+            print(
+                f"    [{entry['reason']}] {entry['stage']} {entry['task']}"
+                f" ({entry['scenarios']} scenario(s) found before the "
+                "budget ran out)"
+            )
     if args.trace:
         span_count = int(sum(e["count"] for e in report.spans.values()))
         print(f"  trace: {span_count} spans written to {args.trace}")
@@ -172,6 +195,14 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             json.dumps(result.findings_dict(), indent=2, sort_keys=True)
         )
         print(f"findings written to {args.findings}")
+    # Fault tolerance is the default contract: a run that completed with
+    # isolated failures or degraded tasks still exits 0 (the report carries
+    # the details).  --strict turns those conditions into exit codes.
+    if args.strict:
+        if report.failures:
+            return 3
+        if report.degraded:
+            return 2
     return 0
 
 
@@ -396,6 +427,40 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--report", help="write the JSON run report here")
     pipeline.add_argument(
         "--findings", help="write canonical JSON findings here"
+    )
+    pipeline.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-task timeout in seconds on the process-pool path "
+        "(default: none)",
+    )
+    pipeline.add_argument(
+        "--task-retries",
+        type=int,
+        default=2,
+        help="retries per task after its first attempt "
+        "(default: %(default)s)",
+    )
+    pipeline.add_argument(
+        "--conflict-budget",
+        type=int,
+        default=None,
+        help="max CDCL conflicts per synthesis task; exhausting it "
+        "degrades the task to a partial result (default: unlimited)",
+    )
+    pipeline.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="wall-clock seconds per synthesis task before it degrades "
+        "to a partial result (default: unlimited)",
+    )
+    pipeline.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 3 if any task failed and 2 if any task degraded "
+        "(default: exit 0 whenever the run completes)",
     )
     pipeline.set_defaults(func=_cmd_pipeline)
 

@@ -15,13 +15,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.app_to_spec import BundleSpec
 from repro.core.model import BundleModel
 from repro.core.vulnerabilities import default_signatures
 from repro.core.vulnerabilities.base import ExploitScenario, VulnerabilitySignature
 from repro.obs import get_metrics, get_tracer
+from repro.sat.solver import BudgetExhausted
 
 
 @dataclass
@@ -30,7 +31,9 @@ class SynthesisStats:
 
     Solver counters (conflicts/decisions/propagations) are accumulated
     across every SAT call the signatures triggered, for the pipeline run
-    report."""
+    report.  ``exhausted`` marks a run that hit its conflict or wall-clock
+    budget and stopped early: the scenario list is a prefix of what an
+    unbounded run would have found."""
 
     construction_seconds: float = 0.0
     solving_seconds: float = 0.0
@@ -40,6 +43,7 @@ class SynthesisStats:
     decisions: int = 0
     propagations: int = 0
     solver_calls: int = 0
+    exhausted: bool = False
     per_signature: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def merge(self, other: "SynthesisStats") -> None:
@@ -52,7 +56,13 @@ class SynthesisStats:
         self.decisions += other.decisions
         self.propagations += other.propagations
         self.solver_calls += other.solver_calls
-        self.per_signature.update(other.per_signature)
+        self.exhausted = self.exhausted or other.exhausted
+        # Sum numeric fields per key: a signature appearing in both blocks
+        # (repeated runs, re-merged stats) must accumulate, not clobber.
+        for name, values in other.per_signature.items():
+            mine = self.per_signature.setdefault(name, {})
+            for key, value in values.items():
+                mine[key] = mine.get(key, 0.0) + value
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -64,6 +74,7 @@ class SynthesisStats:
             "decisions": self.decisions,
             "propagations": self.propagations,
             "solver_calls": self.solver_calls,
+            "exhausted": self.exhausted,
             "per_signature": self.per_signature,
         }
 
@@ -78,7 +89,13 @@ class SynthesisStats:
             decisions=data.get("decisions", 0),
             propagations=data.get("propagations", 0),
             solver_calls=data.get("solver_calls", 0),
-            per_signature=dict(data.get("per_signature", {})),
+            exhausted=bool(data.get("exhausted", False)),
+            per_signature={
+                name: dict(values)
+                for name, values in dict(
+                    data.get("per_signature", {})
+                ).items()
+            },
         )
 
 
@@ -104,19 +121,32 @@ class SynthesisResult:
 
 
 class AnalysisAndSynthesisEngine:
-    """Runs every registered vulnerability signature against a bundle."""
+    """Runs every registered vulnerability signature against a bundle.
+
+    ``conflict_budget`` caps the total CDCL conflicts each signature run
+    may spend; ``time_budget_seconds`` caps its wall clock (checked
+    between solver calls -- a single call is bounded by the conflict
+    budget, not preempted).  When either budget runs out the run
+    *degrades* instead of failing: the scenarios found so far are
+    returned and ``stats.exhausted`` is set, so pathological bundles and
+    SAT blow-ups yield partial results rather than sinking the pipeline.
+    """
 
     def __init__(
         self,
         signatures: Optional[Sequence[VulnerabilitySignature]] = None,
         scenarios_per_signature: int = 8,
         minimal: bool = True,
+        conflict_budget: Optional[int] = None,
+        time_budget_seconds: Optional[float] = None,
     ) -> None:
         self.signatures = (
             list(signatures) if signatures is not None else default_signatures()
         )
         self.scenarios_per_signature = scenarios_per_signature
         self.minimal = minimal
+        self.conflict_budget = conflict_budget
+        self.time_budget_seconds = time_budget_seconds
 
     def run(self, bundle: BundleModel) -> SynthesisResult:
         stats = SynthesisStats()
@@ -143,22 +173,33 @@ class AnalysisAndSynthesisEngine:
             apps=len(bundle.apps),
         ):
             start = time.perf_counter()
+            deadline = (
+                start + self.time_budget_seconds
+                if self.time_budget_seconds is not None
+                else None
+            )
             with tracer.span("ase.construct", signature=signature.name):
                 spec = BundleSpec(bundle)
                 instantiation = signature.instantiate(spec)
                 problem = spec.module.solve_problem(
                     goal=instantiation.goal, extra=instantiation.extra_scopes
                 )
+            if self.conflict_budget is not None:
+                problem.conflict_budget = self.conflict_budget
             construction = time.perf_counter() - start
             solve_start = time.perf_counter()
             with tracer.span("ase.solve", signature=signature.name):
-                found = self._enumerate(problem, instantiation)
+                found, exhausted = self._enumerate(
+                    problem, instantiation, deadline=deadline
+                )
             solving = time.perf_counter() - solve_start
             scenarios = [instantiation.decode(instance) for instance in found]
         metrics = get_metrics()
         if metrics.enabled:
             metrics.counter("ase.signature_runs").inc()
             metrics.counter("ase.scenarios").inc(len(found))
+            if exhausted:
+                metrics.counter("ase.budget_exhausted").inc()
             metrics.histogram("ase.num_vars").observe(problem.stats.num_vars)
             metrics.histogram("ase.num_clauses").observe(
                 problem.stats.num_clauses
@@ -173,6 +214,7 @@ class AnalysisAndSynthesisEngine:
         stats.decisions = problem.stats.decisions
         stats.propagations = problem.stats.propagations
         stats.solver_calls = problem.stats.solver_calls
+        stats.exhausted = exhausted
         stats.per_signature[signature.name] = {
             "construction_seconds": construction,
             "solving_seconds": solving,
@@ -180,30 +222,58 @@ class AnalysisAndSynthesisEngine:
         }
         return SynthesisResult(scenarios=scenarios, stats=stats)
 
-    def _enumerate(self, problem, instantiation) -> List:
+    def _enumerate(
+        self, problem, instantiation, deadline: Optional[float] = None
+    ) -> Tuple[List, bool]:
         """Diversity-driven enumeration: each scenario must re-bind at
         least one role field; without diversity fields, fall back to plain
-        minimal/model enumeration."""
-        if not instantiation.diversity_fields:
-            source = (
-                problem.minimal_solutions(limit=self.scenarios_per_signature)
-                if self.minimal
-                else problem.solutions(limit=self.scenarios_per_signature)
-            )
-            return list(source)
-        found = []
-        while len(found) < self.scenarios_per_signature:
-            instance = (
-                problem.minimal_solution() if self.minimal else problem.solve()
-            )
-            if instance is None:
-                break
-            found.append(instance)
-            bindings = [
-                (fld.relation, tup)
-                for fld in instantiation.diversity_fields
-                for tup in instance.tuples(fld.relation)
-            ]
-            if not problem.block(bindings):
-                break
-        return found
+        minimal/model enumeration.
+
+        Returns ``(instances, exhausted)``: enumeration stops early --
+        with whatever was found so far -- when the problem's conflict
+        budget runs out (:class:`BudgetExhausted` from any solver call) or
+        the wall-clock ``deadline`` passes between solver calls.
+        """
+        found: List = []
+
+        def out_of_time() -> bool:
+            return deadline is not None and time.perf_counter() >= deadline
+
+        try:
+            if not instantiation.diversity_fields:
+                source = (
+                    problem.minimal_solutions(
+                        limit=self.scenarios_per_signature
+                    )
+                    if self.minimal
+                    else problem.solutions(limit=self.scenarios_per_signature)
+                )
+                for instance in source:
+                    found.append(instance)
+                    if (
+                        out_of_time()
+                        and len(found) < self.scenarios_per_signature
+                    ):
+                        return found, True
+                return found, False
+            while len(found) < self.scenarios_per_signature:
+                if out_of_time():
+                    return found, True
+                instance = (
+                    problem.minimal_solution()
+                    if self.minimal
+                    else problem.solve()
+                )
+                if instance is None:
+                    break
+                found.append(instance)
+                bindings = [
+                    (fld.relation, tup)
+                    for fld in instantiation.diversity_fields
+                    for tup in instance.tuples(fld.relation)
+                ]
+                if not problem.block(bindings):
+                    break
+        except BudgetExhausted:
+            return found, True
+        return found, False

@@ -20,18 +20,26 @@ from repro.pipeline.cache import (
 )
 from repro.pipeline.executor import (
     AnalysisPipeline,
+    FaultPolicy,
     PipelineResult,
     attach_observability,
 )
+from repro.pipeline.faults import FAULT_ENV, FAULT_STATE_ENV, InjectedFault
 from repro.pipeline.stats import (
     CacheAccounting,
     RunReport,
     SolverCounters,
     StageTiming,
+    TaskFailure,
 )
 
 __all__ = [
     "AnalysisPipeline",
+    "FaultPolicy",
+    "TaskFailure",
+    "InjectedFault",
+    "FAULT_ENV",
+    "FAULT_STATE_ENV",
     "PipelineResult",
     "attach_observability",
     "PipelineCache",

@@ -172,6 +172,15 @@ class PipelineCache:
         return envelope["payload"]
 
     def put(self, namespace: str, key: str, payload: Dict[str, Any]) -> None:
+        # Degraded (budget-exhausted) payloads are partial results: caching
+        # one would freeze the degradation -- a later run with more budget
+        # could never improve on it.  Refuse the write and count it.
+        if isinstance(payload, dict) and payload.get("incomplete"):
+            self.accounting.record_rejection(namespace)
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter(f"cache.{namespace}.rejections").inc()
+            return
         path = self._path(namespace, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {"version": CACHE_FORMAT_VERSION, "payload": payload}

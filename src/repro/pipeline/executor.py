@@ -1,4 +1,4 @@
-"""The parallel, cached analysis/synthesis pipeline.
+"""The parallel, cached, fault-tolerant analysis/synthesis pipeline.
 
 Extraction is fanned out across apps and synthesis across
 (bundle, vulnerability-signature) pairs -- the two embarrassingly parallel
@@ -12,14 +12,39 @@ Determinism: workers communicate via the canonical JSON forms in
 index order, so serial (``jobs=1``) and parallel runs produce byte-identical
 findings and policies.  Signatures are addressed by registry name
 (``repro.core.vulnerabilities.lookup``) to stay picklable.
+
+Fault tolerance: every task is dispatched individually (``submit`` +
+futures) under a :class:`FaultPolicy` -- a configurable per-task timeout,
+bounded retries with exponential backoff, and crash isolation.  A worker
+crash (``BrokenProcessPool``) kills only that pool generation: completed
+results and their already-merged metrics deltas are kept, unstarted tasks
+are resubmitted at no attempt cost, and the tasks that were in flight are
+re-run one at a time so a repeat crash is attributed to the task that
+caused it.  A task that keeps failing becomes a structured
+:class:`TaskFailure` in ``RunReport.failures`` instead of aborting the
+run; a budget-exhausted synthesis degrades to a partial payload recorded
+in ``RunReport.degraded`` (and is never cached).
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.android.apk import Apk
 from repro.core import serialize
@@ -39,10 +64,70 @@ from repro.pipeline.cache import (
     content_hash,
     framework_fingerprint,
 )
-from repro.pipeline.stats import RunReport
+from repro.pipeline.faults import maybe_inject, mark_parent_process
+from repro.pipeline.stats import RunReport, TaskFailure
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerance policy
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Retry/timeout knobs governing every pipeline task.
+
+    ``task_timeout`` is enforced on the process-pool path only (a task
+    running in the orchestrator itself cannot be preempted safely); a
+    timed-out task's pool generation is killed, so the stall never
+    outlives ``task_timeout`` by more than the respawn cost.  A task is
+    attempted ``1 + max_retries`` times in total; between attempts the
+    executor backs off ``backoff_seconds * backoff_factor**(attempt-1)``.
+    """
+
+    task_timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if self.backoff_seconds <= 0:
+            return 0.0
+        return self.backoff_seconds * (
+            self.backoff_factor ** max(0, attempt - 1)
+        )
+
+
+@dataclass
+class _TaskOutcome:
+    """What one task ultimately produced: a payload or a failure."""
+
+    payload: Any = None
+    failure: Optional[TaskFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+@dataclass
+class _RoundResult:
+    """What one pool generation accomplished before ending.
+
+    ``completed`` maps task index to ``("ok", result)`` or
+    ``("error", message)`` -- a genuine exception raised *by the task
+    function* and shipped back over the future, as opposed to pool
+    infrastructure failure.  ``interrupted`` tasks were in flight when the
+    pool died (fate unknown); ``unstarted`` tasks never ran at all.
+    """
+
+    completed: Dict[int, Tuple[str, Any]]
+    interrupted: List[int]
+    unstarted: List[int]
+    timed_out: List[int]
+    broke: bool
 
 
 # ----------------------------------------------------------------------
@@ -52,6 +137,7 @@ def _extract_worker(task: Tuple[Any, bool]) -> Dict[str, Any]:
     from repro.statics import extract_app
 
     apk, handle_dynamic_receivers = task
+    maybe_inject("extract", apk.package)
     # Spans emitted here land in the shared REPRO_TRACE file whether this
     # runs in the parent (serial path) or in a pool worker (the env var and
     # the O_APPEND descriptor discipline make the file multi-process safe).
@@ -62,7 +148,13 @@ def _extract_worker(task: Tuple[Any, bool]) -> Dict[str, Any]:
     return serialize.app_to_dict(model)
 
 
+def _synthesis_task_key(task: Dict[str, Any]) -> str:
+    packages = ",".join(sorted(a["package"] for a in task["apps"]))
+    return f"{task['signature']}|{packages}"
+
+
 def _synthesis_worker(task: Dict[str, Any]) -> Dict[str, Any]:
+    maybe_inject("synthesis", _synthesis_task_key(task))
     with get_tracer().span(
         "pipeline.synthesize",
         signature=task["signature"],
@@ -76,6 +168,8 @@ def _synthesis_worker(task: Dict[str, Any]) -> Dict[str, Any]:
             signatures=[signature],
             scenarios_per_signature=task["scenarios_per_signature"],
             minimal=task["minimal"],
+            conflict_budget=task.get("conflict_budget"),
+            time_budget_seconds=task.get("time_budget_seconds"),
         )
         result = engine.run_signature(bundle, signature)
     return {
@@ -83,6 +177,7 @@ def _synthesis_worker(task: Dict[str, Any]) -> Dict[str, Any]:
             serialize.scenario_to_dict(s) for s in result.scenarios
         ],
         "stats": result.stats.to_dict(),
+        "incomplete": bool(result.stats.exhausted),
     }
 
 
@@ -174,8 +269,12 @@ class AnalysisPipeline:
 
     ``jobs <= 1`` runs everything serially in-process; higher values use a
     :class:`~concurrent.futures.ProcessPoolExecutor`, falling back to the
-    serial path if worker processes cannot be spawned.  Both paths execute
-    the same worker functions, so outputs are identical byte for byte.
+    serial path only when worker processes cannot be spawned at all.  Both
+    paths execute the same worker functions, so outputs are identical byte
+    for byte.  ``faults`` governs per-task retries/timeouts (see
+    :class:`FaultPolicy`); ``conflict_budget`` / ``time_budget_seconds``
+    bound each synthesis task, degrading it to a partial result instead of
+    letting a SAT blow-up sink the run.
     """
 
     def __init__(
@@ -186,6 +285,9 @@ class AnalysisPipeline:
         scenarios_per_signature: int = 8,
         minimal: bool = True,
         handle_dynamic_receivers: bool = False,
+        faults: Optional[FaultPolicy] = None,
+        conflict_budget: Optional[int] = None,
+        time_budget_seconds: Optional[float] = None,
     ) -> None:
         self.jobs = max(1, jobs)
         self.cache = cache if cache is not None else NullCache()
@@ -197,42 +299,355 @@ class AnalysisPipeline:
         self.scenarios_per_signature = scenarios_per_signature
         self.minimal = minimal
         self.handle_dynamic_receivers = handle_dynamic_receivers
+        self.faults = faults if faults is not None else FaultPolicy()
+        self.conflict_budget = conflict_budget
+        self.time_budget_seconds = time_budget_seconds
 
+    # ------------------------------------------------------------------
+    # Fault-tolerant task dispatch
     # ------------------------------------------------------------------
     def _map(
         self,
         fn: Callable[[T], R],
         items: Sequence[T],
+        stage: str,
+        labels: Sequence[str],
         obs_fn: Optional[Callable[[T], Tuple[R, Any]]] = None,
-    ) -> List[R]:
-        """Order-preserving map, parallel when jobs > 1.
+    ) -> List[_TaskOutcome]:
+        """Order-preserving fault-tolerant map, parallel when jobs > 1.
 
-        On the parallel path, ``obs_fn`` (when given and metrics are on)
-        replaces ``fn`` with a wrapper that also ships each task's metrics
-        delta back for merging -- the serial path publishes into the
-        parent's registry directly, so it uses plain ``fn``.
+        Returns one :class:`_TaskOutcome` per item, in item order: the
+        task's payload, or the :class:`TaskFailure` it ended in after
+        exhausting its retries.  On the parallel path, ``obs_fn`` (when
+        given and metrics are on) replaces ``fn`` with a wrapper that also
+        ships each task's metrics delta back for merging -- the serial
+        path publishes into the parent's registry directly, so it uses
+        plain ``fn``.  Each delta is merged exactly once, when its task
+        completes; a pool break never re-merges or re-runs completed work.
         """
+        if not items:
+            return []
+        mark_parent_process()
         if self.jobs <= 1 or len(items) <= 1:
-            return [fn(item) for item in items]
-        try:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                metrics = get_metrics()
-                if obs_fn is not None and metrics.enabled:
-                    results: List[R] = []
-                    for payload, delta in pool.map(obs_fn, items):
-                        if delta:
-                            metrics.merge(delta)
-                        results.append(payload)
-                    return results
-                return list(pool.map(fn, items))
-        except (OSError, ValueError, RuntimeError):
-            # No process support (restricted environments): serial fallback.
-            return [fn(item) for item in items]
+            return [
+                self._run_serial(fn, item, label, stage)
+                for item, label in zip(items, labels)
+            ]
+        metrics = get_metrics()
+        wrapped: Callable[[T], Any] = fn
+        has_delta = False
+        if obs_fn is not None and metrics.enabled:
+            wrapped = obs_fn
+            has_delta = True
+        return self._run_pooled(wrapped, fn, items, labels, stage, has_delta)
 
+    def _run_serial(
+        self, fn: Callable[[T], R], item: T, label: str, stage: str
+    ) -> _TaskOutcome:
+        """In-process execution with the same retry policy as the pool.
+
+        Only genuine task exceptions occur here (there is no pool to
+        break and no preemptable timeout); they are retried with backoff
+        and finally recorded as a structured failure.
+        """
+        metrics = get_metrics()
+        policy = self.faults
+        start = time.perf_counter()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                payload = fn(item)
+            except Exception as exc:  # noqa: BLE001 -- task isolation
+                if attempts <= policy.max_retries:
+                    metrics.counter("pipeline.task_retries").inc()
+                    time.sleep(policy.delay(attempts))
+                    continue
+                metrics.counter("pipeline.task_failures").inc()
+                return _TaskOutcome(
+                    failure=TaskFailure(
+                        stage=stage,
+                        task=label,
+                        kind="error",
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=attempts,
+                        elapsed_seconds=time.perf_counter() - start,
+                    )
+                )
+            return _TaskOutcome(payload=payload)
+
+    def _run_pooled(
+        self,
+        fn: Callable[[T], Any],
+        serial_fn: Callable[[T], Any],
+        items: Sequence[T],
+        labels: Sequence[str],
+        stage: str,
+        has_delta: bool,
+    ) -> List[_TaskOutcome]:
+        """Per-task dispatch over successive pool generations.
+
+        Tasks run in batched rounds; a round ends when its pool breaks
+        (worker crash) or a task overruns the timeout, killing only that
+        pool generation.  Completed tasks keep their results and metrics
+        deltas; unstarted tasks are requeued at no attempt cost; tasks in
+        flight at a crash are re-run one per pool so a repeat crash is
+        attributed to the task that caused it (crash isolation).
+        """
+        metrics = get_metrics()
+        policy = self.faults
+        n = len(items)
+        outcomes: List[Optional[_TaskOutcome]] = [None] * n
+        attempts = [0] * n
+        first_try: Dict[int, float] = {}
+        queue: Deque[int] = deque(range(n))
+        isolate: Deque[int] = deque()
+        retry_sleep = 0.0
+        no_pool_support = False
+
+        def record_failure(idx: int, kind: str, message: str) -> None:
+            metrics.counter("pipeline.task_failures").inc()
+            outcomes[idx] = _TaskOutcome(
+                failure=TaskFailure(
+                    stage=stage,
+                    task=labels[idx],
+                    kind=kind,
+                    error=message,
+                    attempts=attempts[idx],
+                    elapsed_seconds=time.perf_counter()
+                    - first_try.get(idx, time.perf_counter()),
+                )
+            )
+
+        def record_success(idx: int, result: Any) -> None:
+            if has_delta:
+                payload, delta = result
+                if delta:
+                    metrics.merge(delta)
+            else:
+                payload = result
+            outcomes[idx] = _TaskOutcome(payload=payload)
+
+        def consume_attempt(idx: int, kind: str, message: str) -> None:
+            nonlocal retry_sleep
+            attempts[idx] += 1
+            if attempts[idx] > policy.max_retries:
+                record_failure(idx, kind, message)
+                return
+            metrics.counter("pipeline.task_retries").inc()
+            retry_sleep = max(retry_sleep, policy.delay(attempts[idx]))
+            # Crash suspects go back through isolation so a repeat crash
+            # stays attributable; errors and timeouts rejoin the batch.
+            (isolate if kind == "crash" else queue).append(idx)
+
+        while queue or isolate:
+            if retry_sleep > 0:
+                time.sleep(retry_sleep)
+                retry_sleep = 0.0
+            if isolate:
+                round_ids = [isolate.popleft()]
+                workers = 1
+            else:
+                round_ids = list(queue)
+                queue.clear()
+                workers = min(self.jobs, len(round_ids))
+            now = time.perf_counter()
+            for idx in round_ids:
+                first_try.setdefault(idx, now)
+            round_result = self._pool_round(fn, items, round_ids, workers)
+            if round_result is None:
+                # No process support at all (restricted environments):
+                # nothing in this round ran; finish everything serially.
+                queue.extend(round_ids)
+                no_pool_support = True
+                break
+            for idx, (status, value) in round_result.completed.items():
+                if status == "ok":
+                    record_success(idx, value)
+                else:
+                    consume_attempt(idx, "error", value)
+            for idx in round_result.timed_out:
+                metrics.counter("pipeline.task_timeouts").inc()
+                consume_attempt(
+                    idx,
+                    "timeout",
+                    f"task exceeded the {policy.task_timeout:.6g}s "
+                    "per-task timeout",
+                )
+            if round_result.broke:
+                metrics.counter("pipeline.pool_breaks").inc()
+                if len(round_ids) == 1:
+                    # Isolation round: this task is the proven culprit.
+                    consume_attempt(
+                        round_ids[0],
+                        "crash",
+                        "worker process crashed while running this task",
+                    )
+                else:
+                    # Fate unknown: re-run each in-flight task alone so a
+                    # repeat crash is attributed, at no attempt cost.
+                    isolate.extend(round_result.interrupted)
+            queue.extend(round_result.unstarted)
+
+        if no_pool_support:
+            # Restricted environment (no process support): run the rest
+            # in-process with the *plain* worker function -- the obs
+            # wrapper resets the registry per task, which would clobber
+            # the parent's counts; in-process execution publishes into
+            # the parent registry directly, exactly like the serial path.
+            for idx in list(queue) + list(isolate):
+                if outcomes[idx] is None:
+                    outcomes[idx] = self._run_serial(
+                        serial_fn, items[idx], labels[idx], stage
+                    )
+        return [
+            outcome
+            if outcome is not None
+            else _TaskOutcome(
+                failure=TaskFailure(
+                    stage=stage,
+                    task=labels[idx],
+                    kind="error",
+                    error="task was never completed (executor invariant)",
+                    attempts=attempts[idx],
+                    elapsed_seconds=0.0,
+                )
+            )
+            for idx, outcome in enumerate(outcomes)
+        ]
+
+    def _pool_round(
+        self,
+        fn: Callable[[T], Any],
+        items: Sequence[T],
+        round_ids: Sequence[int],
+        workers: int,
+    ) -> Optional[_RoundResult]:
+        """Run one pool generation; never raises on task or pool failure.
+
+        Returns ``None`` when a process pool cannot be created at all
+        (the caller then falls back to serial execution).  Keeps at most
+        ``workers`` tasks in flight so the per-task timeout measures
+        *running* time, not queueing time.
+        """
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, NotImplementedError, PermissionError):
+            return None
+        completed: Dict[int, Tuple[str, Any]] = {}
+        interrupted: List[int] = []
+        timed_out: List[int] = []
+        pending: Deque[int] = deque(round_ids)
+        inflight: Dict[Any, int] = {}
+        started: Dict[int, float] = {}
+        timeout = self.faults.task_timeout
+        broke = False
+        force_kill = False
+        try:
+            while pending or inflight:
+                while pending and len(inflight) < workers:
+                    idx = pending.popleft()
+                    try:
+                        future = pool.submit(fn, items[idx])
+                    except RuntimeError:
+                        # Pool infrastructure failure (already broken or
+                        # shut down) -- NOT a task error: the task never
+                        # ran, so it goes back unstarted.
+                        pending.appendleft(idx)
+                        broke = True
+                        break
+                    inflight[future] = idx
+                    started[idx] = time.monotonic()
+                if broke or not inflight:
+                    break
+                wait_for = None
+                if timeout is not None:
+                    earliest = min(started[i] for i in inflight.values())
+                    wait_for = max(
+                        0.0, earliest + timeout - time.monotonic()
+                    )
+                done, _ = futures_wait(
+                    set(inflight),
+                    timeout=wait_for,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    idx = inflight.pop(future)
+                    try:
+                        completed[idx] = ("ok", future.result())
+                    except BrokenProcessPool:
+                        # Pool infrastructure failure -- fate of this
+                        # task is unknown (it may have crashed the worker).
+                        interrupted.append(idx)
+                        broke = True
+                    except Exception as exc:  # noqa: BLE001
+                        # A genuine exception raised by the task function
+                        # and pickled back across the future.
+                        completed[idx] = (
+                            "error", f"{type(exc).__name__}: {exc}"
+                        )
+                if broke:
+                    break
+                if timeout is not None:
+                    now = time.monotonic()
+                    victims = [
+                        future
+                        for future, idx in inflight.items()
+                        if now - started[idx] >= timeout
+                    ]
+                    if victims:
+                        for future in victims:
+                            timed_out.append(inflight.pop(future))
+                        force_kill = True
+                        break
+        finally:
+            if broke or force_kill:
+                interrupted.extend(inflight.values())
+                self._kill_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+        return _RoundResult(
+            completed=completed,
+            interrupted=interrupted,
+            unstarted=list(pending),
+            timed_out=timed_out,
+            broke=broke,
+        )
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear down a pool whose workers may be hung or dead.
+
+        ``shutdown(wait=True)`` would block behind a hung worker, so the
+        worker processes are terminated outright; the abandoned
+        generation's management thread observes the dead pipes and exits.
+        """
+        procs = getattr(pool, "_processes", None)
+        processes = list(procs.values()) if procs else []
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # Python < 3.9: no cancel_futures
+            pool.shutdown(wait=False)
+        except Exception:
+            pass
+        for proc in processes:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        for proc in processes:
+            try:
+                proc.join(timeout=2.0)
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
     def _engine_params(self) -> Dict[str, Any]:
         return {
             "scenarios_per_signature": self.scenarios_per_signature,
             "minimal": self.minimal,
+            "conflict_budget": self.conflict_budget,
+            "time_budget_seconds": self.time_budget_seconds,
         }
 
     @staticmethod
@@ -250,8 +665,13 @@ class AnalysisPipeline:
     # ------------------------------------------------------------------
     def extract_apps(
         self, apks: Sequence[Apk], report: Optional[RunReport] = None
-    ) -> List[AppModel]:
-        """Extract app models, fanning cache misses out across processes."""
+    ) -> List[Optional[AppModel]]:
+        """Extract app models, fanning cache misses out across processes.
+
+        Returns a list aligned with ``apks``; an entry is ``None`` when
+        that app's extraction ultimately failed (the failure is recorded
+        in ``report.failures`` and the app is excluded from its bundle).
+        """
         start = time.perf_counter()
         with get_tracer().span("pipeline.extract", apps=len(apks)) as stage:
             fingerprint = framework_fingerprint()
@@ -271,21 +691,33 @@ class AnalysisPipeline:
             ]
             miss_indices = [i for i, d in enumerate(dicts) if d is None]
             stage.set(cache_misses=len(miss_indices))
-            extracted = self._map(
+            outcomes = self._map(
                 _extract_worker,
                 [
                     (apks[i], self.handle_dynamic_receivers)
                     for i in miss_indices
                 ],
+                stage="extract",
+                labels=[apks[i].package for i in miss_indices],
                 obs_fn=_extract_worker_obs,
             )
-            for index, app_dict in zip(miss_indices, extracted):
-                self.cache.put("extract", keys[index], app_dict)
-                dicts[index] = app_dict
-            models = [serialize.app_from_dict(d) for d in dicts]
+            failures: List[TaskFailure] = []
+            for index, outcome in zip(miss_indices, outcomes):
+                if outcome.ok:
+                    self.cache.put("extract", keys[index], outcome.payload)
+                    dicts[index] = outcome.payload
+                else:
+                    failures.append(outcome.failure)
+            if failures:
+                stage.set(failures=len(failures))
+            models = [
+                serialize.app_from_dict(d) if d is not None else None
+                for d in dicts
+            ]
         if report is not None:
             report.add_stage("extract", time.perf_counter() - start)
-            report.num_apps += len(models)
+            report.num_apps += sum(1 for m in models if m is not None)
+            report.failures.extend(f.to_dict() for f in failures)
             report.cache = self.cache.accounting
         return models
 
@@ -302,8 +734,17 @@ class AnalysisPipeline:
             cursor = 0
             for bundle in bundles:
                 size = len(bundle)
+                # Apps whose extraction failed are dropped from their
+                # bundle (already recorded in run_report.failures); the
+                # rest of the bundle is still analyzed.
                 bundle_models.append(
-                    BundleModel(apps=models[cursor:cursor + size])
+                    BundleModel(
+                        apps=[
+                            m
+                            for m in models[cursor:cursor + size]
+                            if m is not None
+                        ]
+                    )
                 )
                 cursor += size
             result = self.analyze_bundles(bundle_models, run_report=run_report)
@@ -318,6 +759,7 @@ class AnalysisPipeline:
         run_report = run_report if run_report is not None else RunReport(jobs=self.jobs)
         run_report.num_bundles += len(bundle_models)
         tracer = get_tracer()
+        metrics = get_metrics()
         fingerprint = framework_fingerprint()
         params = self._engine_params()
 
@@ -355,25 +797,49 @@ class AnalysisPipeline:
             ]
             miss_indices = [i for i, c in enumerate(cached) if c is None]
             stage.set(tasks=len(tasks), cache_misses=len(miss_indices))
-            solved = self._map(
+            task_payloads = [
+                {
+                    "apps": bundle_apps[tasks[i][0]],
+                    "signature": self.signature_names[tasks[i][1]],
+                    **params,
+                }
+                for i in miss_indices
+            ]
+            outcomes = self._map(
                 _synthesis_worker,
-                [
-                    {
-                        "apps": bundle_apps[tasks[i][0]],
-                        "signature": self.signature_names[tasks[i][1]],
-                        **params,
-                    }
-                    for i in miss_indices
-                ],
+                task_payloads,
+                stage="synthesis",
+                labels=[_synthesis_task_key(t) for t in task_payloads],
                 obs_fn=_synthesis_worker_obs,
             )
-            for index, payload in zip(miss_indices, solved):
-                self.cache.put("synthesis", keys[index], payload)
+            for index, payload_task, outcome in zip(
+                miss_indices, task_payloads, outcomes
+            ):
+                if not outcome.ok:
+                    run_report.failures.append(outcome.failure.to_dict())
+                    continue
+                payload = outcome.payload
                 cached[index] = payload
+                if payload.get("incomplete"):
+                    # Budget-exhausted: keep the partial scenarios and
+                    # report the degradation.  The cache refuses incomplete
+                    # payloads (recording a rejection), so a later run with
+                    # more budget must redo the work.
+                    metrics.counter("pipeline.degraded_tasks").inc()
+                    run_report.degraded.append(
+                        {
+                            "stage": "synthesis",
+                            "task": _synthesis_task_key(payload_task),
+                            "reason": "budget_exhausted",
+                            "scenarios": len(payload.get("scenarios", [])),
+                        }
+                    )
+                self.cache.put("synthesis", keys[index], payload)
         run_report.add_stage("synthesis", time.perf_counter() - start)
 
         # Reassemble in (bundle, signature) index order: exactly the order
-        # the serial engine would have produced.
+        # the serial engine would have produced.  Failed tasks are simply
+        # absent -- every other (bundle, signature) pair is unaffected.
         start = time.perf_counter()
         reports: List[SeparReport] = []
         with tracer.span("pipeline.assemble", bundles=len(bundle_models)):
@@ -384,6 +850,8 @@ class AnalysisPipeline:
                     if tb != b:
                         continue
                     payload = cached[i]
+                    if payload is None:
+                        continue  # task failed; recorded in failures
                     scenarios.extend(
                         serialize.scenario_from_dict(s)
                         for s in payload["scenarios"]

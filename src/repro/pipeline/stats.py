@@ -14,6 +14,46 @@ from typing import Any, Dict, List, Optional
 
 
 @dataclass
+class TaskFailure:
+    """A pipeline task that exhausted its retries.
+
+    ``kind`` distinguishes the failure mode: ``error`` (the worker
+    function raised), ``timeout`` (the task overran the per-task
+    timeout), or ``crash`` (the worker process died while running it --
+    attributed via isolation re-runs).  Failures are *data*, not control
+    flow: the run completes and reports them in ``RunReport.failures``.
+    """
+
+    stage: str
+    task: str
+    kind: str
+    error: str
+    attempts: int = 1
+    elapsed_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "task": self.task,
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "TaskFailure":
+        return TaskFailure(
+            stage=data.get("stage", ""),
+            task=data.get("task", ""),
+            kind=data.get("kind", "error"),
+            error=data.get("error", ""),
+            attempts=data.get("attempts", 1),
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+        )
+
+
+@dataclass
 class StageTiming:
     """Wall-clock seconds spent in one pipeline stage."""
 
@@ -30,11 +70,14 @@ class CacheAccounting:
 
     ``invalidations`` counts persisted entries that were found but
     discarded (stale format version); every invalidation is also a miss.
+    ``rejections`` counts writes the cache refused because the payload
+    was marked incomplete (degraded results are never cached).
     """
 
     hits: Dict[str, int] = field(default_factory=dict)
     misses: Dict[str, int] = field(default_factory=dict)
     invalidations: Dict[str, int] = field(default_factory=dict)
+    rejections: Dict[str, int] = field(default_factory=dict)
 
     def record_hit(self, namespace: str) -> None:
         self.hits[namespace] = self.hits.get(namespace, 0) + 1
@@ -46,6 +89,9 @@ class CacheAccounting:
         self.invalidations[namespace] = (
             self.invalidations.get(namespace, 0) + 1
         )
+
+    def record_rejection(self, namespace: str) -> None:
+        self.rejections[namespace] = self.rejections.get(namespace, 0) + 1
 
     @property
     def total_hits(self) -> int:
@@ -59,14 +105,20 @@ class CacheAccounting:
     def total_invalidations(self) -> int:
         return sum(self.invalidations.values())
 
+    @property
+    def total_rejections(self) -> int:
+        return sum(self.rejections.values())
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "hits": dict(sorted(self.hits.items())),
             "misses": dict(sorted(self.misses.items())),
             "invalidations": dict(sorted(self.invalidations.items())),
+            "rejections": dict(sorted(self.rejections.items())),
             "total_hits": self.total_hits,
             "total_misses": self.total_misses,
             "total_invalidations": self.total_invalidations,
+            "total_rejections": self.total_rejections,
         }
 
 
@@ -120,6 +172,12 @@ class RunReport:
     JSONL trace (:func:`repro.obs.view.aggregate_spans` output) and
     ``metrics`` a :meth:`repro.obs.metrics.MetricsRegistry.snapshot`.
     Both default to empty and serialize round-trip losslessly.
+
+    ``failures`` lists every task that exhausted its retries
+    (:meth:`TaskFailure.to_dict` records) and ``degraded`` every
+    synthesis task that ran out of budget and returned a partial payload
+    (``{stage, task, reason, scenarios}``).  An empty list in both means
+    the run was clean.
     """
 
     jobs: int = 1
@@ -135,6 +193,13 @@ class RunReport:
     per_bundle: List[Dict[str, Any]] = field(default_factory=list)
     spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+    degraded: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no task failed and no result was degraded."""
+        return not self.failures and not self.degraded
 
     def stage(self, name: str) -> Optional[StageTiming]:
         for timing in self.stages:
@@ -167,6 +232,8 @@ class RunReport:
             "per_bundle": self.per_bundle,
             "spans": self.spans,
             "metrics": self.metrics,
+            "failures": self.failures,
+            "degraded": self.degraded,
         }
 
     def dumps(self, indent: int = 2) -> str:
@@ -185,6 +252,8 @@ class RunReport:
             per_bundle=list(data.get("per_bundle", ())),
             spans={k: dict(v) for k, v in data.get("spans", {}).items()},
             metrics={k: dict(v) for k, v in data.get("metrics", {}).items()},
+            failures=[dict(f) for f in data.get("failures", ())],
+            degraded=[dict(d) for d in data.get("degraded", ())],
         )
         for timing in data.get("stages", ()):
             report.add_stage(timing["name"], timing["seconds"])
@@ -192,6 +261,7 @@ class RunReport:
         report.cache.hits = dict(cache.get("hits", {}))
         report.cache.misses = dict(cache.get("misses", {}))
         report.cache.invalidations = dict(cache.get("invalidations", {}))
+        report.cache.rejections = dict(cache.get("rejections", {}))
         solver = data.get("solver", {})
         report.solver = SolverCounters(
             conflicts=solver.get("conflicts", 0),

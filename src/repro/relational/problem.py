@@ -22,6 +22,7 @@ from repro.relational.instance import Instance, instance_from_model
 from repro.relational.translate import TranslationRecord, translate
 from repro.relational.universe import AtomTuple, Bounds, Relation
 from repro.sat import Solver
+from repro.sat.solver import BudgetExhausted
 
 
 @dataclass
@@ -45,11 +46,21 @@ class SolveStats:
 
 
 class RelationalProblem:
-    """A relational formula under bounds, ready to solve incrementally."""
+    """A relational formula under bounds, ready to solve incrementally.
+
+    ``conflict_budget`` (settable after construction) caps the *total*
+    CDCL conflicts spent across every solver call made through this
+    problem; once the accumulated ``stats.conflicts`` reach it, further
+    solves raise :class:`~repro.sat.solver.BudgetExhausted`.  The partial
+    work of the interrupted call is still folded into ``stats``, so
+    callers can degrade to the scenarios found so far without losing
+    accounting.
+    """
 
     def __init__(self, bounds: Bounds, formula: rast.Formula) -> None:
         self.bounds = bounds
         self.formula = formula
+        self.conflict_budget: Optional[int] = None
         self.stats = SolveStats()
         start = time.perf_counter()
         self._record: TranslationRecord = translate(bounds, formula)
@@ -70,9 +81,28 @@ class RelationalProblem:
         return self._record.primary_vars
 
     def _timed_solve(self, assumptions=()):
-        """Run the solver, folding wall time and CDCL counters into stats."""
+        """Run the solver, folding wall time and CDCL counters into stats.
+
+        Counters are folded on *every* exit path: a budget miss loses the
+        answer, never the accounting.
+        """
+        remaining: Optional[int] = None
+        if self.conflict_budget is not None:
+            remaining = self.conflict_budget - self.stats.conflicts
+            if remaining <= 0:
+                raise BudgetExhausted(self.stats.conflicts)
         start = time.perf_counter()
-        result = self._solver.solve(assumptions=assumptions)
+        try:
+            result = self._solver.solve(
+                assumptions=assumptions, conflict_budget=remaining
+            )
+        except BudgetExhausted as exc:
+            self.stats.solving_seconds += time.perf_counter() - start
+            self.stats.conflicts += exc.conflicts
+            self.stats.decisions += exc.decisions
+            self.stats.propagations += exc.propagations
+            self.stats.solver_calls += 1
+            raise
         self.stats.solving_seconds += time.perf_counter() - start
         self.stats.conflicts += result.conflicts
         self.stats.decisions += result.decisions

@@ -518,7 +518,16 @@ class Solver:
                     self._conflicts += 1
                     conflicts_this_restart += 1
                     if conflict_budget is not None and self._conflicts > conflict_budget:
-                        raise BudgetExhausted(self._conflicts)
+                        # Publish before raising: the work done up to the
+                        # budget miss (this call's conflicts/decisions/
+                        # propagations) must not vanish from the metrics
+                        # just because the call did not finish.
+                        self._publish_metrics("budget_exhausted")
+                        raise BudgetExhausted(
+                            self._conflicts,
+                            decisions=self._decisions,
+                            propagations=self._propagations,
+                        )
                     if self._decision_level() == 0:
                         self._ok = False
                         return self._finish(False)
@@ -579,14 +588,8 @@ class Solver:
             # already cancelled on normal returns; this is then a no-op.)
             self._cancel_until(0)
 
-    def _finish(self, sat: bool) -> SolveResult:
-        model: Optional[Dict[int, bool]] = None
-        if sat:
-            model = {}
-            for var in range(1, self._num_vars + 1):
-                value = self._assigns[var]
-                model[var] = bool(value) if value is not None else False
-        self._cancel_until(0)
+    def _publish_metrics(self, outcome: str) -> None:
+        """Publish this call's counters (every exit path, incl. budget)."""
         metrics = get_metrics()
         if metrics.enabled:
             # One registry round-trip per solve() call, never per conflict:
@@ -595,7 +598,17 @@ class Solver:
             metrics.counter("sat.conflicts").inc(self._conflicts)
             metrics.counter("sat.decisions").inc(self._decisions)
             metrics.counter("sat.propagations").inc(self._propagations)
-            metrics.counter(f"sat.results.{'sat' if sat else 'unsat'}").inc()
+            metrics.counter(f"sat.results.{outcome}").inc()
+
+    def _finish(self, sat: bool) -> SolveResult:
+        model: Optional[Dict[int, bool]] = None
+        if sat:
+            model = {}
+            for var in range(1, self._num_vars + 1):
+                value = self._assigns[var]
+                model[var] = bool(value) if value is not None else False
+        self._cancel_until(0)
+        self._publish_metrics("sat" if sat else "unsat")
         return SolveResult(
             satisfiable=sat,
             model=model,
@@ -622,8 +635,17 @@ class Solver:
 
 
 class BudgetExhausted(RuntimeError):
-    """Raised when a conflict budget passed to :meth:`Solver.solve` runs out."""
+    """Raised when a conflict budget passed to :meth:`Solver.solve` runs out.
 
-    def __init__(self, conflicts: int) -> None:
+    Carries the interrupted call's CDCL counters so callers can fold the
+    partial work into their statistics (the call never reaches the
+    :class:`SolveResult` that would normally deliver them).
+    """
+
+    def __init__(
+        self, conflicts: int, decisions: int = 0, propagations: int = 0
+    ) -> None:
         super().__init__(f"conflict budget exhausted after {conflicts} conflicts")
         self.conflicts = conflicts
+        self.decisions = decisions
+        self.propagations = propagations

@@ -135,3 +135,68 @@ class TestTraceCommands:
         missing = tmp_path / "nope.jsonl"
         assert main(["trace", str(missing)]) != 0
         assert "no such" in capsys.readouterr().err.lower()
+
+
+class TestPipelineFaultHandling:
+    def _restore_observability(self, monkeypatch):
+        from repro.obs import METRICS_ENV, NULL_METRICS, set_metrics
+
+        set_metrics(NULL_METRICS)
+        monkeypatch.delenv(METRICS_ENV, raising=False)
+
+    def test_degraded_run_exits_zero_unless_strict(
+        self, capsys, monkeypatch
+    ):
+        # The default scale (0.01) is the smallest corpus whose synthesis
+        # actually reaches the SAT solver; smaller ones are trivially
+        # unsat and have no budget to exhaust.
+        argv = [
+            "pipeline", "--scale", "0.01", "--scenarios", "2",
+            "--no-cache", "--conflict-budget", "0",
+        ]
+        try:
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            assert "degraded:" in out
+            assert "budget_exhausted" in out
+            assert main(argv + ["--strict"]) == 2
+        finally:
+            self._restore_observability(monkeypatch)
+
+    def test_failed_tasks_reported_and_strict_exits_three(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_FAULT", "synthesis:error:1.0")
+        report_path = tmp_path / "report.json"
+        try:
+            assert main(
+                [
+                    "pipeline", "--scale", "0.002", "--bundle-size", "4",
+                    "--scenarios", "2", "--no-cache",
+                    "--task-retries", "0", "--report", str(report_path),
+                ]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "failures:" in out
+            assert "[error]" in out
+
+            import json
+
+            report = json.loads(report_path.read_text())
+            assert report["failures"]
+            assert all(
+                f["kind"] == "error" for f in report["failures"]
+            )
+
+            assert main(
+                [
+                    "pipeline", "--scale", "0.002", "--bundle-size", "4",
+                    "--scenarios", "2", "--no-cache",
+                    "--task-retries", "0", "--strict",
+                ]
+            ) == 3
+        finally:
+            self._restore_observability(monkeypatch)
+            import os
+
+            os.environ.pop("REPRO_FAULT_PARENT", None)

@@ -1,0 +1,466 @@
+"""Fault-tolerance tests for the pipeline executor.
+
+Every failure path the executor promises to survive is exercised here via
+the deterministic ``REPRO_FAULT`` injection hook: worker crashes (pool
+breaks), task exceptions, hangs (per-task timeouts), retry-then-succeed
+recovery, and budget-exhausted degraded synthesis.  The load-bearing
+invariants: a fault never aborts the run, never double-counts metrics,
+never poisons the cache, and never perturbs the findings of unaffected
+(bundle, signature) pairs."""
+
+import json
+import os
+
+import pytest
+
+from repro.benchsuite.metrics import summarize_run_report
+from repro.benchsuite.running_example import build_app1, build_app2
+from repro.core import serialize
+from repro.core.synthesis import AnalysisAndSynthesisEngine, SynthesisStats
+from repro.pipeline import (
+    AnalysisPipeline,
+    FaultPolicy,
+    PipelineCache,
+    RunReport,
+    TaskFailure,
+)
+from repro.pipeline.faults import (
+    FAULT_ENV,
+    FAULT_PARENT_ENV,
+    FAULT_STATE_ENV,
+    FaultSpec,
+    InjectedFault,
+    maybe_inject,
+    parse_fault_spec,
+)
+from repro.sat.solver import BudgetExhausted, Solver
+from repro.statics import extract_bundle
+
+
+@pytest.fixture(autouse=True)
+def _clean_parent_marker():
+    """``mark_parent_process`` writes ``REPRO_FAULT_PARENT`` directly into
+    the environment during faulted runs; scrub it between tests."""
+    yield
+    os.environ.pop(FAULT_PARENT_ENV, None)
+
+
+@pytest.fixture
+def arm_fault(monkeypatch, tmp_path):
+    """Arm a ``REPRO_FAULT`` spec (and a fresh ``once`` state dir)."""
+
+    def arm(spec):
+        monkeypatch.setenv(FAULT_ENV, spec)
+        state = tmp_path / "fault-state"
+        state.mkdir(exist_ok=True)
+        monkeypatch.setenv(FAULT_STATE_ENV, str(state))
+
+    return arm
+
+
+def _apks():
+    return [build_app1(), build_app2()]
+
+
+def _scenarios_by_vuln(result):
+    grouped = {}
+    for report in result.reports:
+        for scenario in report.scenarios:
+            grouped.setdefault(scenario.vulnerability, []).append(
+                serialize.scenario_to_dict(scenario)
+            )
+    return grouped
+
+
+def _findings_bytes(result):
+    return json.dumps(result.findings_dict(), sort_keys=True).encode()
+
+
+class TestFaultSpecParsing:
+    def test_full_spec_round_trip(self):
+        spec = parse_fault_spec(
+            "synthesis:crash:0.5:once:seed=7:match=intent_hijack"
+        )
+        assert spec == FaultSpec(
+            stage="synthesis",
+            kind="crash",
+            rate=0.5,
+            once=True,
+            seed=7,
+            match="intent_hijack",
+        )
+
+    def test_malformed_specs_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fault_spec("synthesis:crash")  # no rate
+        with pytest.raises(ValueError):
+            parse_fault_spec("synthesis:explode:1.0")  # unknown kind
+        with pytest.raises(ValueError):
+            parse_fault_spec("synthesis:crash:1.0:sometimes")  # bad option
+
+    def test_applies_filters_stage_and_match(self):
+        spec = FaultSpec(stage="synthesis", kind="error", rate=1.0,
+                         match="hijack")
+        assert spec.applies("synthesis", "intent_hijack|a,b")
+        assert not spec.applies("extract", "intent_hijack|a,b")
+        assert not spec.applies("synthesis", "service_launch|a,b")
+
+    def test_rate_selection_is_deterministic(self):
+        spec = FaultSpec(stage="*", kind="error", rate=0.5)
+        keys = [f"task-{i}" for i in range(64)]
+        first = [spec.applies("synthesis", k) for k in keys]
+        second = [spec.applies("synthesis", k) for k in keys]
+        assert first == second
+        assert any(first) and not all(first)
+        assert not any(
+            FaultSpec(stage="*", kind="error", rate=0.0).applies(
+                "synthesis", k
+            )
+            for k in keys
+        )
+
+    def test_error_fault_raises(self, arm_fault):
+        arm_fault("synthesis:error:1.0:match=hijack")
+        with pytest.raises(InjectedFault):
+            maybe_inject("synthesis", "intent_hijack|a,b")
+        maybe_inject("synthesis", "service_launch|a,b")  # unmatched: no-op
+
+    def test_crash_and_hang_never_fire_in_parent(self, arm_fault):
+        """The orchestrator itself must never be crashed or stalled; the
+        test passing at all is the assertion."""
+        arm_fault("synthesis:crash:1.0,extract:hang:1.0")
+        os.environ[FAULT_PARENT_ENV] = str(os.getpid())
+        maybe_inject("synthesis", "any-task")
+        maybe_inject("extract", "any-app")
+
+
+class TestFaultPolicy:
+    def test_exponential_backoff(self):
+        policy = FaultPolicy(backoff_seconds=0.1, backoff_factor=3.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.3)
+        assert policy.delay(3) == pytest.approx(0.9)
+
+
+class TestTaskFailure:
+    def test_round_trip(self):
+        failure = TaskFailure(
+            stage="synthesis",
+            task="intent_hijack|a,b",
+            kind="crash",
+            error="worker exited",
+            attempts=3,
+            elapsed_seconds=1.25,
+        )
+        assert TaskFailure.from_dict(failure.to_dict()) == failure
+
+
+class TestSerialFaultPaths:
+    def test_retry_then_succeed(self, arm_fault):
+        """A transient error costs a retry but not the result."""
+        arm_fault("synthesis:error:1.0:once:match=privilege_escalation")
+        clean = AnalysisPipeline(jobs=1, scenarios_per_signature=3).run(
+            [_apks()]
+        )
+        os.environ.pop(FAULT_PARENT_ENV, None)
+        faulted = AnalysisPipeline(
+            jobs=1,
+            scenarios_per_signature=3,
+            faults=FaultPolicy(max_retries=2, backoff_seconds=0.0),
+        ).run([_apks()])
+        assert faulted.run_report.failures == []
+        assert faulted.run_report.clean
+        assert _findings_bytes(faulted) == _findings_bytes(clean)
+
+    def test_persistent_error_becomes_structured_failure(self, arm_fault):
+        arm_fault("synthesis:error:1.0:match=intent_hijack")
+        result = AnalysisPipeline(
+            jobs=1,
+            scenarios_per_signature=3,
+            faults=FaultPolicy(max_retries=1, backoff_seconds=0.0),
+        ).run([_apks()])
+        report = result.run_report
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure["stage"] == "synthesis"
+        assert failure["kind"] == "error"
+        assert failure["attempts"] == 2  # first try + one retry
+        assert "InjectedFault" in failure["error"]
+        assert "intent_hijack" in failure["task"]
+        # Every other signature still produced its scenarios.
+        grouped = _scenarios_by_vuln(result)
+        assert "intent_hijack" not in grouped
+        assert "service_launch" in grouped and "information_leak" in grouped
+
+    def test_extract_failure_drops_app_not_run(self, arm_fault):
+        arm_fault("extract:error:1.0:match=com.example.messenger")
+        result = AnalysisPipeline(
+            jobs=1,
+            scenarios_per_signature=3,
+            faults=FaultPolicy(max_retries=0, backoff_seconds=0.0),
+        ).run([_apks()])
+        report = result.run_report
+        assert [f["stage"] for f in report.failures] == ["extract"]
+        assert report.failures[0]["task"] == "com.example.messenger"
+        # The surviving app was still analyzed (as a singleton bundle).
+        assert [a.package for a in result.reports[0].bundle.apps] == [
+            "com.example.navigation"
+        ]
+
+
+class TestWorkerCrashIsolation:
+    def test_persistent_crash_is_attributed_and_isolated(self, arm_fault):
+        """A worker that keeps dying takes down only its own task: the
+        crash is attributed to it via isolation re-runs, and every other
+        (bundle, signature) pair's findings are byte-identical to a clean
+        serial run."""
+        clean = AnalysisPipeline(jobs=1, scenarios_per_signature=3).run(
+            [_apks()]
+        )
+        arm_fault("synthesis:crash:1.0:match=intent_hijack")
+        faulted = AnalysisPipeline(
+            jobs=2,
+            scenarios_per_signature=3,
+            faults=FaultPolicy(max_retries=1, backoff_seconds=0.0),
+        ).run([_apks()])
+        report = faulted.run_report
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure["kind"] == "crash"
+        assert failure["attempts"] == 2
+        assert "intent_hijack" in failure["task"]
+        assert not report.clean
+
+        clean_grouped = _scenarios_by_vuln(clean)
+        faulted_grouped = _scenarios_by_vuln(faulted)
+        assert "intent_hijack" not in faulted_grouped
+        clean_grouped.pop("intent_hijack", None)
+        assert faulted_grouped == clean_grouped
+
+    def test_crash_once_recovers_exactly(self, arm_fault):
+        """One crash breaks the pool; the respawned pool re-runs the task
+        and the final findings are byte-identical to a clean run."""
+        clean = AnalysisPipeline(jobs=2, scenarios_per_signature=3).run(
+            [_apks()]
+        )
+        arm_fault("synthesis:crash:1.0:once:match=service_launch")
+        faulted = AnalysisPipeline(
+            jobs=2,
+            scenarios_per_signature=3,
+            faults=FaultPolicy(max_retries=2, backoff_seconds=0.0),
+        ).run([_apks()])
+        assert faulted.run_report.failures == []
+        assert _findings_bytes(faulted) == _findings_bytes(clean)
+
+
+class TestPerTaskTimeout:
+    def test_hanging_task_times_out(self, arm_fault):
+        arm_fault("synthesis:hang:1.0:match=information_leak")
+        result = AnalysisPipeline(
+            jobs=2,
+            scenarios_per_signature=3,
+            faults=FaultPolicy(
+                task_timeout=1.0, max_retries=0, backoff_seconds=0.0
+            ),
+        ).run([_apks()])
+        report = result.run_report
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure["kind"] == "timeout"
+        assert "information_leak" in failure["task"]
+        assert failure["attempts"] == 1
+        grouped = _scenarios_by_vuln(result)
+        assert "information_leak" not in grouped
+        assert "intent_hijack" in grouped
+
+
+class TestBudgetDegradation:
+    def test_engine_conflict_budget_degrades(self):
+        bundle = extract_bundle(_apks())
+        bounded = AnalysisAndSynthesisEngine(
+            scenarios_per_signature=3, conflict_budget=0
+        ).run(bundle)
+        assert bounded.stats.exhausted
+        unbounded = AnalysisAndSynthesisEngine(
+            scenarios_per_signature=3
+        ).run(bundle)
+        assert not unbounded.stats.exhausted
+        assert len(bounded.scenarios) < len(unbounded.scenarios)
+
+    def test_engine_time_budget_degrades(self):
+        bundle = extract_bundle(_apks())
+        result = AnalysisAndSynthesisEngine(
+            scenarios_per_signature=3, time_budget_seconds=0.0
+        ).run(bundle)
+        assert result.stats.exhausted
+
+    def test_degraded_round_trip_and_never_cached(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        pipe = AnalysisPipeline(
+            jobs=1,
+            scenarios_per_signature=3,
+            cache=PipelineCache(cache_dir),
+            conflict_budget=0,
+        )
+        report = pipe.run([_apks()]).run_report
+        assert report.degraded
+        for entry in report.degraded:
+            assert entry["stage"] == "synthesis"
+            assert entry["reason"] == "budget_exhausted"
+        assert not report.clean
+        # The cache refused every degraded payload and counted it.
+        assert report.cache.rejections.get("synthesis") == len(
+            report.degraded
+        )
+        # A rerun must redo the degraded work: only complete payloads hit.
+        warm = AnalysisPipeline(
+            jobs=1,
+            scenarios_per_signature=3,
+            cache=PipelineCache(cache_dir),
+            conflict_budget=0,
+        ).run([_apks()]).run_report
+        assert warm.cache.misses.get("synthesis") == len(report.degraded)
+        # Failures/degraded/rejections survive serialization.
+        restored = RunReport.loads(report.dumps())
+        assert restored.degraded == report.degraded
+        assert restored.failures == report.failures
+        assert restored.cache.rejections == report.cache.rejections
+
+    def test_summary_counts_failures_and_degraded(self, arm_fault):
+        arm_fault("synthesis:error:1.0:match=intent_hijack")
+        report = AnalysisPipeline(
+            jobs=1,
+            scenarios_per_signature=2,
+            conflict_budget=0,
+            faults=FaultPolicy(max_retries=0, backoff_seconds=0.0),
+        ).run([_apks()]).run_report
+        summary = summarize_run_report(report)
+        assert summary["num_failures"] == 1.0
+        assert summary["num_degraded"] == float(len(report.degraded))
+        assert summary["num_degraded"] > 0
+
+
+class TestMetricsNoDoubleCount:
+    def test_pool_break_counts_each_task_once(self, arm_fault):
+        """The double-count regression: a broken pool must not re-merge
+        metrics for completed tasks nor double-run unaffected ones.  All
+        solver/engine counters match a clean serial run exactly (timing
+        histograms keep their counts; their sums are wall-clock)."""
+        from repro.obs import metrics as obs_metrics
+
+        def comparable(snapshot):
+            # Counters compare by value; timing histograms by observation
+            # count (their sums are wall-clock and legitimately vary).
+            out = {}
+            for name, value in snapshot.items():
+                if not name.startswith(("sat.", "ase.")):
+                    continue
+                if value.get("type") == "histogram":
+                    out[name] = value.get("count")
+                else:
+                    out[name] = value.get("value")
+            return out
+
+        os.environ[obs_metrics.METRICS_ENV] = "1"
+        try:
+            serial_registry = obs_metrics.MetricsRegistry()
+            obs_metrics.set_metrics(serial_registry)
+            AnalysisPipeline(jobs=1, scenarios_per_signature=3).run(
+                [_apks()]
+            )
+            serial = comparable(serial_registry.snapshot())
+
+            os.environ.pop(FAULT_PARENT_ENV, None)
+            arm_fault("synthesis:crash:1.0:once:match=service_launch")
+            broken_registry = obs_metrics.MetricsRegistry()
+            obs_metrics.set_metrics(broken_registry)
+            result = AnalysisPipeline(
+                jobs=2,
+                scenarios_per_signature=3,
+                faults=FaultPolicy(max_retries=2, backoff_seconds=0.0),
+            ).run([_apks()])
+            snapshot = broken_registry.snapshot()
+            broken = comparable(snapshot)
+
+            assert result.run_report.failures == []
+            assert (
+                snapshot.get("pipeline.pool_breaks", {}).get("value", 0)
+                >= 1
+            )
+            assert serial == broken
+        finally:
+            obs_metrics.set_metrics(obs_metrics.NULL_METRICS)
+            os.environ.pop(obs_metrics.METRICS_ENV, None)
+
+
+class TestSynthesisStatsMerge:
+    def test_per_signature_accumulates_instead_of_clobbering(self):
+        first = SynthesisStats(
+            solver_calls=2,
+            per_signature={
+                "intent_hijack": {
+                    "construction_seconds": 0.5,
+                    "solving_seconds": 1.0,
+                    "scenarios": 2.0,
+                }
+            },
+        )
+        second = SynthesisStats(
+            solver_calls=3,
+            exhausted=True,
+            per_signature={
+                "intent_hijack": {
+                    "construction_seconds": 0.25,
+                    "solving_seconds": 0.5,
+                    "scenarios": 1.0,
+                },
+                "service_launch": {"scenarios": 4.0},
+            },
+        )
+        first.merge(second)
+        assert first.solver_calls == 5
+        assert first.exhausted
+        assert first.per_signature["intent_hijack"] == {
+            "construction_seconds": 0.75,
+            "solving_seconds": 1.5,
+            "scenarios": 3.0,
+        }
+        assert first.per_signature["service_launch"] == {"scenarios": 4.0}
+        # merge must not alias the other block's dicts.
+        second.per_signature["service_launch"]["scenarios"] = 99.0
+        assert first.per_signature["service_launch"] == {"scenarios": 4.0}
+
+    def test_round_trip_preserves_exhausted(self):
+        stats = SynthesisStats(
+            exhausted=True, per_signature={"x": {"scenarios": 1.0}}
+        )
+        restored = SynthesisStats.from_dict(stats.to_dict())
+        assert restored.exhausted
+        assert restored.per_signature == stats.per_signature
+
+
+class TestSolverBudgetMetrics:
+    def test_budget_miss_still_publishes_counters(self):
+        """The interrupted call's work must reach the metrics registry:
+        a budget miss publishes sat.* counters on the exception path."""
+        from repro.obs import metrics as obs_metrics
+
+        os.environ[obs_metrics.METRICS_ENV] = "1"
+        try:
+            registry = obs_metrics.MetricsRegistry()
+            obs_metrics.set_metrics(registry)
+            solver = Solver()
+            solver.ensure_var(2)
+            assert solver.add_clauses(
+                [[1, 2], [1, -2], [-1, 2], [-1, -2]]
+            )
+            with pytest.raises(BudgetExhausted) as excinfo:
+                solver.solve(conflict_budget=0)
+            assert excinfo.value.conflicts >= 1
+            snapshot = registry.snapshot()
+            assert snapshot["sat.solver_calls"]["value"] == 1
+            assert snapshot["sat.results.budget_exhausted"]["value"] == 1
+            assert snapshot["sat.conflicts"]["value"] >= 1
+        finally:
+            obs_metrics.set_metrics(obs_metrics.NULL_METRICS)
+            os.environ.pop(obs_metrics.METRICS_ENV, None)
