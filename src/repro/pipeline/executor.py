@@ -20,7 +20,9 @@ crash (``BrokenProcessPool``) kills only that pool generation: completed
 results and their already-merged metrics deltas are kept, unstarted tasks
 are resubmitted at no attempt cost, and the tasks that were in flight are
 re-run one at a time so a repeat crash is attributed to the task that
-caused it.  A task that keeps failing becomes a structured
+caused it.  A per-task timeout likewise kills only the generation: the
+victims are charged an attempt, while healthy in-flight peers are
+resubmitted for free.  A task that keeps failing becomes a structured
 :class:`TaskFailure` in ``RunReport.failures`` instead of aborting the
 run; a budget-exhausted synthesis degrades to a partial payload recorded
 in ``RunReport.degraded`` (and is never cached).
@@ -390,9 +392,10 @@ class AnalysisPipeline:
         Tasks run in batched rounds; a round ends when its pool breaks
         (worker crash) or a task overruns the timeout, killing only that
         pool generation.  Completed tasks keep their results and metrics
-        deltas; unstarted tasks are requeued at no attempt cost; tasks in
-        flight at a crash are re-run one per pool so a repeat crash is
-        attributed to the task that caused it (crash isolation).
+        deltas; unstarted tasks and healthy tasks in flight when a peer's
+        timeout killed the generation are requeued at no attempt cost;
+        tasks in flight at a crash are re-run one per pool so a repeat
+        crash is attributed to the task that caused it (crash isolation).
         """
         metrics = get_metrics()
         policy = self.faults
@@ -487,6 +490,11 @@ class AnalysisPipeline:
                     # Fate unknown: re-run each in-flight task alone so a
                     # repeat crash is attributed, at no attempt cost.
                     isolate.extend(round_result.interrupted)
+            else:
+                # Timeout force-kill: the generation died to stop the
+                # victims, so in-flight peers were healthy when torn
+                # down -- they rejoin the batch at no attempt cost.
+                queue.extend(round_result.interrupted)
             queue.extend(round_result.unstarted)
 
         if no_pool_support:

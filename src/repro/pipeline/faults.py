@@ -11,14 +11,17 @@ entry, driven entirely by the ``REPRO_FAULT`` environment variable:
 - ``stage``   -- ``extract``, ``synthesis`` or ``*``.
 - ``kind``    -- ``crash`` (hard-exit the worker process, breaking the
   pool), ``error`` (raise :class:`InjectedFault`), or ``hang`` (sleep far
-  past any sane task timeout).
+  past any sane task timeout -- or for exactly ``secs=N`` seconds, which
+  turns the hang into a *delay* for exercising slow-but-healthy tasks).
 - ``rate``    -- fraction of tasks hit, selected *deterministically* by
   hashing ``(seed, stage, task_key)`` so the same task is hit on every
   attempt and in every run.
 - options     -- ``once`` (inject only on the first attempt per task;
   needs ``REPRO_FAULT_STATE`` pointing at a writable directory shared by
-  the worker processes), ``seed=N`` (reseed the selection hash), and
-  ``match=SUBSTR`` (only hit tasks whose key contains the substring).
+  the worker processes), ``seed=N`` (reseed the selection hash),
+  ``match=SUBSTR`` (only hit tasks whose key contains the substring), and
+  ``secs=N`` (sleep duration for ``hang`` faults; default
+  :data:`HANG_SECONDS`).
 
 ``crash`` and ``hang`` are suppressed in the parent process (the serial
 path) -- exiting or stalling the orchestrator would defeat the point of
@@ -72,6 +75,7 @@ class FaultSpec:
     once: bool = False
     seed: int = 0
     match: str = ""
+    secs: Optional[float] = None
 
     def applies(self, stage: str, task_key: str) -> bool:
         if self.stage not in ("*", stage):
@@ -99,6 +103,7 @@ def parse_fault_spec(text: str) -> FaultSpec:
     once = False
     seed = 0
     match = ""
+    secs: Optional[float] = None
     for opt in parts[3:]:
         if opt == "once":
             once = True
@@ -106,10 +111,13 @@ def parse_fault_spec(text: str) -> FaultSpec:
             seed = int(opt[len("seed="):])
         elif opt.startswith("match="):
             match = opt[len("match="):]
+        elif opt.startswith("secs="):
+            secs = float(opt[len("secs="):])
         else:
             raise ValueError(f"unknown fault option {opt!r}")
     return FaultSpec(
-        stage=stage, kind=kind, rate=rate, once=once, seed=seed, match=match
+        stage=stage, kind=kind, rate=rate, once=once, seed=seed, match=match,
+        secs=secs,
     )
 
 
@@ -150,13 +158,17 @@ def _already_fired(spec: FaultSpec, stage: str, task_key: str) -> bool:
         ).hexdigest()
         + ".fired"
     )
-    if marker.exists():
-        return True
+    # O_CREAT|O_EXCL is an atomic check-and-set: of any number of workers
+    # racing on the same fault, exactly one creates the marker (and
+    # injects); a plain exists()+touch() would let several through.
     try:
         marker.parent.mkdir(parents=True, exist_ok=True)
-        marker.touch()
+        fd = os.open(str(marker), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return True
     except OSError:
-        pass
+        return False
+    os.close(fd)
     return False
 
 
@@ -180,7 +192,7 @@ def maybe_inject(stage: str, task_key: str) -> None:
         if spec.kind == "crash":
             os._exit(CRASH_EXIT_STATUS)
         if spec.kind == "hang":
-            time.sleep(HANG_SECONDS)
+            time.sleep(spec.secs if spec.secs is not None else HANG_SECONDS)
 
 
 def mark_parent_process() -> None:

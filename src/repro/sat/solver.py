@@ -492,8 +492,14 @@ class Solver:
     ) -> SolveResult:
         """Solve the formula, optionally under assumptions.
 
-        ``conflict_budget`` bounds total conflicts; exceeding it raises
-        :class:`BudgetExhausted`.  Assumption failure (UNSAT under the given
+        ``conflict_budget`` bounds total conflicts: the call raises
+        :class:`BudgetExhausted` as soon as the conflict count reaches the
+        budget, so a budgeted call never spends more than
+        ``max(conflict_budget, 1)`` conflicts -- callers that accumulate
+        ``exc.conflicts`` against a shared budget (e.g.
+        ``RelationalProblem``) stay within it exactly, because they never
+        issue a call with a non-positive remainder.  Assumption failure
+        (UNSAT under the given
         assumptions) returns an unsatisfiable result without spoiling the
         solver for future calls.
         """
@@ -517,7 +523,7 @@ class Solver:
                 if conflict is not None:
                     self._conflicts += 1
                     conflicts_this_restart += 1
-                    if conflict_budget is not None and self._conflicts > conflict_budget:
+                    if conflict_budget is not None and self._conflicts >= conflict_budget:
                         # Publish before raising: the work done up to the
                         # budget miss (this call's conflicts/decisions/
                         # propagations) must not vanish from the metrics

@@ -90,6 +90,12 @@ class TestFaultSpecParsing:
             match="intent_hijack",
         )
 
+    def test_hang_secs_option(self):
+        spec = parse_fault_spec("synthesis:hang:1.0:secs=0.25")
+        assert spec == FaultSpec(
+            stage="synthesis", kind="hang", rate=1.0, secs=0.25
+        )
+
     def test_malformed_specs_rejected(self):
         with pytest.raises(ValueError):
             parse_fault_spec("synthesis:crash")  # no rate
@@ -272,6 +278,42 @@ class TestPerTaskTimeout:
         grouped = _scenarios_by_vuln(result)
         assert "information_leak" not in grouped
         assert "intent_hijack" in grouped
+
+    def test_timeout_kill_spares_healthy_inflight_peer(self, arm_fault):
+        """Regression: a timeout kills the whole pool generation, and the
+        healthy tasks still in flight used to be dropped on the floor
+        (returned as ``interrupted`` with ``broke=False`` and never
+        requeued), surfacing as bogus 'never completed' failures.  Only
+        the timeout victim may be charged; delayed-but-healthy peers must
+        rejoin the batch and complete.
+
+        Choreography (jobs=2, timeout=2.5s): ``intent_hijack`` hangs
+        forever and ``service_launch`` sleeps 1s, so both workers are
+        busy from t=0; ``service_launch`` finishes and frees its worker
+        for ``information_leak`` (sleeps 1.5s), which is therefore still
+        mid-flight -- and nowhere near its own timeout -- when the hang
+        victim's deadline tears the generation down at t=2.5."""
+        arm_fault(
+            "synthesis:hang:1.0:match=intent_hijack,"
+            "synthesis:hang:1.0:secs=1.0:match=service_launch,"
+            "synthesis:hang:1.0:secs=1.5:match=information_leak"
+        )
+        result = AnalysisPipeline(
+            jobs=2,
+            signature_names=[
+                "intent_hijack", "service_launch", "information_leak"
+            ],
+            scenarios_per_signature=3,
+            faults=FaultPolicy(
+                task_timeout=2.5, max_retries=0, backoff_seconds=0.0
+            ),
+        ).run([_apks()])
+        report = result.run_report
+        assert [f["kind"] for f in report.failures] == ["timeout"]
+        assert "intent_hijack" in report.failures[0]["task"]
+        grouped = _scenarios_by_vuln(result)
+        assert "service_launch" in grouped
+        assert "information_leak" in grouped
 
 
 class TestBudgetDegradation:

@@ -181,6 +181,16 @@ class TestPigeonhole:
         with pytest.raises(BudgetExhausted):
             s.solve(conflict_budget=5)
 
+    def test_budget_is_exact(self):
+        """A budgeted call raises at exactly the budgeted conflict count,
+        never one past it -- callers folding ``exc.conflicts`` into a
+        shared budget must not be able to overshoot it."""
+        s = Solver()
+        s.add_clauses(self.pigeonhole(7))
+        with pytest.raises(BudgetExhausted) as info:
+            s.solve(conflict_budget=5)
+        assert info.value.conflicts == 5
+
     def test_add_clause_after_budget_miss(self):
         """Regression: BudgetExhausted used to leave the trail at a nonzero
         decision level, so the next add_clause raised RuntimeError."""
