@@ -92,7 +92,8 @@ def summarize_run_report(report: Any) -> Dict[str, float]:
     """Flatten a pipeline :class:`~repro.pipeline.stats.RunReport` (or its
     dict form) into the key figures the Table 2 / Fig 5 benchmark tables
     print: per-stage wall time, the construction/solving split, cache hit
-    rate, and CDCL solver effort."""
+    rate, CDCL solver effort, and shared-encoding reuse (translations
+    performed vs avoided, base clauses warm queries reused)."""
     data = report.to_dict() if hasattr(report, "to_dict") else dict(report)
     cache = data.get("cache", {})
     solver = data.get("solver", {})
@@ -116,6 +117,13 @@ def summarize_run_report(report: Any) -> Dict[str, float]:
         "conflicts": float(solver.get("conflicts", 0)),
         "decisions": float(solver.get("decisions", 0)),
         "propagations": float(solver.get("propagations", 0)),
+        "num_clauses": float(solver.get("num_clauses", 0)),
+        "translations": float(solver.get("translations", 0)),
+        "translations_avoided": float(
+            solver.get("translations_avoided", 0)
+        ),
+        "clauses_shared": float(solver.get("clauses_shared", 0)),
+        "learned_carried": float(solver.get("learned_carried", 0)),
         "num_failures": float(len(data.get("failures", ()))),
         "num_degraded": float(len(data.get("degraded", ()))),
     }

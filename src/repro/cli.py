@@ -81,11 +81,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         from repro.pipeline import AnalysisPipeline
 
         pipeline = AnalysisPipeline(
-            jobs=args.jobs, scenarios_per_signature=args.scenarios
+            jobs=args.jobs,
+            scenarios_per_signature=args.scenarios,
+            shared_encoding=args.shared_encoding,
         )
         report = pipeline.analyze_bundles([bundle]).reports[0]
     else:
-        separ = Separ(scenarios_per_signature=args.scenarios)
+        separ = Separ(
+            scenarios_per_signature=args.scenarios,
+            shared_encoding=args.shared_encoding,
+        )
         report = separ.analyze_bundle(bundle)
     print(report.summary())
     for scenario in report.scenarios:
@@ -140,6 +145,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         ),
         conflict_budget=args.conflict_budget,
         time_budget_seconds=args.time_budget,
+        shared_encoding=args.shared_encoding,
     )
     result = pipeline.run(bundles)
     report = result.run_report
@@ -165,6 +171,12 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         f"  solver: {solver.solver_calls} calls, "
         f"{solver.conflicts} conflicts, {solver.decisions} decisions, "
         f"{solver.propagations} propagations"
+    )
+    print(
+        f"  encoding: {solver.translations} translations "
+        f"({solver.translations_avoided} avoided), "
+        f"{solver.clauses_shared} clauses shared, "
+        f"{solver.learned_carried} learned clauses carried"
     )
     if report.failures:
         print(f"  failures: {len(report.failures)} task(s)")
@@ -370,6 +382,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for per-signature synthesis "
         "(default: %(default)s = serial)",
     )
+    analyze.add_argument(
+        "--shared-encoding",
+        dest="shared_encoding",
+        action="store_true",
+        default=True,
+        help="translate the bundle once and enumerate every signature "
+        "under selector assumptions on one warm solver (default)",
+    )
+    analyze.add_argument(
+        "--per-signature",
+        dest="shared_encoding",
+        action="store_false",
+        help="translate a fresh problem per signature (byte-identical "
+        "findings; finer parallel granularity)",
+    )
     analyze.set_defaults(func=_cmd_analyze)
 
     pipeline = sub.add_parser(
@@ -461,6 +488,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 3 if any task failed and 2 if any task degraded "
         "(default: exit 0 whenever the run completes)",
+    )
+    pipeline.add_argument(
+        "--shared-encoding",
+        dest="shared_encoding",
+        action="store_true",
+        default=True,
+        help="one synthesis task per bundle on a shared warm solver "
+        "(default)",
+    )
+    pipeline.add_argument(
+        "--per-signature",
+        dest="shared_encoding",
+        action="store_false",
+        help="one synthesis task per (bundle, signature) pair "
+        "(byte-identical findings; finer parallel granularity)",
     )
     pipeline.set_defaults(func=_cmd_pipeline)
 

@@ -72,11 +72,13 @@ class Separ:
         scenarios_per_signature: int = 8,
         minimal: bool = True,
         handle_dynamic_receivers: bool = False,
+        shared_encoding: bool = True,
     ) -> None:
         self.engine = AnalysisAndSynthesisEngine(
             signatures=signatures,
             scenarios_per_signature=scenarios_per_signature,
             minimal=minimal,
+            shared_encoding=shared_encoding,
         )
         self.handle_dynamic_receivers = handle_dynamic_receivers
 

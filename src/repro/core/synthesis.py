@@ -22,6 +22,9 @@ from repro.core.model import BundleModel
 from repro.core.vulnerabilities import default_signatures
 from repro.core.vulnerabilities.base import ExploitScenario, VulnerabilitySignature
 from repro.obs import get_metrics, get_tracer
+from repro.relational import ast as rast
+from repro.relational.problem import RelationalProblem
+from repro.relational.sigs import Module, Sig
 from repro.sat.solver import BudgetExhausted
 
 
@@ -33,7 +36,14 @@ class SynthesisStats:
     across every SAT call the signatures triggered, for the pipeline run
     report.  ``exhausted`` marks a run that hit its conflict or wall-clock
     budget and stopped early: the scenario list is a prefix of what an
-    unbounded run would have found."""
+    unbounded run would have found.
+
+    The reuse counters quantify shared-encoding savings: ``translations``
+    counts relational-to-CNF translations actually performed,
+    ``translations_avoided`` the per-signature translations a shared run
+    skipped, ``clauses_shared`` the already-present clauses each warm query
+    reused instead of re-adding, and ``learned_carried`` the learned
+    clauses alive in the solver when each subsequent signature started."""
 
     construction_seconds: float = 0.0
     solving_seconds: float = 0.0
@@ -43,6 +53,10 @@ class SynthesisStats:
     decisions: int = 0
     propagations: int = 0
     solver_calls: int = 0
+    translations: int = 0
+    translations_avoided: int = 0
+    clauses_shared: int = 0
+    learned_carried: int = 0
     exhausted: bool = False
     per_signature: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
@@ -56,6 +70,10 @@ class SynthesisStats:
         self.decisions += other.decisions
         self.propagations += other.propagations
         self.solver_calls += other.solver_calls
+        self.translations += other.translations
+        self.translations_avoided += other.translations_avoided
+        self.clauses_shared += other.clauses_shared
+        self.learned_carried += other.learned_carried
         self.exhausted = self.exhausted or other.exhausted
         # Sum numeric fields per key: a signature appearing in both blocks
         # (repeated runs, re-merged stats) must accumulate, not clobber.
@@ -74,6 +92,10 @@ class SynthesisStats:
             "decisions": self.decisions,
             "propagations": self.propagations,
             "solver_calls": self.solver_calls,
+            "translations": self.translations,
+            "translations_avoided": self.translations_avoided,
+            "clauses_shared": self.clauses_shared,
+            "learned_carried": self.learned_carried,
             "exhausted": self.exhausted,
             "per_signature": self.per_signature,
         }
@@ -89,6 +111,10 @@ class SynthesisStats:
             decisions=data.get("decisions", 0),
             propagations=data.get("propagations", 0),
             solver_calls=data.get("solver_calls", 0),
+            translations=data.get("translations", 0),
+            translations_avoided=data.get("translations_avoided", 0),
+            clauses_shared=data.get("clauses_shared", 0),
+            learned_carried=data.get("learned_carried", 0),
             exhausted=bool(data.get("exhausted", False)),
             per_signature={
                 name: dict(values)
@@ -130,6 +156,12 @@ class AnalysisAndSynthesisEngine:
     *degrades* instead of failing: the scenarios found so far are
     returned and ``stats.exhausted`` is set, so pathological bundles and
     SAT blow-ups yield partial results rather than sinking the pipeline.
+
+    ``shared_encoding`` (the default) translates the framework + bundle
+    base once per bundle and runs every signature as an assumption-gated
+    query against one persistent solver; per-signature mode re-encodes
+    per signature.  Both modes produce identical scenarios (minimization
+    is canonical), differing only in where the work happens.
     """
 
     def __init__(
@@ -139,6 +171,7 @@ class AnalysisAndSynthesisEngine:
         minimal: bool = True,
         conflict_budget: Optional[int] = None,
         time_budget_seconds: Optional[float] = None,
+        shared_encoding: bool = True,
     ) -> None:
         self.signatures = (
             list(signatures) if signatures is not None else default_signatures()
@@ -147,8 +180,11 @@ class AnalysisAndSynthesisEngine:
         self.minimal = minimal
         self.conflict_budget = conflict_budget
         self.time_budget_seconds = time_budget_seconds
+        self.shared_encoding = shared_encoding
 
     def run(self, bundle: BundleModel) -> SynthesisResult:
+        if self.shared_encoding:
+            return self.run_shared(bundle)
         stats = SynthesisStats()
         scenarios: List[ExploitScenario] = []
         for signature in self.signatures:
@@ -156,6 +192,228 @@ class AnalysisAndSynthesisEngine:
             scenarios.extend(result.scenarios)
             stats.merge(result.stats)
         return SynthesisResult(scenarios=scenarios, stats=stats)
+
+    # ------------------------------------------------------------------
+    # Shared-encoding mode
+    # ------------------------------------------------------------------
+    def run_shared(self, bundle: BundleModel) -> SynthesisResult:
+        """Run every signature against one shared, selector-gated problem.
+
+        The framework spec and bundle embedding are built and translated
+        once; each signature's goal, signature-field multiplicities, and
+        any facts it declares are attached under a fresh selector literal
+        (:meth:`RelationalProblem.add_gated_formula`).  Anonymous-atom
+        scopes are merged across signatures and their sig membership is
+        left free in the bounds; under each signature's selector, its own
+        scoped atoms are forced in and every tuple mentioning a foreign
+        scoped atom is forced out -- restoring exactly the per-signature
+        bounds.  Enumeration then runs per signature under assumptions
+        ``[own selector, -other selectors]`` on the one warm solver, with
+        diversity/superset blocking clauses gated by the active selector
+        so they stay inert for the signatures that follow.
+        """
+        tracer = get_tracer()
+        stats = SynthesisStats()
+        scenarios: List[ExploitScenario] = []
+        with tracer.span(
+            "ase.bundle",
+            apps=len(bundle.apps),
+            signatures=len(self.signatures),
+        ):
+            start = time.perf_counter()
+            with tracer.span("ase.construct", shared=True):
+                spec = BundleSpec(bundle)
+                problem, groups, selectors, base_clauses = self._build_shared(
+                    spec
+                )
+            construction = time.perf_counter() - start
+            solve_start = time.perf_counter()
+            exhausted_any = False
+            for index, ((signature, inst), selector) in enumerate(
+                zip(groups, selectors)
+            ):
+                sig_start = time.perf_counter()
+                deadline = (
+                    sig_start + self.time_budget_seconds
+                    if self.time_budget_seconds is not None
+                    else None
+                )
+                if self.conflict_budget is not None:
+                    # A fresh per-signature window over the cumulative cap.
+                    problem.conflict_budget = (
+                        problem.stats.conflicts + self.conflict_budget
+                    )
+                if index > 0:
+                    stats.clauses_shared += base_clauses
+                    stats.learned_carried += problem.num_learnt
+                    # Phases saved from the previous signature's models
+                    # bias this signature's witnesses toward them,
+                    # inflating the minimization walk; polarity resets to
+                    # prefer-false, learned clauses stay.
+                    problem.reset_phases()
+                assumptions = [selector] + [
+                    -other for other in selectors if other != selector
+                ]
+                with tracer.span("ase.solve", signature=signature.name):
+                    found, exhausted = self._enumerate(
+                        problem,
+                        inst,
+                        deadline=deadline,
+                        assumptions=assumptions,
+                        gate=selector,
+                    )
+                scenarios.extend(inst.decode(instance) for instance in found)
+                exhausted_any = exhausted_any or exhausted
+                stats.per_signature[signature.name] = {
+                    "construction_seconds": 0.0,
+                    "solving_seconds": time.perf_counter() - sig_start,
+                    "scenarios": float(len(found)),
+                    "exhausted": float(exhausted),
+                }
+            solving = time.perf_counter() - solve_start
+        stats.construction_seconds = construction
+        stats.solving_seconds = solving
+        stats.num_vars = problem.stats.num_vars
+        stats.num_clauses = problem.stats.num_clauses
+        stats.conflicts = problem.stats.conflicts
+        stats.decisions = problem.stats.decisions
+        stats.propagations = problem.stats.propagations
+        stats.solver_calls = problem.stats.solver_calls
+        stats.translations = 1
+        stats.translations_avoided = max(0, len(groups) - 1)
+        stats.exhausted = exhausted_any
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("ase.signature_runs").inc(len(groups))
+            metrics.counter("ase.scenarios").inc(len(scenarios))
+            metrics.counter("ase.translations").inc(stats.translations)
+            metrics.counter("ase.translations_avoided").inc(
+                stats.translations_avoided
+            )
+            metrics.counter("ase.clauses_shared").inc(stats.clauses_shared)
+            metrics.counter("ase.learned_carried").inc(stats.learned_carried)
+            if exhausted_any:
+                metrics.counter("ase.budget_exhausted").inc()
+            metrics.histogram("ase.num_vars").observe(stats.num_vars)
+            metrics.histogram("ase.num_clauses").observe(stats.num_clauses)
+            metrics.histogram("ase.construction_seconds").observe(construction)
+            metrics.histogram("ase.solving_seconds").observe(solving)
+        return SynthesisResult(scenarios=scenarios, stats=stats)
+
+    def _build_shared(self, spec: BundleSpec):
+        """Instantiate every signature into one module and gate each one.
+
+        Returns ``(problem, [(signature, instantiation)], selectors,
+        base_clauses)`` where ``base_clauses`` is the clause count of the
+        shared base translation (the clauses each warm query reuses).
+        """
+        module = spec.module
+        merged_scopes: Dict[Sig, int] = {}
+        groups: List[Tuple[VulnerabilitySignature, object]] = []
+        own_fields: List[List] = []
+        own_facts: List[List[rast.Formula]] = []
+        for signature in self.signatures:
+            fields_before = len(module.fields)
+            facts_before = len(module._facts)
+            inst = signature.instantiate(spec)
+            own_fields.append(list(module.fields[fields_before:]))
+            # Plugin-declared facts belong to the signature's gated group,
+            # not the shared base: pull them back out of the module.
+            own_facts.append(list(module._facts[facts_before:]))
+            del module._facts[facts_before:]
+            for sig, count in inst.extra_scopes.items():
+                merged_scopes[sig] = max(merged_scopes.get(sig, 0), count)
+            groups.append((signature, inst))
+        exclude = [fld for fields in own_fields for fld in fields]
+        bounds, base = module.build(
+            extra=merged_scopes, float_anon=True, exclude_fields=exclude
+        )
+        # Allocation only: the base is asserted after the groups, and
+        # skipped entirely when every group folds to FALSE (a trivially
+        # vulnerability-free bundle costs what per-signature mode pays).
+        problem = RelationalProblem(bounds, rast.TRUE_F)
+        atom_home: Dict[object, Sig] = {}
+        for sig in merged_scopes:
+            for atom in module.anon_atoms_of(sig):
+                atom_home[atom] = sig
+        selectors: List[int] = []
+        live: List[Tuple[int, List[Tuple], List[Tuple]]] = []
+        for (signature, inst), fields, facts in zip(
+            groups, own_fields, own_facts
+        ):
+            parts: List[rast.Formula] = []
+            for fld in fields:
+                constraint = Module.field_constraint(fld)
+                if constraint is not None:
+                    parts.append(constraint)
+            parts.extend(facts)
+            parts.append(inst.goal)
+            own_atoms: set = set()
+            require: List[Tuple] = []
+            for sig, count in inst.extra_scopes.items():
+                for atom in module.anon_atoms_of(sig)[:count]:
+                    own_atoms.add(atom)
+                    require.append((sig.relation, (atom,)))
+                    for ancestor in sig.ancestors():
+                        require.append((ancestor.relation, (atom,)))
+            # Rows touching another signature's anonymous atoms are
+            # forced false under this selector (typing + forbid below),
+            # so the gated translation may fold them to FALSE outright:
+            # the group then costs what a standalone per-signature
+            # translation over its own universe would.
+            mask = [
+                (relation, tup)
+                for relation, tup in problem.primary_vars
+                if any(
+                    atom in atom_home and atom not in own_atoms
+                    for atom in tup
+                )
+            ]
+            selector = problem.add_gated_formula(
+                rast.and_all(parts), mask=mask
+            )
+            selectors.append(selector)
+            if selector in problem.dead_gates:
+                continue  # (-selector) already forbids activating it
+            forbid = [
+                (atom_home[atom].relation, (atom,))
+                for atom in atom_home
+                if atom not in own_atoms
+            ]
+            live.append((selector, require, forbid))
+        base_clauses = 0
+        if live:
+            base_start = problem.stats.num_clauses
+            problem.add_formula(base)
+            base_clauses = problem.stats.num_clauses - base_start
+            # Ungated typing: every base-referenced free row mentioning
+            # an anonymous atom implies that atom's sig-membership row.
+            # A live group then only gates the handful of foreign
+            # membership rows; unit propagation zeroes every dependent
+            # row.  Rows the base never mentions need no typing clause:
+            # nothing can force them true (every group masks foreign
+            # rows out of its own translation), so prefer-false
+            # minimization pins them false unaided.
+            referenced = problem.referenced_vars(start=base_start)
+            dependents: Dict[Tuple, List[Tuple]] = {}
+            for (relation, tup), var in problem.primary_vars.items():
+                if var not in referenced:
+                    continue
+                for atom in tup:
+                    sig = atom_home.get(atom)
+                    if sig is not None:
+                        member = (sig.relation, (atom,))
+                        if (relation, tup) != member:
+                            dependents.setdefault(member, []).append(
+                                (relation, tup)
+                            )
+            for member, rows in dependents.items():
+                problem.add_typing_tuples(member, rows)
+            for selector, require, forbid in live:
+                problem.add_gated_tuples(
+                    selector, require=require, forbid=forbid
+                )
+        return problem, groups, selectors, base_clauses
 
     def run_signature(
         self, bundle: BundleModel, signature: VulnerabilitySignature
@@ -198,6 +456,7 @@ class AnalysisAndSynthesisEngine:
         if metrics.enabled:
             metrics.counter("ase.signature_runs").inc()
             metrics.counter("ase.scenarios").inc(len(found))
+            metrics.counter("ase.translations").inc()
             if exhausted:
                 metrics.counter("ase.budget_exhausted").inc()
             metrics.histogram("ase.num_vars").observe(problem.stats.num_vars)
@@ -214,16 +473,23 @@ class AnalysisAndSynthesisEngine:
         stats.decisions = problem.stats.decisions
         stats.propagations = problem.stats.propagations
         stats.solver_calls = problem.stats.solver_calls
+        stats.translations = 1
         stats.exhausted = exhausted
         stats.per_signature[signature.name] = {
             "construction_seconds": construction,
             "solving_seconds": solving,
             "scenarios": float(len(found)),
+            "exhausted": float(exhausted),
         }
         return SynthesisResult(scenarios=scenarios, stats=stats)
 
     def _enumerate(
-        self, problem, instantiation, deadline: Optional[float] = None
+        self,
+        problem,
+        instantiation,
+        deadline: Optional[float] = None,
+        assumptions: Sequence[int] = (),
+        gate: Optional[int] = None,
     ) -> Tuple[List, bool]:
         """Diversity-driven enumeration: each scenario must re-bind at
         least one role field; without diversity fields, fall back to plain
@@ -243,10 +509,16 @@ class AnalysisAndSynthesisEngine:
             if not instantiation.diversity_fields:
                 source = (
                     problem.minimal_solutions(
-                        limit=self.scenarios_per_signature
+                        limit=self.scenarios_per_signature,
+                        assumptions=assumptions,
+                        gate=gate,
                     )
                     if self.minimal
-                    else problem.solutions(limit=self.scenarios_per_signature)
+                    else problem.solutions(
+                        limit=self.scenarios_per_signature,
+                        assumptions=assumptions,
+                        gate=gate,
+                    )
                 )
                 for instance in source:
                     found.append(instance)
@@ -260,9 +532,9 @@ class AnalysisAndSynthesisEngine:
                 if out_of_time():
                     return found, True
                 instance = (
-                    problem.minimal_solution()
+                    problem.minimal_solution(assumptions=assumptions)
                     if self.minimal
-                    else problem.solve()
+                    else problem.solve(assumptions=assumptions)
                 )
                 if instance is None:
                     break
@@ -272,7 +544,7 @@ class AnalysisAndSynthesisEngine:
                     for fld in instantiation.diversity_fields
                     for tup in instance.tuples(fld.relation)
                 ]
-                if not problem.block(bindings):
+                if not problem.block(bindings, gate=gate):
                     break
         except BudgetExhausted:
             return found, True

@@ -1,11 +1,15 @@
 """The parallel, cached, fault-tolerant analysis/synthesis pipeline.
 
-Extraction is fanned out across apps and synthesis across
-(bundle, vulnerability-signature) pairs -- the two embarrassingly parallel
-axes of SEPAR's workload (per-app facts are independent until composition;
-signatures never share solver state).  Results flow through the
-content-addressed :class:`~repro.pipeline.cache.PipelineCache`, so a rerun
-over unchanged inputs skips extraction and SAT solving entirely.
+Extraction is fanned out across apps and synthesis across bundles (the
+default shared-encoding mode: one task per bundle translates the framework
+spec once and enumerates every signature under selector assumptions on one
+warm solver) or across (bundle, vulnerability-signature) pairs
+(``shared_encoding=False``: signatures never share solver state, giving
+finer-grained parallelism at the cost of one full translation per
+signature).  Results flow through the content-addressed
+:class:`~repro.pipeline.cache.PipelineCache`, so a rerun over unchanged
+inputs skips extraction and SAT solving entirely; the two modes use
+disjoint cache keys but produce byte-identical findings.
 
 Determinism: workers communicate via the canonical JSON forms in
 ``repro.core.serialize`` and results are reassembled in (bundle, signature)
@@ -183,6 +187,42 @@ def _synthesis_worker(task: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _shared_task_key(task: Dict[str, Any]) -> str:
+    packages = ",".join(sorted(a["package"] for a in task["apps"]))
+    return f"shared[{','.join(task['signatures'])}]|{packages}"
+
+
+def _shared_synthesis_worker(task: Dict[str, Any]) -> Dict[str, Any]:
+    """One whole bundle under the shared encoding: translate once,
+    enumerate every signature under its selector on the one warm solver."""
+    maybe_inject("synthesis", _shared_task_key(task))
+    with get_tracer().span(
+        "pipeline.synthesize_bundle",
+        signatures=len(task["signatures"]),
+        apps=len(task["apps"]),
+    ):
+        bundle = BundleModel(
+            apps=[serialize.app_from_dict(a) for a in task["apps"]]
+        )
+        signatures = [lookup(name)() for name in task["signatures"]]
+        engine = AnalysisAndSynthesisEngine(
+            signatures=signatures,
+            scenarios_per_signature=task["scenarios_per_signature"],
+            minimal=task["minimal"],
+            conflict_budget=task.get("conflict_budget"),
+            time_budget_seconds=task.get("time_budget_seconds"),
+            shared_encoding=True,
+        )
+        result = engine.run_shared(bundle)
+    return {
+        "scenarios": [
+            serialize.scenario_to_dict(s) for s in result.scenarios
+        ],
+        "stats": result.stats.to_dict(),
+        "incomplete": bool(result.stats.exhausted),
+    }
+
+
 def _with_metrics_delta(fn: Callable[[T], R], task: T) -> Tuple[R, Any]:
     """Run ``fn`` in a pool worker and capture its per-task metrics delta.
 
@@ -206,6 +246,12 @@ def _extract_worker_obs(task: Tuple[Any, bool]) -> Tuple[Dict[str, Any], Any]:
 
 def _synthesis_worker_obs(task: Dict[str, Any]) -> Tuple[Dict[str, Any], Any]:
     return _with_metrics_delta(_synthesis_worker, task)
+
+
+def _shared_synthesis_worker_obs(
+    task: Dict[str, Any]
+) -> Tuple[Dict[str, Any], Any]:
+    return _with_metrics_delta(_shared_synthesis_worker, task)
 
 
 # ----------------------------------------------------------------------
@@ -290,6 +336,7 @@ class AnalysisPipeline:
         faults: Optional[FaultPolicy] = None,
         conflict_budget: Optional[int] = None,
         time_budget_seconds: Optional[float] = None,
+        shared_encoding: bool = True,
     ) -> None:
         self.jobs = max(1, jobs)
         self.cache = cache if cache is not None else NullCache()
@@ -304,6 +351,7 @@ class AnalysisPipeline:
         self.faults = faults if faults is not None else FaultPolicy()
         self.conflict_budget = conflict_budget
         self.time_budget_seconds = time_budget_seconds
+        self.shared_encoding = shared_encoding
 
     # ------------------------------------------------------------------
     # Fault-tolerant task dispatch
@@ -650,6 +698,49 @@ class AnalysisPipeline:
                 pass
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _record_degraded(
+        run_report: RunReport,
+        payload_task: Dict[str, Any],
+        payload: Dict[str, Any],
+    ) -> None:
+        """Record budget-exhausted synthesis at signature granularity.
+
+        A per-signature task degrades as a whole; a shared-encoding
+        bundle task records one entry per signature whose enumeration
+        hit the budget (the rest of the bundle's signatures completed),
+        so both modes report the same degradation boundary.
+        """
+        metrics = get_metrics()
+        packages = ",".join(
+            sorted(a["package"] for a in payload_task["apps"])
+        )
+        if "signatures" in payload_task:
+            per_signature = payload.get("stats", {}).get("per_signature", {})
+            for name in payload_task["signatures"]:
+                entry = per_signature.get(name, {})
+                if not entry.get("exhausted"):
+                    continue
+                metrics.counter("pipeline.degraded_tasks").inc()
+                run_report.degraded.append(
+                    {
+                        "stage": "synthesis",
+                        "task": f"{name}|{packages}",
+                        "reason": "budget_exhausted",
+                        "scenarios": int(entry.get("scenarios", 0)),
+                    }
+                )
+        else:
+            metrics.counter("pipeline.degraded_tasks").inc()
+            run_report.degraded.append(
+                {
+                    "stage": "synthesis",
+                    "task": _synthesis_task_key(payload_task),
+                    "reason": "budget_exhausted",
+                    "scenarios": len(payload.get("scenarios", [])),
+                }
+            )
+
     def _engine_params(self) -> Dict[str, Any]:
         return {
             "scenarios_per_signature": self.scenarios_per_signature,
@@ -783,42 +874,79 @@ class AnalysisPipeline:
                 sorted(self._app_content_key(d) for d in apps)
                 for apps in bundle_apps
             ]
-            tasks: List[Tuple[int, int]] = [
-                (b, s)
-                for b in range(len(bundle_models))
-                for s in range(len(self.signature_names))
-            ]
-            keys = [
-                content_hash(
-                    {
-                        "task": "synthesis",
-                        "apps": app_hashes[b],
-                        "signature": self.signature_names[s],
-                        "params": params,
-                        "fingerprint": fingerprint,
-                    }
-                )
-                for b, s in tasks
-            ]
+            if self.shared_encoding:
+                # One task per bundle: the worker translates once and
+                # enumerates every signature on the shared warm solver.
+                tasks: List[Tuple[int, int]] = [
+                    (b, 0) for b in range(len(bundle_models))
+                ]
+                keys = [
+                    content_hash(
+                        {
+                            "task": "synthesis",
+                            "mode": "shared",
+                            "apps": app_hashes[b],
+                            "signatures": list(self.signature_names),
+                            "params": params,
+                            "fingerprint": fingerprint,
+                        }
+                    )
+                    for b, _ in tasks
+                ]
+            else:
+                tasks = [
+                    (b, s)
+                    for b in range(len(bundle_models))
+                    for s in range(len(self.signature_names))
+                ]
+                keys = [
+                    content_hash(
+                        {
+                            "task": "synthesis",
+                            "apps": app_hashes[b],
+                            "signature": self.signature_names[s],
+                            "params": params,
+                            "fingerprint": fingerprint,
+                        }
+                    )
+                    for b, s in tasks
+                ]
             cached: List[Optional[Dict[str, Any]]] = [
                 self.cache.get("synthesis", key) for key in keys
             ]
             miss_indices = [i for i, c in enumerate(cached) if c is None]
             stage.set(tasks=len(tasks), cache_misses=len(miss_indices))
-            task_payloads = [
-                {
-                    "apps": bundle_apps[tasks[i][0]],
-                    "signature": self.signature_names[tasks[i][1]],
-                    **params,
-                }
-                for i in miss_indices
-            ]
+            if self.shared_encoding:
+                task_payloads = [
+                    {
+                        "apps": bundle_apps[tasks[i][0]],
+                        "signatures": list(self.signature_names),
+                        **params,
+                    }
+                    for i in miss_indices
+                ]
+                worker, worker_obs = (
+                    _shared_synthesis_worker,
+                    _shared_synthesis_worker_obs,
+                )
+                labels = [_shared_task_key(t) for t in task_payloads]
+            else:
+                task_payloads = [
+                    {
+                        "apps": bundle_apps[tasks[i][0]],
+                        "signature": self.signature_names[tasks[i][1]],
+                        **params,
+                    }
+                    for i in miss_indices
+                ]
+                worker, worker_obs = _synthesis_worker, _synthesis_worker_obs
+                labels = [_synthesis_task_key(t) for t in task_payloads]
             outcomes = self._map(
-                _synthesis_worker,
+                worker,
                 task_payloads,
                 stage="synthesis",
-                labels=[_synthesis_task_key(t) for t in task_payloads],
-                obs_fn=_synthesis_worker_obs,
+                labels=labels,
+                obs_fn=worker_obs,
             )
             for index, payload_task, outcome in zip(
                 miss_indices, task_payloads, outcomes
@@ -833,15 +961,7 @@ class AnalysisPipeline:
                     # report the degradation.  The cache refuses incomplete
                     # payloads (recording a rejection), so a later run with
                     # more budget must redo the work.
-                    metrics.counter("pipeline.degraded_tasks").inc()
-                    run_report.degraded.append(
-                        {
-                            "stage": "synthesis",
-                            "task": _synthesis_task_key(payload_task),
-                            "reason": "budget_exhausted",
-                            "scenarios": len(payload.get("scenarios", [])),
-                        }
-                    )
+                    self._record_degraded(run_report, payload_task, payload)
                 self.cache.put("synthesis", keys[index], payload)
         run_report.add_stage("synthesis", time.perf_counter() - start)
 

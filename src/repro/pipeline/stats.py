@@ -124,7 +124,15 @@ class CacheAccounting:
 
 @dataclass
 class SolverCounters:
-    """CDCL work rolled up across every SAT call of a run."""
+    """CDCL and encoding work rolled up across every SAT call of a run.
+
+    The last four fields account for shared-encoding reuse:
+    ``translations`` counts full formula-to-CNF translations actually
+    performed, ``translations_avoided`` the ones the shared encoding
+    skipped, ``clauses_shared`` the base clauses warm queries reused
+    instead of re-adding, and ``learned_carried`` the learned clauses
+    already in the solver when each subsequent signature started.
+    """
 
     conflicts: int = 0
     decisions: int = 0
@@ -132,6 +140,10 @@ class SolverCounters:
     solver_calls: int = 0
     num_vars: int = 0
     num_clauses: int = 0
+    translations: int = 0
+    translations_avoided: int = 0
+    clauses_shared: int = 0
+    learned_carried: int = 0
 
     def add_synthesis_stats(self, stats: "SynthesisStatsLike") -> None:
         self.conflicts += stats.conflicts
@@ -140,6 +152,12 @@ class SolverCounters:
         self.solver_calls += stats.solver_calls
         self.num_vars += stats.num_vars
         self.num_clauses += stats.num_clauses
+        self.translations += getattr(stats, "translations", 0)
+        self.translations_avoided += getattr(
+            stats, "translations_avoided", 0
+        )
+        self.clauses_shared += getattr(stats, "clauses_shared", 0)
+        self.learned_carried += getattr(stats, "learned_carried", 0)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -149,6 +167,10 @@ class SolverCounters:
             "solver_calls": self.solver_calls,
             "num_vars": self.num_vars,
             "num_clauses": self.num_clauses,
+            "translations": self.translations,
+            "translations_avoided": self.translations_avoided,
+            "clauses_shared": self.clauses_shared,
+            "learned_carried": self.learned_carried,
         }
 
 
@@ -161,6 +183,10 @@ class SynthesisStatsLike:
     solver_calls: int
     num_vars: int
     num_clauses: int
+    translations: int
+    translations_avoided: int
+    clauses_shared: int
+    learned_carried: int
 
 
 @dataclass
@@ -270,6 +296,10 @@ class RunReport:
             solver_calls=solver.get("solver_calls", 0),
             num_vars=solver.get("num_vars", 0),
             num_clauses=solver.get("num_clauses", 0),
+            translations=solver.get("translations", 0),
+            translations_avoided=solver.get("translations_avoided", 0),
+            clauses_shared=solver.get("clauses_shared", 0),
+            learned_carried=solver.get("learned_carried", 0),
         )
         return report
 

@@ -9,17 +9,30 @@ exposes:
   exploration: every yielded instance is *minimal* (no satisfying instance
   whose positive tuples are a strict subset exists), and later instances are
   never supersets of earlier ones.
+
+The problem is *multi-query*: after construction, additional formula groups
+can be attached under fresh selector literals (:meth:`add_gated_formula`)
+and every query method accepts ``assumptions``, so many mutually exclusive
+goals share one persistent solver -- its learned clauses, variable
+activities, and clause database stay warm across queries (the standard
+assumption-based incremental SAT technique).
+
+Minimization is *canonical*: :meth:`_minimize` computes the unique
+lexicographically-least (prefer-false) model over the primary variables in
+``(relation name, tuple)`` order.  The result depends only on the formula,
+never on the solver's search trajectory, so a warm shared solver and a cold
+per-goal solver yield byte-identical minimal scenarios.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.relational import ast as rast
 from repro.relational.instance import Instance, instance_from_model
-from repro.relational.translate import TranslationRecord, translate
+from repro.relational.translate import TranslationRecord, Translator
 from repro.relational.universe import AtomTuple, Bounds, Relation
 from repro.sat import Solver
 from repro.sat.solver import BudgetExhausted
@@ -54,7 +67,8 @@ class RelationalProblem:
     solves raise :class:`~repro.sat.solver.BudgetExhausted`.  The partial
     work of the interrupted call is still folded into ``stats``, so
     callers can degrade to the scenarios found so far without losing
-    accounting.
+    accounting.  Multi-query callers re-arm the budget between queries by
+    setting ``conflict_budget = stats.conflicts + window``.
     """
 
     def __init__(self, bounds: Bounds, formula: rast.Formula) -> None:
@@ -63,22 +77,197 @@ class RelationalProblem:
         self.conflict_budget: Optional[int] = None
         self.stats = SolveStats()
         start = time.perf_counter()
-        self._record: TranslationRecord = translate(bounds, formula)
+        self._translator = Translator(bounds)
+        ok = self._translator.assert_formula(formula)
+        self._record = TranslationRecord(
+            cnf=self._translator.cnf,
+            primary_vars=self._translator.primary_vars,
+            trivially_unsat=not ok,
+        )
         self.stats.translation_seconds = time.perf_counter() - start
-        self.stats.num_vars = self._record.cnf.num_vars
-        self.stats.num_clauses = self._record.cnf.num_clauses
         self.stats.num_primary_vars = len(self._record.primary_vars)
         self._solver = Solver()
-        if self._record.cnf.num_vars:
-            self._solver.ensure_var(self._record.cnf.num_vars)
+        self._fed_clauses = 0
         self._trivially_unsat = self._record.trivially_unsat
-        if not self._trivially_unsat:
-            if not self._solver.add_clauses(self._record.cnf.clauses):
-                self._trivially_unsat = True
+        self._canonical_order: Optional[List[int]] = None
+        # selector -> {primary var: value forced while that selector holds}
+        self._gated_fixed: Dict[int, Dict[int, bool]] = {}
+        # selectors whose gated formula folded to FALSE at translation
+        self._dead_gates: set = set()
+        if self._trivially_unsat:
+            # Mirror the historical one-shot behaviour: a trivially
+            # unsatisfiable base never feeds the solver.
+            self.stats.num_vars = self._record.cnf.num_vars
+            self.stats.num_clauses = self._record.cnf.num_clauses
+            self._fed_clauses = self._record.cnf.num_clauses
+        else:
+            self._sync_solver()
 
     @property
     def primary_vars(self) -> Dict[Tuple[Relation, AtomTuple], int]:
         return self._record.primary_vars
+
+    @property
+    def num_learnt(self) -> int:
+        """Learned clauses currently retained by the persistent solver."""
+        return self._solver.num_learnt
+
+    def reset_phases(self) -> None:
+        """Restore prefer-false polarity on the persistent solver.
+
+        Call between unrelated assumption groups: phases saved while
+        enumerating one group bias the next group's witnesses toward the
+        previous models, which makes minimization walk a dense tail."""
+        self._solver.reset_phases()
+
+    def _sync_solver(self) -> None:
+        """Feed clauses translated since the last sync into the solver."""
+        cnf = self._record.cnf
+        self.stats.num_vars = cnf.num_vars
+        self.stats.num_clauses = cnf.num_clauses
+        if self._trivially_unsat:
+            self._fed_clauses = cnf.num_clauses
+            return
+        if cnf.num_vars:
+            self._solver.ensure_var(cnf.num_vars)
+        new = cnf.clauses[self._fed_clauses :]
+        self._fed_clauses = cnf.num_clauses
+        if new and not self._solver.add_clauses(new):
+            self._trivially_unsat = True
+
+    # ------------------------------------------------------------------
+    # Multi-query API
+    # ------------------------------------------------------------------
+    def add_gated_formula(self, formula: rast.Formula, mask=None) -> int:
+        """Attach ``formula`` under a fresh selector literal and return it.
+
+        The formula's clauses only bind when the selector is assumed true,
+        so several goals can share this problem's translation and solver:
+        pass ``[selector]`` (plus the negations of the other groups'
+        selectors) as ``assumptions`` to the query methods.  Tseitin
+        definitions are hash-consed with everything translated before, so
+        shared subcircuits cost nothing the second time.
+
+        ``mask`` lists ``(relation, tuple)`` rows to fold to FALSE during
+        this translation; only sound when other clauses (typing +
+        ``add_gated_tuples`` forbids) already force those rows false
+        whenever the selector is assumed.
+
+        Must be called before any solving that allocates solver-side
+        auxiliary variables (i.e. attach all groups first, then query).
+        """
+        if self._solver.num_vars > self._record.cnf.num_vars:
+            raise RuntimeError(
+                "add_gated_formula must precede solving: the solver has "
+                "already allocated auxiliary variables past the CNF"
+            )
+        start = time.perf_counter()
+        selector = self._record.cnf.new_var()
+        ok = self._translator.assert_formula_gated(formula, selector, mask=mask)
+        if not ok:
+            # The emitted unit (-selector) forbids ever activating the
+            # group; callers can skip its bookkeeping via dead_gates.
+            self._dead_gates.add(selector)
+        self.stats.translation_seconds += time.perf_counter() - start
+        self._sync_solver()
+        return selector
+
+    @property
+    def dead_gates(self):
+        """Selectors whose gated formula folded to the FALSE constant.
+
+        A query assuming a dead selector is unsatisfiable by the unit
+        clause emitted at translation; no further per-group clauses
+        (typing, membership units) are needed for it.
+        """
+        return frozenset(self._dead_gates)
+
+    def add_formula(self, formula: rast.Formula) -> bool:
+        """Assert an ungated formula into the shared problem.
+
+        Returns False when the formula folds to the FALSE constant, in
+        which case the whole problem becomes trivially unsatisfiable.
+        Like :meth:`add_gated_formula`, must precede any solving that
+        allocates solver-side auxiliary variables.
+        """
+        if self._solver.num_vars > self._record.cnf.num_vars:
+            raise RuntimeError(
+                "add_formula must precede solving: the solver has "
+                "already allocated auxiliary variables past the CNF"
+            )
+        start = time.perf_counter()
+        ok = self._translator.assert_formula(formula)
+        self.stats.translation_seconds += time.perf_counter() - start
+        if not ok:
+            self._record.trivially_unsat = True
+            self._trivially_unsat = True
+        self._sync_solver()
+        return ok
+
+    def add_gated_tuples(self, selector: int, require=(), forbid=()) -> None:
+        """Force tuple memberships under ``selector``.
+
+        ``require``/``forbid`` are iterables of ``(relation, tuple)``:
+        whenever the selector is assumed true, required free tuples must be
+        present and forbidden ones absent.  Tuples fixed by the lower bound
+        satisfy ``require`` vacuously; a forbidden lower-bound tuple is a
+        caller error (it can never be absent) and raises ``ValueError``.
+        """
+        cnf = self._record.cnf
+        fixed = self._gated_fixed.setdefault(selector, {})
+        for relation, tup in require:
+            var = self.primary_vars.get((relation, tuple(tup)))
+            if var is not None:
+                cnf.add_clause((-selector, var))
+                fixed[var] = True
+        for relation, tup in forbid:
+            var = self.primary_vars.get((relation, tuple(tup)))
+            if var is not None:
+                cnf.add_clause((-selector, -var))
+                fixed[var] = False
+            elif tuple(tup) in self.bounds.lower(relation):
+                raise ValueError(
+                    f"cannot forbid lower-bound tuple {tup!r} of "
+                    f"{relation.name}"
+                )
+        self._sync_solver()
+
+    def referenced_vars(self, start: int = 0):
+        """Variables occurring in clauses added from index ``start`` on.
+
+        A primary variable absent from this set is unconstrained: no
+        clause can ever force it true, so prefer-false minimization pins
+        it false without help.  The shared encoding uses this (with
+        ``start`` at the base translation's first clause) to skip typing
+        clauses for rows the base never mentions.
+        """
+        seen = set()
+        for clause in self._record.cnf.clauses[start:]:
+            seen.update(abs(lit) for lit in clause)
+        return seen
+
+    def add_typing_tuples(self, member, rows) -> None:
+        """Tie free ``rows`` to a free ``member`` tuple, ungated.
+
+        For each ``(relation, tuple)`` in ``rows``, adds the clause
+        ``row -> member``: the row can only be present in a model where
+        the member tuple is.  Used by the shared encoding to make every
+        row mentioning an anonymous atom depend on that atom's sig
+        membership, so a signature group only needs to gate the handful
+        of membership rows of foreign atoms rather than every row that
+        mentions one.  If ``member`` is fixed by the lower bound the
+        rows are vacuously typed and nothing is added.
+        """
+        relation, tup = member
+        member_var = self.primary_vars.get((relation, tuple(tup)))
+        if member_var is None:
+            return
+        cnf = self._record.cnf
+        for rel, row in rows:
+            var = self.primary_vars.get((rel, tuple(row)))
+            if var is not None and var != member_var:
+                cnf.add_clause((-var, member_var))
+        self._sync_solver()
 
     def _timed_solve(self, assumptions=()):
         """Run the solver, folding wall time and CDCL counters into stats.
@@ -110,28 +299,40 @@ class RelationalProblem:
         self.stats.solver_calls += 1
         return result
 
+    @staticmethod
+    def _gated(gate: Optional[int], literals: List[int]) -> List[int]:
+        """A blocking clause, inert unless ``gate`` is assumed true."""
+        return literals if gate is None else [-gate] + literals
+
     # ------------------------------------------------------------------
-    def solve(self) -> Optional[Instance]:
+    def solve(self, assumptions: Sequence[int] = ()) -> Optional[Instance]:
         """Return one satisfying instance, or None if unsatisfiable."""
         if self._trivially_unsat:
             return None
-        result = self._timed_solve()
+        result = self._timed_solve(assumptions=assumptions)
         if not result.satisfiable:
             return None
         return instance_from_model(self.bounds, self.primary_vars, result.model)
 
-    def solutions(self, limit: Optional[int] = None) -> Iterator[Instance]:
+    def solutions(
+        self,
+        limit: Optional[int] = None,
+        assumptions: Sequence[int] = (),
+        gate: Optional[int] = None,
+    ) -> Iterator[Instance]:
         """Enumerate distinct instances by blocking each found model.
 
         Distinctness is with respect to primary variables (relation
-        contents), not auxiliary Tseitin variables.
+        contents), not auxiliary Tseitin variables.  With ``gate`` set,
+        blocking clauses are guarded by it, so the enumeration of one
+        gated group leaves every other group's model space untouched.
         """
         if self._trivially_unsat:
             return
         count = 0
         primary = list(self.primary_vars.values())
         while limit is None or count < limit:
-            result = self._timed_solve()
+            result = self._timed_solve(assumptions=assumptions)
             if not result.satisfiable:
                 return
             yield instance_from_model(self.bounds, self.primary_vars, result.model)
@@ -139,56 +340,64 @@ class RelationalProblem:
             if not primary:
                 return  # only one instance distinguishable
             blocking = [(-v if result.model[v] else v) for v in primary]
-            if not self._solver.add_clause(blocking):
+            if not self._solver.add_clause(self._gated(gate, blocking)):
                 return
 
     # ------------------------------------------------------------------
-    def minimal_solutions(self, limit: Optional[int] = None) -> Iterator[Instance]:
+    def minimal_solutions(
+        self,
+        limit: Optional[int] = None,
+        assumptions: Sequence[int] = (),
+        gate: Optional[int] = None,
+    ) -> Iterator[Instance]:
         """Aluminum-style enumeration of minimal scenarios.
 
-        Each yielded instance is minimized by iteratively asking the solver
-        for a model whose true primary variables form a strict subset of the
-        current one (falsified variables stay false -- enforced through
-        assumptions -- and at least one true variable flips, enforced by an
-        activation-guarded clause).  Found minima are then blocked so later
-        scenarios never contain an earlier one.
+        Each yielded instance is the canonical minimal model (see
+        :meth:`_minimize`); found minima are then blocked -- under
+        ``gate`` when given -- so later scenarios never contain an
+        earlier one.
         """
         if self._trivially_unsat:
             return
         primary = list(self.primary_vars.values())
         count = 0
         while limit is None or count < limit:
-            result = self._timed_solve()
+            result = self._timed_solve(assumptions=assumptions)
             if not result.satisfiable:
                 return
             model = result.model
-            model = self._minimize(model, primary)
+            model = self._minimize(model, primary, assumptions=assumptions)
             yield instance_from_model(self.bounds, self.primary_vars, model)
             count += 1
             true_vars = [v for v in primary if model[v]]
             if not true_vars:
                 return  # the empty instance is minimal and subsumes everything
-            if not self._solver.add_clause([-v for v in true_vars]):
+            blocking = self._gated(gate, [-v for v in true_vars])
+            if not self._solver.add_clause(blocking):
                 return
 
-    def minimal_solution(self) -> Optional[Instance]:
+    def minimal_solution(
+        self, assumptions: Sequence[int] = ()
+    ) -> Optional[Instance]:
         """One satisfying instance, minimized (no enumeration blocking)."""
         if self._trivially_unsat:
             return None
-        result = self._timed_solve()
+        result = self._timed_solve(assumptions=assumptions)
         if not result.satisfiable:
             return None
         primary = list(self.primary_vars.values())
-        model = self._minimize(result.model, primary)
+        model = self._minimize(result.model, primary, assumptions=assumptions)
         return instance_from_model(self.bounds, self.primary_vars, model)
 
-    def block(self, rel_tuples) -> bool:
+    def block(self, rel_tuples, gate: Optional[int] = None) -> bool:
         """Forbid the conjunction of the given (relation, tuple) bindings.
 
         Used for diversity-driven enumeration: after decoding a scenario,
         block its role bindings so the next solve must change at least one
         of them.  Tuples fixed by the lower bound cannot be blocked; if all
         given tuples are fixed, enumeration is exhausted (returns False).
+        With ``gate`` set, the clause only binds while that selector is
+        assumed true.
         """
         literals = []
         for relation, tup in rel_tuples:
@@ -197,25 +406,116 @@ class RelationalProblem:
                 literals.append(-var)
         if not literals:
             return False
-        return self._solver.add_clause(literals)
+        return self._solver.add_clause(self._gated(gate, literals))
 
-    def _minimize(self, model: Dict[int, bool], primary: List[int]) -> Dict[int, bool]:
-        """Shrink the model's true primary variables to a minimal set."""
-        current = dict(model)
-        while True:
-            true_vars = [v for v in primary if current[v]]
-            false_vars = [v for v in primary if not current[v]]
-            if not true_vars:
-                return current
-            activation = self._solver.num_vars + 1
-            self._solver.ensure_var(activation)
-            # act -> (some currently-true var is false)
-            self._solver.add_clause([-activation] + [-v for v in true_vars])
-            assumptions = [activation] + [-v for v in false_vars]
-            result = self._timed_solve(assumptions=assumptions)
-            if not result.satisfiable:
-                # Retire the activation literal and stop: current is minimal.
-                self._solver.add_clause([-activation])
-                return current
-            current = result.model
-            self._solver.add_clause([-activation])
+    # ------------------------------------------------------------------
+    def _canonical_primary(self) -> List[int]:
+        """Primary variables in ``(relation name, tuple)`` order.
+
+        This ordering is a pure function of the bounds, so two problems
+        over the same bounds minimize in the same order regardless of
+        variable numbering or solver state.
+        """
+        if self._canonical_order is None:
+            self._canonical_order = [
+                var
+                for (_, _), var in sorted(
+                    (
+                        ((relation.name, tup), var)
+                        for (relation, tup), var in self.primary_vars.items()
+                    ),
+                )
+            ]
+        return self._canonical_order
+
+    def _minimize(
+        self,
+        model: Dict[int, bool],
+        primary: List[int],
+        assumptions: Sequence[int] = (),
+    ) -> Dict[int, bool]:
+        """Compute the canonical minimal model: the lexicographically least
+        (prefer-false) assignment to the primary variables in canonical
+        order, among models satisfying the formula plus ``assumptions``.
+
+        Greedy per-variable fixing: walk the canonical order; a variable
+        already false in the latest witness is fixed false for free,
+        otherwise one solver call decides whether it *can* be false given
+        everything fixed before it.  The result is the unique lex-min
+        model -- by a first-divergence argument it is also subset-minimal
+        (any model with strictly fewer true tuples would have allowed an
+        earlier variable to be fixed false) -- and it depends only on the
+        formula, never on the incoming ``model`` or the solver trajectory.
+
+        Two mechanics keep the call count near the (small) size of the
+        minimal model rather than the variable count:
+
+        - Decided values are pinned with clauses guarded by a throwaway
+          activation literal (retired afterwards), so the assumption list
+          stays short no matter how many variables the problem has.
+        - When the witness tail is dense, a *sparsifying probe* first asks
+          whether every remaining witness-true variable can be false
+          simultaneously; a satisfying answer replaces the witness with a
+          much sparser one, letting the walk skip the tail nearly for
+          free.  Phase saving makes warm-solver witnesses dense in
+          unconstrained variables; the probe is a pure witness improvement
+          and never decides a value, so the returned model is unaffected.
+        """
+        activation = self._solver.num_vars + 1
+        self._solver.ensure_var(activation)
+        base = list(assumptions) + [activation]
+        order = self._canonical_primary()
+        witness = dict(model)
+        fix = lambda lit: self._solver.add_clause((-activation, lit))  # noqa: E731
+        # Values forced by active selector groups (gated require/forbid
+        # tuples) are semantically determined -- pin them without probing,
+        # and keep the forced-true ones out of sparsifying probes, which
+        # would otherwise always come back unsatisfiable.
+        forced: Dict[int, bool] = {}
+        for lit in assumptions:
+            if lit > 0 and lit in self._gated_fixed:
+                forced.update(self._gated_fixed[lit])
+        sparsify_threshold = 8
+        sparsify_attempts = 4
+        try:
+            index, total = 0, len(order)
+            while index < total:
+                var = order[index]
+                if var in forced:
+                    fix(var if forced[var] else -var)
+                    index += 1
+                    continue
+                if not witness.get(var, False):
+                    fix(-var)
+                    index += 1
+                    continue
+                rest_true = [
+                    u
+                    for u in order[index:]
+                    if witness.get(u, False) and not forced.get(u, False)
+                ]
+                if (
+                    len(rest_true) >= sparsify_threshold
+                    and sparsify_attempts > 0
+                ):
+                    sparsify_attempts -= 1
+                    result = self._timed_solve(
+                        assumptions=base + [-u for u in rest_true]
+                    )
+                    if result.satisfiable:
+                        witness = result.model
+                        continue  # re-examine var against the new witness
+                    # Some of the tail must stay true: probe individually,
+                    # and stop re-trying the full tail.
+                    sparsify_attempts = 0
+                result = self._timed_solve(assumptions=base + [-var])
+                if result.satisfiable:
+                    witness = result.model
+                    fix(-var)
+                else:
+                    fix(var)
+                index += 1
+        finally:
+            # Retire the activation literal: the pin clauses become inert.
+            self._solver.add_clause((-activation,))
+        return witness

@@ -262,8 +262,31 @@ class Module:
             collected.extend(self.atoms_of(child))
         return collected
 
+    @staticmethod
+    def field_constraint(fld: Field) -> Optional[rast.Formula]:
+        """The implicit multiplicity constraint of a field, or None for
+        ``set`` fields.  Quantified over the owner sig, so when the owner's
+        membership floats (``float_anon`` builds) the grounding guard makes
+        the per-atom constraint conditional on actual membership."""
+        if fld.mult == "set":
+            return None
+        var = rast.Variable(f"__{fld.owner.name}_{fld.name}")
+        body = rast.MultiplicityFormula(fld.mult, fld.of(var))
+        return rast.all_(var, fld.owner.expr, body)
+
+    def anon_atoms_of(self, sig: Sig) -> List[str]:
+        """The anonymous atoms :meth:`build` assigned directly to ``sig``
+        (not descendants), in scope order.  Empty before the first build."""
+        built = getattr(self, "_last_anon", None)
+        if not built:
+            return []
+        return list(built.get(sig, []))
+
     def build(
-        self, extra: Optional[Dict[Sig, int]] = None
+        self,
+        extra: Optional[Dict[Sig, int]] = None,
+        float_anon: bool = False,
+        exclude_fields: Iterable[Field] = (),
     ) -> Tuple[Bounds, rast.Formula]:
         """Produce bounds and the implicit constraint formula.
 
@@ -271,8 +294,24 @@ class Module:
         are the free elements the synthesizer may populate -- the postulated
         malicious app, component, and Intent.  Sigs not mentioned get no
         anonymous atoms; their contents come entirely from one-sigs.
+
+        With ``float_anon`` the anonymous atoms' sig membership is *not*
+        fixed: they enter only the upper bounds of their sig (and its
+        ancestors), becoming primary variables.  This lets one shared
+        problem host the anonymous scopes of several goals, each goal
+        forcing its own atoms in and the foreign ones out under its
+        selector literal (see ``RelationalProblem.add_gated_tuples``).
+        The extension-hierarchy invariant (child membership implies parent
+        membership), free with exact bounds, is re-asserted as implicit
+        formulas for floated atoms.
+
+        ``exclude_fields`` suppresses the implicit multiplicity constraint
+        for the given fields; callers re-assert them per goal with
+        :meth:`field_constraint` (shared-encoding mode gates each goal's
+        own signature fields with its selector).
         """
         extra = extra or {}
+        exclude = set(exclude_fields)
         # Assign anonymous atoms.
         anon: Dict[Sig, List[str]] = {}
         for sig, count in extra.items():
@@ -301,10 +340,25 @@ class Module:
                 if atom not in universe:
                     universe.add(atom)
         self._last_atom_sets = atom_sets
+        self._last_anon = anon
+        anon_atoms = {a for atoms in anon.values() for a in atoms}
 
+        implicit: List[rast.Formula] = []
         bounds = Bounds(universe)
         for sig in self._sigs:
-            bounds.bound_exact(sig.relation, [(a,) for a in atom_sets[sig]])
+            rows = [(a,) for a in atom_sets[sig]]
+            if float_anon:
+                fixed = [(a,) for a in atom_sets[sig] if a not in anon_atoms]
+                bounds.bound(sig.relation, fixed, rows)
+            else:
+                bounds.bound_exact(sig.relation, rows)
+        if float_anon:
+            # child in parent, otherwise implied by the exact bounds.
+            for sig in self._sigs:
+                if sig.parent is not None and any(
+                    a in anon_atoms for a in atom_sets[sig]
+                ):
+                    implicit.append(sig.expr.in_(sig.parent.expr))
 
         # Field bounds: pinned rows are exact; remaining rows range freely.
         pins_by_field: Dict[Field, Dict[str, Tuple[str, ...]]] = {}
@@ -316,7 +370,6 @@ class Module:
                 )
             rows[pin.owner_atom] = pin.values
 
-        implicit: List[rast.Formula] = []
         for fld in self._fields:
             owner_atoms = atom_sets[fld.owner]
             range_atoms = atom_sets[fld.range_sig]
@@ -336,10 +389,8 @@ class Module:
             bounds.bound(fld.relation, lower, upper)
             # Multiplicity constraints apply only to free rows (pinned rows
             # were validated at pin time); translated cheaply per owner atom.
-            if fld.mult != "set" and free_owner_atoms:
-                var = rast.Variable(f"__{fld.owner.name}_{fld.name}")
-                body = rast.MultiplicityFormula(fld.mult, fld.of(var))
-                implicit.append(rast.all_(var, fld.owner.expr, body))
+            if fld.mult != "set" and free_owner_atoms and fld not in exclude:
+                implicit.append(self.field_constraint(fld))
 
         for relation, tuples in getattr(self, "_helpers", ()):
             bounds.bound_exact(relation, tuples)

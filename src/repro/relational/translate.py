@@ -316,6 +316,59 @@ class Translator:
         node = self._formula(formula, {})
         return self.encoder.assert_node(node)
 
+    def assert_formula_gated(
+        self,
+        formula: rast.Formula,
+        selector: int,
+        mask: Optional[List[Tuple[Relation, Tuple[str, ...]]]] = None,
+    ) -> bool:
+        """Translate ``formula`` and assert it guarded by ``selector``.
+
+        Clauses are emitted as ``selector -> formula``: the constraint only
+        binds when ``selector`` is assumed true, so many mutually exclusive
+        formula groups can share one CNF (and one solver).  Tseitin
+        definitions are shared, unguarded, with previously translated
+        formulas.  Returns False when the formula folds to FALSE, in which
+        case the selector can never be activated.
+
+        ``mask`` lists ``(relation, tuple)`` rows to treat as the FALSE
+        constant during this translation only.  Sound whenever other
+        clauses already force those rows false under the selector: the
+        constant folds away every subtree the rows appear in, so a gated
+        group costs no more than a standalone translation over the
+        smaller universe it actually uses.
+        """
+        if mask:
+            idx = self.universe.index
+            masked: Dict[Relation, set] = {}
+            for relation, tup in mask:
+                masked.setdefault(relation, set()).add(
+                    tuple(idx(a) for a in tup)
+                )
+            saved = self._rel_matrices
+            self._rel_matrices = {
+                rel: (
+                    Matrix(
+                        m.arity,
+                        {
+                            k: v
+                            for k, v in m.entries.items()
+                            if k not in masked[rel]
+                        },
+                    )
+                    if rel in masked
+                    else m
+                )
+                for rel, m in saved.items()
+            }
+            try:
+                node = self._formula(formula, {})
+            finally:
+                self._rel_matrices = saved
+        else:
+            node = self._formula(formula, {})
+        return self.encoder.assert_node_gated(node, selector)
+
 
 def translate(bounds: Bounds, formula: rast.Formula) -> TranslationRecord:
     """One-shot translation of a formula under bounds to CNF."""

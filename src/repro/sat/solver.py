@@ -47,6 +47,12 @@ class SolveResult:
     ``model`` maps every variable to a boolean when satisfiable and is
     ``None`` otherwise.  ``conflicts``, ``decisions`` and ``propagations``
     expose search-effort statistics for the benchmark harness.
+
+    Truthiness is defined as *satisfiability*: ``bool(result)`` is True
+    exactly when ``result.satisfiable`` is -- an UNSAT outcome is falsy
+    even though it is a real result object carrying search statistics.
+    Use an explicit ``is None`` check to distinguish "no result" from
+    "UNSAT result".
     """
 
     satisfiable: bool
@@ -56,6 +62,7 @@ class SolveResult:
     propagations: int = 0
 
     def __bool__(self) -> bool:
+        """True iff the formula was satisfiable (see class docstring)."""
         return self.satisfiable
 
 
@@ -108,6 +115,16 @@ class Solver:
             self._phase.append(False)
             self._heap_pos.append(-1)
             self._heap_insert(self._num_vars)
+
+    def reset_phases(self) -> None:
+        """Forget saved phases, restoring the prefer-false default.
+
+        Between unrelated incremental queries the phases saved from one
+        query's models bias the next query's models toward the previous
+        assignment; resetting restores cold-start polarity (learned
+        clauses and activities are kept).
+        """
+        self._phase = [False] * len(self._phase)
 
     def add_clause(self, literals: Iterable[int]) -> bool:
         """Add a clause; returns False if the formula is now trivially UNSAT.
@@ -633,6 +650,11 @@ class Solver:
     @property
     def num_clauses(self) -> int:
         return len(self._clauses)
+
+    @property
+    def num_learnt(self) -> int:
+        """Learned (conflict-derived) clauses currently in the database."""
+        return sum(1 for rec in self._clauses if rec.learned)
 
     @property
     def ok(self) -> bool:

@@ -210,6 +210,35 @@ class TseitinEncoder:
         self._cnf.add_clause((self.literal(node),))
         return True
 
+    def assert_node_gated(self, node: Node, selector: int) -> bool:
+        """Add clauses forcing ``node`` true whenever ``selector`` is true.
+
+        Every *assertion* clause is guarded by ``-selector``; definitional
+        (Tseitin auxiliary) clauses emitted by :meth:`literal` stay unguarded
+        because they are equivalences, satisfiable under any assignment, and
+        this keeps them shareable across gated groups.  Returns False when
+        the node is the FALSE constant -- the group is unsatisfiable and the
+        emitted unit ``(-selector)`` forbids ever activating it.
+        """
+        if node is TRUE:
+            return True
+        if node is FALSE:
+            self._cnf.add_clause((-selector,))
+            return False
+        if node.kind == "and":
+            ok = True
+            for child in node.children:
+                ok = self.assert_node_gated(child, selector) and ok
+            return ok
+        if node.kind == "or":
+            lits = [-selector]
+            for child in node.children:
+                lits.append(self.literal(child))
+            self._cnf.add_clause(tuple(lits))
+            return True
+        self._cnf.add_clause((-selector, self.literal(node)))
+        return True
+
 
 def evaluate(node: Node, model: Dict[int, bool]) -> bool:
     """Evaluate a circuit under a total assignment (used in tests)."""

@@ -122,7 +122,12 @@ class TestTraceCommands:
         import json
 
         report = json.loads(report_path.read_text())
-        for stage in ("pipeline.run", "pipeline.extract", "pipeline.synthesize"):
+        # The default shared-encoding mode synthesizes whole bundles.
+        for stage in (
+            "pipeline.run",
+            "pipeline.extract",
+            "pipeline.synthesize_bundle",
+        ):
             assert stage in report["spans"]
         assert "ame.apps_extracted" in report["metrics"]
 

@@ -1,0 +1,162 @@
+"""Differential testing: shared-encoding vs per-signature synthesis.
+
+The shared encoding (one translation per bundle, every signature
+enumerated under selector assumptions on one warm solver) is an
+optimization, not a semantics change: for any bundle it must produce
+byte-identical scenario payloads, the same detected-vulnerability sets,
+and the same reports -- including under a conflict budget, where both
+modes degrade by truncating each signature's canonical enumeration
+rather than by diverging.
+
+Bundles are drawn from the injected-vulnerability corpus generator under
+a fixed seed, so CI replays the exact same instances every run.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.serialize import scenario_to_dict
+from repro.core.synthesis import AnalysisAndSynthesisEngine
+from repro.statics import extract_bundle
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+
+
+SEED = 20160807
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    generator = CorpusGenerator(CorpusConfig(scale=0.01, seed=SEED))
+    apks = generator.generate()
+    ledger = generator.ledger
+    flagged = set()
+    for group in (
+        ledger.hijack_apps,
+        ledger.launch_apps,
+        ledger.leak_apps,
+        ledger.escalation_apps,
+    ):
+        flagged.update(group)
+    return apks, flagged
+
+
+def _payload(result):
+    return json.dumps(
+        [scenario_to_dict(s) for s in result.scenarios], sort_keys=True
+    )
+
+
+def _by_signature(result):
+    grouped = {}
+    for scenario in result.scenarios:
+        grouped.setdefault(scenario.vulnerability, []).append(
+            scenario_to_dict(scenario)
+        )
+    return grouped
+
+
+def _run(bundle, shared, **kwargs):
+    engine = AnalysisAndSynthesisEngine(
+        scenarios_per_signature=4, shared_encoding=shared, **kwargs
+    )
+    return engine.run(bundle)
+
+
+def _random_bundles(apks, flagged, count, size):
+    """Seeded bundles biased toward the injected-vulnerable apps."""
+    rng = random.Random(SEED)
+    vulnerable = [a for a in apks if a.package in flagged]
+    neutral = [a for a in apks if a.package not in flagged]
+    bundles = []
+    for _ in range(count):
+        picked = rng.sample(vulnerable, min(2, len(vulnerable)))
+        picked += rng.sample(neutral, max(0, size - len(picked)))
+        bundles.append(extract_bundle(picked))
+    return bundles
+
+
+class TestModesAgree:
+    def test_identical_scenarios_and_vulnerability_sets(self, corpus):
+        apks, flagged = corpus
+        for bundle in _random_bundles(apks, flagged, count=3, size=3):
+            per_sig = _run(bundle, shared=False)
+            shared = _run(bundle, shared=True)
+            assert _payload(per_sig) == _payload(shared)
+            assert {s.vulnerability for s in per_sig.scenarios} == {
+                s.vulnerability for s in shared.scenarios
+            }
+            # Reuse accounting only ever reports work the shared mode
+            # actually skipped.
+            assert per_sig.stats.translations == len(
+                AnalysisAndSynthesisEngine().signatures
+            )
+            assert shared.stats.translations == 1
+            assert shared.stats.translations_avoided == (
+                per_sig.stats.translations - 1
+            )
+
+    def test_vulnerable_bundle_finds_scenarios_in_both_modes(self, corpus):
+        apks, flagged = corpus
+        vulnerable = [a for a in apks if a.package in flagged]
+        if not vulnerable:
+            pytest.skip("corpus slice contains no injected apps")
+        bundle = extract_bundle(vulnerable[:3])
+        per_sig = _run(bundle, shared=False)
+        shared = _run(bundle, shared=True)
+        assert per_sig.scenarios, "injected bundle should yield scenarios"
+        assert _payload(per_sig) == _payload(shared)
+
+    def test_empty_bundle_agrees(self):
+        bundle = extract_bundle([])
+        per_sig = _run(bundle, shared=False)
+        shared = _run(bundle, shared=True)
+        assert _payload(per_sig) == _payload(shared)
+
+
+class TestBudgetDegradation:
+    """Both modes degrade the same way: each signature's enumeration is
+    cut to a prefix of its canonical (unbudgeted) scenario list and the
+    result is flagged exhausted -- never a divergent scenario."""
+
+    def _assert_prefix_degradation(self, full, budgeted):
+        full_by_sig = _by_signature(full)
+        cut_by_sig = _by_signature(budgeted)
+        for name, scenarios in cut_by_sig.items():
+            reference = full_by_sig.get(name, [])
+            assert scenarios == reference[: len(scenarios)], name
+        if not budgeted.stats.exhausted:
+            # Budget never bit: the runs must match outright.
+            assert _payload(budgeted) == _payload(full)
+
+    def test_conflict_budget_prefix_semantics(self, corpus):
+        apks, flagged = corpus
+        vulnerable = [a for a in apks if a.package in flagged]
+        if not vulnerable:
+            pytest.skip("corpus slice contains no injected apps")
+        bundle = extract_bundle(vulnerable[:3])
+        full = _run(bundle, shared=False)
+        for budget in (1, 25):
+            per_sig = _run(bundle, shared=False, conflict_budget=budget)
+            shared = _run(bundle, shared=True, conflict_budget=budget)
+            self._assert_prefix_degradation(full, per_sig)
+            self._assert_prefix_degradation(full, shared)
+            # Exhaustion is recorded per signature in both modes.
+            for result in (per_sig, shared):
+                for name, entry in result.stats.per_signature.items():
+                    assert "exhausted" in entry, name
+
+    def test_generous_budget_is_exact(self, corpus):
+        apks, flagged = corpus
+        vulnerable = [a for a in apks if a.package in flagged]
+        if not vulnerable:
+            pytest.skip("corpus slice contains no injected apps")
+        bundle = extract_bundle(vulnerable[:2])
+        full = _run(bundle, shared=False)
+        per_sig = _run(bundle, shared=False, conflict_budget=10_000_000)
+        shared = _run(bundle, shared=True, conflict_budget=10_000_000)
+        assert not per_sig.stats.exhausted
+        assert not shared.stats.exhausted
+        assert _payload(per_sig) == _payload(full)
+        assert _payload(shared) == _payload(full)

@@ -6,7 +6,15 @@ breaks), task exceptions, hangs (per-task timeouts), retry-then-succeed
 recovery, and budget-exhausted degraded synthesis.  The load-bearing
 invariants: a fault never aborts the run, never double-counts metrics,
 never poisons the cache, and never perturbs the findings of unaffected
-(bundle, signature) pairs."""
+tasks.
+
+Task granularity matters here: the default shared-encoding mode issues
+one synthesis task per *bundle*, while per-signature mode issues one per
+(bundle, signature) pair.  Tests that pin signature-level fault
+isolation construct their pipelines with ``shared_encoding=False``;
+recovery tests whose assertions are granularity-independent run on the
+shared default, and ``TestSharedModeFaults`` covers the bundle-level
+failure unit explicitly."""
 
 import json
 import os
@@ -179,11 +187,14 @@ class TestSerialFaultPaths:
         assert _findings_bytes(faulted) == _findings_bytes(clean)
 
     def test_persistent_error_becomes_structured_failure(self, arm_fault):
+        # Signature-level fault isolation exists only in per-signature
+        # mode; a shared bundle task would take every signature with it.
         arm_fault("synthesis:error:1.0:match=intent_hijack")
         result = AnalysisPipeline(
             jobs=1,
             scenarios_per_signature=3,
             faults=FaultPolicy(max_retries=1, backoff_seconds=0.0),
+            shared_encoding=False,
         ).run([_apks()])
         report = result.run_report
         assert len(report.failures) == 1
@@ -220,14 +231,15 @@ class TestWorkerCrashIsolation:
         crash is attributed to it via isolation re-runs, and every other
         (bundle, signature) pair's findings are byte-identical to a clean
         serial run."""
-        clean = AnalysisPipeline(jobs=1, scenarios_per_signature=3).run(
-            [_apks()]
-        )
+        clean = AnalysisPipeline(
+            jobs=1, scenarios_per_signature=3, shared_encoding=False
+        ).run([_apks()])
         arm_fault("synthesis:crash:1.0:match=intent_hijack")
         faulted = AnalysisPipeline(
             jobs=2,
             scenarios_per_signature=3,
             faults=FaultPolicy(max_retries=1, backoff_seconds=0.0),
+            shared_encoding=False,
         ).run([_apks()])
         report = faulted.run_report
         assert len(report.failures) == 1
@@ -245,15 +257,20 @@ class TestWorkerCrashIsolation:
 
     def test_crash_once_recovers_exactly(self, arm_fault):
         """One crash breaks the pool; the respawned pool re-runs the task
-        and the final findings are byte-identical to a clean run."""
-        clean = AnalysisPipeline(jobs=2, scenarios_per_signature=3).run(
-            [_apks()]
-        )
+        and the final findings are byte-identical to a clean run.
+
+        Per-signature mode: crashes only fire in subprocess workers, and
+        one bundle is a single (in-process) task under the shared
+        encoding."""
+        clean = AnalysisPipeline(
+            jobs=2, scenarios_per_signature=3, shared_encoding=False
+        ).run([_apks()])
         arm_fault("synthesis:crash:1.0:once:match=service_launch")
         faulted = AnalysisPipeline(
             jobs=2,
             scenarios_per_signature=3,
             faults=FaultPolicy(max_retries=2, backoff_seconds=0.0),
+            shared_encoding=False,
         ).run([_apks()])
         assert faulted.run_report.failures == []
         assert _findings_bytes(faulted) == _findings_bytes(clean)
@@ -268,6 +285,7 @@ class TestPerTaskTimeout:
             faults=FaultPolicy(
                 task_timeout=1.0, max_retries=0, backoff_seconds=0.0
             ),
+            shared_encoding=False,
         ).run([_apks()])
         report = result.run_report
         assert len(report.failures) == 1
@@ -307,6 +325,7 @@ class TestPerTaskTimeout:
             faults=FaultPolicy(
                 task_timeout=2.5, max_retries=0, backoff_seconds=0.0
             ),
+            shared_encoding=False,
         ).run([_apks()])
         report = result.run_report
         assert [f["kind"] for f in report.failures] == ["timeout"]
@@ -337,12 +356,15 @@ class TestBudgetDegradation:
         assert result.stats.exhausted
 
     def test_degraded_round_trip_and_never_cached(self, tmp_path):
+        # Per-signature mode: each degraded task is its own cache entry,
+        # so rejections and misses count 1:1 with degraded entries.
         cache_dir = tmp_path / "cache"
         pipe = AnalysisPipeline(
             jobs=1,
             scenarios_per_signature=3,
             cache=PipelineCache(cache_dir),
             conflict_budget=0,
+            shared_encoding=False,
         )
         report = pipe.run([_apks()]).run_report
         assert report.degraded
@@ -360,6 +382,7 @@ class TestBudgetDegradation:
             scenarios_per_signature=3,
             cache=PipelineCache(cache_dir),
             conflict_budget=0,
+            shared_encoding=False,
         ).run([_apks()]).run_report
         assert warm.cache.misses.get("synthesis") == len(report.degraded)
         # Failures/degraded/rejections survive serialization.
@@ -375,6 +398,7 @@ class TestBudgetDegradation:
             scenarios_per_signature=2,
             conflict_budget=0,
             faults=FaultPolicy(max_retries=0, backoff_seconds=0.0),
+            shared_encoding=False,
         ).run([_apks()]).run_report
         summary = summarize_run_report(report)
         assert summary["num_failures"] == 1.0
@@ -382,12 +406,73 @@ class TestBudgetDegradation:
         assert summary["num_degraded"] > 0
 
 
+class TestSharedModeFaults:
+    """Shared-encoding mode's failure unit is the whole bundle task."""
+
+    def test_shared_bundle_task_is_the_failure_unit(self, arm_fault):
+        """A fault matching any signature name hits the bundle task (its
+        key lists every signature), and the failure takes the bundle's
+        entire synthesis with it -- the documented granularity tradeoff
+        of the shared encoding."""
+        arm_fault("synthesis:error:1.0:match=intent_hijack")
+        result = AnalysisPipeline(
+            jobs=1,
+            scenarios_per_signature=3,
+            faults=FaultPolicy(max_retries=1, backoff_seconds=0.0),
+        ).run([_apks()])
+        report = result.run_report
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure["stage"] == "synthesis"
+        assert failure["kind"] == "error"
+        assert failure["task"].startswith("shared[")
+        assert "intent_hijack" in failure["task"]
+        assert _scenarios_by_vuln(result) == {}
+
+    def test_shared_degraded_records_per_signature(self, tmp_path):
+        """One incomplete bundle payload still reports degradation at
+        signature granularity (same boundary as per-signature mode), and
+        the cache refuses it as the single entry it is."""
+        cache_dir = tmp_path / "cache"
+        report = AnalysisPipeline(
+            jobs=1,
+            scenarios_per_signature=3,
+            cache=PipelineCache(cache_dir),
+            conflict_budget=0,
+        ).run([_apks()]).run_report
+        assert report.degraded
+        for entry in report.degraded:
+            assert entry["stage"] == "synthesis"
+            assert entry["reason"] == "budget_exhausted"
+            # Signature-granular task labels, not the bundle task key.
+            name = entry["task"].split("|", 1)[0]
+            assert name in (
+                "intent_hijack",
+                "activity_launch",
+                "service_launch",
+                "information_leak",
+                "privilege_escalation",
+            )
+        # One bundle task, one rejected cache entry, one warm-run miss.
+        assert report.cache.rejections.get("synthesis") == 1
+        warm = AnalysisPipeline(
+            jobs=1,
+            scenarios_per_signature=3,
+            cache=PipelineCache(cache_dir),
+            conflict_budget=0,
+        ).run([_apks()]).run_report
+        assert warm.cache.misses.get("synthesis") == 1
+
+
 class TestMetricsNoDoubleCount:
     def test_pool_break_counts_each_task_once(self, arm_fault):
         """The double-count regression: a broken pool must not re-merge
         metrics for completed tasks nor double-run unaffected ones.  All
         solver/engine counters match a clean serial run exactly (timing
-        histograms keep their counts; their sums are wall-clock)."""
+        histograms keep their counts; their sums are wall-clock).
+
+        Per-signature mode: a pool break needs several tasks in flight,
+        and one bundle is a single task under the shared encoding."""
         from repro.obs import metrics as obs_metrics
 
         def comparable(snapshot):
@@ -407,9 +492,9 @@ class TestMetricsNoDoubleCount:
         try:
             serial_registry = obs_metrics.MetricsRegistry()
             obs_metrics.set_metrics(serial_registry)
-            AnalysisPipeline(jobs=1, scenarios_per_signature=3).run(
-                [_apks()]
-            )
+            AnalysisPipeline(
+                jobs=1, scenarios_per_signature=3, shared_encoding=False
+            ).run([_apks()])
             serial = comparable(serial_registry.snapshot())
 
             os.environ.pop(FAULT_PARENT_ENV, None)
@@ -420,6 +505,7 @@ class TestMetricsNoDoubleCount:
                 jobs=2,
                 scenarios_per_signature=3,
                 faults=FaultPolicy(max_retries=2, backoff_seconds=0.0),
+                shared_encoding=False,
             ).run([_apks()])
             snapshot = broken_registry.snapshot()
             broken = comparable(snapshot)

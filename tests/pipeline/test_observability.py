@@ -89,9 +89,14 @@ class TestAttachObservability:
 
 class TestTracedPipelineRun:
     def test_spans_cover_every_stage_and_synthesis_call(self, observed):
+        # Per-signature mode: this test pins the per-(bundle, signature)
+        # span topology; the shared-encoding worker span
+        # (pipeline.synthesize_bundle) is covered by the CLI trace test.
         tracer, registry = observed
         apks = [build_app1(), build_app2()]
-        pipeline = AnalysisPipeline(jobs=1, scenarios_per_signature=2)
+        pipeline = AnalysisPipeline(
+            jobs=1, scenarios_per_signature=2, shared_encoding=False
+        )
         result = pipeline.run([apks])
         names = {r.name for r in tracer.records}
         # Every stage...

@@ -1,0 +1,193 @@
+"""Differential fuzzing of the CDCL solver against a brute-force oracle.
+
+Seeded random-CNF instances keep CI deterministic: the generator is
+parameterized by an explicit seed (override with ``REPRO_FUZZ_SEED`` to
+explore), the instances stay small enough (<= 12 variables) that a full
+truth-table enumeration is the oracle, and every discrepancy message
+carries the seed/instance needed to replay it.
+
+Three angles, matching how the synthesis engine drives the solver:
+
+- plain satisfiability + model soundness,
+- assumption queries (the shared-encoding mode's bread and butter),
+- solver *reusability*: an UNSAT-under-assumptions query must not spoil
+  the solver for later queries, incremental clause addition included.
+"""
+
+import itertools
+import os
+import random
+
+import pytest
+
+from repro.sat import Solver
+
+
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20160807"))
+ROUNDS = int(os.environ.get("REPRO_FUZZ_ROUNDS", "60"))
+
+
+def random_cnf(rng, num_vars, num_clauses, max_width=3):
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.randint(1, max_width)
+        lits = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+        clauses.append([v if rng.random() < 0.5 else -v for v in lits])
+    return clauses
+
+
+def brute_force(clauses, num_vars, fixed=None):
+    """All-models oracle: is there a model extending ``fixed``?"""
+    fixed = dict(fixed or {})
+    for bits in itertools.product([False, True], repeat=num_vars):
+        model = {v + 1: bits[v] for v in range(num_vars)}
+        if any(model[v] != val for v, val in fixed.items()):
+            continue
+        if all(
+            any(model[abs(l)] == (l > 0) for l in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def check_model(clauses, model):
+    return all(
+        any(model[abs(l)] == (l > 0) for l in clause) for clause in clauses
+    )
+
+
+def _instances():
+    rng = random.Random(FUZZ_SEED)
+    for index in range(ROUNDS):
+        num_vars = rng.randint(3, 12)
+        num_clauses = rng.randint(1, 4 * num_vars)
+        yield index, rng.randint(0, 2 ** 31), num_vars, num_clauses
+
+
+@pytest.mark.parametrize(
+    "index,seed,num_vars,num_clauses",
+    list(_instances()),
+    ids=lambda value: str(value),
+)
+class TestRandomCnf:
+    def test_agrees_with_brute_force(
+        self, index, seed, num_vars, num_clauses
+    ):
+        rng = random.Random(seed)
+        clauses = random_cnf(rng, num_vars, num_clauses)
+        solver = Solver()
+        ok = True
+        for clause in clauses:
+            ok = solver.add_clause(clause) and ok
+        expected = brute_force(clauses, num_vars)
+        if not ok:
+            # add_clause already proved top-level UNSAT; the oracle must
+            # agree, and solve() must report it too.
+            assert not expected, (FUZZ_SEED, index)
+            assert not solver.solve().satisfiable
+            return
+        result = solver.solve()
+        assert result.satisfiable == expected, (FUZZ_SEED, index)
+        if result.satisfiable:
+            assert check_model(clauses, result.model), (FUZZ_SEED, index)
+
+    def test_assumption_queries_agree(
+        self, index, seed, num_vars, num_clauses
+    ):
+        rng = random.Random(seed)
+        clauses = random_cnf(rng, num_vars, num_clauses)
+        solver = Solver()
+        if not all(solver.add_clause(cl) for cl in clauses):
+            pytest.skip("top-level UNSAT: no assumption query to make")
+        for _ in range(4):
+            width = rng.randint(1, min(3, num_vars))
+            chosen = rng.sample(range(1, num_vars + 1), width)
+            assumptions = [
+                v if rng.random() < 0.5 else -v for v in chosen
+            ]
+            fixed = {abs(l): l > 0 for l in assumptions}
+            expected = brute_force(clauses, num_vars, fixed)
+            result = solver.solve(assumptions=assumptions)
+            assert result.satisfiable == expected, (
+                FUZZ_SEED, index, assumptions,
+            )
+            if result.satisfiable:
+                assert check_model(clauses, result.model)
+                for lit in assumptions:
+                    assert result.model[abs(lit)] == (lit > 0)
+
+    def test_reusable_after_failed_assumption_query(
+        self, index, seed, num_vars, num_clauses
+    ):
+        """An UNSAT-under-assumptions answer must leave the solver intact:
+        the unconstrained query still answers correctly afterwards, and so
+        does a query after adding one more clause (the incremental pattern
+        the shared encoding relies on)."""
+        rng = random.Random(seed)
+        clauses = random_cnf(rng, num_vars, num_clauses)
+        solver = Solver()
+        if not all(solver.add_clause(cl) for cl in clauses):
+            pytest.skip("top-level UNSAT")
+        baseline = brute_force(clauses, num_vars)
+        # Hunt for an assumption set the formula refutes.
+        refuted = None
+        for _ in range(16):
+            chosen = rng.sample(
+                range(1, num_vars + 1), rng.randint(1, num_vars)
+            )
+            assumptions = [
+                v if rng.random() < 0.5 else -v for v in chosen
+            ]
+            fixed = {abs(l): l > 0 for l in assumptions}
+            if not brute_force(clauses, num_vars, fixed):
+                refuted = assumptions
+                break
+        if refuted is None:
+            pytest.skip("no refutable assumption set found")
+        assert not solver.solve(assumptions=refuted).satisfiable
+        # The failed query must not have poisoned the solver state.
+        assert solver.solve().satisfiable == baseline, (FUZZ_SEED, index)
+        extra = [
+            v if rng.random() < 0.5 else -v
+            for v in rng.sample(range(1, num_vars + 1), 1)
+        ]
+        solver.add_clause(extra)
+        expected = brute_force(clauses + [extra], num_vars)
+        assert solver.solve().satisfiable == expected, (FUZZ_SEED, index)
+
+
+class TestSolveResultTruthiness:
+    """Regression: ``SolveResult`` truthiness means *satisfiable*.
+
+    A budget-limited or assumption query still returns a result object;
+    code that wrote ``if result:`` used to read ambiguously (any object
+    is truthy by default).  ``__bool__`` is pinned to ``satisfiable`` and
+    documented; ``is None`` remains the way to distinguish "no answer".
+    """
+
+    def test_sat_result_is_truthy(self):
+        solver = Solver()
+        solver.add_clause([1])
+        result = solver.solve()
+        assert result.satisfiable
+        assert bool(result) is True
+        assert result  # idiomatic use
+
+    def test_unsat_result_is_falsy_but_not_none(self):
+        solver = Solver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        result = solver.solve()
+        assert result is not None
+        assert bool(result) is False
+        assert not result
+
+    def test_unsat_under_assumptions_is_falsy(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        result = solver.solve(assumptions=[-1, -2])
+        assert result is not None
+        assert bool(result) is False
+        # and the solver still answers the unconstrained query truthily
+        assert bool(solver.solve()) is True
