@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench tables examples all clean
+.PHONY: install test bench bench-snapshot bench-compare tables examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -12,6 +12,19 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Write a regression-harness snapshot (BENCH_<label>.json, see
+# docs/OBSERVABILITY.md).  Override LABEL to tag it, e.g.
+#   make bench-snapshot LABEL=before
+BENCH_DIR ?= bench-snapshots
+LABEL ?= local
+
+bench-snapshot:
+	PYTHONPATH=src $(PYTHON) -m repro bench --quick --label $(LABEL) -o $(BENCH_DIR)
+
+# Hard-gate compare of two snapshots: make bench-compare OLD=... NEW=...
+bench-compare:
+	PYTHONPATH=src $(PYTHON) -m repro bench --compare $(OLD) $(NEW)
 
 # Reproduce every table and figure (prints to stdout).
 tables:

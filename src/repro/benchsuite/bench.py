@@ -1,0 +1,440 @@
+"""Continuous benchmark-regression harness (``repro bench``).
+
+One command runs the paper's benchmark workloads -- Fig 5 per-app
+extraction, Table II cold/warm pipeline synthesis, Table I accuracy over
+DroidBench and ICC-Bench -- and emits a schema-versioned
+``BENCH_<label>.json`` snapshot: per-workload wall clock, solver
+counters, cache hit rates, shared-encoding reuse figures, accuracy
+scores, peak RSS and an environment fingerprint.
+
+A second invocation with ``--compare OLD NEW`` diffs two snapshots with
+per-metric relative thresholds (direction-aware: ``*_seconds`` going up
+is a regression, ``precision`` going down is) and reports regressions,
+so a checked-in baseline turns any run into a perf gate.  The comparison
+is pure data -> data, which is what the regression tests exercise.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+#: Bump when the snapshot layout changes incompatibly; ``compare_bench``
+#: refuses to diff across versions.
+BENCH_SCHEMA_VERSION = 1
+
+DEFAULT_THRESHOLD = 0.25
+
+#: Metrics where *larger* is the good direction; everything else regresses
+#: when it grows (wall clock, memory, solver effort, failure counts).
+HIGHER_BETTER = frozenset(
+    {
+        "cache_hit_rate",
+        "precision",
+        "recall",
+        "f_measure",
+        "true_positives",
+    }
+)
+
+#: Workload-configuration identity: these must match between two snapshots
+#: for a perf comparison to mean anything.  A difference is reported as a
+#: mismatch, never as a regression.
+IDENTITY_METRICS = frozenset(
+    {
+        "jobs",
+        "num_apps",
+        "num_bundles",
+        "num_scenarios",
+        "num_policies",
+        "cases",
+        "apps",
+        "bundles",
+    }
+)
+
+
+@dataclass
+class BenchConfig:
+    """What to run and at which scale."""
+
+    label: str = "local"
+    scale: float = 0.01  # corpus fraction (paper full scale = 1.0)
+    bundle_size: int = 8
+    scenarios: int = 2
+    jobs: int = 1
+    seed: int = 2016
+    shared_encoding: bool = True
+    quick: bool = False
+    workloads: Sequence[str] = field(
+        default_factory=lambda: (
+            "extraction",
+            "pipeline_cold",
+            "pipeline_warm",
+            "accuracy",
+        )
+    )
+
+    def effective_scale(self) -> float:
+        return min(self.scale, 0.005) if self.quick else self.scale
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["workloads"] = list(self.workloads)
+        return data
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """Where this snapshot was taken -- enough to judge comparability."""
+    fingerprint: Dict[str, Any] = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+        fingerprint["git_rev"] = rev.stdout.strip() if rev.returncode == 0 else None
+    except (OSError, subprocess.SubprocessError):
+        fingerprint["git_rev"] = None
+    return fingerprint
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process, when the platform tells us."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    return peak * 1024 if sys.platform.startswith("linux") else peak
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[index]
+
+
+# ----------------------------------------------------------------------
+# Workloads
+
+
+def _bench_extraction(config: BenchConfig) -> Dict[str, float]:
+    """Fig 5: per-app model extraction over a generated corpus."""
+    from repro.statics import extract_app
+    from repro.workloads import CorpusConfig, CorpusGenerator
+
+    generator = CorpusGenerator(
+        CorpusConfig(seed=config.seed, scale=config.effective_scale())
+    )
+    apks = generator.generate()
+    per_app: List[float] = []
+    t0 = time.perf_counter()
+    for apk in apks:
+        start = time.perf_counter()
+        extract_app(apk)
+        per_app.append(time.perf_counter() - start)
+    return {
+        "apps": float(len(apks)),
+        "total_seconds": time.perf_counter() - t0,
+        "mean_seconds": sum(per_app) / len(per_app) if per_app else 0.0,
+        "p95_seconds": _percentile(per_app, 0.95),
+        "max_seconds": max(per_app) if per_app else 0.0,
+    }
+
+
+def _bench_pipeline(config: BenchConfig) -> Dict[str, Dict[str, float]]:
+    """Table II via the cached pipeline: a cold run then a warm rerun."""
+    from repro.benchsuite.metrics import summarize_run_report
+    from repro.pipeline import AnalysisPipeline, PipelineCache
+    from repro.workloads import CorpusConfig, CorpusGenerator, partition_bundles
+
+    generator = CorpusGenerator(
+        CorpusConfig(seed=config.seed, scale=config.effective_scale())
+    )
+    apks = generator.generate()
+    bundles = partition_bundles(
+        apks, bundle_size=config.bundle_size, seed=config.seed
+    )
+    out: Dict[str, Dict[str, float]] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
+        for phase in ("pipeline_cold", "pipeline_warm"):
+            pipeline = AnalysisPipeline(
+                jobs=config.jobs,
+                cache=PipelineCache(cache_dir),
+                scenarios_per_signature=config.scenarios,
+                shared_encoding=config.shared_encoding,
+            )
+            t0 = time.perf_counter()
+            result = pipeline.run(bundles)
+            wall = time.perf_counter() - t0
+            summary = summarize_run_report(result.run_report)
+            summary["wall_seconds"] = wall
+            out[phase] = summary
+    return out
+
+
+def _bench_accuracy(config: BenchConfig) -> Dict[str, float]:
+    """Table I: SEPAR leak detection over DroidBench + ICC-Bench."""
+    from repro.baselines.separ_tool import SeparTool
+    from repro.benchsuite.droidbench import droidbench_cases
+    from repro.benchsuite.iccbench import iccbench_cases
+    from repro.benchsuite.metrics import score_tool
+
+    cases = droidbench_cases() + iccbench_cases()
+    if config.quick:
+        # A representative slice: enough to catch a broken analysis or a
+        # gross slowdown without paying for all 33 cases.
+        cases = cases[::4]
+    tool = SeparTool()
+    results = {}
+    t0 = time.perf_counter()
+    for case in cases:
+        results[case.name] = tool.find_leaks(case.apks)
+    seconds = time.perf_counter() - t0
+    score = score_tool("separ", cases, results)
+    return {
+        "cases": float(len(cases)),
+        "total_seconds": seconds,
+        "mean_seconds": seconds / len(cases) if cases else 0.0,
+        "precision": score.precision,
+        "recall": score.recall,
+        "f_measure": score.f_measure,
+        "true_positives": float(score.true_positives),
+        "false_positives": float(score.false_positives),
+        "false_negatives": float(score.false_negatives),
+    }
+
+
+_WORKLOADS: Dict[str, Callable[[BenchConfig], Any]] = {
+    "extraction": _bench_extraction,
+    "accuracy": _bench_accuracy,
+}
+
+
+def run_bench(
+    config: BenchConfig,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the configured workloads; returns the snapshot dict."""
+    emit = progress or (lambda message: None)
+    workloads: Dict[str, Dict[str, float]] = {}
+    wanted = list(config.workloads)
+    started = time.time()
+    if "pipeline_cold" in wanted or "pipeline_warm" in wanted:
+        emit("running pipeline_cold + pipeline_warm ...")
+        pair = _bench_pipeline(config)
+        for phase, summary in pair.items():
+            if phase in wanted:
+                workloads[phase] = summary
+    for name in wanted:
+        runner = _WORKLOADS.get(name)
+        if runner is None:
+            continue
+        emit(f"running {name} ...")
+        workloads[name] = runner(config)
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "label": config.label,
+        "created": started,
+        "config": config.to_dict(),
+        "environment": environment_fingerprint(),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "workloads": workloads,
+    }
+
+
+def bench_filename(label: str) -> str:
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in label)
+    return f"BENCH_{safe or 'local'}.json"
+
+
+def write_bench(result: Dict[str, Any], out_dir: str) -> str:
+    """Write the snapshot as ``BENCH_<label>.json``; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, bench_filename(str(result.get("label", "local"))))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+# ----------------------------------------------------------------------
+# Comparison
+
+
+def _noise_floor(metric: str) -> float:
+    """Absolute change below which a metric difference is treated as noise
+    (scaled-down workloads finish in milliseconds; relative thresholds
+    alone would turn scheduler jitter into regressions)."""
+    if metric.endswith("_seconds"):
+        return 0.02
+    if "rss" in metric:
+        return 32 * 1024 * 1024
+    if metric in ("cache_hit_rate", "precision", "recall", "f_measure"):
+        return 0.01
+    return 1.0
+
+
+@dataclass
+class MetricDelta:
+    workload: str
+    metric: str
+    old: float
+    new: float
+    change: float  # signed relative change vs old (new/old - 1)
+    threshold: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.workload}.{self.metric}: {self.old:.4g} -> "
+            f"{self.new:.4g} ({self.change:+.1%}, threshold "
+            f"{self.threshold:.0%})"
+        )
+
+
+@dataclass
+class BenchComparison:
+    regressions: List[MetricDelta] = field(default_factory=list)
+    improvements: List[MetricDelta] = field(default_factory=list)
+    mismatches: List[str] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+
+    def ok(self, strict: bool = False) -> bool:
+        if self.regressions:
+            return False
+        if strict and (self.mismatches or self.missing):
+            return False
+        return True
+
+
+def compare_bench(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    thresholds: Optional[Dict[str, float]] = None,
+) -> BenchComparison:
+    """Diff two snapshots; direction-aware, noise-floored, total.
+
+    ``thresholds`` overrides the relative threshold per metric name
+    (matching on the bare metric, e.g. ``"wall_seconds"``).  Workloads or
+    metrics present in ``old`` but absent in ``new`` land in ``missing``
+    (a strict-mode failure: the benchmark got narrower).  Identity
+    metrics (app counts, job counts) that differ land in ``mismatches``.
+    """
+    old_version = old.get("schema_version")
+    new_version = new.get("schema_version")
+    if old_version != BENCH_SCHEMA_VERSION or new_version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"bench schema mismatch: old={old_version} new={new_version} "
+            f"expected={BENCH_SCHEMA_VERSION}"
+        )
+    thresholds = thresholds or {}
+    comparison = BenchComparison()
+    old_workloads = old.get("workloads", {})
+    new_workloads = new.get("workloads", {})
+
+    flat_old: Dict[str, Dict[str, float]] = dict(old_workloads)
+    flat_new: Dict[str, Dict[str, float]] = dict(new_workloads)
+    if old.get("peak_rss_bytes") is not None and new.get("peak_rss_bytes") is not None:
+        flat_old["process"] = {"peak_rss_bytes": float(old["peak_rss_bytes"])}
+        flat_new["process"] = {"peak_rss_bytes": float(new["peak_rss_bytes"])}
+
+    for workload, old_metrics in sorted(flat_old.items()):
+        new_metrics = flat_new.get(workload)
+        if new_metrics is None:
+            comparison.missing.append(f"workload {workload!r} absent in new")
+            continue
+        for metric, old_value in sorted(old_metrics.items()):
+            if not isinstance(old_value, (int, float)):
+                continue
+            if metric not in new_metrics:
+                comparison.missing.append(
+                    f"metric {workload}.{metric} absent in new"
+                )
+                continue
+            new_value = float(new_metrics[metric])
+            old_value = float(old_value)
+            if metric in IDENTITY_METRICS:
+                if old_value != new_value:
+                    comparison.mismatches.append(
+                        f"{workload}.{metric}: {old_value:g} vs "
+                        f"{new_value:g} (configs not comparable)"
+                    )
+                continue
+            delta = new_value - old_value
+            if abs(delta) < _noise_floor(metric):
+                continue
+            relative = (
+                delta / abs(old_value) if old_value else math.inf * (
+                    1 if delta > 0 else -1
+                )
+            )
+            limit = thresholds.get(metric, threshold)
+            worse = (
+                relative < -limit
+                if metric in HIGHER_BETTER
+                else relative > limit
+            )
+            better = (
+                relative > limit
+                if metric in HIGHER_BETTER
+                else relative < -limit
+            )
+            record = MetricDelta(
+                workload=workload,
+                metric=metric,
+                old=old_value,
+                new=new_value,
+                change=relative,
+                threshold=limit,
+            )
+            if worse:
+                comparison.regressions.append(record)
+            elif better:
+                comparison.improvements.append(record)
+    return comparison
+
+
+def render_comparison(comparison: BenchComparison, strict: bool = False) -> str:
+    lines: List[str] = []
+    for item in comparison.regressions:
+        lines.append(f"REGRESSION  {item.describe()}")
+    for item in comparison.improvements:
+        lines.append(f"improvement {item.describe()}")
+    for text in comparison.mismatches:
+        lines.append(f"mismatch    {text}")
+    for text in comparison.missing:
+        lines.append(f"missing     {text}")
+    verdict = "OK" if comparison.ok(strict=strict) else "FAIL"
+    lines.append(
+        f"{verdict}: {len(comparison.regressions)} regression(s), "
+        f"{len(comparison.improvements)} improvement(s), "
+        f"{len(comparison.mismatches)} mismatch(es), "
+        f"{len(comparison.missing)} missing"
+    )
+    return "\n".join(lines)

@@ -18,15 +18,34 @@ Usage (``python -m repro <command>``):
   example, enforce them on the simulated device while the malicious app
   attacks, and print (or save with ``--audit``) the enforcement audit log.
 - ``trace FILE``                -- render the span tree and top-k hotspots
-  of a JSONL trace produced by ``pipeline --trace`` or ``enable_tracing``.
+  of a JSONL trace produced by ``pipeline --trace`` or ``enable_tracing``;
+  spans whose process died before completion render as ``[UNFINISHED]``.
+- ``export-trace FILE -o OUT``  -- convert a JSONL trace (spans plus solver
+  heartbeats) to Chrome trace-event JSON, loadable in Perfetto or
+  ``chrome://tracing``: one track per worker pid, counter tracks for the
+  solver's live counters.
+- ``export-metrics REPORT``     -- render the metrics snapshot inside a
+  pipeline run report as Prometheus text exposition format.
+- ``serve-metrics REPORT``      -- serve that same exposition on a local
+  HTTP endpoint (``GET /metrics``) for a Prometheus scraper.
+- ``bench``                     -- run the paper-corpus benchmark workloads
+  and write a schema-versioned ``BENCH_<label>.json`` snapshot;
+  ``bench --compare OLD NEW`` diffs two snapshots with per-metric
+  thresholds and exits 2 on regression.
 
-``repro --version`` prints the package version.  Every subcommand
-documents its flags via ``repro <command> --help``.
+``repro --version`` prints the package version.  ``repro --log-level
+LEVEL`` (or ``REPRO_LOG=LEVEL``) routes diagnostic chatter -- heartbeat
+lines from ``pipeline --watch``, HTTP access logs -- through stdlib
+logging; without it, logging stays unconfigured and default output is
+unchanged.  Every subcommand documents its flags via ``repro <command>
+--help``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import pathlib
 import sys
 from typing import List, Optional
@@ -107,7 +126,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
-    from repro.obs import enable_metrics, enable_tracing
+    from repro.obs import enable_metrics, enable_progress, enable_tracing
     from repro.pipeline import (
         AnalysisPipeline,
         FaultPolicy,
@@ -118,12 +137,46 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     from repro.workloads import CorpusConfig, CorpusGenerator
     from repro.workloads.bundles import partition_bundles
 
-    if args.trace:
+    trace_path = args.trace
+    ephemeral_trace = False
+    if args.watch and not trace_path:
+        # Heartbeats travel over the trace file; --watch without --trace
+        # uses a throwaway one.
+        import tempfile
+
+        fd, trace_path = tempfile.mkstemp(
+            prefix="repro-watch-", suffix=".jsonl"
+        )
+        os.close(fd)
+        ephemeral_trace = True
+    if trace_path:
         # Truncate any previous trace, then append (workers inherit the
         # REPRO_TRACE environment variable and append to the same file).
-        pathlib.Path(args.trace).write_text("")
-        enable_tracing(args.trace)
+        pathlib.Path(trace_path).write_text("")
+        enable_tracing(trace_path)
     enable_metrics()
+
+    monitor = None
+    if args.watch:
+        from repro.obs import HeartbeatMonitor
+
+        enable_progress(interval=args.progress_interval)
+        watch_logger = logging.getLogger("repro.watch")
+        if not logging.getLogger().handlers and not watch_logger.handlers:
+            # --watch implies visible heartbeats even when --log-level was
+            # not given; scope the handler to the watch logger so nothing
+            # else starts chattering.
+            handler = logging.StreamHandler(sys.stderr)
+            handler.setFormatter(
+                logging.Formatter("[watch %(asctime)s] %(message)s", "%H:%M:%S")
+            )
+            watch_logger.addHandler(handler)
+            watch_logger.setLevel(logging.INFO)
+        monitor = HeartbeatMonitor(
+            trace_path,
+            stall_after=args.stall_after,
+            logger=watch_logger,
+        ).start()
 
     generator = CorpusGenerator(CorpusConfig(scale=args.scale, seed=args.seed))
     apks = generator.generate()
@@ -147,10 +200,21 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         time_budget_seconds=args.time_budget,
         shared_encoding=args.shared_encoding,
     )
-    result = pipeline.run(bundles)
-    report = result.run_report
-    # Re-aggregate now that every span (including pipeline.run) is closed.
-    attach_observability(report, trace_path=args.trace if args.trace else None)
+    try:
+        result = pipeline.run(bundles)
+        report = result.run_report
+        # Re-aggregate now that every span (incl. pipeline.run) is closed.
+        attach_observability(
+            report, trace_path=trace_path if trace_path else None
+        )
+    finally:
+        if monitor is not None:
+            monitor.stop()
+        if ephemeral_trace:
+            try:
+                os.unlink(trace_path)
+            except OSError:
+                pass
     print(
         f"pipeline: {report.num_apps} apps in {report.num_bundles} bundles, "
         f"jobs={report.jobs}"
@@ -286,10 +350,144 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"repro trace: cannot read {args.trace_file}: {exc}", file=sys.stderr)
         return 1
     print(f"{len(records)} spans in {args.trace_file}")
+    open_count = sum(1 for r in records if r.open)
+    if open_count:
+        print(
+            f"({open_count} span(s) never completed -- process killed or "
+            "crashed mid-span)"
+        )
     print()
     print(render_span_tree(records, max_depth=args.max_depth))
     print()
     print(render_hotspots(records, top=args.top))
+    return 0
+
+
+def _cmd_export_trace(args: argparse.Namespace) -> int:
+    from repro.obs import read_events, write_chrome_trace
+
+    try:
+        spans, events = read_events(args.trace_file)
+    except OSError as exc:
+        print(
+            f"repro export-trace: cannot read {args.trace_file}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    count = write_chrome_trace(args.output, spans, events)
+    heartbeats = sum(1 for e in events if e.get("event") == "progress")
+    print(
+        f"wrote {count} trace events ({len(spans)} spans, "
+        f"{heartbeats} heartbeats) to {args.output}"
+    )
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _load_metrics_snapshot(report_path: str) -> dict:
+    import json
+
+    data = json.loads(pathlib.Path(report_path).read_text())
+    # Accept either a full run report or a bare metrics snapshot.
+    snapshot = data.get("metrics", data) if isinstance(data, dict) else {}
+    if not snapshot:
+        raise ValueError(
+            "no metrics in report (run `repro pipeline` with REPRO_METRICS=1 "
+            "or rely on its default metrics collection, then --report)"
+        )
+    return snapshot
+
+
+def _cmd_export_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import render_prometheus
+
+    try:
+        snapshot = _load_metrics_snapshot(args.report)
+    except (OSError, ValueError) as exc:
+        print(f"repro export-metrics: {exc}", file=sys.stderr)
+        return 1
+    text = render_prometheus(snapshot)
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {len(text.splitlines())} exposition lines to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import make_metrics_server
+
+    def provider() -> dict:
+        # Re-read per scrape, so a report refreshed by a new pipeline run
+        # is served without restarting.
+        return _load_metrics_snapshot(args.report)
+
+    try:
+        provider()  # fail fast on an unreadable report
+    except (OSError, ValueError) as exc:
+        print(f"repro serve-metrics: {exc}", file=sys.stderr)
+        return 1
+    server = make_metrics_server(provider, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving Prometheus metrics on http://{host}:{port}/metrics")
+    print("(Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.benchsuite.bench import (
+        BenchConfig,
+        compare_bench,
+        load_bench,
+        render_comparison,
+        run_bench,
+        write_bench,
+    )
+
+    if args.compare:
+        old_path, new_path = args.compare
+        try:
+            old = load_bench(old_path)
+            new = load_bench(new_path)
+            comparison = compare_bench(old, new, threshold=args.threshold)
+        except (OSError, ValueError) as exc:
+            print(f"repro bench: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"comparing {old.get('label')} ({old_path}) -> "
+            f"{new.get('label')} ({new_path})"
+        )
+        print(render_comparison(comparison, strict=args.strict))
+        if comparison.ok(strict=args.strict):
+            return 0
+        return 0 if args.warn_only else 2
+
+    config = BenchConfig(
+        label=args.label,
+        scale=args.scale,
+        bundle_size=args.bundle_size,
+        scenarios=args.scenarios,
+        jobs=args.jobs,
+        seed=args.seed,
+        shared_encoding=args.shared_encoding,
+        quick=args.quick,
+    )
+    result = run_bench(config, progress=print)
+    path = write_bench(result, args.output)
+    print(f"benchmark snapshot written to {path}")
+    for workload, metrics in sorted(result["workloads"].items()):
+        wall = metrics.get("wall_seconds", metrics.get("total_seconds", 0.0))
+        print(f"  {workload}: {wall:.3f}s")
+    rss = result.get("peak_rss_bytes")
+    if rss:
+        print(f"  peak RSS: {rss / (1024 * 1024):.1f} MiB")
     return 0
 
 
@@ -306,6 +504,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="version",
         version=f"%(prog)s {__version__}",
         help="print the package version and exit",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="route diagnostic logging (heartbeats, HTTP access) to stderr "
+        "at this level; also settable via REPRO_LOG (default: logging "
+        "unconfigured, output unchanged)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -449,7 +655,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pipeline.add_argument(
         "--trace",
-        help="record a JSONL span trace here (render with `repro trace`)",
+        help="record a JSONL span trace here (render with `repro trace`, "
+        "export with `repro export-trace`)",
+    )
+    pipeline.add_argument(
+        "--watch",
+        action="store_true",
+        help="tail live solver heartbeats (conflicts/sec, restarts, "
+        "learned clauses, budget headroom) from every worker while the "
+        "pipeline runs, and flag workers that go silent",
+    )
+    pipeline.add_argument(
+        "--progress-interval",
+        type=int,
+        default=256,
+        help="with --watch: publish a solver progress snapshot every N "
+        "conflicts (default: %(default)s)",
+    )
+    pipeline.add_argument(
+        "--stall-after",
+        type=float,
+        default=10.0,
+        help="with --watch: warn when a previously heartbeating worker "
+        "goes silent for this many seconds (default: %(default)s)",
     )
     pipeline.add_argument("--report", help="write the JSON run report here")
     pipeline.add_argument(
@@ -564,12 +792,177 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.set_defaults(func=_cmd_trace)
 
+    export_trace = sub.add_parser(
+        "export-trace",
+        help="convert a JSONL trace to Chrome trace-event JSON (Perfetto)",
+        description=(
+            "Read a JSONL span trace (spans, begin events, solver progress "
+            "heartbeats) and write Chrome trace-event JSON: one process "
+            "track per pid, counter tracks for the solver's live counters, "
+            "unfinished spans as open slices.  Load the result in "
+            "https://ui.perfetto.dev or chrome://tracing."
+        ),
+    )
+    export_trace.add_argument("trace_file", help="JSONL trace file to convert")
+    export_trace.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="write the Chrome trace-event JSON here",
+    )
+    export_trace.set_defaults(func=_cmd_export_trace)
+
+    export_metrics = sub.add_parser(
+        "export-metrics",
+        help="render a run report's metrics as Prometheus text exposition",
+        description=(
+            "Read the metrics snapshot inside a pipeline run report (from "
+            "`repro pipeline --report`) -- or a bare snapshot JSON -- and "
+            "render it as Prometheus text exposition format 0.0.4."
+        ),
+    )
+    export_metrics.add_argument(
+        "report", help="run-report JSON (or bare metrics snapshot JSON)"
+    )
+    export_metrics.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the exposition here (default: stdout)",
+    )
+    export_metrics.set_defaults(func=_cmd_export_metrics)
+
+    serve_metrics = sub.add_parser(
+        "serve-metrics",
+        help="serve a run report's metrics on a local /metrics endpoint",
+        description=(
+            "Serve the metrics snapshot inside a run report as Prometheus "
+            "text exposition on GET /metrics (stdlib HTTP server, no "
+            "dependencies).  The report file is re-read on every scrape."
+        ),
+    )
+    serve_metrics.add_argument(
+        "report", help="run-report JSON (or bare metrics snapshot JSON)"
+    )
+    serve_metrics.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    serve_metrics.add_argument(
+        "--port",
+        type=int,
+        default=9464,
+        help="bind port (default: %(default)s; 0 picks a free port)",
+    )
+    serve_metrics.set_defaults(func=_cmd_serve_metrics)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the benchmark workloads / compare two BENCH snapshots",
+        description=(
+            "Run the paper-corpus benchmark workloads (Fig 5 extraction, "
+            "Table II cold/warm pipeline, Table I accuracy) and write a "
+            "schema-versioned BENCH_<label>.json snapshot; or, with "
+            "--compare OLD NEW, diff two snapshots with per-metric "
+            "relative thresholds and exit 2 on regression."
+        ),
+    )
+    bench.add_argument(
+        "--label",
+        default="local",
+        help="snapshot label; the output file is BENCH_<label>.json "
+        "(default: %(default)s)",
+    )
+    bench.add_argument(
+        "-o",
+        "--output",
+        default=".",
+        help="directory receiving the snapshot (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: tiny corpus, a slice of the accuracy suites",
+    )
+    bench.add_argument(
+        "--scale",
+        type=float,
+        default=0.01,
+        help="corpus fraction for the workloads (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--bundle-size",
+        type=int,
+        default=8,
+        help="apps per pipeline bundle (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--scenarios",
+        type=int,
+        default=2,
+        help="max scenarios per signature (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="pipeline worker processes (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--seed",
+        type=int,
+        default=2016,
+        help="corpus/partition seed (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--per-signature",
+        dest="shared_encoding",
+        action="store_false",
+        default=True,
+        help="benchmark the per-signature synthesis path instead of the "
+        "shared-encoding default",
+    )
+    bench.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help="compare two BENCH snapshots instead of running workloads",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="with --compare: relative change tolerated per metric "
+        "(default: %(default)s)",
+    )
+    bench.add_argument(
+        "--strict",
+        action="store_true",
+        help="with --compare: also fail on missing metrics or "
+        "non-comparable workload configs",
+    )
+    bench.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="with --compare: report regressions but always exit 0 "
+        "(CI smoke mode)",
+    )
+    bench.set_defaults(func=_cmd_bench)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    level_name = args.log_level or os.environ.get("REPRO_LOG")
+    if level_name:
+        logging.basicConfig(
+            level=getattr(logging, level_name.upper(), logging.INFO),
+            stream=sys.stderr,
+            format="[%(asctime)s %(levelname)s %(name)s] %(message)s",
+            datefmt="%H:%M:%S",
+        )
     return args.func(args)
 
 

@@ -1,6 +1,6 @@
-"""Observability: tracing spans, a metrics registry, trace rendering.
+"""Observability: tracing spans, metrics, progress telemetry, exporters.
 
-Three pillars, all zero-cost when disabled:
+Four pillars, all zero-cost when disabled:
 
 - :mod:`repro.obs.trace` -- nestable wall-clock spans emitted as JSONL
   events.  The global tracer defaults to a no-op; enable it with
@@ -11,9 +11,15 @@ Three pillars, all zero-cost when disabled:
   histograms that the SAT solver, the static analyses, the cache and the
   pipeline executor publish into.  Defaults to a no-op registry; enable
   with :func:`enable_metrics`.
-- :mod:`repro.obs.view` -- span-tree and hotspot rendering for the
-  ``repro trace`` CLI subcommand, plus the aggregation rolled into
-  :class:`~repro.pipeline.stats.RunReport`.
+- :mod:`repro.obs.progress` -- live solver progress snapshots published
+  into a lock-free ring buffer and (through the tracer) as heartbeat
+  lines in the trace file, tailed by :class:`HeartbeatMonitor` for the
+  ``repro pipeline --watch`` view.  Defaults to a no-op bus; enable with
+  :func:`enable_progress` (or ``REPRO_PROGRESS``).
+- :mod:`repro.obs.view` / :mod:`repro.obs.export` -- rendering and
+  standard-format export: span trees and hotspot tables for ``repro
+  trace``, Chrome trace-event JSON for Perfetto, Prometheus text
+  exposition for scrapers.
 
 Instrumentation never feeds cache keys (tracer/registry state is not part
 of any content hash) and never touches analysis outputs, so enabling or
@@ -21,6 +27,14 @@ disabling observability cannot perturb the byte-identical serial/parallel
 guarantee or invalidate cached pipeline entries.
 """
 
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    chrome_trace,
+    make_metrics_server,
+    render_prometheus,
+    sanitize_metric_name,
+    write_chrome_trace,
+)
 from repro.obs.metrics import (
     METRICS_ENV,
     NULL_METRICS,
@@ -33,6 +47,19 @@ from repro.obs.metrics import (
     get_metrics,
     set_metrics,
 )
+from repro.obs.progress import (
+    DEFAULT_INTERVAL,
+    NULL_PROGRESS,
+    PROGRESS_ENV,
+    HeartbeatMonitor,
+    NullProgressBus,
+    ProgressBus,
+    ProgressRing,
+    ProgressSnapshot,
+    enable_progress,
+    get_progress,
+    set_progress,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     TRACE_ENV,
@@ -43,6 +70,7 @@ from repro.obs.trace import (
     Tracer,
     enable_tracing,
     get_tracer,
+    read_events,
     read_trace,
     set_tracer,
     span,
@@ -51,28 +79,46 @@ from repro.obs.view import aggregate_spans, render_hotspots, render_span_tree
 
 __all__ = [
     "Counter",
+    "DEFAULT_INTERVAL",
     "Gauge",
+    "HeartbeatMonitor",
     "Histogram",
     "InMemoryTracer",
     "JsonlTracer",
     "METRICS_ENV",
     "MetricsRegistry",
     "NULL_METRICS",
+    "NULL_PROGRESS",
     "NULL_TRACER",
     "NullMetricsRegistry",
+    "NullProgressBus",
     "NullTracer",
+    "PROGRESS_ENV",
+    "PROMETHEUS_CONTENT_TYPE",
+    "ProgressBus",
+    "ProgressRing",
+    "ProgressSnapshot",
     "SpanRecord",
     "TRACE_ENV",
     "Tracer",
     "aggregate_spans",
+    "chrome_trace",
     "enable_metrics",
+    "enable_progress",
     "enable_tracing",
     "get_metrics",
+    "get_progress",
     "get_tracer",
+    "make_metrics_server",
+    "read_events",
     "read_trace",
     "render_hotspots",
+    "render_prometheus",
     "render_span_tree",
+    "sanitize_metric_name",
     "set_metrics",
+    "set_progress",
     "set_tracer",
     "span",
+    "write_chrome_trace",
 ]

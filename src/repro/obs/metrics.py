@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Any, Dict, Optional
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Environment variable activating metrics collection; set before a run
 #: (``enable_metrics`` does this) so pipeline worker processes collect too.
@@ -61,17 +62,39 @@ class Gauge:
         return {"type": "gauge", "value": self.value}
 
 
+def _normalize_bounds(bounds: Optional[Iterable[float]]) -> Tuple[float, ...]:
+    """Canonical bucket boundaries: sorted, deduplicated, floats."""
+    if not bounds:
+        return ()
+    return tuple(sorted({float(b) for b in bounds}))
+
+
 class Histogram:
-    """Streaming summary of observed values: count/sum/min/max."""
+    """Streaming summary of observed values: count/sum/min/max.
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    With ``bounds`` (sorted upper boundaries, Prometheus ``le`` semantics)
+    the histogram additionally keeps per-interval bucket counts: bucket
+    ``i`` counts values ``v <= bounds[i]`` (and ``> bounds[i-1]``); one
+    extra overflow bucket counts values above the largest boundary.
+    Without ``bounds`` only the streaming summary is kept and the
+    serialized form is unchanged from earlier releases.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "count", "total", "min", "max", "bounds",
+                 "bucket_counts")
+
+    def __init__(
+        self, name: str, bounds: Optional[Iterable[float]] = None
+    ) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.bounds: Tuple[float, ...] = _normalize_bounds(bounds)
+        self.bucket_counts: List[int] = (
+            [0] * (len(self.bounds) + 1) if self.bounds else []
+        )
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -80,13 +103,31 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if self.bounds:
+            # bisect_left gives the first boundary >= value, i.e. the
+            # smallest bucket whose ``le`` covers it; past-the-end is the
+            # overflow bucket.
+            self.bucket_counts[bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs, ending with
+        ``(inf, count)``.  Empty when the histogram is unbucketed."""
+        if not self.bounds:
+            return []
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data: Dict[str, Any] = {
             "type": "histogram",
             "count": self.count,
             "sum": self.total,
@@ -94,6 +135,31 @@ class Histogram:
             "max": self.max,
             "mean": self.mean,
         }
+        if self.bounds:
+            data["bounds"] = list(self.bounds)
+            data["buckets"] = list(self.bucket_counts)
+        return data
+
+
+def _coarsen_buckets(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    new_bounds: Sequence[float],
+) -> List[int]:
+    """Re-bucket per-interval ``counts`` onto ``new_bounds``.
+
+    Exact whenever ``new_bounds`` is a subset of ``bounds``: every old
+    interval then fits inside exactly one new interval, so counts are
+    summed, never split.
+    """
+    new_counts = [0] * (len(new_bounds) + 1)
+    for i, n in enumerate(counts):
+        if i < len(bounds):
+            target = bisect_left(new_bounds, bounds[i])
+        else:  # old overflow bucket joins the new overflow bucket
+            target = len(new_bounds)
+        new_counts[target] += n
+    return new_counts
 
 
 class MetricsRegistry:
@@ -120,8 +186,26 @@ class MetricsRegistry:
     def gauge(self, name: str) -> Gauge:
         return self._get(name, Gauge)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(
+        self, name: str, bounds: Optional[Iterable[float]] = None
+    ) -> Histogram:
+        """The named histogram, created with ``bounds`` on first use.
+
+        Re-requesting an existing histogram with *different* explicit
+        bounds is a programming error and raises ``ValueError`` --
+        silently handing back an instrument with other boundaries would
+        mis-bucket every subsequent observation.  Omitting ``bounds``
+        always returns the existing instrument unchanged.
+        """
+        hist = self._get(name, lambda n: Histogram(n, bounds))
+        if bounds is not None:
+            wanted = _normalize_bounds(bounds)
+            if hist.bounds != wanted:
+                raise ValueError(
+                    f"histogram {name!r} already registered with bounds "
+                    f"{hist.bounds}, not {wanted}"
+                )
+        return hist
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """All instruments as a plain, JSON-ready, sorted dict."""
@@ -136,7 +220,19 @@ class MetricsRegistry:
     def merge(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
         """Fold a :meth:`snapshot` (e.g. from a worker process) into this
         registry: counters and histogram sums add, min/max widen, gauges
-        take the incoming value (last write wins)."""
+        take the incoming value (last write wins).
+
+        Bucketed histograms merge by boundary reconciliation.  Identical
+        boundaries add element-wise; a fresh (never-observed) local
+        histogram adopts the incoming boundaries wholesale.  When the two
+        sides were created with *different* boundaries, both are coarsened
+        -- exactly, since counts only ever sum across whole intervals --
+        onto the intersection of the two boundary sets; an empty
+        intersection widens the result all the way to an unbucketed
+        summary (count/sum/min/max are always preserved).  Merging is
+        therefore total: it degrades resolution, never raises and never
+        invents counts.
+        """
         for name, data in snapshot.items():
             kind = data.get("type")
             if kind == "counter":
@@ -145,6 +241,7 @@ class MetricsRegistry:
                 self.gauge(name).set(data.get("value", 0.0))
             elif kind == "histogram":
                 hist = self.histogram(name)
+                fresh = hist.count == 0 and not hist.bounds
                 hist.count += data.get("count", 0)
                 hist.total += data.get("sum", 0.0)
                 for bound, widen in (("min", min), ("max", max)):
@@ -157,6 +254,33 @@ class MetricsRegistry:
                         bound,
                         incoming if current is None else widen(current, incoming),
                     )
+                in_bounds = _normalize_bounds(data.get("bounds"))
+                in_counts = list(data.get("buckets", ()))
+                if fresh and in_bounds:
+                    hist.bounds = in_bounds
+                    hist.bucket_counts = in_counts or [0] * (len(in_bounds) + 1)
+                elif hist.bounds == in_bounds:
+                    for i, n in enumerate(in_counts):
+                        hist.bucket_counts[i] += n
+                elif hist.bounds or in_bounds:
+                    common = tuple(
+                        b for b in hist.bounds if b in set(in_bounds)
+                    )
+                    if common:
+                        ours = _coarsen_buckets(
+                            hist.bounds, hist.bucket_counts, common
+                        )
+                        theirs = _coarsen_buckets(
+                            in_bounds, in_counts, common
+                        )
+                        hist.bounds = common
+                        hist.bucket_counts = [
+                            a + b for a, b in zip(ours, theirs)
+                        ]
+                    else:
+                        # Nothing shared: widen to the unbucketed summary.
+                        hist.bounds = ()
+                        hist.bucket_counts = []
 
 
 class _NullInstrument:
@@ -170,6 +294,11 @@ class _NullInstrument:
     min = None
     max = None
     mean = 0.0
+    bounds = ()
+    bucket_counts: List[int] = []
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        return []
 
     def inc(self, amount: int = 1) -> None:
         return None
@@ -201,7 +330,9 @@ class NullMetricsRegistry(MetricsRegistry):
     def gauge(self, name: str) -> Gauge:  # type: ignore[override]
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
-    def histogram(self, name: str) -> Histogram:  # type: ignore[override]
+    def histogram(
+        self, name: str, bounds: Optional[Iterable[float]] = None
+    ) -> Histogram:  # type: ignore[override]
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:

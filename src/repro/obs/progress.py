@@ -1,0 +1,372 @@
+"""Live solver progress telemetry: snapshots, ring buffer, heartbeats.
+
+A long CDCL solve is opaque from the outside: the pipeline's timeout
+machinery can kill it, but cannot tell a solver that is *stuck* (no
+conflicts happening, e.g. hung I/O) from one that is *slow* (conflicts
+ticking away on a hard instance).  This module gives the solver a place
+to publish periodic :class:`ProgressSnapshot`\\ s -- conflicts, rates,
+restarts, learned-DB size, trail depth, budget headroom -- and gives
+observers two ways to read them:
+
+- in-process, through a lock-free :class:`ProgressRing` (single writer --
+  the solving thread -- many readers; readers may miss overwritten
+  entries but never block the solver);
+- across process boundaries, as ``{"event": "progress", ...}`` heartbeat
+  lines appended to the active JSONL trace file (the same ``O_APPEND``
+  channel pipeline worker spans use), which :class:`HeartbeatMonitor`
+  tails for the ``repro pipeline --watch`` live view.
+
+Publication is governed by the global :class:`ProgressBus`.  The default
+bus is :data:`NULL_PROGRESS`: disabled, interval ``0``, publishing
+nothing -- the solver's only cost is one integer test per conflict.
+Enable with :func:`enable_progress` or the ``REPRO_PROGRESS`` environment
+variable (the sampling interval in conflicts; pipeline workers inherit
+it, so their solves heartbeat into the shared trace file too).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.trace import get_tracer
+
+#: Environment variable activating progress publication.  Its value is the
+#: sampling interval in conflicts ("1" or a bare truthy value means the
+#: default interval).  Worker processes inherit it from the parent.
+PROGRESS_ENV = "REPRO_PROGRESS"
+
+#: Sample every this-many conflicts unless configured otherwise: frequent
+#: enough to watch a live solve, rare enough to cost nothing measurable.
+DEFAULT_INTERVAL = 256
+
+
+@dataclass
+class ProgressSnapshot:
+    """One point-in-time view of a running (or just-finished) solve."""
+
+    ts: float  # epoch seconds at publication
+    pid: int
+    solve_id: int  # per-solver-instance solve() call counter
+    conflicts: int
+    decisions: int
+    propagations: int
+    restarts: int
+    learned: int  # learned clauses currently in the database
+    trail: int  # current assignment trail depth
+    conflicts_per_sec: float
+    budget_remaining: Optional[int] = None  # None = unbudgeted solve
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "event": "progress",
+            "ts": self.ts,
+            "pid": self.pid,
+            "solve_id": self.solve_id,
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learned": self.learned,
+            "trail": self.trail,
+            "conflicts_per_sec": self.conflicts_per_sec,
+            "budget_remaining": self.budget_remaining,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ProgressSnapshot":
+        return ProgressSnapshot(
+            ts=data.get("ts", 0.0),
+            pid=data.get("pid", 0),
+            solve_id=data.get("solve_id", 0),
+            conflicts=data.get("conflicts", 0),
+            decisions=data.get("decisions", 0),
+            propagations=data.get("propagations", 0),
+            restarts=data.get("restarts", 0),
+            learned=data.get("learned", 0),
+            trail=data.get("trail", 0),
+            conflicts_per_sec=data.get("conflicts_per_sec", 0.0),
+            budget_remaining=data.get("budget_remaining"),
+        )
+
+
+class ProgressRing:
+    """A fixed-capacity, lock-free publish ring (single writer).
+
+    The writer stores into ``items[seq % capacity]`` and then advances
+    ``seq``; both are plain attribute operations, atomic under the GIL, so
+    the solving thread never takes a lock.  Readers snapshot ``seq`` first
+    and accept that entries more than ``capacity`` behind it have been
+    overwritten -- :meth:`read_since` reports how many were dropped
+    instead of pretending completeness.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("ring capacity must be positive")
+        self._items: List[Optional[ProgressSnapshot]] = [None] * capacity
+        self._seq = 0  # next sequence number to be written
+
+    @property
+    def capacity(self) -> int:
+        return len(self._items)
+
+    @property
+    def seq(self) -> int:
+        """Total snapshots ever published (monotone)."""
+        return self._seq
+
+    def publish(self, item: ProgressSnapshot) -> None:
+        seq = self._seq
+        self._items[seq % len(self._items)] = item
+        # The store above must be visible before the sequence advances;
+        # CPython's GIL orders these two statements for every reader.
+        self._seq = seq + 1
+
+    def latest(self) -> Optional[ProgressSnapshot]:
+        seq = self._seq
+        if seq == 0:
+            return None
+        return self._items[(seq - 1) % len(self._items)]
+
+    def read_since(
+        self, cursor: int
+    ) -> Tuple[int, int, List[ProgressSnapshot]]:
+        """Entries published at sequence >= ``cursor``.
+
+        Returns ``(new_cursor, dropped, items)``: pass ``new_cursor`` to
+        the next call; ``dropped`` counts entries overwritten before this
+        reader got to them (0 when keeping up).  Items are oldest-first.
+        """
+        seq = self._seq
+        if cursor >= seq:
+            return seq, 0, []
+        capacity = len(self._items)
+        oldest = max(cursor, seq - capacity)
+        dropped = oldest - cursor
+        items = []
+        for i in range(oldest, seq):
+            item = self._items[i % capacity]
+            if item is not None:
+                items.append(item)
+        return seq, dropped, items
+
+
+class ProgressBus:
+    """The publication fan-out: ring buffer + heartbeat events.
+
+    ``interval`` is the sampling period in conflicts; the solver consults
+    it once per :meth:`~repro.sat.solver.Solver.solve` call.  Each
+    published snapshot lands in the in-process ring and -- when the active
+    tracer persists events (a ``JsonlTracer``) -- as one heartbeat line in
+    the trace file, where cross-process observers can tail it.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        interval: int = DEFAULT_INTERVAL,
+        capacity: int = 256,
+        emit_events: bool = True,
+    ) -> None:
+        self.interval = max(1, int(interval))
+        self.ring = ProgressRing(capacity)
+        self.emit_events = emit_events
+
+    def publish(self, snapshot: ProgressSnapshot) -> None:
+        self.ring.publish(snapshot)
+        if self.emit_events:
+            get_tracer().emit_event(snapshot.to_dict())
+
+
+class NullProgressBus(ProgressBus):
+    """The disabled bus: interval 0, publishes nothing, allocates nothing."""
+
+    enabled = False
+    interval = 0
+
+    def __init__(self) -> None:
+        pass
+
+    def publish(self, snapshot: ProgressSnapshot) -> None:
+        return None
+
+
+NULL_PROGRESS = NullProgressBus()
+_progress: ProgressBus = NULL_PROGRESS
+
+
+def _interval_from_env(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        return DEFAULT_INTERVAL
+    return parsed if parsed > 0 else DEFAULT_INTERVAL
+
+
+# Worker processes inherit REPRO_PROGRESS from the parent; activating here
+# at import means their solves heartbeat without explicit plumbing through
+# the process pool (same pattern as REPRO_TRACE / REPRO_METRICS).
+_env_value = os.environ.get(PROGRESS_ENV)
+if _env_value:
+    _progress = ProgressBus(interval=_interval_from_env(_env_value))
+del _env_value
+
+
+def get_progress() -> ProgressBus:
+    return _progress
+
+
+def set_progress(bus: ProgressBus) -> ProgressBus:
+    """Install ``bus`` globally; returns the previous bus."""
+    global _progress
+    previous = _progress
+    _progress = bus
+    return previous
+
+
+def enable_progress(interval: int = DEFAULT_INTERVAL) -> ProgressBus:
+    """Install (and return) a live progress bus, here and in pipeline
+    worker processes (via the environment)."""
+    bus = ProgressBus(interval=interval)
+    set_progress(bus)
+    os.environ[PROGRESS_ENV] = str(bus.interval)
+    return bus
+
+
+# ----------------------------------------------------------------------
+# Cross-process heartbeat tailing
+
+
+def _format_heartbeat(snap: ProgressSnapshot) -> str:
+    budget = (
+        f" budget={snap.budget_remaining}"
+        if snap.budget_remaining is not None
+        else ""
+    )
+    return (
+        f"pid {snap.pid} solve#{snap.solve_id}: "
+        f"{snap.conflicts} conflicts ({snap.conflicts_per_sec:,.0f}/s), "
+        f"{snap.decisions} decisions, {snap.restarts} restarts, "
+        f"learned={snap.learned}, trail={snap.trail}{budget}"
+    )
+
+
+class HeartbeatMonitor:
+    """Tails a JSONL trace file for solver heartbeats across processes.
+
+    Because heartbeat lines ride the ``O_APPEND`` trace channel, this
+    works for serial runs and process-pool workers alike.  Each freshly
+    observed snapshot is logged at INFO on ``logger``; a pid that has
+    heartbeated before but then goes silent for ``stall_after`` seconds is
+    flagged once at WARNING -- the live distinction between a *slow* solve
+    (heartbeats keep coming) and a *stuck* one (they stop while the task
+    is still running).  ``poll()`` is synchronous and idempotent;
+    ``start()``/``stop()`` run it on a daemon thread.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        stall_after: float = 10.0,
+        poll_interval: float = 0.5,
+        logger: Optional[logging.Logger] = None,
+    ) -> None:
+        self.path = str(path)
+        self.stall_after = stall_after
+        self.poll_interval = poll_interval
+        self.logger = logger or logging.getLogger("repro.watch")
+        self._offset = 0
+        self._buffer = b""
+        self._latest: Dict[int, ProgressSnapshot] = {}
+        self._last_seen: Dict[int, float] = {}
+        self._stalled: Dict[int, bool] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- observation state -------------------------------------------------
+    def latest(self, pid: int) -> Optional[ProgressSnapshot]:
+        return self._latest.get(pid)
+
+    def pids(self) -> List[int]:
+        return sorted(self._latest)
+
+    def stalled_pids(self, now: Optional[float] = None) -> List[int]:
+        now = time.monotonic() if now is None else now
+        return sorted(
+            pid
+            for pid, seen in self._last_seen.items()
+            if now - seen >= self.stall_after
+        )
+
+    # -- polling -----------------------------------------------------------
+    def poll(self, now: Optional[float] = None) -> List[ProgressSnapshot]:
+        """Read newly appended heartbeat lines; returns the new snapshots."""
+        fresh: List[ProgressSnapshot] = []
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+        except OSError:
+            return fresh
+        self._offset += len(chunk)
+        self._buffer += chunk
+        # O_APPEND writes are whole lines, but a read may still land between
+        # two writes -- keep any trailing partial line for the next poll.
+        *lines, self._buffer = self._buffer.split(b"\n")
+        now = time.monotonic() if now is None else now
+        for raw in lines:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                data = json.loads(raw)
+            except ValueError:
+                continue
+            if data.get("event") != "progress":
+                continue
+            snap = ProgressSnapshot.from_dict(data)
+            self._latest[snap.pid] = snap
+            self._last_seen[snap.pid] = now
+            self._stalled[snap.pid] = False
+            fresh.append(snap)
+            self.logger.info("%s", _format_heartbeat(snap))
+        for pid in self.stalled_pids(now):
+            if not self._stalled.get(pid):
+                self._stalled[pid] = True
+                self.logger.warning(
+                    "pid %d: no heartbeat for %.1fs (stuck, finished, or "
+                    "killed -- check the run report)",
+                    pid,
+                    self.stall_after,
+                )
+        return fresh
+
+    # -- background thread -------------------------------------------------
+    def start(self) -> "HeartbeatMonitor":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-heartbeat-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            self.poll()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self.poll()  # drain whatever arrived after the last tick

@@ -29,7 +29,7 @@ import threading
 import time
 from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 #: Environment variable holding the trace-file path; setting it before a
 #: run (the ``pipeline --trace`` flag does this) activates tracing in the
@@ -43,7 +43,13 @@ _current_span_id: ContextVar[Optional[str]] = ContextVar(
 
 @dataclass
 class SpanRecord:
-    """One completed span, as read back from (or written to) a trace."""
+    """One span, as read back from (or written to) a trace.
+
+    ``open`` marks a span whose end was never recorded -- the process died
+    (crash, SIGKILL, pool teardown) between the begin event and the
+    completion event.  Open spans carry ``seconds == 0.0``; consumers
+    should render them as unfinished rather than instantaneous.
+    """
 
     name: str
     span_id: str
@@ -52,9 +58,10 @@ class SpanRecord:
     seconds: float  # duration (monotonic clock)
     attrs: Dict[str, Any] = field(default_factory=dict)
     pid: int = 0
+    open: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
@@ -63,6 +70,9 @@ class SpanRecord:
             "attrs": self.attrs,
             "pid": self.pid,
         }
+        if self.open:
+            data["open"] = True
+        return data
 
     @staticmethod
     def from_dict(data: Dict[str, Any]) -> "SpanRecord":
@@ -74,6 +84,7 @@ class SpanRecord:
             seconds=data.get("seconds", 0.0),
             attrs=dict(data.get("attrs", {})),
             pid=data.get("pid", 0),
+            open=bool(data.get("open", False)),
         )
 
 
@@ -98,7 +109,10 @@ _NULL_SPAN = _NullSpan()
 class _Span:
     """A live span; finishes (and emits) on ``__exit__``."""
 
-    __slots__ = ("_tracer", "name", "attrs", "span_id", "_token", "_t0", "_wall")
+    __slots__ = (
+        "_tracer", "name", "attrs", "span_id", "_token", "_t0", "_wall",
+        "_parent",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
         self._tracer = tracer
@@ -107,21 +121,22 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         self.span_id = self._tracer._next_id()
+        # The parent is whatever is current *before* this span starts.
+        self._parent = _current_span_id.get()
         self._token = _current_span_id.set(self.span_id)
         self._wall = time.time()
         self._t0 = time.perf_counter()
+        self._tracer._emit_begin(self)
         return self
 
     def __exit__(self, *exc: object) -> None:
         seconds = time.perf_counter() - self._t0
         _current_span_id.reset(self._token)
-        # The parent is whatever was current *before* this span started.
-        parent = _current_span_id.get()
         self._tracer._emit(
             SpanRecord(
                 name=self.name,
                 span_id=self.span_id,
-                parent_id=parent,
+                parent_id=self._parent,
                 start=self._wall,
                 seconds=seconds,
                 attrs=self.attrs,
@@ -153,6 +168,18 @@ class Tracer:
     def span(self, name: str, **attrs: Any):
         """Context manager timing one region of work."""
         return _Span(self, name, attrs)
+
+    def _emit_begin(self, span: "_Span") -> None:
+        """Hook called when a span opens; only durable tracers record it."""
+        return None
+
+    def emit_event(self, payload: Dict[str, Any]) -> None:
+        """Record a non-span event (e.g. a solver progress heartbeat).
+
+        Payloads must carry an ``event`` key so trace readers can tell
+        them apart from span records.  The default tracer discards them.
+        """
+        return None
 
     def _emit(self, record: SpanRecord) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -187,23 +214,53 @@ class InMemoryTracer(Tracer):
 
 
 class JsonlTracer(Tracer):
-    """Appends one JSON line per completed span to ``path``.
+    """Appends one JSON line per span event to ``path``.
 
     The descriptor is opened with ``O_APPEND`` and every event is a single
     ``os.write`` call, so concurrent writers (pipeline worker processes)
     never interleave partial lines.
+
+    With ``begin_events`` (the default) every span additionally writes a
+    ``span_begin`` event line when it opens.  A span whose process dies
+    before completion then still leaves its begin line behind, and
+    :func:`read_trace` recovers it as an *open* span instead of dropping
+    it silently -- the difference between "this worker never ran the task"
+    and "this worker was killed mid-task".
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, begin_events: bool = True) -> None:
         super().__init__()
         self.path = str(path)
+        self.begin_events = begin_events
         self._fd = os.open(
             self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
 
-    def _emit(self, record: SpanRecord) -> None:
-        line = json.dumps(record.to_dict(), sort_keys=True) + "\n"
+    def _write_line(self, payload: Dict[str, Any]) -> None:
+        line = json.dumps(payload, sort_keys=True) + "\n"
         os.write(self._fd, line.encode("utf-8"))
+
+    def _emit_begin(self, span: "_Span") -> None:
+        if not self.begin_events:
+            return
+        self._write_line(
+            {
+                "event": "span_begin",
+                "name": span.name,
+                "span_id": span.span_id,
+                "parent_id": span._parent,
+                "start": span._wall,
+                "pid": os.getpid(),
+            }
+        )
+
+    def emit_event(self, payload: Dict[str, Any]) -> None:
+        if "event" not in payload:
+            raise ValueError("trace events must carry an 'event' key")
+        self._write_line(payload)
+
+    def _emit(self, record: SpanRecord) -> None:
+        self._write_line(record.to_dict())
 
     def close(self) -> None:
         if self._fd >= 0:
@@ -248,16 +305,60 @@ def span(name: str, **attrs: Any):
     return _tracer.span(name, **attrs)
 
 
-def read_trace(path: str) -> List[SpanRecord]:
-    """Load every span event from a JSONL trace file (blank lines skipped)."""
+def read_events(path: str) -> Tuple[List[SpanRecord], List[Dict[str, Any]]]:
+    """Load a JSONL trace: ``(spans, events)``.
+
+    ``spans`` holds every completed span plus one *open* span
+    (``record.open`` set, ``seconds == 0.0``) for each ``span_begin``
+    event that never got its completion line -- the signature of a worker
+    killed mid-span.  ``events`` holds every other event line (progress
+    heartbeats and future event kinds), in file order, as raw dicts.
+    Blank and unparseable-as-span lines are skipped.
+    """
     records: List[SpanRecord] = []
+    events: List[Dict[str, Any]] = []
+    begins: Dict[str, Dict[str, Any]] = {}
+    begin_order: List[str] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if not line:
                 continue
-            records.append(SpanRecord.from_dict(json.loads(line)))
-    return records
+            data = json.loads(line)
+            kind = data.get("event")
+            if kind == "span_begin":
+                span_id = data.get("span_id")
+                if span_id is not None and span_id not in begins:
+                    begins[span_id] = data
+                    begin_order.append(span_id)
+            elif kind is not None:
+                events.append(data)
+            else:
+                records.append(SpanRecord.from_dict(data))
+    completed = {r.span_id for r in records}
+    for span_id in begin_order:
+        if span_id in completed:
+            continue
+        data = begins[span_id]
+        records.append(
+            SpanRecord(
+                name=data.get("name", "?"),
+                span_id=span_id,
+                parent_id=data.get("parent_id"),
+                start=data.get("start", 0.0),
+                seconds=0.0,
+                attrs={},
+                pid=data.get("pid", 0),
+                open=True,
+            )
+        )
+    return records, events
+
+
+def read_trace(path: str) -> List[SpanRecord]:
+    """Load every span from a JSONL trace file (see :func:`read_events`);
+    non-span event lines are skipped, unterminated spans come back open."""
+    return read_events(path)[0]
 
 
 def write_trace(path: str, records: Iterable[SpanRecord]) -> None:

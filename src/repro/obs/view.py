@@ -89,7 +89,13 @@ def render_span_tree(
             return
         visited.add(id(record))
         label = f"{record.name}{_format_attrs(record.attrs)}"
-        lines.append(f"{line_prefix}{label}  [{record.seconds * 1000:.1f} ms]")
+        if record.open:
+            # A begin event with no completion: the process died mid-span.
+            lines.append(f"{line_prefix}{label}  [UNFINISHED]")
+        else:
+            lines.append(
+                f"{line_prefix}{label}  [{record.seconds * 1000:.1f} ms]"
+            )
         if max_depth is not None and depth + 1 >= max_depth:
             return
         kids = children.get(record.span_id, [])
@@ -108,10 +114,14 @@ def render_span_tree(
 
 
 def render_hotspots(records: List[SpanRecord], top: int = 10) -> str:
-    """Top-k span names by *self* time (where the wall clock really went)."""
+    """Top-k span names by *self* time (where the wall clock really went).
+
+    Ties break on the span name, so equal-self-time rows render in a
+    stable, deterministic order regardless of input ordering.
+    """
     aggregated = aggregate_spans(records)
     ranked = sorted(
-        aggregated.items(), key=lambda kv: -kv[1]["self_seconds"]
+        aggregated.items(), key=lambda kv: (-kv[1]["self_seconds"], kv[0])
     )[: max(0, top)]
     if not ranked:
         return "(no spans)"

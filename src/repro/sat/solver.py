@@ -13,10 +13,12 @@ scenario minimization.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.obs import get_metrics
+from repro.obs import ProgressSnapshot, get_metrics, get_progress
 
 _RESCALE_LIMIT = 1e100
 _RESCALE_FACTOR = 1e-100
@@ -45,8 +47,9 @@ class SolveResult:
     """Outcome of a :meth:`Solver.solve` call.
 
     ``model`` maps every variable to a boolean when satisfiable and is
-    ``None`` otherwise.  ``conflicts``, ``decisions`` and ``propagations``
-    expose search-effort statistics for the benchmark harness.
+    ``None`` otherwise.  ``conflicts``, ``decisions``, ``propagations``
+    and ``restarts`` expose search-effort statistics for the benchmark
+    harness.
 
     Truthiness is defined as *satisfiability*: ``bool(result)`` is True
     exactly when ``result.satisfiable`` is -- an UNSAT outcome is falsy
@@ -60,6 +63,7 @@ class SolveResult:
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
+    restarts: int = 0
 
     def __bool__(self) -> bool:
         """True iff the formula was satisfiable (see class docstring)."""
@@ -98,6 +102,9 @@ class Solver:
         self._conflicts = 0
         self._decisions = 0
         self._propagations = 0
+        self._restarts = 0
+        self._learnt = 0
+        self._solve_id = 0
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -171,6 +178,8 @@ class Solver:
     def _attach_clause(self, rec: _ClauseRec) -> int:
         idx = len(self._clauses)
         self._clauses.append(rec)
+        if rec.learned:
+            self._learnt += 1
         self._watches.setdefault(rec.lits[0], []).append(idx)
         self._watches.setdefault(rec.lits[1], []).append(idx)
         return idx
@@ -423,6 +432,7 @@ class Solver:
             remap[i] = len(new_clauses)
             new_clauses.append(rec)
         self._clauses = new_clauses
+        self._learnt = sum(1 for rec in new_clauses if rec.learned)
         new_watches: Dict[int, List[int]] = {}
         for lit, lst in self._watches.items():
             new_lst = [remap[i] for i in lst if i in remap]
@@ -523,10 +533,18 @@ class Solver:
         self._conflicts = 0
         self._decisions = 0
         self._propagations = 0
+        self._restarts = 0
+        self._solve_id += 1
         if not self._ok:
             return SolveResult(False)
         for lit in assumptions:
             self.ensure_var(abs(lit))
+
+        # Progress telemetry: with the null bus the loop below pays one
+        # integer test per conflict and nothing else.
+        progress = get_progress()
+        sample_every = progress.interval if progress.enabled else 0
+        solve_started = time.perf_counter() if sample_every else 0.0
 
         max_learnts = max(100, len(self._clauses) // 3)
         restart_idx = 1
@@ -540,6 +558,12 @@ class Solver:
                 if conflict is not None:
                     self._conflicts += 1
                     conflicts_this_restart += 1
+                    if sample_every and self._conflicts % sample_every == 0:
+                        progress.publish(
+                            self._progress_snapshot(
+                                solve_started, conflict_budget
+                            )
+                        )
                     if conflict_budget is not None and self._conflicts >= conflict_budget:
                         # Publish before raising: the work done up to the
                         # budget miss (this call's conflicts/decisions/
@@ -581,6 +605,7 @@ class Solver:
                     restart_idx += 1
                     conflicts_until_restart = 32 * _luby(restart_idx)
                     conflicts_this_restart = 0
+                    self._restarts += 1
                     self._cancel_until(0)
                     continue
 
@@ -605,11 +630,43 @@ class Solver:
                 self._new_decision_level()
                 self._enqueue(next_lit, None)
         finally:
+            if sample_every:
+                # A closing snapshot, so even an easy solve (fewer conflicts
+                # than the sampling interval) heartbeats once, and watchers
+                # see the final counters of a budget-exhausted call.
+                progress.publish(
+                    self._progress_snapshot(solve_started, conflict_budget)
+                )
             # Always unwind to level 0: every exit path -- UNSAT, assumption
             # failure, and notably a BudgetExhausted raise -- must leave the
             # solver ready for further add_clause/solve calls.  (_finish has
             # already cancelled on normal returns; this is then a no-op.)
             self._cancel_until(0)
+
+    def _progress_snapshot(
+        self, solve_started: float, conflict_budget: Optional[int]
+    ) -> ProgressSnapshot:
+        """A point-in-time view of the running solve (for the progress bus)."""
+        elapsed = time.perf_counter() - solve_started
+        return ProgressSnapshot(
+            ts=time.time(),
+            pid=os.getpid(),
+            solve_id=self._solve_id,
+            conflicts=self._conflicts,
+            decisions=self._decisions,
+            propagations=self._propagations,
+            restarts=self._restarts,
+            learned=self._learnt,
+            trail=len(self._trail),
+            conflicts_per_sec=(
+                self._conflicts / elapsed if elapsed > 0 else 0.0
+            ),
+            budget_remaining=(
+                conflict_budget - self._conflicts
+                if conflict_budget is not None
+                else None
+            ),
+        )
 
     def _publish_metrics(self, outcome: str) -> None:
         """Publish this call's counters (every exit path, incl. budget)."""
@@ -621,6 +678,7 @@ class Solver:
             metrics.counter("sat.conflicts").inc(self._conflicts)
             metrics.counter("sat.decisions").inc(self._decisions)
             metrics.counter("sat.propagations").inc(self._propagations)
+            metrics.counter("sat.restarts").inc(self._restarts)
             metrics.counter(f"sat.results.{outcome}").inc()
 
     def _finish(self, sat: bool) -> SolveResult:
@@ -638,6 +696,7 @@ class Solver:
             conflicts=self._conflicts,
             decisions=self._decisions,
             propagations=self._propagations,
+            restarts=self._restarts,
         )
 
     # ------------------------------------------------------------------
@@ -654,7 +713,7 @@ class Solver:
     @property
     def num_learnt(self) -> int:
         """Learned (conflict-derived) clauses currently in the database."""
-        return sum(1 for rec in self._clauses if rec.learned)
+        return self._learnt
 
     @property
     def ok(self) -> bool:

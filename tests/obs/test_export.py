@@ -1,0 +1,267 @@
+"""Exporters: span JSONL -> Chrome trace-event JSON round-trip, Prometheus
+text-exposition conformance (validated with a mini-parser), and the
+stdlib /metrics HTTP endpoint."""
+
+import json
+import re
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    JsonlTracer,
+    MetricsRegistry,
+    SpanRecord,
+    chrome_trace,
+    make_metrics_server,
+    read_events,
+    render_prometheus,
+    sanitize_metric_name,
+    write_chrome_trace,
+)
+
+
+def _span(name, span_id, pid, start=100.0, seconds=0.5, parent=None,
+          open_=False):
+    return SpanRecord(
+        name=name,
+        span_id=span_id,
+        parent_id=parent,
+        start=start,
+        seconds=seconds,
+        attrs={},
+        pid=pid,
+        open=open_,
+    )
+
+
+class TestChromeTrace:
+    def test_one_track_per_pid_with_metadata(self):
+        spans = [
+            _span("pipeline.run", "1-1", pid=1000),
+            _span("pipeline.task", "2-1", pid=2000),
+            _span("pipeline.task", "3-1", pid=3000),
+        ]
+        trace = chrome_trace(spans)
+        events = trace["traceEvents"]
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert set(names) == {1000, 2000, 3000}
+        assert "orchestrator" in names[1000]
+        assert "worker" in names[2000]
+        assert "worker" in names[3000]
+
+    def test_complete_events_microseconds(self):
+        trace = chrome_trace([_span("s", "1-1", pid=1, start=2.0, seconds=0.25)])
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 1
+        assert complete[0]["ts"] == 2_000_000
+        assert complete[0]["dur"] == 250_000
+
+    def test_open_span_becomes_begin_event(self):
+        spans = [
+            _span("done", "1-1", pid=1),
+            _span("killed", "1-2", pid=1, open_=True),
+        ]
+        trace = chrome_trace(spans)
+        by_phase = {}
+        for e in trace["traceEvents"]:
+            by_phase.setdefault(e["ph"], []).append(e["name"])
+        assert "done" in by_phase["X"]
+        assert by_phase["B"] == ["killed"]
+
+    def test_heartbeats_become_counter_tracks(self):
+        beat = {
+            "event": "progress",
+            "ts": 5.0,
+            "pid": 777,
+            "conflicts": 512,
+            "conflicts_per_sec": 1000.0,
+            "learned": 64,
+            "trail": 30,
+        }
+        trace = chrome_trace([_span("s", "1-1", pid=1)], [beat])
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert {e["name"] for e in counters} == {
+            "sat.conflicts",
+            "sat.conflicts_per_sec",
+            "sat.learned",
+            "sat.trail",
+        }
+        assert all(e["pid"] == 777 for e in counters)
+        assert all(e["ts"] == 5_000_000 for e in counters)
+        # The heartbeat-only pid still gets a named track.
+        metadata_pids = {
+            e["pid"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert 777 in metadata_pids
+
+    def test_from_real_parallel_style_trace_file(self, tmp_path):
+        """End to end: JSONL written by tracers in two 'processes' (one
+        killed mid-span) converts to a loadable Chrome trace."""
+        path = tmp_path / "t.jsonl"
+        t = JsonlTracer(str(path))
+        try:
+            with t.span("pipeline.run"):
+                with t.span("pipeline.task", task=1):
+                    pass
+                doomed = t.span("pipeline.task", task=2)
+                doomed.__enter__()  # never exited: simulated kill
+        finally:
+            from repro.obs import trace as trace_module
+
+            trace_module._current_span_id.set(None)
+            t.close()
+        spans, events = read_events(str(path))
+        out = tmp_path / "chrome.json"
+        count = write_chrome_trace(str(out), spans, events)
+        data = json.loads(out.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        assert len(data["traceEvents"]) == count
+        phases = [e["ph"] for e in data["traceEvents"]]
+        assert phases.count("B") == 1  # the killed task
+        assert phases.count("X") == 2  # run + completed task
+        json.dumps(data)  # whole object must be JSON-serializable
+
+
+def _parse_exposition(text):
+    """Mini Prometheus text-format parser: validates structure, returns
+    {metric_name: value} plus the TYPE declarations."""
+    types = {}
+    values = {}
+    sample_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? "
+        r"(-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$"
+    )
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            assert len(line.split(" ", 3)) == 4
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram", "summary")
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line}"
+        match = sample_re.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        name, labels, value = match.groups()
+        values[name + (labels or "")] = value
+    return types, values
+
+
+class TestPrometheus:
+    def test_sanitize(self):
+        assert sanitize_metric_name("sat.conflicts") == "repro_sat_conflicts"
+        assert sanitize_metric_name("a-b c") == "repro_a_b_c"
+        assert sanitize_metric_name("").startswith("repro_")
+
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("sat.conflicts").inc(42)
+        registry.gauge("pool.size").set(3.0)
+        types, values = _parse_exposition(
+            render_prometheus(registry.snapshot())
+        )
+        assert types["repro_sat_conflicts_total"] == "counter"
+        assert values["repro_sat_conflicts_total"] == "42"
+        assert types["repro_pool_size"] == "gauge"
+        assert values["repro_pool_size"] == "3"
+
+    def test_bucketed_histogram_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("solve.seconds", bounds=[0.1, 1.0, 10.0])
+        for value in (0.05, 0.5, 0.7, 5.0, 50.0):
+            h.observe(value)
+        types, values = _parse_exposition(
+            render_prometheus(registry.snapshot())
+        )
+        assert types["repro_solve_seconds"] == "histogram"
+        assert values['repro_solve_seconds_bucket{le="0.1"}'] == "1"
+        assert values['repro_solve_seconds_bucket{le="1"}'] == "3"
+        assert values['repro_solve_seconds_bucket{le="10"}'] == "4"
+        assert values['repro_solve_seconds_bucket{le="+Inf"}'] == "5"
+        assert values["repro_solve_seconds_count"] == "5"
+        # +Inf bucket must equal _count (Prometheus invariant).
+        assert (
+            values['repro_solve_seconds_bucket{le="+Inf"}']
+            == values["repro_solve_seconds_count"]
+        )
+
+    def test_unbucketed_histogram_renders_as_summary(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 9.0):
+            registry.histogram("sizes").observe(value)
+        types, values = _parse_exposition(
+            render_prometheus(registry.snapshot())
+        )
+        assert types["repro_sizes"] == "summary"
+        assert values["repro_sizes_count"] == "3"
+        assert values["repro_sizes_sum"] == "12"
+        assert values["repro_sizes_min"] == "1"
+        assert values["repro_sizes_max"] == "9"
+
+    def test_help_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        text = render_prometheus(
+            registry.snapshot(), help_texts={"c": "line\nbreak \\ slash"}
+        )
+        help_line = next(
+            line for line in text.splitlines() if line.startswith("# HELP")
+        )
+        assert "\n" not in help_line
+        assert "line\\nbreak \\\\ slash" in help_line
+
+    def test_empty_snapshot(self):
+        assert render_prometheus({}) == ""
+
+    def test_real_run_report_metrics_parse(self):
+        """A registry populated the way the pipeline populates it renders a
+        fully parseable exposition."""
+        registry = MetricsRegistry()
+        registry.counter("sat.conflicts").inc(100)
+        registry.counter("cache.hits").inc(7)
+        registry.histogram("ame.cfg_count").observe(17)
+        registry.histogram(
+            "task.seconds", bounds=[0.01, 0.1, 1.0]
+        ).observe(0.05)
+        text = render_prometheus(registry.snapshot())
+        types, values = _parse_exposition(text)
+        assert len(types) >= 4
+        assert text.endswith("\n")
+
+
+class TestMetricsServer:
+    def test_serves_exposition_and_404(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        server = make_metrics_server(registry.snapshot, port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics"
+            ) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4"
+                )
+                body = resp.read().decode()
+            types, values = _parse_exposition(body)
+            assert values["repro_hits_total"] == "3"
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"http://127.0.0.1:{port}/other")
+        finally:
+            server.shutdown()
+            server.server_close()

@@ -94,6 +94,106 @@ class TestMerge:
         assert registry.snapshot() == other.snapshot()
 
 
+class TestBucketedHistogram:
+    def test_observe_le_semantics(self, registry):
+        h = registry.histogram("h", bounds=[1.0, 10.0])
+        for v in (0.5, 1.0, 5.0, 10.0, 100.0):
+            h.observe(v)
+        # le semantics: boundary values land in the bucket they bound.
+        assert h.bucket_counts == [2, 2, 1]
+        assert h.cumulative_buckets() == [
+            (1.0, 2),
+            (10.0, 4),
+            (float("inf"), 5),
+        ]
+
+    def test_bounds_normalized(self, registry):
+        h = registry.histogram("h", bounds=[10, 1, 1.0])
+        assert h.bounds == (1.0, 10.0)
+
+    def test_snapshot_keys_only_when_bucketed(self, registry):
+        registry.histogram("plain").observe(1.0)
+        registry.histogram("bucketed", bounds=[1.0]).observe(1.0)
+        snap = registry.snapshot()
+        assert "bounds" not in snap["plain"]
+        assert "buckets" not in snap["plain"]
+        assert snap["bucketed"]["bounds"] == [1.0]
+        assert snap["bucketed"]["buckets"] == [1, 0]
+
+    def test_rerequest_with_different_bounds_raises(self, registry):
+        registry.histogram("h", bounds=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            registry.histogram("h", bounds=[1.0, 3.0])
+        # Omitting bounds returns the existing instrument unchanged.
+        assert registry.histogram("h").bounds == (1.0, 2.0)
+
+
+class TestBucketedMerge:
+    def test_identical_bounds_add_elementwise(self, registry):
+        registry.histogram("h", bounds=[1.0, 10.0]).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("h", bounds=[1.0, 10.0]).observe(5.0)
+        other.histogram("h").observe(50.0)
+        registry.merge(other.snapshot())
+        h = registry.histogram("h")
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.count == 3
+
+    def test_fresh_local_adopts_incoming_bounds(self, registry):
+        """The worker-snapshot path: the parent has never seen the metric,
+        so it must take the worker's buckets wholesale, not degrade them."""
+        other = MetricsRegistry()
+        other.histogram("h", bounds=[1.0, 2.0]).observe(1.5)
+        registry.merge(other.snapshot())
+        h = registry.histogram("h")
+        assert h.bounds == (1.0, 2.0)
+        assert h.bucket_counts == [0, 1, 0]
+
+    def test_subset_bounds_coarsen_exactly(self, registry):
+        """Bounds that share a subset coarsen onto the intersection; counts
+        sum across whole intervals, so nothing is invented or lost."""
+        mine = registry.histogram("h", bounds=[1.0, 5.0, 10.0])
+        for v in (0.5, 3.0, 7.0, 20.0):
+            mine.observe(v)
+        other = MetricsRegistry()
+        theirs = other.histogram("h", bounds=[5.0, 10.0, 50.0])
+        for v in (2.0, 30.0):
+            theirs.observe(v)
+        registry.merge(other.snapshot())
+        h = registry.histogram("h")
+        assert h.bounds == (5.0, 10.0)
+        # <=5: 0.5,3.0,2.0 | <=10: 7.0 | overflow: 20.0,30.0
+        assert h.bucket_counts == [3, 1, 2]
+        assert sum(h.bucket_counts) == h.count == 6
+
+    def test_disjoint_bounds_widen_to_summary(self, registry):
+        registry.histogram("h", bounds=[1.0]).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("h", bounds=[99.0]).observe(5.0)
+        registry.merge(other.snapshot())
+        h = registry.histogram("h")
+        assert h.bounds == ()
+        assert h.bucket_counts == []
+        # The streaming summary survives the widening intact.
+        assert (h.count, h.total, h.min, h.max) == (2, 5.5, 0.5, 5.0)
+
+    def test_merge_never_raises_on_any_bounds_combination(self, registry):
+        """Totality: merging any pairing of bucketed/unbucketed histograms
+        must succeed and preserve count/sum."""
+        combos = [(), (1.0,), (1.0, 2.0), (3.0,)]
+        for i, mine in enumerate(combos):
+            for j, theirs in enumerate(combos):
+                name = f"h{i}_{j}"
+                registry.histogram(name, bounds=mine or None).observe(1.0)
+                other = MetricsRegistry()
+                other.histogram(name, bounds=theirs or None).observe(2.0)
+                registry.merge(other.snapshot())
+                h = registry.histogram(name)
+                assert (h.count, h.total) == (2, 3.0)
+                if h.bounds:
+                    assert sum(h.bucket_counts) == h.count
+
+
 class TestDisabled:
     def test_null_registry_hands_out_shared_noop(self):
         reg = NullMetricsRegistry()

@@ -1,0 +1,349 @@
+"""Solver progress telemetry: ring buffer semantics (including concurrent
+publish/read), solver publication, heartbeat transport over the trace
+file, the --watch monitor, and the zero-cost / byte-identity guarantee
+when telemetry is disabled."""
+
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_PROGRESS,
+    PROGRESS_ENV,
+    HeartbeatMonitor,
+    JsonlTracer,
+    ProgressBus,
+    ProgressRing,
+    ProgressSnapshot,
+    enable_progress,
+    get_progress,
+    set_progress,
+    set_tracer,
+)
+from repro.sat.solver import BudgetExhausted, Solver
+
+
+def _snap(i, pid=1):
+    return ProgressSnapshot(
+        ts=float(i),
+        pid=pid,
+        solve_id=1,
+        conflicts=i,
+        decisions=2 * i,
+        propagations=3 * i,
+        restarts=0,
+        learned=i,
+        trail=5,
+        conflicts_per_sec=100.0,
+    )
+
+
+@pytest.fixture
+def bus():
+    """Install a live in-process bus (no trace events); restore after."""
+    b = ProgressBus(interval=1, emit_events=False)
+    previous = set_progress(b)
+    yield b
+    set_progress(previous)
+
+
+def _pigeonhole(n):
+    """PHP(n+1, n): n+1 pigeons in n holes -- UNSAT with real conflicts."""
+    clauses = []
+    var = lambda p, h: p * n + h + 1  # noqa: E731
+    for p in range(n + 1):
+        clauses.append([var(p, h) for h in range(n)])
+    for h in range(n):
+        for p1 in range(n + 1):
+            for p2 in range(p1 + 1, n + 1):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return clauses
+
+
+class TestRing:
+    def test_latest_and_seq(self):
+        ring = ProgressRing(capacity=4)
+        assert ring.latest() is None
+        for i in range(3):
+            ring.publish(_snap(i))
+        assert ring.seq == 3
+        assert ring.latest().conflicts == 2
+
+    def test_read_since_in_order_no_drops(self):
+        ring = ProgressRing(capacity=8)
+        for i in range(5):
+            ring.publish(_snap(i))
+        cursor, dropped, items = ring.read_since(0)
+        assert cursor == 5
+        assert dropped == 0
+        assert [s.conflicts for s in items] == [0, 1, 2, 3, 4]
+        cursor, dropped, items = ring.read_since(cursor)
+        assert (cursor, dropped, items) == (5, 0, [])
+
+    def test_wraparound_reports_drops(self):
+        ring = ProgressRing(capacity=4)
+        for i in range(10):
+            ring.publish(_snap(i))
+        cursor, dropped, items = ring.read_since(0)
+        assert cursor == 10
+        assert dropped == 6  # only the last `capacity` survive
+        assert [s.conflicts for s in items] == [6, 7, 8, 9]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ProgressRing(capacity=0)
+
+    def test_concurrent_publish_and_read(self):
+        """One writer, one reader, no locks: the reader must only ever see
+        monotonically increasing conflict counts and account for every
+        snapshot as either delivered or dropped."""
+        ring = ProgressRing(capacity=16)
+        total = 5000
+        seen = []
+        dropped_total = 0
+
+        def writer():
+            for i in range(total):
+                ring.publish(_snap(i))
+
+        def reader():
+            nonlocal dropped_total
+            cursor = 0
+            while cursor < total:
+                cursor, dropped, items = ring.read_since(cursor)
+                dropped_total += dropped
+                seen.extend(s.conflicts for s in items)
+
+        w = threading.Thread(target=writer)
+        r = threading.Thread(target=reader)
+        w.start(), r.start()
+        w.join(), r.join()
+        assert sorted(seen) == seen  # strictly in publication order
+        assert len(seen) + dropped_total == total
+
+
+class TestSnapshotRoundTrip:
+    def test_dict_round_trip(self):
+        snap = _snap(7)
+        data = snap.to_dict()
+        assert data["event"] == "progress"
+        assert ProgressSnapshot.from_dict(data) == snap
+
+    def test_budget_remaining_survives(self):
+        snap = _snap(3)
+        snap.budget_remaining = 42
+        assert ProgressSnapshot.from_dict(snap.to_dict()).budget_remaining == 42
+
+
+class TestSolverPublishes:
+    def test_conflicty_solve_emits_snapshots(self, bus):
+        solver = Solver()
+        for clause in _pigeonhole(5):
+            solver.add_clause(clause)
+        result = solver.solve()
+        assert not result.satisfiable
+        assert bus.ring.seq > 1  # periodic samples plus the closing one
+        last = bus.ring.latest()
+        assert last.conflicts > 0
+        assert last.decisions > 0
+        assert last.solve_id == 1
+        assert last.budget_remaining is None
+
+    def test_budget_remaining_counts_down(self, bus):
+        solver = Solver()
+        for clause in _pigeonhole(6):
+            solver.add_clause(clause)
+        with pytest.raises(BudgetExhausted):
+            solver.solve(conflict_budget=10)
+        last = bus.ring.latest()
+        assert last.budget_remaining == 0  # closing snapshot at the miss
+
+    def test_easy_solve_heartbeats_once(self, bus):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert solver.solve().satisfiable
+        assert bus.ring.seq == 1  # no conflicts, still one closing snapshot
+
+    def test_null_bus_publishes_nothing(self, monkeypatch):
+        monkeypatch.delenv(PROGRESS_ENV, raising=False)
+        assert get_progress() is NULL_PROGRESS or not get_progress().enabled
+        solver = Solver()
+        for clause in _pigeonhole(4):
+            solver.add_clause(clause)
+        assert not solver.solve().satisfiable  # must not raise or publish
+
+
+class TestHeartbeatTransport:
+    def test_snapshots_land_in_trace_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = JsonlTracer(str(path))
+        previous_tracer = set_tracer(tracer)
+        previous_bus = set_progress(ProgressBus(interval=1))
+        try:
+            solver = Solver()
+            for clause in _pigeonhole(5):
+                solver.add_clause(clause)
+            solver.solve()
+        finally:
+            set_progress(previous_bus)
+            set_tracer(previous_tracer)
+            tracer.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        beats = [d for d in lines if d.get("event") == "progress"]
+        assert beats
+        assert all(d["pid"] > 0 for d in beats)
+        assert beats[-1]["conflicts"] >= beats[0]["conflicts"]
+
+    def test_emit_event_requires_event_key(self, tmp_path):
+        tracer = JsonlTracer(str(tmp_path / "t.jsonl"))
+        try:
+            with pytest.raises(ValueError):
+                tracer.emit_event({"no": "kind"})
+        finally:
+            tracer.close()
+
+    def test_enable_progress_sets_env_for_workers(self, monkeypatch):
+        monkeypatch.delenv(PROGRESS_ENV, raising=False)
+        previous = get_progress()
+        try:
+            bus = enable_progress(interval=64)
+            import os
+
+            assert os.environ[PROGRESS_ENV] == "64"
+            assert get_progress() is bus
+            assert bus.interval == 64
+        finally:
+            set_progress(previous)
+            monkeypatch.delenv(PROGRESS_ENV, raising=False)
+
+
+class TestHeartbeatMonitor:
+    def _write_beat(self, path, i, pid=101):
+        with open(path, "a") as handle:
+            handle.write(json.dumps(_snap(i, pid=pid).to_dict()) + "\n")
+
+    def test_poll_picks_up_appended_beats(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        monitor = HeartbeatMonitor(str(path), stall_after=100.0)
+        assert monitor.poll(now=0.0) == []
+        self._write_beat(path, 1)
+        self._write_beat(path, 2, pid=202)
+        fresh = monitor.poll(now=1.0)
+        assert [s.pid for s in fresh] == [101, 202]
+        assert monitor.pids() == [101, 202]
+        assert monitor.latest(101).conflicts == 1
+        self._write_beat(path, 9)
+        assert [s.conflicts for s in monitor.poll(now=2.0)] == [9]
+        assert monitor.latest(101).conflicts == 9
+
+    def test_partial_line_buffered_until_complete(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        full = json.dumps(_snap(1).to_dict()) + "\n"
+        path.write_text(full[:20])  # a write landed mid-line
+        monitor = HeartbeatMonitor(str(path))
+        assert monitor.poll(now=0.0) == []
+        with open(path, "a") as handle:
+            handle.write(full[20:])
+        assert [s.conflicts for s in monitor.poll(now=1.0)] == [1]
+
+    def test_stall_flagged_once(self, tmp_path, caplog):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        logger = logging.getLogger("repro.test-watch")
+        monitor = HeartbeatMonitor(str(path), stall_after=5.0, logger=logger)
+        self._write_beat(path, 1)
+        with caplog.at_level(logging.INFO, logger=logger.name):
+            monitor.poll(now=0.0)
+            monitor.poll(now=10.0)  # silent past the threshold
+            monitor.poll(now=20.0)  # still silent: no second warning
+        warnings = [r for r in caplog.records if r.levelno == logging.WARNING]
+        assert len(warnings) == 1
+        assert monitor.stalled_pids(now=10.0) == [101]
+        # A fresh heartbeat clears the stall latch.
+        self._write_beat(path, 2)
+        with caplog.at_level(logging.INFO, logger=logger.name):
+            monitor.poll(now=21.0)
+            monitor.poll(now=40.0)
+        warnings = [r for r in caplog.records if r.levelno == logging.WARNING]
+        assert len(warnings) == 2
+
+    def test_missing_file_is_not_an_error(self, tmp_path):
+        monitor = HeartbeatMonitor(str(tmp_path / "absent.jsonl"))
+        assert monitor.poll() == []
+
+    def test_start_stop_background_thread(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        monitor = HeartbeatMonitor(
+            str(path), poll_interval=0.01, stall_after=100.0
+        )
+        monitor.start()
+        try:
+            self._write_beat(path, 1)
+            for _ in range(200):
+                if monitor.pids():
+                    break
+                import time
+
+                time.sleep(0.005)
+        finally:
+            monitor.stop()
+        assert monitor.pids() == [101]
+
+
+class TestZeroCostIdentity:
+    def test_default_bus_is_null(self, monkeypatch):
+        monkeypatch.delenv(PROGRESS_ENV, raising=False)
+        import importlib
+
+        from repro.obs import progress as progress_module
+
+        # Reimporting with the env unset must land back on the null bus.
+        importlib.reload(progress_module)
+        try:
+            assert not progress_module.get_progress().enabled
+            assert progress_module.get_progress().interval == 0
+        finally:
+            importlib.reload(progress_module)
+
+    def test_findings_identical_with_telemetry_on_and_off(self, tmp_path):
+        """The observability acceptance bar: enabling every telemetry layer
+        must not change analysis output by a single byte."""
+        import json as json_module
+
+        from repro.benchsuite.running_example import build_app1, build_app2
+        from repro.obs import enable_metrics, set_metrics, NULL_METRICS
+        from repro.obs import enable_tracing, NULL_TRACER
+        from repro.pipeline import AnalysisPipeline, NullCache
+
+        apks = [build_app1(), build_app2()]
+
+        def run():
+            result = AnalysisPipeline(
+                jobs=1, cache=NullCache(), scenarios_per_signature=4
+            ).run([apks])
+            return json_module.dumps(result.findings_dict(), sort_keys=True)
+
+        plain = run()
+
+        tracer = enable_tracing(str(tmp_path / "t.jsonl"))
+        enable_metrics()
+        bus = enable_progress(interval=1)
+        try:
+            telemetered = run()
+        finally:
+            set_tracer(NULL_TRACER)
+            set_metrics(NULL_METRICS)
+            set_progress(NULL_PROGRESS)
+            tracer.close()
+            import os
+
+            os.environ.pop("REPRO_TRACE", None)
+            os.environ.pop("REPRO_METRICS", None)
+            os.environ.pop(PROGRESS_ENV, None)
+
+        assert telemetered == plain
+        assert bus.ring.seq > 0  # telemetry actually ran

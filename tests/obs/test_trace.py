@@ -19,6 +19,7 @@ from repro.obs import (
     get_tracer,
     set_tracer,
 )
+from repro.obs import trace
 from repro.obs.trace import read_trace, write_trace
 
 
@@ -132,12 +133,56 @@ class TestRoundTrip:
             set_tracer(previous)
             t.close()
         lines = path.read_text().splitlines()
-        assert len(lines) == 2
-        names = {json.loads(line)["name"] for line in lines}
-        assert names == {"a", "b"}
+        # Two spans, each as a begin event plus a completion line.
+        assert len(lines) == 4
+        parsed = [json.loads(line) for line in lines]
+        begins = [p for p in parsed if p.get("event") == "span_begin"]
+        completions = [p for p in parsed if "event" not in p]
+        assert {p["name"] for p in begins} == {"a", "b"}
+        assert {p["name"] for p in completions} == {"a", "b"}
+        assert {p["span_id"] for p in begins} == {
+            p["span_id"] for p in completions
+        }
         records = read_trace(str(path))
+        assert len(records) == 2
         by_name = {r.name: r for r in records}
         assert by_name["b"].parent_id == by_name["a"].span_id
+        assert not any(r.open for r in records)
+
+    def test_read_trace_recovers_open_span_for_killed_worker(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        t = JsonlTracer(str(path))
+        try:
+            with t.span("survivor"):
+                pass
+            # Simulate a worker killed mid-span: begin event written, the
+            # process dies before __exit__ ever runs.
+            doomed = t.span("doomed", task=7)
+            doomed.__enter__()
+            # Undo the contextvar mutation without emitting a completion.
+            trace._current_span_id.reset(doomed._token)
+        finally:
+            t.close()
+        records = read_trace(str(path))
+        by_name = {r.name: r for r in records}
+        assert not by_name["survivor"].open
+        assert by_name["doomed"].open
+        assert by_name["doomed"].seconds == 0.0
+        # Open spans come from begin events, which carry start + pid.
+        assert by_name["doomed"].start > 0
+        assert by_name["doomed"].pid == os.getpid()
+
+    def test_begin_events_can_be_disabled(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        t = JsonlTracer(str(path), begin_events=False)
+        try:
+            with t.span("a"):
+                pass
+        finally:
+            t.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert "event" not in json.loads(lines[0])
 
     def test_enable_tracing_sets_env_for_workers(self, tmp_path, monkeypatch):
         monkeypatch.delenv(TRACE_ENV, raising=False)
