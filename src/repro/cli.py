@@ -54,6 +54,7 @@ from repro import __version__
 from repro.core import serialize
 from repro.core.model import BundleModel
 from repro.core.separ import Separ
+from repro.sat import DEFAULT_BACKEND, SOLVER_BACKENDS
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -103,12 +104,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             scenarios_per_signature=args.scenarios,
             shared_encoding=args.shared_encoding,
+            solver_backend=args.solver_backend,
         )
         report = pipeline.analyze_bundles([bundle]).reports[0]
     else:
         separ = Separ(
             scenarios_per_signature=args.scenarios,
             shared_encoding=args.shared_encoding,
+            solver_backend=args.solver_backend,
         )
         report = separ.analyze_bundle(bundle)
     print(report.summary())
@@ -199,6 +202,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         conflict_budget=args.conflict_budget,
         time_budget_seconds=args.time_budget,
         shared_encoding=args.shared_encoding,
+        solver_backend=args.solver_backend,
     )
     try:
         result = pipeline.run(bundles)
@@ -232,7 +236,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     )
     solver = report.solver
     print(
-        f"  solver: {solver.solver_calls} calls, "
+        f"  solver: {solver.solver_calls} calls "
+        f"[{solver.backend or 'cached'}], "
         f"{solver.conflicts} conflicts, {solver.decisions} decisions, "
         f"{solver.propagations} propagations"
     )
@@ -477,6 +482,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         seed=args.seed,
         shared_encoding=args.shared_encoding,
+        solver_backend=args.solver_backend,
         quick=args.quick,
     )
     result = run_bench(config, progress=print)
@@ -602,6 +608,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="translate a fresh problem per signature (byte-identical "
         "findings; finer parallel granularity)",
+    )
+    analyze.add_argument(
+        "--solver-backend",
+        choices=sorted(SOLVER_BACKENDS),
+        default=DEFAULT_BACKEND,
+        help="SAT backend: 'fast' (flat-arena, default) or 'reference' "
+        "(the readable oracle); findings are byte-identical either way",
     )
     analyze.set_defaults(func=_cmd_analyze)
 
@@ -731,6 +744,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="one synthesis task per (bundle, signature) pair "
         "(byte-identical findings; finer parallel granularity)",
+    )
+    pipeline.add_argument(
+        "--solver-backend",
+        choices=sorted(SOLVER_BACKENDS),
+        default=DEFAULT_BACKEND,
+        help="SAT backend: 'fast' (flat-arena, default) or 'reference' "
+        "(the readable oracle); outputs and cache keys are "
+        "backend-independent",
     )
     pipeline.set_defaults(func=_cmd_pipeline)
 
@@ -920,6 +941,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help="benchmark the per-signature synthesis path instead of the "
         "shared-encoding default",
+    )
+    bench.add_argument(
+        "--solver-backend",
+        choices=sorted(SOLVER_BACKENDS),
+        default=DEFAULT_BACKEND,
+        help="SAT backend the workloads run on (default: %(default)s)",
     )
     bench.add_argument(
         "--compare",

@@ -25,6 +25,7 @@ from repro.obs import get_metrics, get_tracer
 from repro.relational import ast as rast
 from repro.relational.problem import RelationalProblem
 from repro.relational.sigs import Module, Sig
+from repro.sat import DEFAULT_BACKEND
 from repro.sat.solver import BudgetExhausted
 
 
@@ -58,6 +59,10 @@ class SynthesisStats:
     clauses_shared: int = 0
     learned_carried: int = 0
     exhausted: bool = False
+    # Which solver backend produced these numbers ("reference"/"fast");
+    # "mixed" after merging blocks from different backends, "" when
+    # unknown (stats deserialized from an older cache entry).
+    backend: str = ""
     per_signature: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def merge(self, other: "SynthesisStats") -> None:
@@ -75,6 +80,10 @@ class SynthesisStats:
         self.clauses_shared += other.clauses_shared
         self.learned_carried += other.learned_carried
         self.exhausted = self.exhausted or other.exhausted
+        if not self.backend:
+            self.backend = other.backend
+        elif other.backend and other.backend != self.backend:
+            self.backend = "mixed"
         # Sum numeric fields per key: a signature appearing in both blocks
         # (repeated runs, re-merged stats) must accumulate, not clobber.
         for name, values in other.per_signature.items():
@@ -97,6 +106,7 @@ class SynthesisStats:
             "clauses_shared": self.clauses_shared,
             "learned_carried": self.learned_carried,
             "exhausted": self.exhausted,
+            "backend": self.backend,
             "per_signature": self.per_signature,
         }
 
@@ -116,6 +126,7 @@ class SynthesisStats:
             clauses_shared=data.get("clauses_shared", 0),
             learned_carried=data.get("learned_carried", 0),
             exhausted=bool(data.get("exhausted", False)),
+            backend=str(data.get("backend", "")),
             per_signature={
                 name: dict(values)
                 for name, values in dict(
@@ -172,6 +183,7 @@ class AnalysisAndSynthesisEngine:
         conflict_budget: Optional[int] = None,
         time_budget_seconds: Optional[float] = None,
         shared_encoding: bool = True,
+        solver_backend: str = DEFAULT_BACKEND,
     ) -> None:
         self.signatures = (
             list(signatures) if signatures is not None else default_signatures()
@@ -181,6 +193,9 @@ class AnalysisAndSynthesisEngine:
         self.conflict_budget = conflict_budget
         self.time_budget_seconds = time_budget_seconds
         self.shared_encoding = shared_encoding
+        # Pure wall-clock knob: backends are verified byte-identical on
+        # scenarios, so this never participates in cache keys.
+        self.solver_backend = solver_backend
 
     def run(self, bundle: BundleModel) -> SynthesisResult:
         if self.shared_encoding:
@@ -251,9 +266,20 @@ class AnalysisAndSynthesisEngine:
                     # inflating the minimization walk; polarity resets to
                     # prefer-false, learned clauses stay.
                     problem.reset_phases()
-                assumptions = [selector] + [
-                    -other for other in selectors if other != selector
-                ]
+                # Deactivated selectors first, in reversed allocation
+                # order, the active one last: consecutive signatures then
+                # share an assumption prefix of still-deactivated
+                # selectors, so a trail-saving backend keeps their
+                # field-row clamp propagations seated across the switch
+                # instead of replaying them.  Canonical minimization
+                # makes the enumerated scenarios independent of
+                # assumption order, so this is a pure solver-work
+                # optimization.
+                assumptions = [
+                    -other
+                    for other in reversed(selectors)
+                    if other != selector
+                ] + [selector]
                 with tracer.span("ase.solve", signature=signature.name):
                     found, exhausted = self._enumerate(
                         problem,
@@ -282,8 +308,10 @@ class AnalysisAndSynthesisEngine:
         stats.translations = 1
         stats.translations_avoided = max(0, len(groups) - 1)
         stats.exhausted = exhausted_any
+        stats.backend = self.solver_backend
         metrics = get_metrics()
         if metrics.enabled:
+            metrics.counter(f"ase.backend.{self.solver_backend}").inc()
             metrics.counter("ase.signature_runs").inc(len(groups))
             metrics.counter("ase.scenarios").inc(len(scenarios))
             metrics.counter("ase.translations").inc(stats.translations)
@@ -331,13 +359,16 @@ class AnalysisAndSynthesisEngine:
         # Allocation only: the base is asserted after the groups, and
         # skipped entirely when every group folds to FALSE (a trivially
         # vulnerability-free bundle costs what per-signature mode pays).
-        problem = RelationalProblem(bounds, rast.TRUE_F)
+        problem = RelationalProblem(
+            bounds, rast.TRUE_F, backend=self.solver_backend
+        )
         atom_home: Dict[object, Sig] = {}
         for sig in merged_scopes:
             for atom in module.anon_atoms_of(sig):
                 atom_home[atom] = sig
         selectors: List[int] = []
-        live: List[Tuple[int, List[Tuple], List[Tuple]]] = []
+        group_atoms: List[set] = []
+        live: List[Tuple[int, List[Tuple]]] = []
         for (signature, inst), fields, facts in zip(
             groups, own_fields, own_facts
         ):
@@ -357,10 +388,11 @@ class AnalysisAndSynthesisEngine:
                     for ancestor in sig.ancestors():
                         require.append((ancestor.relation, (atom,)))
             # Rows touching another signature's anonymous atoms are
-            # forced false under this selector (typing + forbid below),
-            # so the gated translation may fold them to FALSE outright:
-            # the group then costs what a standalone per-signature
-            # translation over its own universe would.
+            # forced false whenever this group is the active one (owner
+            # clamps + typing below), so the gated translation may fold
+            # them to FALSE outright: the group then costs what a
+            # standalone per-signature translation over its own universe
+            # would.
             mask = [
                 (relation, tup)
                 for relation, tup in problem.primary_vars
@@ -373,14 +405,61 @@ class AnalysisAndSynthesisEngine:
                 rast.and_all(parts), mask=mask
             )
             selectors.append(selector)
+            group_atoms.append(own_atoms)
             if selector in problem.dead_gates:
                 continue  # (-selector) already forbids activating it
-            forbid = [
-                (atom_home[atom].relation, (atom,))
-                for atom in atom_home
-                if atom not in own_atoms
-            ]
-            live.append((selector, require, forbid))
+            # A group's field relations are referenced only by its own
+            # gated translation (the base excludes them), so while the
+            # group is switched off nothing constrains their rows.  Left
+            # free, every warm query re-decides the whole deactivated
+            # tail after the trail is unwound -- exactly the per-query
+            # work the saved assumption prefix is meant to amortise.
+            # Clamping each row false unless the owning selector is true
+            # turns those decisions into propagations at the ``-sel``
+            # assumption's own level, which the saved prefix keeps across
+            # queries (and across active-signature switches, given the
+            # canonical assumption order in :meth:`run_shared`).  Models
+            # are unchanged: nothing can force a deactivated field row
+            # true, so prefer-false minimization already pins them false.
+            # Dead groups skip the clamp (via the ``continue`` above):
+            # their gated translation folded away, so their rows are
+            # referenced by nothing and stay false without help -- and a
+            # trivially vulnerability-free bundle keeps its near-empty
+            # CNF instead of paying thousands of clamp clauses.
+            problem.add_absent_unless(
+                selector,
+                [
+                    (relation, tup)
+                    for relation, tup in problem.primary_vars
+                    if relation in {fld.relation for fld in fields}
+                ],
+            )
+            live.append((selector, require))
+        # Anonymous-atom membership rows get the same owner-side clamp
+        # as field rows: an atom exists only while a group scoping it is
+        # active, so its sig-membership row is absent unless one of its
+        # owning selectors is true.  Gating on the owners (rather than
+        # forbidding foreign atoms under the *active* selector, as a
+        # cold query would) anchors the membership rows -- and, through
+        # the ungated typing clauses below, the whole cascade of
+        # dependent base rows -- at the deactivated selectors' own
+        # assumption levels.  Those levels sit below the active
+        # selector's in the canonical assumption order, so re-seating
+        # the active signature (after a blocking clause, or on a
+        # signature switch) no longer replays the foreign-universe
+        # propagation.
+        # (Skipped entirely when every group folded away: with no base
+        # and no live translation, nothing references the membership
+        # rows and every query dies on its own dead gate.)
+        if live:
+            atom_owners: Dict[object, List[int]] = {}
+            for selector, atoms in zip(selectors, group_atoms):
+                for atom in atoms:
+                    atom_owners.setdefault(atom, []).append(selector)
+            for atom, sig in atom_home.items():
+                problem.add_absent_unless(
+                    atom_owners[atom], [(sig.relation, (atom,))]
+                )
         base_clauses = 0
         if live:
             base_start = problem.stats.num_clauses
@@ -388,9 +467,9 @@ class AnalysisAndSynthesisEngine:
             base_clauses = problem.stats.num_clauses - base_start
             # Ungated typing: every base-referenced free row mentioning
             # an anonymous atom implies that atom's sig-membership row.
-            # A live group then only gates the handful of foreign
-            # membership rows; unit propagation zeroes every dependent
-            # row.  Rows the base never mentions need no typing clause:
+            # The owner clamps above only bind the handful of membership
+            # rows; unit propagation zeroes every dependent row.  Rows
+            # the base never mentions need no typing clause:
             # nothing can force them true (every group masks foreign
             # rows out of its own translation), so prefer-false
             # minimization pins them false unaided.
@@ -409,10 +488,8 @@ class AnalysisAndSynthesisEngine:
                             )
             for member, rows in dependents.items():
                 problem.add_typing_tuples(member, rows)
-            for selector, require, forbid in live:
-                problem.add_gated_tuples(
-                    selector, require=require, forbid=forbid
-                )
+            for selector, require in live:
+                problem.add_gated_tuples(selector, require=require)
         return problem, groups, selectors, base_clauses
 
     def run_signature(
@@ -440,7 +517,9 @@ class AnalysisAndSynthesisEngine:
                 spec = BundleSpec(bundle)
                 instantiation = signature.instantiate(spec)
                 problem = spec.module.solve_problem(
-                    goal=instantiation.goal, extra=instantiation.extra_scopes
+                    goal=instantiation.goal,
+                    extra=instantiation.extra_scopes,
+                    backend=self.solver_backend,
                 )
             if self.conflict_budget is not None:
                 problem.conflict_budget = self.conflict_budget
@@ -475,6 +554,7 @@ class AnalysisAndSynthesisEngine:
         stats.solver_calls = problem.stats.solver_calls
         stats.translations = 1
         stats.exhausted = exhausted
+        stats.backend = self.solver_backend
         stats.per_signature[signature.name] = {
             "construction_seconds": construction,
             "solving_seconds": solving,

@@ -72,6 +72,7 @@ from repro.pipeline.cache import (
 )
 from repro.pipeline.faults import maybe_inject, mark_parent_process
 from repro.pipeline.stats import RunReport, TaskFailure
+from repro.sat import DEFAULT_BACKEND
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -176,6 +177,7 @@ def _synthesis_worker(task: Dict[str, Any]) -> Dict[str, Any]:
             minimal=task["minimal"],
             conflict_budget=task.get("conflict_budget"),
             time_budget_seconds=task.get("time_budget_seconds"),
+            solver_backend=task.get("solver_backend", DEFAULT_BACKEND),
         )
         result = engine.run_signature(bundle, signature)
     return {
@@ -212,6 +214,7 @@ def _shared_synthesis_worker(task: Dict[str, Any]) -> Dict[str, Any]:
             conflict_budget=task.get("conflict_budget"),
             time_budget_seconds=task.get("time_budget_seconds"),
             shared_encoding=True,
+            solver_backend=task.get("solver_backend", DEFAULT_BACKEND),
         )
         result = engine.run_shared(bundle)
     return {
@@ -337,6 +340,7 @@ class AnalysisPipeline:
         conflict_budget: Optional[int] = None,
         time_budget_seconds: Optional[float] = None,
         shared_encoding: bool = True,
+        solver_backend: str = DEFAULT_BACKEND,
     ) -> None:
         self.jobs = max(1, jobs)
         self.cache = cache if cache is not None else NullCache()
@@ -352,6 +356,7 @@ class AnalysisPipeline:
         self.conflict_budget = conflict_budget
         self.time_budget_seconds = time_budget_seconds
         self.shared_encoding = shared_encoding
+        self.solver_backend = solver_backend
 
     # ------------------------------------------------------------------
     # Fault-tolerant task dispatch
@@ -742,6 +747,13 @@ class AnalysisPipeline:
             )
 
     def _engine_params(self) -> Dict[str, Any]:
+        """Engine parameters that *do* shape results, and so cache keys.
+
+        ``solver_backend`` is deliberately absent: backends are verified
+        byte-identical (and budget-exhausted payloads are never cached),
+        so a cache entry written under one backend is valid under the
+        other.  The backend travels in the task payload instead.
+        """
         return {
             "scenarios_per_signature": self.scenarios_per_signature,
             "minimal": self.minimal,
@@ -921,6 +933,7 @@ class AnalysisPipeline:
                     {
                         "apps": bundle_apps[tasks[i][0]],
                         "signatures": list(self.signature_names),
+                        "solver_backend": self.solver_backend,
                         **params,
                     }
                     for i in miss_indices
@@ -935,6 +948,7 @@ class AnalysisPipeline:
                     {
                         "apps": bundle_apps[tasks[i][0]],
                         "signature": self.signature_names[tasks[i][1]],
+                        "solver_backend": self.solver_backend,
                         **params,
                     }
                     for i in miss_indices

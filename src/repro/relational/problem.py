@@ -34,7 +34,7 @@ from repro.relational import ast as rast
 from repro.relational.instance import Instance, instance_from_model
 from repro.relational.translate import TranslationRecord, Translator
 from repro.relational.universe import AtomTuple, Bounds, Relation
-from repro.sat import Solver
+from repro.sat import DEFAULT_BACKEND, make_solver
 from repro.sat.solver import BudgetExhausted
 
 
@@ -71,9 +71,15 @@ class RelationalProblem:
     setting ``conflict_budget = stats.conflicts + window``.
     """
 
-    def __init__(self, bounds: Bounds, formula: rast.Formula) -> None:
+    def __init__(
+        self,
+        bounds: Bounds,
+        formula: rast.Formula,
+        backend: str = DEFAULT_BACKEND,
+    ) -> None:
         self.bounds = bounds
         self.formula = formula
+        self.backend = backend
         self.conflict_budget: Optional[int] = None
         self.stats = SolveStats()
         start = time.perf_counter()
@@ -86,11 +92,22 @@ class RelationalProblem:
         )
         self.stats.translation_seconds = time.perf_counter() - start
         self.stats.num_primary_vars = len(self._record.primary_vars)
-        self._solver = Solver()
+        # Backend choice is a wall-clock knob only: both backends are
+        # verified byte-identical on relational results (the canonical
+        # lex-greedy minimization makes minimal scenarios trajectory-
+        # independent), so nothing downstream may key on it.
+        self._solver = make_solver(backend)
         self._fed_clauses = 0
         self._trivially_unsat = self._record.trivially_unsat
         self._canonical_order: Optional[List[int]] = None
-        # selector -> {primary var: value forced while that selector holds}
+        # Negated activation literals of finished minimizations, assumed
+        # false on every later query (prefix-friendly retirement).
+        self._retired: List[int] = []
+        # assumption literal -> {primary var: value forced while that
+        # literal is assumed}.  Positive keys come from gated
+        # require/forbid tuples (forced while the selector holds),
+        # negative keys from absent-unless clamps (forced while the
+        # selector is switched off).
         self._gated_fixed: Dict[int, Dict[int, bool]] = {}
         # selectors whose gated formula folded to FALSE at translation
         self._dead_gates: set = set()
@@ -232,6 +249,53 @@ class RelationalProblem:
                 )
         self._sync_solver()
 
+    def add_absent_unless(self, selectors, rows) -> None:
+        """Force free tuple rows absent while every selector is *false*.
+
+        The complement of :meth:`add_gated_tuples`'s ``forbid``: each
+        clause is ``(sel_1, ..., sel_m, -var)``, so once the assumptions
+        negate all the selectors, every row is propagated false at the
+        *last* such assumption's own trail level -- deep in a saved
+        assumption prefix, where trail-saving backends keep it across
+        queries.  Use it to clamp rows that only the selectors' gated
+        formulas can constrain -- otherwise they are free whenever the
+        owning groups are switched off, and every warm query re-decides
+        them.  ``selectors`` is a single selector or a non-empty
+        sequence (a row shared by several groups is absent only while
+        all of them are off).  Rows fixed by the lower bound are a
+        caller error (they can never be absent) and raise
+        ``ValueError``.
+        """
+        if isinstance(selectors, int):
+            selectors = (selectors,)
+        else:
+            selectors = tuple(selectors)
+        if not selectors:
+            raise ValueError("add_absent_unless needs at least one selector")
+        cnf = self._record.cnf
+        # Single-owner rows are semantically fixed whenever ``-selector``
+        # is assumed; record them so minimization pins them unprobed.
+        # Multi-owner rows would need a conjunction of assumptions to be
+        # fixed, which the per-literal map cannot express -- they just
+        # take the ordinary witness-false pin, which costs no probe.
+        fixed = (
+            self._gated_fixed.setdefault(-selectors[0], {})
+            if len(selectors) == 1
+            else None
+        )
+        for relation, tup in rows:
+            var = self.primary_vars.get((relation, tuple(tup)))
+            if var is not None:
+                cnf.add_clause(selectors + (-var,))
+                if fixed is not None:
+                    fixed[var] = False
+            elif tuple(tup) in self.bounds.lower(relation):
+                raise ValueError(
+                    f"cannot clamp lower-bound tuple {tup!r} of "
+                    f"{relation.name}"
+                )
+        self._sync_solver()
+
     def referenced_vars(self, start: int = 0):
         """Variables occurring in clauses added from index ``start`` on.
 
@@ -273,13 +337,18 @@ class RelationalProblem:
         """Run the solver, folding wall time and CDCL counters into stats.
 
         Counters are folded on *every* exit path: a budget miss loses the
-        answer, never the accounting.
+        answer, never the accounting.  Retired minimization activations
+        are appended to every query's assumptions (see
+        :meth:`_minimize`), keeping their pin clauses inert without a
+        root-level unit clause.
         """
         remaining: Optional[int] = None
         if self.conflict_budget is not None:
             remaining = self.conflict_budget - self.stats.conflicts
             if remaining <= 0:
                 raise BudgetExhausted(self.stats.conflicts)
+        if self._retired:
+            assumptions = [*assumptions, *self._retired]
         start = time.perf_counter()
         try:
             result = self._solver.solve(
@@ -339,7 +408,15 @@ class RelationalProblem:
             count += 1
             if not primary:
                 return  # only one instance distinguishable
-            blocking = [(-v if result.model[v] else v) for v in primary]
+            # Root-fixed variables take the same value in every model, so
+            # their literals in a model-difference clause are permanently
+            # false -- strip them (the clause is equivalent, and stays
+            # attachable high in a saved trail).
+            blocking = [
+                (-v if result.model[v] else v)
+                for v in primary
+                if self._solver.root_value(v) is None
+            ]
             if not self._solver.add_clause(self._gated(gate, blocking)):
                 return
 
@@ -372,7 +449,21 @@ class RelationalProblem:
             true_vars = [v for v in primary if model[v]]
             if not true_vars:
                 return  # the empty instance is minimal and subsumes everything
-            blocking = self._gated(gate, [-v for v in true_vars])
+            # Literals already implied false whenever the clause is live
+            # are stripped before adding: ``-v`` for root-fixed facts
+            # (permanently true) and for rows the gate's require tuples
+            # force true.  The stripped clause is logically equivalent,
+            # but it no longer mentions deeply-seated trail literals, so
+            # a trail-saving backend can attach it near the top of the
+            # trail instead of unwinding the active selector's seating.
+            forced = self._gated_fixed.get(gate, {}) if gate else {}
+            free_true = [
+                v
+                for v in true_vars
+                if not forced.get(v, False)
+                and self._solver.root_value(v) is not True
+            ]
+            blocking = self._gated(gate, [-v for v in free_true])
             if not self._solver.add_clause(blocking):
                 return
 
@@ -467,14 +558,17 @@ class RelationalProblem:
         order = self._canonical_primary()
         witness = dict(model)
         fix = lambda lit: self._solver.add_clause((-activation, lit))  # noqa: E731
-        # Values forced by active selector groups (gated require/forbid
-        # tuples) are semantically determined -- pin them without probing,
-        # and keep the forced-true ones out of sparsifying probes, which
-        # would otherwise always come back unsatisfiable.
+        # Values forced by the assumed selector literals (gated
+        # require/forbid tuples under a positive selector, absent-unless
+        # clamps under a negated one) are semantically determined -- pin
+        # them without probing, and keep the forced-true ones out of
+        # sparsifying probes, which would otherwise always come back
+        # unsatisfiable.
         forced: Dict[int, bool] = {}
         for lit in assumptions:
-            if lit > 0 and lit in self._gated_fixed:
-                forced.update(self._gated_fixed[lit])
+            fixed = self._gated_fixed.get(lit)
+            if fixed:
+                forced.update(fixed)
         sparsify_threshold = 8
         sparsify_attempts = 4
         try:
@@ -516,6 +610,15 @@ class RelationalProblem:
                     fix(var)
                 index += 1
         finally:
-            # Retire the activation literal: the pin clauses become inert.
-            self._solver.add_clause((-activation,))
+            # Retire the activation literal: every later query assumes it
+            # false, so the pin clauses become inert.  An assumption
+            # (rather than the unit clause ``(-activation,)``) is used
+            # deliberately: a unit must bind at the root, which would
+            # force a backend with a saved assumption trail to unwind it
+            # completely after every minimization.  The two are
+            # equivalent on primary-variable projections -- pin clauses
+            # only bite under ``activation=True``, and flipping the
+            # activation to False relaxes a model without touching
+            # primary variables -- so results are unchanged.
+            self._retired.append(-activation)
         return witness

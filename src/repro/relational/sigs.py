@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.relational import ast as rast
 from repro.relational.problem import RelationalProblem
+from repro.sat import DEFAULT_BACKEND
 from repro.relational.universe import Bounds, Relation, Universe
 
 
@@ -417,7 +418,10 @@ class Module:
         self,
         goal: rast.Formula = rast.TRUE_F,
         extra: Optional[Dict[Sig, int]] = None,
+        backend: str = DEFAULT_BACKEND,
     ) -> RelationalProblem:
         """Build bounds and return a solver-ready problem for goal ∧ facts."""
         bounds, implicit = self.build(extra)
-        return RelationalProblem(bounds, rast.and_all([implicit, goal]))
+        return RelationalProblem(
+            bounds, rast.and_all([implicit, goal]), backend=backend
+        )

@@ -42,11 +42,61 @@ class _ClauseRec:
     activity: float = 0.0
 
 
+class Model:
+    """A satisfying assignment, stored assigned-variables-only.
+
+    Reads preserve the historical contract that every variable maps to a
+    boolean, defaulting unassigned variables to ``False`` -- so instance
+    decoding and lex-greedy minimization see byte-identical values --
+    without materializing an O(num_vars) dict per model.  Iteration and
+    ``len`` cover only the variables the solver actually assigned;
+    ``dict(model)`` therefore yields the compact assigned-only mapping
+    (``.get`` on that dict keeps the same default-False reads).
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Dict[int, bool]) -> None:
+        self._values = values
+
+    def __getitem__(self, var: int) -> bool:
+        return self._values.get(var, False)
+
+    def get(self, var: int, default: bool = False) -> bool:
+        return self._values.get(var, default)
+
+    def __contains__(self, var: int) -> bool:
+        return var in self._values
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def keys(self):
+        return self._values.keys()
+
+    def items(self):
+        return self._values.items()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Model):
+            return self._values == other._values
+        if isinstance(other, dict):
+            return self._values == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Model({self._values!r})"
+
+
 @dataclass
 class SolveResult:
     """Outcome of a :meth:`Solver.solve` call.
 
-    ``model`` maps every variable to a boolean when satisfiable and is
+    ``model`` is a :class:`Model` (assigned variables only, reads
+    default unassigned variables to ``False``) when satisfiable and is
     ``None`` otherwise.  ``conflicts``, ``decisions``, ``propagations``
     and ``restarts`` expose search-effort statistics for the benchmark
     harness.
@@ -59,7 +109,7 @@ class SolveResult:
     """
 
     satisfiable: bool
-    model: Optional[Dict[int, bool]] = None
+    model: Optional[Model] = None
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
@@ -71,7 +121,17 @@ class SolveResult:
 
 
 class Solver:
-    """An incremental CDCL SAT solver over DIMACS-style integer literals."""
+    """An incremental CDCL SAT solver over DIMACS-style integer literals.
+
+    This is the *reference* backend: a readable object-graph
+    implementation that doubles as the differential-testing oracle for
+    :class:`repro.sat.fastsolver.FastSolver`, the flat-arena backend
+    selected in production paths.  Both share one contract
+    (``SolveResult``/``Model``, assumption semantics, exact
+    ``BudgetExhausted`` behaviour) and must agree literally.
+    """
+
+    backend_name = "reference"
 
     def __init__(self) -> None:
         self._num_vars = 0
@@ -104,6 +164,11 @@ class Solver:
         self._propagations = 0
         self._restarts = 0
         self._learnt = 0
+        # Clauses tombstoned by _detach_clauses but not yet swept from
+        # the watch lists; len(self._clauses) - self._dead is the live
+        # database size, maintained incrementally so per-solve setup
+        # never scans the clause list.
+        self._dead = 0
         self._solve_id = 0
 
     # ------------------------------------------------------------------
@@ -244,7 +309,10 @@ class Solver:
             while i < n:
                 ci = watch_list[i]
                 i += 1
-                lits = self._clauses[ci].lits
+                rec = self._clauses[ci]
+                if rec is None:
+                    continue  # tombstoned by _detach_clauses: drop lazily
+                lits = rec.lits
                 # Normalize: falsified literal at position 1.
                 if lits[0] == falsified:
                     lits[0], lits[1] = lits[1], lits[0]
@@ -395,7 +463,7 @@ class Solver:
         rec.activity += self._cla_inc
         if rec.activity > _RESCALE_LIMIT:
             for other in self._clauses:
-                if other.learned:
+                if other is not None and other.learned:
                     other.activity *= _RESCALE_FACTOR
             self._cla_inc *= _RESCALE_FACTOR
 
@@ -409,7 +477,10 @@ class Solver:
         learned = [
             (i, rec)
             for i, rec in enumerate(self._clauses)
-            if rec.learned and len(rec.lits) > 2 and not self._is_reason(i)
+            if rec is not None
+            and rec.learned
+            and len(rec.lits) > 2
+            and not self._is_reason(i)
         ]
         if len(learned) < 2:
             return
@@ -423,25 +494,26 @@ class Solver:
         return self._reason[var] == idx
 
     def _detach_clauses(self, indices: set) -> None:
-        """Remove clauses by index, compacting the database and fixing watches."""
-        remap: Dict[int, int] = {}
-        new_clauses: List[_ClauseRec] = []
-        for i, rec in enumerate(self._clauses):
-            if i in indices:
+        """Remove clauses by index via lazy watcher cleanup.
+
+        Removed slots are tombstoned (set to ``None``) rather than
+        compacted: surviving clause indices, the watch lists, and every
+        ``reason`` pointer stay valid as-is, so a reduction costs
+        O(removed) instead of the old O(database) watch-table rebuild and
+        reason remap.  Stale watch refs are dropped the next time
+        propagation visits their literal (see :meth:`_propagate`).  The
+        reference solver trades the unclaimed tombstone slots for
+        simplicity; the flat-arena backend (:mod:`repro.sat.fastsolver`)
+        is the one that compacts its memory.
+        """
+        for i in indices:
+            rec = self._clauses[i]
+            if rec is None:
                 continue
-            remap[i] = len(new_clauses)
-            new_clauses.append(rec)
-        self._clauses = new_clauses
-        self._learnt = sum(1 for rec in new_clauses if rec.learned)
-        new_watches: Dict[int, List[int]] = {}
-        for lit, lst in self._watches.items():
-            new_lst = [remap[i] for i in lst if i in remap]
-            if new_lst:
-                new_watches[lit] = new_lst
-        self._watches = new_watches
-        self._reason = [
-            remap.get(r) if r is not None else None for r in self._reason
-        ]
+            if rec.learned:
+                self._learnt -= 1
+            self._clauses[i] = None
+            self._dead += 1
 
     # ------------------------------------------------------------------
     # Decisions (VSIDS order heap, MiniSat-style)
@@ -546,11 +618,14 @@ class Solver:
         sample_every = progress.interval if progress.enabled else 0
         solve_started = time.perf_counter() if sample_every else 0.0
 
-        max_learnts = max(100, len(self._clauses) // 3)
+        # Incrementally-maintained counts: per-call setup must not scan
+        # the clause database (gated queries against a large shared DB
+        # used to pay O(total clauses) here before the search even began).
+        live_clauses = len(self._clauses) - self._dead
+        max_learnts = max(100, live_clauses // 3)
         restart_idx = 1
         conflicts_until_restart = 32 * _luby(restart_idx)
         conflicts_this_restart = 0
-        base_clause_count = sum(1 for c in self._clauses if not c.learned)
 
         try:
             while True:
@@ -596,8 +671,7 @@ class Solver:
                     self._decay_clause_activity()
                     continue
 
-                learned_count = len(self._clauses) - base_clause_count
-                if learned_count > max_learnts:
+                if self._learnt > max_learnts:
                     self._reduce_db()
                     max_learnts = int(max_learnts * 1.3)
 
@@ -675,6 +749,7 @@ class Solver:
             # One registry round-trip per solve() call, never per conflict:
             # the counters below are already accumulated in plain ints.
             metrics.counter("sat.solver_calls").inc()
+            metrics.counter(f"sat.calls.{self.backend_name}").inc()
             metrics.counter("sat.conflicts").inc(self._conflicts)
             metrics.counter("sat.decisions").inc(self._decisions)
             metrics.counter("sat.propagations").inc(self._propagations)
@@ -682,12 +757,13 @@ class Solver:
             metrics.counter(f"sat.results.{outcome}").inc()
 
     def _finish(self, sat: bool) -> SolveResult:
-        model: Optional[Dict[int, bool]] = None
+        model: Optional[Model] = None
         if sat:
-            model = {}
-            for var in range(1, self._num_vars + 1):
-                value = self._assigns[var]
-                model[var] = bool(value) if value is not None else False
+            # Assigned-only: the trail holds exactly the assigned
+            # variables, so model construction costs O(assigned) instead
+            # of O(num_vars); Model reads default the rest to False,
+            # keeping instances and minimal scenarios byte-identical.
+            model = Model({abs(lit): lit > 0 for lit in self._trail})
         self._cancel_until(0)
         self._publish_metrics("sat" if sat else "unsat")
         return SolveResult(
@@ -708,7 +784,7 @@ class Solver:
 
     @property
     def num_clauses(self) -> int:
-        return len(self._clauses)
+        return len(self._clauses) - self._dead
 
     @property
     def num_learnt(self) -> int:
@@ -719,6 +795,17 @@ class Solver:
     def ok(self) -> bool:
         """False once the clause set is known unsatisfiable outright."""
         return self._ok
+
+    def root_value(self, var: int) -> Optional[bool]:
+        """The variable's value when fixed at decision level 0, else None.
+
+        Root assignments only ever grow, so a returned value is permanent:
+        callers may strip the corresponding falsified literal from clauses
+        they are about to add (the stripped clause is equivalent).
+        """
+        if var < len(self._assigns) and self._level[var] == 0:
+            return self._assigns[var]
+        return None
 
 
 class BudgetExhausted(RuntimeError):

@@ -79,6 +79,7 @@ class TestSnapshot:
             "pipeline_cold",
             "pipeline_warm",
             "accuracy",
+            "synthesis_modes",
         }
 
     def test_workload_metrics(self, snapshot):
@@ -94,6 +95,11 @@ class TestSnapshot:
         accuracy = snapshot["workloads"]["accuracy"]
         assert 0.0 <= accuracy["precision"] <= 1.0
         assert accuracy["cases"] > 0
+        modes = snapshot["workloads"]["synthesis_modes"]
+        assert modes["bundles"] >= 1
+        assert modes["per_signature_seconds"] > 0
+        assert modes["shared_seconds"] > 0
+        assert modes["shared_speedup"] > 0
 
     def test_write_load_round_trip(self, snapshot, tmp_path):
         path = write_bench(snapshot, str(tmp_path))

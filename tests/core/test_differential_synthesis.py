@@ -1,4 +1,4 @@
-"""Differential testing: shared-encoding vs per-signature synthesis.
+"""Differential testing: synthesis modes and solver backends.
 
 The shared encoding (one translation per bundle, every signature
 enumerated under selector assumptions on one warm solver) is an
@@ -7,6 +7,13 @@ byte-identical scenario payloads, the same detected-vulnerability sets,
 and the same reports -- including under a conflict budget, where both
 modes degrade by truncating each signature's canonical enumeration
 rather than by diverging.
+
+The same contract holds across *solver backends*: the flat-arena fast
+solver and the reference solver must produce byte-identical payloads in
+both modes (that identity is what justifies leaving the backend out of
+pipeline cache keys), so the mode tests here run under every registered
+backend, and ``TestBackendsAgree`` pins the full backend-by-mode matrix
+to a single payload.
 
 Bundles are drawn from the injected-vulnerability corpus generator under
 a fixed seed, so CI replays the exact same instances every run.
@@ -19,11 +26,14 @@ import pytest
 
 from repro.core.serialize import scenario_to_dict
 from repro.core.synthesis import AnalysisAndSynthesisEngine
+from repro.sat import SOLVER_BACKENDS
 from repro.statics import extract_bundle
 from repro.workloads.corpus import CorpusConfig, CorpusGenerator
 
 
 SEED = 20160807
+
+BACKENDS = sorted(SOLVER_BACKENDS)
 
 
 @pytest.fixture(scope="module")
@@ -77,12 +87,15 @@ def _random_bundles(apks, flagged, count, size):
     return bundles
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestModesAgree:
-    def test_identical_scenarios_and_vulnerability_sets(self, corpus):
+    def test_identical_scenarios_and_vulnerability_sets(
+        self, corpus, backend
+    ):
         apks, flagged = corpus
         for bundle in _random_bundles(apks, flagged, count=3, size=3):
-            per_sig = _run(bundle, shared=False)
-            shared = _run(bundle, shared=True)
+            per_sig = _run(bundle, shared=False, solver_backend=backend)
+            shared = _run(bundle, shared=True, solver_backend=backend)
             assert _payload(per_sig) == _payload(shared)
             assert {s.vulnerability for s in per_sig.scenarios} == {
                 s.vulnerability for s in shared.scenarios
@@ -97,22 +110,73 @@ class TestModesAgree:
                 per_sig.stats.translations - 1
             )
 
-    def test_vulnerable_bundle_finds_scenarios_in_both_modes(self, corpus):
+    def test_vulnerable_bundle_finds_scenarios_in_both_modes(
+        self, corpus, backend
+    ):
         apks, flagged = corpus
         vulnerable = [a for a in apks if a.package in flagged]
         if not vulnerable:
             pytest.skip("corpus slice contains no injected apps")
         bundle = extract_bundle(vulnerable[:3])
-        per_sig = _run(bundle, shared=False)
-        shared = _run(bundle, shared=True)
+        per_sig = _run(bundle, shared=False, solver_backend=backend)
+        shared = _run(bundle, shared=True, solver_backend=backend)
         assert per_sig.scenarios, "injected bundle should yield scenarios"
         assert _payload(per_sig) == _payload(shared)
+        assert per_sig.stats.backend == backend
+        assert shared.stats.backend == backend
 
-    def test_empty_bundle_agrees(self):
+    def test_empty_bundle_agrees(self, backend):
         bundle = extract_bundle([])
-        per_sig = _run(bundle, shared=False)
-        shared = _run(bundle, shared=True)
+        per_sig = _run(bundle, shared=False, solver_backend=backend)
+        shared = _run(bundle, shared=True, solver_backend=backend)
         assert _payload(per_sig) == _payload(shared)
+
+
+class TestBackendsAgree:
+    """The backend-by-mode matrix must collapse to one payload.
+
+    This is the invariant that lets the pipeline cache omit the solver
+    backend from its keys: any (backend, mode) combination may serve a
+    payload cached by any other."""
+
+    def test_backend_mode_matrix_is_byte_identical(self, corpus):
+        apks, flagged = corpus
+        vulnerable = [a for a in apks if a.package in flagged]
+        if not vulnerable:
+            pytest.skip("corpus slice contains no injected apps")
+        bundle = extract_bundle(vulnerable[:3])
+        payloads = {
+            (backend, shared): _payload(
+                _run(bundle, shared=shared, solver_backend=backend)
+            )
+            for backend in BACKENDS
+            for shared in (False, True)
+        }
+        assert len(set(payloads.values())) == 1, sorted(payloads)
+
+    def test_budgeted_runs_agree_across_backends(self, corpus):
+        """Degraded (budget-exhausted) runs must also match: the exact
+        ``BudgetExhausted`` contract makes both backends truncate each
+        signature's enumeration at the same point."""
+        apks, flagged = corpus
+        vulnerable = [a for a in apks if a.package in flagged]
+        if not vulnerable:
+            pytest.skip("corpus slice contains no injected apps")
+        bundle = extract_bundle(vulnerable[:3])
+        for budget in (1, 25):
+            for shared in (False, True):
+                payloads = {
+                    backend: _payload(
+                        _run(
+                            bundle,
+                            shared=shared,
+                            solver_backend=backend,
+                            conflict_budget=budget,
+                        )
+                    )
+                    for backend in BACKENDS
+                }
+                assert len(set(payloads.values())) == 1, (budget, shared)
 
 
 class TestBudgetDegradation:

@@ -124,6 +124,27 @@ class TestCaching:
         assert warm.run_report.cache.misses.get("synthesis", 0) == 0
         assert warm.run_report.cache.hits.get("synthesis", 0) > 0
 
+    def test_cache_hits_across_solver_backends(self, tmp_path):
+        """Cache keys omit the solver backend on purpose: backends are
+        verified byte-identical, so an entry written by one backend must
+        be served -- unchanged -- to a run using the other."""
+        apks = [build_app1(), build_app2()]
+        cold = AnalysisPipeline(
+            jobs=1,
+            cache=PipelineCache(tmp_path),
+            solver_backend="reference",
+        ).run([apks])
+        warm = AnalysisPipeline(
+            jobs=1,
+            cache=PipelineCache(tmp_path),
+            solver_backend="fast",
+        ).run([apks])
+        assert warm.run_report.cache.total_misses == 0
+        assert warm.run_report.cache.total_hits == (
+            cold.run_report.cache.total_misses
+        )
+        assert _findings_bytes(cold) == _findings_bytes(warm)
+
     def test_changed_app_misses(self, tmp_path):
         AnalysisPipeline(jobs=1, cache=PipelineCache(tmp_path)).run(
             [[build_app1(), build_app2()]]
