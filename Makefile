@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-snapshot bench-compare tables examples all clean
+.PHONY: install test bench bench-snapshot bench-compare docs-check tables examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -25,6 +25,12 @@ bench-snapshot:
 # Hard-gate compare of two snapshots: make bench-compare OLD=... NEW=...
 bench-compare:
 	PYTHONPATH=src $(PYTHON) -m repro bench --compare $(OLD) $(NEW)
+
+# What CI's docs job runs: every markdown link resolves, every module
+# byte-compiles.
+docs-check:
+	$(PYTHON) tools/check_markdown_links.py
+	$(PYTHON) -m compileall -q src
 
 # Reproduce every table and figure (prints to stdout).
 tables:

@@ -2,10 +2,12 @@
 
 One command runs the paper's benchmark workloads -- Fig 5 per-app
 extraction, Table II cold/warm pipeline synthesis, Table I accuracy over
-DroidBench and ICC-Bench -- and emits a schema-versioned
-``BENCH_<label>.json`` snapshot: per-workload wall clock, solver
-counters, cache hit rates, shared-encoding reuse figures, accuracy
-scores, peak RSS and an environment fingerprint.
+DroidBench and ICC-Bench, and the sustained-throughput enforcement
+workload (RQ4 extended: PDP events/sec and decision latency, compiled vs
+linear backend, hooked vs unhooked runtime) -- and emits a
+schema-versioned ``BENCH_<label>.json`` snapshot: per-workload wall
+clock, solver counters, cache hit rates, shared-encoding reuse figures,
+accuracy scores, peak RSS and an environment fingerprint.
 
 A second invocation with ``--compare OLD NEW`` diffs two snapshots with
 per-metric relative thresholds (direction-aware: ``*_seconds`` going up
@@ -43,6 +45,9 @@ HIGHER_BETTER = frozenset(
         "f_measure",
         "true_positives",
         "shared_speedup",
+        "compiled_speedup",
+        "linear_events_per_sec",
+        "compiled_events_per_sec",
     }
 )
 
@@ -60,6 +65,8 @@ IDENTITY_METRICS = frozenset(
         "apps",
         "bundles",
         "scenarios",
+        "policies",
+        "events",
     }
 )
 
@@ -84,6 +91,7 @@ class BenchConfig:
             "pipeline_warm",
             "synthesis_modes",
             "accuracy",
+            "enforcement",
         )
     )
 
@@ -312,10 +320,257 @@ def _bench_synthesis_modes(config: BenchConfig) -> Dict[str, float]:
     }
 
 
+def make_enforcement_workload(
+    seed: int = 2016,
+    num_policies: int = 192,
+    num_shapes: int = 512,
+    num_events: int = 24000,
+):
+    """Deterministic policy set + ICC event stream for enforcement benches.
+
+    Generates policies across every condition shape the compiled PDP
+    dispatches on -- exact ``(receiver, action)`` pins, receiver-only,
+    sender-pinned hijack-style (``allowed_receivers``),
+    permission-predicate, and endpoint-free wildcard (extras-only) rules
+    -- plus a skewed event stream: a bounded pool of distinct intent
+    shapes sampled with replacement, so the decision cache sees realistic
+    re-occurrence, most events fall through to default-allow, and a
+    policy-matching minority exercises both verdicts.  Also reused by the
+    RQ4 benchmark and the backend-differential tests, so the measured
+    stream and the verified stream are the same distribution.
+
+    Returns ``(policies, stream)`` with ``stream`` a list of
+    ``(PolicyEvent, IccEvent)`` pairs.
+    """
+    import random
+
+    from repro.android.resources import Resource
+    from repro.core.policy import ECAPolicy, IccEvent, PolicyAction, PolicyEvent
+
+    rng = random.Random(seed)
+    components = [f"app{i:03d}.pkg/Comp{i:03d}" for i in range(96)]
+    actions = [f"com.bench.ACTION_{i}" for i in range(24)]
+    permissions = [f"perm.P{i}" for i in range(12)]
+    resources = sorted(Resource, key=lambda r: r.value)
+
+    def some_resources() -> frozenset:
+        return frozenset(rng.sample(resources, rng.randint(1, 2)))
+
+    policies = []
+    for i in range(num_policies):
+        verdict = (
+            PolicyAction.DENY if rng.random() < 0.75 else PolicyAction.PROMPT
+        )
+        shape = rng.randrange(8)
+        if shape <= 2:  # exact (receiver, action) pin
+            policy = ECAPolicy(
+                event=PolicyEvent.ICC_RECEIVE,
+                vulnerability="service_launch",
+                action=verdict,
+                receiver=rng.choice(components),
+                intent_action=rng.choice(actions),
+            )
+        elif shape <= 4:  # receiver-only, payload condition
+            policy = ECAPolicy(
+                event=PolicyEvent.ICC_RECEIVE,
+                vulnerability="information_leak",
+                action=verdict,
+                receiver=rng.choice(components),
+                extras_any=some_resources(),
+            )
+        elif shape == 5:  # sender-pinned hijack shape
+            policy = ECAPolicy(
+                event=PolicyEvent.ICC_SEND,
+                vulnerability="intent_hijack",
+                action=verdict,
+                sender=rng.choice(components),
+                intent_action=rng.choice(actions),
+                allowed_receivers=frozenset(rng.sample(components, 3)),
+            )
+        elif shape == 6:  # permission predicate
+            policy = ECAPolicy(
+                event=PolicyEvent.ICC_RECEIVE,
+                vulnerability="privilege_escalation",
+                action=verdict,
+                receiver=rng.choice(components),
+                sender_lacks_permission=rng.choice(permissions),
+            )
+        else:  # wildcard: no endpoint pinned, fallback-chain matcher
+            policy = ECAPolicy(
+                event=PolicyEvent.ICC_RECEIVE,
+                vulnerability="information_leak",
+                action=verdict,
+                extras_any=frozenset({rng.choice(resources)}),
+            )
+        policies.append(policy)
+
+    shapes = []
+    for _ in range(num_shapes):
+        kind = (
+            PolicyEvent.ICC_SEND
+            if rng.random() < 0.4
+            else PolicyEvent.ICC_RECEIVE
+        )
+        event = IccEvent(
+            sender=rng.choice(components),
+            receiver=rng.choice(components) if rng.random() < 0.9 else None,
+            action=rng.choice(actions) if rng.random() < 0.8 else None,
+            extras=some_resources() if rng.random() < 0.3 else frozenset(),
+            sender_permissions=(
+                frozenset(rng.sample(permissions, 2))
+                if rng.random() < 0.5
+                else frozenset()
+            ),
+        )
+        shapes.append((kind, event))
+    stream = [rng.choice(shapes) for _ in range(num_events)]
+    return policies, stream
+
+
+def _bench_icc_heavy_apk(ops: int):
+    """An app whose activation fires ``ops`` hooked startService calls."""
+    from repro.android.apk import Apk
+    from repro.android.components import ComponentDecl, ComponentKind
+    from repro.android.intents import IntentFilter
+    from repro.android.manifest import Manifest
+    from repro.dex import DexClass, DexProgram, MethodBuilder
+
+    pinger = MethodBuilder("onCreate", params=("p0",))
+    for i in range(ops):
+        pinger.new_instance("v0", "Intent")
+        pinger.const_string("v1", "bench.PING")
+        pinger.invoke("Intent.setAction", receiver="v0", args=("v1",))
+        pinger.invoke("Context.startService", args=("v0",))
+    pinger.ret()
+    ponger = MethodBuilder("onStartCommand", params=("p0",)).ret().build()
+    return Apk(
+        Manifest(
+            package="bench.icc",
+            components=[
+                ComponentDecl("Main", ComponentKind.ACTIVITY, exported=True),
+                ComponentDecl(
+                    "Pong",
+                    ComponentKind.SERVICE,
+                    intent_filters=[IntentFilter.for_action("bench.PING")],
+                ),
+            ],
+        ),
+        DexProgram(
+            [
+                DexClass("Main", superclass="Activity", methods=[pinger.build()]),
+                DexClass("Pong", superclass="Service", methods=[ponger]),
+            ]
+        ),
+    )
+
+
+def _bench_enforcement(config: BenchConfig) -> Dict[str, float]:
+    """RQ4 extended: sustained-throughput policy enforcement.
+
+    Replays one deterministic ICC event stream through both PDP backends
+    (events/sec, p50/p99 per-decision latency, decision-cache hit rate)
+    and measures end-to-end hooked vs unhooked runtime dispatch on an
+    ICC-heavy app under the compiled backend.  ``compiled_speedup`` > 1.0
+    means the compiled backend beats the linear reference on identical
+    traffic; it is direction-tagged in ``HIGHER_BETTER`` so a comparison
+    flags any slide back toward linear scanning.
+    """
+    from repro.core.policy import PolicyAction, PolicyEvent
+    from repro.enforcement import (
+        AndroidRuntime,
+        AuditLog,
+        PolicyEnforcementPoint,
+        make_pdp,
+    )
+
+    num_policies = 48 if config.quick else 192
+    num_events = 4000 if config.quick else 24000
+    policies, stream = make_enforcement_workload(
+        seed=config.seed, num_policies=num_policies, num_events=num_events
+    )
+
+    def drive(backend: str):
+        # Retention keeps the measured loop allocation-flat: bounded
+        # window, fallthroughs sampled 1-in-8 (counters stay exact).
+        audit = AuditLog(window=2048, sample_default_allow=8)
+        pdp = make_pdp(
+            policies,
+            backend=backend,
+            prompt_callback=lambda policy, event: True,
+            audit=audit,
+        )
+        latencies: List[float] = []
+        t0 = time.perf_counter()
+        for kind, event in stream:
+            start = time.perf_counter()
+            pdp.decide(kind, event)
+            latencies.append(time.perf_counter() - start)
+        return pdp, time.perf_counter() - t0, latencies
+
+    linear_pdp, linear_seconds, linear_lat = drive("linear")
+    compiled_pdp, compiled_seconds, compiled_lat = drive("compiled")
+    # Identical traffic must produce identical verdict totals; a mismatch
+    # means the numbers compare different work and must not be reported.
+    assert linear_pdp.audit.summary() == compiled_pdp.audit.summary(), (
+        "PDP backends diverged on the benchmark stream"
+    )
+
+    apk = _bench_icc_heavy_apk(ops=10 if config.quick else 40)
+    hook_policies, _ = make_enforcement_workload(
+        seed=config.seed, num_policies=16, num_events=0
+    )
+
+    def dispatch(protect: bool) -> float:
+        samples = []
+        for _ in range(3 if config.quick else 7):
+            runtime = AndroidRuntime()
+            runtime.install(apk)
+            if protect:
+                pdp = make_pdp(
+                    hook_policies,
+                    backend="compiled",
+                    prompt_callback=lambda policy, event: True,
+                )
+                PolicyEnforcementPoint(runtime, pdp).install()
+            t0 = time.perf_counter()
+            runtime.start_component("bench.icc/Main")
+            samples.append(time.perf_counter() - t0)
+        return _percentile(samples, 0.5)
+
+    unhooked = dispatch(protect=False)
+    hooked = dispatch(protect=True)
+
+    cache_lookups = compiled_pdp.cache_hits + compiled_pdp.cache_misses
+    return {
+        "policies": float(num_policies),
+        "events": float(num_events),
+        "linear_seconds": linear_seconds,
+        "compiled_seconds": compiled_seconds,
+        "linear_events_per_sec": num_events / linear_seconds,
+        "compiled_events_per_sec": num_events / compiled_seconds,
+        "compiled_speedup": (
+            linear_seconds / compiled_seconds if compiled_seconds > 0 else 0.0
+        ),
+        "linear_p50_us": _percentile(linear_lat, 0.5) * 1e6,
+        "linear_p99_us": _percentile(linear_lat, 0.99) * 1e6,
+        "compiled_p50_us": _percentile(compiled_lat, 0.5) * 1e6,
+        "compiled_p99_us": _percentile(compiled_lat, 0.99) * 1e6,
+        "cache_hit_rate": (
+            compiled_pdp.cache_hits / cache_lookups if cache_lookups else 0.0
+        ),
+        "unhooked_dispatch_seconds": unhooked,
+        "hooked_dispatch_seconds": hooked,
+        "hook_overhead_pct": (
+            (hooked - unhooked) / unhooked * 100.0 if unhooked > 0 else 0.0
+        ),
+    }
+
+
 _WORKLOADS: Dict[str, Callable[[BenchConfig], Any]] = {
     "extraction": _bench_extraction,
     "synthesis_modes": _bench_synthesis_modes,
     "accuracy": _bench_accuracy,
+    "enforcement": _bench_enforcement,
 }
 
 
@@ -381,10 +636,16 @@ def _noise_floor(metric: str) -> float:
     alone would turn scheduler jitter into regressions)."""
     if metric.endswith("_seconds"):
         return 0.02
+    if metric.endswith("_us"):
+        return 2.0  # single-decision latencies sit near timer resolution
+    if metric.endswith("_pct"):
+        return 5.0  # hook-overhead percentages on millisecond dispatches
     if "rss" in metric:
         return 32 * 1024 * 1024
     if metric in ("cache_hit_rate", "precision", "recall", "f_measure"):
         return 0.01
+    if metric == "compiled_speedup":
+        return 0.1
     return 1.0
 
 

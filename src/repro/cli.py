@@ -16,7 +16,10 @@ Usage (``python -m repro <command>``):
   ``--trace FILE`` records a JSONL span trace of the whole run.
 - ``simulate``                  -- synthesize policies for the running
   example, enforce them on the simulated device while the malicious app
-  attacks, and print (or save with ``--audit``) the enforcement audit log.
+  attacks, and print (or save with ``--audit``) the enforcement audit
+  log; ``--pdp-backend`` picks the decision engine (``compiled`` indexed
+  dispatch by default, ``linear`` reference scan), ``--consent`` answers
+  every prompt with allow.
 - ``trace FILE``                -- render the span tree and top-k hotspots
   of a JSONL trace produced by ``pipeline --trace`` or ``enable_tracing``;
   spans whose process died before completion render as ``[UNFINISHED]``.
@@ -295,8 +298,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     from repro.enforcement import (
         AndroidRuntime,
-        PolicyDecisionPoint,
         PolicyEnforcementPoint,
+        deny_all_prompts,
+        make_pdp,
     )
 
     print("synthesizing policies for the benign bundle (app1 + app2)...")
@@ -311,11 +315,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     runtime = AndroidRuntime()
     for apk in (build_app1(), build_app2(), build_malicious_app()):
         runtime.install(apk)
-    prompt = (lambda policy, event: True) if args.consent else None
-    if prompt is not None:
-        pdp = PolicyDecisionPoint(report.policies, prompt_callback=prompt)
-    else:
-        pdp = PolicyDecisionPoint(report.policies)
+    prompt = (
+        (lambda policy, event: True) if args.consent else deny_all_prompts
+    )
+    pdp = make_pdp(
+        report.policies,
+        backend=args.pdp_backend,
+        prompt_callback=prompt,
+    )
     pep = PolicyEnforcementPoint(runtime, pdp)
     pep.install()
     runtime.start_component(args.entry)
@@ -783,6 +790,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="answer every security prompt with 'allow' "
         "(default: the cautious user denies)",
+    )
+    from repro.enforcement import DEFAULT_PDP_BACKEND, PDP_BACKENDS
+
+    simulate.add_argument(
+        "--pdp-backend",
+        choices=sorted(PDP_BACKENDS),
+        default=DEFAULT_PDP_BACKEND,
+        help="policy decision engine: 'compiled' (indexed dispatch + "
+        "decision cache, default) or 'linear' (the readable reference "
+        "scan); decisions and audit output are identical either way",
     )
     simulate.add_argument(
         "--audit", help="write the audit log here as JSONL"

@@ -67,7 +67,12 @@ class ECAPolicy:
     sender_lacks_permission: Optional[str] = None
 
     def matches(self, event_kind: PolicyEvent, event: IccEvent) -> bool:
-        """Does this intercepted event violate the policy's condition?"""
+        """Does this intercepted event violate the policy's condition?
+
+        Total over partially-populated events: ``action``, ``extras`` and
+        ``sender_permissions`` may be ``None`` on events built outside the
+        PEP (an absent field simply fails any condition requiring it).
+        """
         if event_kind is not self.event:
             return False
         if self.receiver is not None and event.receiver != self.receiver:
@@ -76,13 +81,17 @@ class ECAPolicy:
             return False
         if self.intent_action is not None and event.action != self.intent_action:
             return False
-        if self.extras_any and not (self.extras_any & event.extras):
+        if self.extras_any and not (
+            self.extras_any & (event.extras or frozenset())
+        ):
             return False
         if self.allowed_receivers is not None:
             if event.receiver is None or event.receiver in self.allowed_receivers:
                 return False
         if self.sender_lacks_permission is not None:
-            if self.sender_lacks_permission in event.sender_permissions:
+            if self.sender_lacks_permission in (
+                event.sender_permissions or frozenset()
+            ):
                 return False
         return True
 

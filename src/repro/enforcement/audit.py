@@ -9,17 +9,37 @@ sequence counter under a lock, so the log's order is exactly the order in
 which decisions were made even when the runtime's queued ICC dispatch
 interleaves deliveries from many components.
 
-The log is in-memory during a run and serializes to JSONL for later
-querying (``AuditLog.write`` / ``AuditLog.load``); the ``repro simulate``
-CLI subcommand writes one per enforcement run.
+By default the log keeps every record in memory and serializes to JSONL
+(:meth:`AuditLog.write` / :meth:`AuditLog.load`; ``repro simulate
+--audit`` writes one per enforcement run).  At enforcement-traffic rates
+an unbounded in-memory log is wrong, so three retention controls exist
+(all off by default -- see ``docs/ENFORCEMENT.md``):
+
+- ``window=N`` bounds the resident record list; overflow evicts the
+  oldest records in amortized batches (**rotation**).
+- ``spill_dir=DIR`` makes rotation durable: each evicted batch appends
+  to a numbered JSONL segment file (``audit-000000.jsonl``, ...) instead
+  of being dropped; :meth:`iter_all` / :meth:`dump_all` stitch segments
+  and the resident window back together in sequence order.
+- ``sample_default_allow=N`` materializes only one in every N
+  *default-allow fallthrough* records (no policy matched -- the
+  overwhelming bulk of benign traffic); denials, prompts, and every
+  matched-policy decision are always materialized.
+
+Retention never lies: sequence numbers advance for every decision, and
+:meth:`summary` counts from exact counters maintained at append time, so
+its totals cover rotated-away and sampled-out decisions too.
+:meth:`retention` reports what was elided.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterable, Iterator, List, Optional
 
 
 @dataclass
@@ -84,20 +104,113 @@ class AuditRecord:
 
 
 class AuditLog:
-    """An append-only, thread-safe, ordered log of PDP decisions."""
+    """An append-only, thread-safe, ordered log of PDP decisions.
 
-    def __init__(self) -> None:
+    ``window`` / ``spill_dir`` / ``sample_default_allow`` configure
+    retention (rotation and sampling); by default every record stays
+    resident, matching the original unbounded behaviour.
+    """
+
+    def __init__(
+        self,
+        window: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+        sample_default_allow: int = 1,
+    ) -> None:
+        if window is not None and window < 1:
+            raise ValueError("window must be a positive record count")
         self._lock = threading.Lock()
-        self.records: List[AuditRecord] = []
+        self.records: Deque[AuditRecord] = deque()
+        self.window = window
+        self.spill_dir = spill_dir
+        self.sample_default_allow = max(1, int(sample_default_allow))
+        self._seq = 0
+        self._counts = {
+            "decisions": 0,
+            "allowed": 0,
+            "denied": 0,
+            "prompted": 0,
+            "matched": 0,
+        }
+        self._fallthroughs = 0
+        self._sampled_out = 0
+        self._rotated = 0
+        self._segments: List[str] = []
 
     def append(self, **fields: Any) -> AuditRecord:
-        """Number and store a record (``seq`` is assigned here)."""
+        """Number and store a record (``seq`` is assigned here).
+
+        The sequence number always advances and the summary counters are
+        always updated; whether the record itself stays resident is
+        subject to sampling and rotation.
+        """
         with self._lock:
-            record = AuditRecord(seq=len(self.records), **fields)
+            record = AuditRecord(seq=self._seq, **fields)
+            self._seq += 1
+            self._count(record)
+            if self._sampled_away(record):
+                self._sampled_out += 1
+                self._publish_retention("audit.sampled_out")
+                return record
             self.records.append(record)
+            if self.window is not None and len(self.records) > self.window:
+                self._rotate()
         return record
 
+    def _count(self, record: AuditRecord) -> None:
+        counts = self._counts
+        counts["decisions"] += 1
+        if record.verdict == "allow":
+            counts["allowed"] += 1
+        else:
+            counts["denied"] += 1
+        if record.prompted:
+            counts["prompted"] += 1
+        if record.matched:
+            counts["matched"] += 1
+
+    def _sampled_away(self, record: AuditRecord) -> bool:
+        """1-in-N sampling of default-allow fallthroughs: keep the first
+        of every N; everything that matched a policy is always kept."""
+        if self.sample_default_allow <= 1:
+            return False
+        if record.matched or record.verdict != "allow" or record.prompted:
+            return False
+        self._fallthroughs += 1
+        return (self._fallthroughs - 1) % self.sample_default_allow != 0
+
+    def _rotate(self) -> None:
+        """Evict the oldest records (amortized: overflow plus half the
+        window per rotation) into a spill segment, or drop them when no
+        ``spill_dir`` is configured.  Caller holds the lock."""
+        assert self.window is not None
+        evict_n = len(self.records) - self.window + max(1, self.window // 2)
+        evict_n = min(evict_n, len(self.records))
+        evicted = [self.records.popleft() for _ in range(evict_n)]
+        self._rotated += len(evicted)
+        if self.spill_dir is not None:
+            os.makedirs(self.spill_dir, exist_ok=True)
+            path = os.path.join(
+                self.spill_dir, f"audit-{len(self._segments):06d}.jsonl"
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                for record in evicted:
+                    handle.write(json.dumps(record.to_dict(), sort_keys=True))
+                    handle.write("\n")
+            self._segments.append(path)
+        self._publish_retention("audit.rotated", len(evicted))
+
+    @staticmethod
+    def _publish_retention(counter: str, amount: int = 1) -> None:
+        from repro.obs import get_metrics
+
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(counter).inc(amount)
+
     def __len__(self) -> int:
+        """Resident records (see ``summary()['decisions']`` for the exact
+        all-time decision count)."""
         return len(self.records)
 
     def __iter__(self) -> Iterator[AuditRecord]:
@@ -115,9 +228,9 @@ class AuditLog:
         prompted: Optional[bool] = None,
         matched: Optional[bool] = None,
     ) -> List[AuditRecord]:
-        """Filter records; every given criterion must hold."""
+        """Filter resident records; every given criterion must hold."""
         out = []
-        for record in self.records:
+        for record in list(self.records):
             if verdict is not None and record.verdict != verdict:
                 continue
             if (
@@ -143,32 +256,67 @@ class AuditLog:
         return self.query(verdict="allow")
 
     def summary(self) -> Dict[str, int]:
-        """Headline counts for dashboards and CLI output."""
+        """Headline counts for dashboards and CLI output.
+
+        Computed from exact counters maintained at append time, so the
+        totals are truthful even when rotation evicted or sampling
+        skipped the underlying records.
+        """
+        return dict(self._counts)
+
+    def retention(self) -> Dict[str, int]:
+        """What retention elided: resident vs rotated vs sampled-out."""
         return {
-            "decisions": len(self.records),
-            "allowed": sum(1 for r in self.records if r.verdict == "allow"),
-            "denied": sum(1 for r in self.records if r.verdict == "deny"),
-            "prompted": sum(1 for r in self.records if r.prompted),
-            "matched": sum(1 for r in self.records if r.matched),
+            "resident": len(self.records),
+            "rotated": self._rotated,
+            "sampled_out": self._sampled_out,
+            "segments": len(self._segments),
         }
+
+    @property
+    def segments(self) -> List[str]:
+        """Spill segment paths, oldest first."""
+        return list(self._segments)
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def dumps(self) -> str:
-        """JSONL: one record per line, in sequence order."""
+        """JSONL of the *resident* records, in sequence order (rotated
+        segments live in their spill files; see :meth:`dump_all`)."""
         return "".join(
             json.dumps(r.to_dict(), sort_keys=True) + "\n" for r in self.records
         )
 
+    def iter_all(self) -> Iterator[AuditRecord]:
+        """Every retained record -- spilled segments first, then the
+        resident window -- in sequence order."""
+        for path in list(self._segments):
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    if line.strip():
+                        yield AuditRecord.from_dict(json.loads(line))
+        yield from list(self.records)
+
+    def dump_all(self) -> str:
+        """JSONL across every spill segment plus the resident window."""
+        return "".join(
+            json.dumps(r.to_dict(), sort_keys=True) + "\n"
+            for r in self.iter_all()
+        )
+
     def write(self, path: str) -> None:
+        """Write every retained record (segments included) to ``path``."""
         with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.dumps())
+            handle.write(self.dump_all())
 
     @staticmethod
     def from_records(records: Iterable[AuditRecord]) -> "AuditLog":
         log = AuditLog()
-        log.records = sorted(records, key=lambda r: r.seq)
+        log.records = deque(sorted(records, key=lambda r: r.seq))
+        for record in log.records:
+            log._count(record)
+        log._seq = log.records[-1].seq + 1 if log.records else 0
         return log
 
     @staticmethod

@@ -20,7 +20,7 @@ from repro.android.apk import Apk
 from repro.core.model import AppModel, BundleModel
 from repro.core.policy import ECAPolicy
 from repro.core.separ import Separ, SeparReport
-from repro.enforcement.pdp import PolicyDecisionPoint, PromptCallback, deny_all_prompts
+from repro.enforcement.pdp import PromptCallback, deny_all_prompts
 from repro.enforcement.pep import PolicyEnforcementPoint
 from repro.enforcement.runtime import AndroidRuntime
 from repro.statics.extractor import ModelExtractor
@@ -35,12 +35,19 @@ class DeviceGuard:
         runtime: Optional[AndroidRuntime] = None,
         separ: Optional[Separ] = None,
         prompt_callback: PromptCallback = deny_all_prompts,
+        pdp_backend: Optional[str] = None,
     ) -> None:
+        from repro.enforcement import DEFAULT_PDP_BACKEND, make_pdp
+
         self.runtime = runtime or AndroidRuntime()
         self.separ = separ or Separ(scenarios_per_signature=4)
         self._extractor = ModelExtractor()
         self._models: Dict[str, AppModel] = {}
-        self.pdp = PolicyDecisionPoint([], prompt_callback=prompt_callback)
+        self.pdp = make_pdp(
+            [],
+            backend=pdp_backend or DEFAULT_PDP_BACKEND,
+            prompt_callback=prompt_callback,
+        )
         self.pep = PolicyEnforcementPoint(self.runtime, self.pdp)
         self.pep.install()
         self.last_report: Optional[SeparReport] = None
@@ -69,6 +76,9 @@ class DeviceGuard:
 
     def _refresh(self) -> SeparReport:
         report = self.separ.analyze_bundle(self.current_bundle())
+        # Plain assignment is the whole invalidation protocol: the PDP's
+        # ``policies`` setter recompiles the dispatch index and clears the
+        # decision cache on the compiled backend.
         self.pdp.policies = list(report.policies)
         self.last_report = report
         return report
@@ -85,7 +95,9 @@ class DeviceGuard:
         lines = [
             f"installed apps:   {len(self._models)}",
             f"active policies:  {len(self.pdp.policies)}",
-            f"prompts so far:   {sum(1 for r in self.pdp.log if r.prompted)}",
+            # Audit counters are exact even after the decision-log window
+            # or audit rotation has evicted old records.
+            f"prompts so far:   {self.pdp.audit.summary()['prompted']}",
             f"blocked so far:   {self.pep.blocked_deliveries}",
         ]
         if self.last_report is not None:

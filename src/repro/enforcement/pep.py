@@ -1,14 +1,29 @@
-"""The policy enforcement point.
+"""The policy enforcement point: hooks in, ICC events out.
 
 Hooks every ICC API (``startService``, ``startActivity``,
 ``startActivityForResult``, ``bindService``, ``sendBroadcast``,
 ``setResult``) through the Xposed-style hook manager.  When a hooked call
-fires, the PEP resolves the Intent's prospective receivers, builds the
-corresponding ICC events, and asks the PDP.  Receivers the PDP denies are
-cut out of the delivery; the call itself is skipped and re-issued with the
-approved subset, so a blocked ICC call simply never delivers -- the sending
-app continues in degraded mode without crashing (ICC is asynchronous, so no
-response was guaranteed anyway)."""
+fires, the PEP resolves the Intent's prospective receivers, builds one
+:class:`~repro.core.policy.IccEvent` per prospective receiver, and asks
+the PDP **twice per event** -- once as ``ICC_SEND`` (is the sender allowed
+to emit this?) and once as ``ICC_RECEIVE`` (is the receiver allowed to
+get it?); delivery requires both :class:`~repro.enforcement.pdp.Decision`
+values to be ``ALLOW``.  Each ``decide`` call appends its own
+``DecisionRecord``/audit record, so one intercepted call with *k*
+resolved receivers produces exactly *2k* audit entries (this is the
+decision contract documented in :mod:`repro.enforcement.pdp` and
+``docs/ENFORCEMENT.md``).
+
+Receivers the PDP denies are cut out of the delivery; the call itself is
+skipped and re-issued with the approved subset, so a blocked ICC call
+simply never delivers -- the sending app continues in degraded mode
+without crashing (ICC is asynchronous, so no response was guaranteed
+anyway).  Prompt semantics live entirely in the PDP: when a PROMPT
+policy matches, the PDP's injected consent callback runs synchronously
+inside ``decide`` and the PEP only ever sees the resulting verdict.  The
+PEP works against either PDP backend (``linear`` or ``compiled``) --
+it holds a reference to the PDP's shared audit trail and never inspects
+policy internals."""
 
 from __future__ import annotations
 

@@ -80,6 +80,7 @@ class TestSnapshot:
             "pipeline_warm",
             "accuracy",
             "synthesis_modes",
+            "enforcement",
         }
 
     def test_workload_metrics(self, snapshot):
@@ -100,6 +101,12 @@ class TestSnapshot:
         assert modes["per_signature_seconds"] > 0
         assert modes["shared_seconds"] > 0
         assert modes["shared_speedup"] > 0
+        enforcement = snapshot["workloads"]["enforcement"]
+        assert enforcement["events"] > 0
+        assert enforcement["linear_events_per_sec"] > 0
+        assert enforcement["compiled_events_per_sec"] > 0
+        assert 0.0 <= enforcement["cache_hit_rate"] <= 1.0
+        assert enforcement["compiled_p99_us"] >= enforcement["compiled_p50_us"]
 
     def test_write_load_round_trip(self, snapshot, tmp_path):
         path = write_bench(snapshot, str(tmp_path))

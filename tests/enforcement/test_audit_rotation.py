@@ -1,0 +1,156 @@
+"""Audit retention: rotation, spill segments, sampling, truthful summary."""
+
+import json
+
+import pytest
+
+from repro.core.policy import IccEvent, PolicyEvent
+from repro.enforcement import AuditLog, make_pdp
+
+
+def append_n(log, n, verdict="allow", matched=False, prompted=False, start=0):
+    for i in range(start, start + n):
+        log.append(
+            event_kind="icc_receive",
+            sender=f"app/S{i % 7}",
+            receiver="app/R",
+            action=f"ACT{i % 3}",
+            payload=[],
+            sender_permissions=[],
+            verdict=verdict,
+            policy_vulnerability="service_launch" if matched else None,
+            policy_action="deny" if matched else None,
+            prompted=prompted,
+        )
+
+
+class TestRotation:
+    def test_window_bounds_resident_records(self):
+        log = AuditLog(window=100)
+        append_n(log, 1000)
+        assert len(log) <= 100
+        # Amortized eviction keeps at least half the window resident.
+        assert len(log) >= 50
+
+    def test_summary_exact_after_rotation(self):
+        log = AuditLog(window=64)
+        append_n(log, 500)
+        append_n(log, 30, verdict="deny", matched=True)
+        assert log.summary() == {
+            "decisions": 530,
+            "allowed": 500,
+            "denied": 30,
+            "prompted": 0,
+            "matched": 30,
+        }
+
+    def test_sequence_numbers_survive_rotation(self):
+        log = AuditLog(window=32)
+        append_n(log, 200)
+        seqs = [r.seq for r in log]
+        assert seqs == sorted(seqs)
+        assert seqs[-1] == 199
+
+    def test_spill_segments_written(self, tmp_path):
+        log = AuditLog(window=32, spill_dir=str(tmp_path))
+        append_n(log, 200)
+        assert log.retention()["segments"] >= 1
+        assert log.retention()["rotated"] > 0
+        total = sum(
+            1
+            for path in log.segments
+            for line in open(path, encoding="utf-8")
+            if line.strip()
+        )
+        assert total == log.retention()["rotated"]
+
+    def test_round_trip_across_rotation_boundary(self, tmp_path):
+        """loads(dump_all()) restores every decision in order even when
+        the stream crossed multiple rotation boundaries."""
+        log = AuditLog(window=32, spill_dir=str(tmp_path))
+        append_n(log, 150)
+        append_n(log, 10, verdict="deny", matched=True, start=150)
+        restored = AuditLog.loads(log.dump_all())
+        assert [r.seq for r in restored] == list(range(160))
+        assert restored.summary() == log.summary()
+        assert [r.to_dict() for r in restored][-10:] == [
+            r.to_dict() for r in list(log)[-10:]
+        ]
+
+    def test_write_load_round_trip_with_segments(self, tmp_path):
+        log = AuditLog(window=16, spill_dir=str(tmp_path / "spill"))
+        append_n(log, 80)
+        out = tmp_path / "audit.jsonl"
+        log.write(str(out))
+        restored = AuditLog.load(str(out))
+        assert len(restored) == 80
+        assert restored.summary()["decisions"] == 80
+
+    def test_dropping_rotation_without_spill_dir(self):
+        log = AuditLog(window=16)
+        append_n(log, 100)
+        assert log.segments == []
+        assert log.retention()["rotated"] == 100 - len(log)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            AuditLog(window=0)
+
+
+class TestSampling:
+    def test_fallthroughs_sampled_one_in_n(self):
+        log = AuditLog(sample_default_allow=10)
+        append_n(log, 100)  # all default-allow fallthroughs
+        assert len(log) == 10  # first of every 10 kept
+        assert log.summary()["decisions"] == 100  # counters stay exact
+        assert log.retention()["sampled_out"] == 90
+
+    def test_matched_and_denied_never_sampled(self):
+        log = AuditLog(sample_default_allow=10)
+        append_n(log, 50)
+        append_n(log, 20, verdict="deny", matched=True, start=50)
+        append_n(log, 7, verdict="allow", matched=True, prompted=True, start=70)
+        resident = list(log)
+        assert sum(1 for r in resident if r.matched) == 27
+        assert log.summary()["denied"] == 20
+        assert log.summary()["prompted"] == 7
+
+    def test_sampled_log_seq_reflects_true_order(self):
+        log = AuditLog(sample_default_allow=4)
+        append_n(log, 16)
+        assert [r.seq for r in log] == [0, 4, 8, 12]
+
+
+class TestPdpIntegration:
+    def test_pdp_drives_rotation_and_sampling(self, tmp_path):
+        audit = AuditLog(
+            window=32, spill_dir=str(tmp_path), sample_default_allow=2
+        )
+        pdp = make_pdp([], audit=audit)
+        for i in range(200):
+            pdp.decide(
+                PolicyEvent.ICC_RECEIVE,
+                IccEvent(sender="a/S", receiver="a/R", action=f"ACT{i}"),
+            )
+        summary = pdp.audit.summary()
+        assert summary["decisions"] == 200
+        assert summary["allowed"] == 200
+        retention = pdp.audit.retention()
+        assert retention["sampled_out"] == 100
+        assert retention["resident"] <= 32
+        restored = AuditLog.loads(pdp.audit.dump_all())
+        assert restored.summary()["decisions"] == 100  # materialized records
+
+    def test_segment_files_are_valid_jsonl(self, tmp_path):
+        audit = AuditLog(window=16, spill_dir=str(tmp_path))
+        pdp = make_pdp([], audit=audit)
+        for i in range(100):
+            pdp.decide(
+                PolicyEvent.ICC_RECEIVE,
+                IccEvent(sender="a/S", receiver="a/R", action=f"A{i}"),
+            )
+        for path in audit.segments:
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    record = json.loads(line)
+                    assert record["verdict"] in ("allow", "deny")

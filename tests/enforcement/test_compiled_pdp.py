@@ -1,0 +1,183 @@
+"""The compiled PDP backend: indexed dispatch, decision cache, factory."""
+
+import pytest
+
+from repro.android.resources import Resource
+from repro.core.policy import ECAPolicy, IccEvent, PolicyAction, PolicyEvent
+from repro.enforcement import (
+    DEFAULT_PDP_BACKEND,
+    PDP_BACKENDS,
+    CompiledPolicyDecisionPoint,
+    CompiledPolicySet,
+    Decision,
+    PolicyDecisionPoint,
+    make_pdp,
+)
+from repro.enforcement.compiled import cache_key
+
+
+def receive_policy(receiver, action=None, verdict=PolicyAction.DENY, **kw):
+    return ECAPolicy(
+        event=PolicyEvent.ICC_RECEIVE,
+        vulnerability="service_launch",
+        action=verdict,
+        receiver=receiver,
+        intent_action=action,
+        **kw,
+    )
+
+
+def event(receiver="a/R", action="ACT", sender="m/S", **kw):
+    return IccEvent(sender=sender, receiver=receiver, action=action, **kw)
+
+
+class TestCompiledPolicySet:
+    def test_exact_bucket_dispatch(self):
+        cps = CompiledPolicySet([receive_policy("a/R", "ACT")])
+        assert cps.match(PolicyEvent.ICC_RECEIVE, event()) is cps.policies[0]
+        assert cps.match(PolicyEvent.ICC_RECEIVE, event(action="OTHER")) is None
+        assert cps.match(PolicyEvent.ICC_SEND, event()) is None
+
+    def test_first_match_order_across_buckets(self):
+        """A wildcard policy installed *before* an exact one must win,
+        even though it lives in a lower-specificity bucket."""
+        wildcard = ECAPolicy(
+            event=PolicyEvent.ICC_RECEIVE,
+            vulnerability="information_leak",
+            action=PolicyAction.DENY,
+            extras_any=frozenset({Resource.LOCATION}),
+        )
+        exact = receive_policy("a/R", "ACT")
+        cps = CompiledPolicySet([wildcard, exact])
+        hit = cps.match(
+            PolicyEvent.ICC_RECEIVE,
+            event(extras=frozenset({Resource.LOCATION})),
+        )
+        assert hit is wildcard
+        # Without the wildcard's payload the exact policy fires.
+        assert cps.match(PolicyEvent.ICC_RECEIVE, event()) is exact
+
+    def test_sender_bucket_and_unresolved_receiver(self):
+        hijack = ECAPolicy(
+            event=PolicyEvent.ICC_SEND,
+            vulnerability="intent_hijack",
+            action=PolicyAction.DENY,
+            sender="m/S",
+            intent_action="ACT",
+            allowed_receivers=frozenset({"ok/R"}),
+        )
+        cps = CompiledPolicySet([hijack])
+        assert (
+            cps.match(PolicyEvent.ICC_SEND, event(receiver="evil/R")) is hijack
+        )
+        assert cps.match(PolicyEvent.ICC_SEND, event(receiver="ok/R")) is None
+        # Unresolved receiver: candidate lookup must not require one.
+        assert cps.match(PolicyEvent.ICC_SEND, event(receiver=None)) is None
+
+    def test_none_action_event_skips_exact_bucket_safely(self):
+        cps = CompiledPolicySet(
+            [receive_policy("a/R", "ACT"), receive_policy("a/R")]
+        )
+        hit = cps.match(PolicyEvent.ICC_RECEIVE, event(action=None))
+        assert hit is cps.policies[1]
+
+    def test_candidates_are_priority_sorted(self):
+        policies = [
+            receive_policy("a/R"),
+            receive_policy("a/R", "ACT"),
+            receive_policy("a/R", sender_lacks_permission="p.X"),
+        ]
+        cps = CompiledPolicySet(policies)
+        ranks = [rank for rank, _ in cps.candidates(PolicyEvent.ICC_RECEIVE, event())]
+        assert ranks == sorted(ranks)
+
+
+class TestMakePdp:
+    def test_default_is_compiled(self):
+        assert DEFAULT_PDP_BACKEND == "compiled"
+        assert isinstance(make_pdp(), CompiledPolicyDecisionPoint)
+
+    def test_linear_backend(self):
+        pdp = make_pdp(backend="linear")
+        assert type(pdp) is PolicyDecisionPoint
+
+    def test_registry_matches_factory(self):
+        for name, cls in PDP_BACKENDS.items():
+            assert type(make_pdp(backend=name)) is cls
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown PDP backend"):
+            make_pdp(backend="quantum")
+
+
+class TestDecisionCache:
+    def test_repeat_shape_hits_cache(self):
+        pdp = make_pdp([receive_policy("a/R", "ACT")])
+        for _ in range(5):
+            assert pdp.decide(PolicyEvent.ICC_RECEIVE, event()) is Decision.DENY
+        assert pdp.cache_hits == 4
+        assert pdp.cache_misses == 1
+        # Every decision still audited, cached or not.
+        assert pdp.audit.summary()["decisions"] == 5
+
+    def test_prompt_never_cached(self):
+        answers = iter([True, False, True])
+        pdp = make_pdp(
+            [receive_policy("a/R", "ACT", verdict=PolicyAction.PROMPT)],
+            prompt_callback=lambda p, e: next(answers),
+        )
+        got = [pdp.decide(PolicyEvent.ICC_RECEIVE, event()) for _ in range(3)]
+        assert got == [Decision.ALLOW, Decision.DENY, Decision.ALLOW]
+        assert pdp.cache_hits == 0
+        assert pdp.audit.summary()["prompted"] == 3
+
+    def test_install_invalidates_mid_stream(self):
+        """A policy installed mid-stream must take effect immediately --
+        stale cached fallthroughs would keep allowing."""
+        pdp = make_pdp([])
+        ev = event()
+        assert pdp.decide(PolicyEvent.ICC_RECEIVE, ev) is Decision.ALLOW
+        assert pdp.decide(PolicyEvent.ICC_RECEIVE, ev) is Decision.ALLOW
+        assert pdp.cache_hits == 1
+        pdp.add_policy(receive_policy("a/R", "ACT"))
+        assert pdp.decide(PolicyEvent.ICC_RECEIVE, ev) is Decision.DENY
+        assert pdp.cache_invalidations == 1
+
+    def test_uninstall_invalidates_mid_stream(self):
+        pdp = make_pdp([receive_policy("a/R", "ACT")])
+        ev = event()
+        assert pdp.decide(PolicyEvent.ICC_RECEIVE, ev) is Decision.DENY
+        pdp.policies = []  # DeviceGuard._refresh protocol: plain assignment
+        assert pdp.decide(PolicyEvent.ICC_RECEIVE, ev) is Decision.ALLOW
+
+    def test_cache_bounded_by_whole_reset(self):
+        pdp = CompiledPolicyDecisionPoint([], cache_max_entries=4)
+        for i in range(10):
+            pdp.decide(PolicyEvent.ICC_RECEIVE, event(action=f"A{i}"))
+        assert len(pdp._cache) <= 4
+
+    def test_cache_key_canonicalizes_set_order(self):
+        a = event(
+            extras=frozenset({Resource.LOCATION, Resource.SMS}),
+            sender_permissions=frozenset({"p.B", "p.A"}),
+        )
+        b = event(
+            extras=frozenset({Resource.SMS, Resource.LOCATION}),
+            sender_permissions=frozenset({"p.A", "p.B"}),
+        )
+        assert cache_key(PolicyEvent.ICC_RECEIVE, a) == cache_key(
+            PolicyEvent.ICC_RECEIVE, b
+        )
+        assert cache_key(PolicyEvent.ICC_RECEIVE, a) != cache_key(
+            PolicyEvent.ICC_SEND, a
+        )
+
+
+class TestBoundedDecisionLog:
+    def test_log_window_bounds_memory(self):
+        pdp = CompiledPolicyDecisionPoint([], log_window=8)
+        for i in range(20):
+            pdp.decide(PolicyEvent.ICC_RECEIVE, event(action=f"A{i}"))
+        assert len(pdp.log) == 8
+        assert pdp.log[-1].event.action == "A19"
+        assert pdp.audit.summary()["decisions"] == 20

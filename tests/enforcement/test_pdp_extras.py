@@ -77,3 +77,56 @@ class TestDecisionLogging:
         assert pdp.decide(PolicyEvent.ICC_RECEIVE, event) is Decision.ALLOW
         pdp.add_policy(make_policy(action=PolicyAction.DENY))
         assert pdp.decide(PolicyEvent.ICC_RECEIVE, event) is Decision.DENY
+
+    def test_bounded_log_window(self):
+        pdp = PolicyDecisionPoint([], log_window=4)
+        for i in range(10):
+            pdp.decide(
+                PolicyEvent.ICC_RECEIVE,
+                IccEvent(sender="x/Y", receiver="z/W", action=f"A{i}"),
+            )
+        assert len(pdp.log) == 4
+        assert pdp.log[-1].event.action == "A9"
+        # The audit trail keeps the complete count.
+        assert pdp.audit.summary()["decisions"] == 10
+
+
+class TestPartialEvents:
+    def test_matches_tolerates_none_action(self):
+        """Events built outside the PEP may carry ``action=None``; a
+        policy conditioned on the intent action simply does not fire."""
+        policy = ECAPolicy(
+            event=PolicyEvent.ICC_RECEIVE,
+            vulnerability="service_launch",
+            receiver="a/Victim",
+            intent_action="go",
+            action=PolicyAction.DENY,
+        )
+        event = IccEvent(sender="x/Y", receiver="a/Victim", action=None)
+        assert policy.matches(PolicyEvent.ICC_RECEIVE, event) is False
+
+    def test_matches_tolerates_none_collections(self):
+        """extras / sender_permissions forced to None must not raise."""
+        policy = make_policy(action=PolicyAction.DENY)
+        perm_policy = ECAPolicy(
+            event=PolicyEvent.ICC_RECEIVE,
+            vulnerability="privilege_escalation",
+            receiver="a/Victim",
+            sender_lacks_permission="perm.X",
+            action=PolicyAction.DENY,
+        )
+        event = IccEvent(
+            sender="x/Y",
+            receiver="a/Victim",
+            action="go",
+            extras=None,
+            sender_permissions=None,
+        )
+        assert policy.matches(PolicyEvent.ICC_RECEIVE, event) is False
+        # Absent permissions: the sender cannot prove it holds perm.X.
+        assert perm_policy.matches(PolicyEvent.ICC_RECEIVE, event) is True
+
+    def test_pdp_decides_on_partial_event(self):
+        pdp = PolicyDecisionPoint([make_policy(action=PolicyAction.DENY)])
+        event = IccEvent(sender="x/Y", receiver="a/Victim", action=None)
+        assert pdp.decide(PolicyEvent.ICC_RECEIVE, event) is Decision.ALLOW
