@@ -48,6 +48,9 @@ HIGHER_BETTER = frozenset(
         "compiled_speedup",
         "linear_events_per_sec",
         "compiled_events_per_sec",
+        "warm_speedup",
+        "warm_hit_rate",
+        "requests_per_sec",
     }
 )
 
@@ -67,6 +70,8 @@ IDENTITY_METRICS = frozenset(
         "scenarios",
         "policies",
         "events",
+        "queries",
+        "socket_requests",
     }
 )
 
@@ -92,6 +97,7 @@ class BenchConfig:
             "synthesis_modes",
             "accuracy",
             "enforcement",
+            "service",
         )
     )
 
@@ -566,11 +572,166 @@ def _bench_enforcement(config: BenchConfig) -> Dict[str, float]:
     }
 
 
+def _bench_service(config: BenchConfig) -> Dict[str, float]:
+    """Sustained service throughput: warm sessions vs cold reruns.
+
+    Replays a seeded install / uninstall / reinstall stream with an
+    ``analyze`` re-query after every event, twice: once through one
+    resident :class:`DeviceSession` (warm engine + in-memory
+    content-addressed cache), once as cold full-bundle runs (a fresh
+    engine per queried composition, extraction already paid on both
+    sides).  Every warm answer is asserted byte-identical to its cold
+    answer before any number is reported -- the measured speedup never
+    compares different work.  ``warm_speedup`` > 1.0 means the resident
+    session beats cold re-analysis; it is direction-tagged in
+    ``HIGHER_BETTER``.  A second phase drives a ``decide`` stream
+    through a live socket server for end-to-end requests/sec and
+    per-request latency.
+    """
+    import json as _json
+    import random
+
+    from repro.core import serialize
+    from repro.service import (
+        PolicyService,
+        ServerConfig,
+        ServiceClient,
+        SessionConfig,
+    )
+    from repro.service.session import DeviceSession, cold_analysis
+    from repro.statics import extract_app
+    from repro.workloads import CorpusConfig, CorpusGenerator
+
+    generator = CorpusGenerator(
+        CorpusConfig(seed=config.seed, scale=config.effective_scale())
+    )
+    apks = generator.generate()
+    ledger = generator.ledger
+    flagged = set()
+    for group in (
+        ledger.hijack_apps,
+        ledger.launch_apps,
+        ledger.leak_apps,
+        ledger.escalation_apps,
+    ):
+        flagged.update(group)
+    rng = random.Random(config.seed)
+    vulnerable = [a for a in apks if a.package in flagged]
+    neutral = [a for a in apks if a.package not in flagged]
+    picked = rng.sample(vulnerable, min(3, len(vulnerable)))
+    picked += rng.sample(neutral, min(len(neutral), 2))
+    apps = [extract_app(a) for a in picked]
+    app_dicts = {a.package: serialize.app_to_dict(a) for a in apps}
+    session_config = SessionConfig(
+        scenarios_per_signature=config.scenarios,
+        shared_encoding=config.shared_encoding,
+        solver_backend=config.solver_backend,
+    )
+    flips = 2 if config.quick else 4
+
+    # ---- warm phase: one resident session replays the event stream
+    session = DeviceSession("bench", config=session_config)
+    queried: List[tuple] = []  # (packages, warm answer)
+    resident = []
+    t0 = time.perf_counter()
+    for app in apps:
+        session.install(app_dicts[app.package])
+        resident.append(app.package)
+        queried.append((tuple(sorted(resident)), session.analyze()))
+    for i in range(flips):
+        victim = apps[i % len(apps)].package
+        session.uninstall(victim)
+        queried.append(
+            (
+                tuple(sorted(p for p in resident if p != victim)),
+                session.analyze(),
+            )
+        )
+        session.install(app_dicts[victim])
+        queried.append((tuple(sorted(resident)), session.analyze()))
+    warm_seconds = time.perf_counter() - t0
+
+    # ---- cold phase: a fresh full-bundle run per queried composition.
+    # The session analyzes the device view under current permission
+    # grants (the analyzer's Marshmallow semantics), so the cold side
+    # must see the same grant-effective models -- comparing against the
+    # raw extracted apps would diff two different compositions whenever
+    # a component exercises an undeclared permission.
+    from repro.core.incremental import effective_app
+
+    by_package = {
+        a.package: effective_app(a, frozenset(a.uses_permissions))
+        for a in apps
+    }
+    t0 = time.perf_counter()
+    cold_answers = [
+        cold_analysis([by_package[p] for p in packages], session_config)
+        for packages, _warm in queried
+    ]
+    cold_seconds = time.perf_counter() - t0
+    for (packages, warm), cold in zip(queried, cold_answers):
+        if _json.dumps(warm, sort_keys=True) != _json.dumps(
+            cold, sort_keys=True
+        ):
+            raise RuntimeError(
+                f"service session diverged from cold run on {packages}"
+            )
+
+    # ---- socket phase: sustained decide throughput on a live server
+    num_requests = 200 if config.quick else 1000
+    components = [
+        f"{c.app}/{c.name}"
+        for a in apps
+        for c in a.components
+    ] or ["bench.app/Main"]
+    service = PolicyService(
+        ServerConfig(port=0, session=session_config, heartbeat_seconds=0.5)
+    )
+    latencies: List[float] = []
+    with service.background():
+        host, port = service.address
+        with ServiceClient(host, port) as client:
+            for app in apps:
+                client.install("bench", app_dicts[app.package])
+            client.analyze("bench")  # pay the one synthesis up front
+            t0 = time.perf_counter()
+            for i in range(num_requests):
+                event = {
+                    "sender": components[i % len(components)],
+                    "receiver": components[(i * 7 + 1) % len(components)],
+                }
+                start = time.perf_counter()
+                client.decide("bench", "icc_receive", event)
+                latencies.append(time.perf_counter() - start)
+            socket_seconds = time.perf_counter() - t0
+
+    return {
+        "apps": float(len(apps)),
+        "events": float(len(apps) + 2 * flips),
+        "queries": float(len(queried)),
+        "warm_seconds": warm_seconds,
+        "cold_seconds": cold_seconds,
+        "warm_speedup": (
+            cold_seconds / warm_seconds if warm_seconds > 0 else 0.0
+        ),
+        "warm_hit_rate": session.warm_hit_rate,
+        "syntheses": float(session.syntheses),
+        "socket_requests": float(num_requests),
+        "socket_seconds": socket_seconds,
+        "requests_per_sec": (
+            num_requests / socket_seconds if socket_seconds > 0 else 0.0
+        ),
+        "request_p50_us": _percentile(latencies, 0.5) * 1e6,
+        "request_p99_us": _percentile(latencies, 0.99) * 1e6,
+    }
+
+
 _WORKLOADS: Dict[str, Callable[[BenchConfig], Any]] = {
     "extraction": _bench_extraction,
     "synthesis_modes": _bench_synthesis_modes,
     "accuracy": _bench_accuracy,
     "enforcement": _bench_enforcement,
+    "service": _bench_service,
 }
 
 
@@ -642,9 +803,15 @@ def _noise_floor(metric: str) -> float:
         return 5.0  # hook-overhead percentages on millisecond dispatches
     if "rss" in metric:
         return 32 * 1024 * 1024
-    if metric in ("cache_hit_rate", "precision", "recall", "f_measure"):
+    if metric in (
+        "cache_hit_rate",
+        "warm_hit_rate",
+        "precision",
+        "recall",
+        "f_measure",
+    ):
         return 0.01
-    if metric == "compiled_speedup":
+    if metric in ("compiled_speedup", "warm_speedup"):
         return 0.1
     return 1.0
 

@@ -31,6 +31,11 @@ Usage (``python -m repro <command>``):
   pipeline run report as Prometheus text exposition format.
 - ``serve-metrics REPORT``      -- serve that same exposition on a local
   HTTP endpoint (``GET /metrics``) for a Prometheus scraper.
+- ``serve``                     -- run the long-lived policy service: one
+  warm analysis session per device over line-delimited JSON (TCP, or a
+  UNIX socket with ``--socket``); install/uninstall streams are answered
+  by warm incremental re-synthesis, byte-identical to cold runs, with
+  Prometheus telemetry on ``--metrics-port``.  See ``docs/SERVICE.md``.
 - ``bench``                     -- run the paper-corpus benchmark workloads
   and write a schema-versioned ``BENCH_<label>.json`` snapshot;
   ``bench --compare OLD NEW`` diffs two snapshots with per-metric
@@ -450,6 +455,65 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
         pass
     finally:
         server.server_close()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.obs import enable_metrics
+    from repro.service import PolicyService, ServerConfig, SessionConfig
+
+    enable_metrics()
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        metrics_port=args.metrics_port,
+        workers=args.workers,
+        batch_max=args.batch_max,
+        request_timeout_seconds=args.request_timeout,
+        ready_file=args.ready_file,
+        session=SessionConfig(
+            scenarios_per_signature=args.scenarios,
+            conflict_budget=args.conflict_budget,
+            time_budget_seconds=args.time_budget,
+            shared_encoding=args.shared_encoding,
+            solver_backend=args.solver_backend,
+            pdp_backend=args.pdp_backend,
+            cache_entries=args.cache_entries,
+        ),
+    )
+    service = PolicyService(config)
+
+    async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, service.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without signal-handler support
+        task = asyncio.ensure_future(service.run())
+        # Wait for the bind (or an early failure) before printing where
+        # the server can be reached.
+        while not service._started.is_set() and not task.done():
+            await asyncio.sleep(0.01)
+        if config.socket_path:
+            print(f"repro serve: listening on {config.socket_path}")
+        elif service.address:
+            host, port = service.address
+            print(f"repro serve: listening on {host}:{port}")
+        if service.metrics_address:
+            mhost, mport = service.metrics_address
+            print(f"repro serve: metrics on http://{mhost}:{mport}/metrics")
+        print("(Ctrl-C or the 'shutdown' op to stop)")
+        await task
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -892,6 +956,120 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind port (default: %(default)s; 0 picks a free port)",
     )
     serve_metrics.set_defaults(func=_cmd_serve_metrics)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived policy service (warm incremental state)",
+        description=(
+            "Start the repro policy daemon: line-delimited JSON requests "
+            "over TCP (or a UNIX socket with --socket), one warm analysis "
+            "session per device.  install/uninstall/update/grant/revoke "
+            "answer with detection deltas; analyze/policies/decide pay at "
+            "most one warm re-synthesis per composition and are byte-"
+            "identical to cold runs.  --metrics-port exposes Prometheus "
+            "gauges for sessions, queue depth, warm-hit rate and request "
+            "latency.  See docs/SERVICE.md for the protocol."
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7461,
+        help="bind port (default: %(default)s; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="listen on a UNIX socket at PATH instead of TCP",
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="also serve Prometheus metrics on this port "
+        "(0 picks a free port; default: no metrics endpoint)",
+    )
+    serve.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="PATH",
+        help="write a JSON line with the bound address to PATH once "
+        "accepting (lets scripts wait for startup)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="analysis worker threads (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=32,
+        help="max queued requests drained per device batch "
+        "(default: %(default)s)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock bound per request (default: none; synthesis is "
+        "bounded by --conflict-budget/--time-budget degradation instead)",
+    )
+    serve.add_argument(
+        "--scenarios",
+        type=int,
+        default=2,
+        help="max scenarios per signature (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--conflict-budget",
+        type=int,
+        default=None,
+        help="per-signature solver conflict budget; over-budget synthesis "
+        "degrades to a partial result (default: unbounded)",
+    )
+    serve.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-signature synthesis time budget with the same "
+        "degradation semantics (default: unbounded)",
+    )
+    serve.add_argument(
+        "--per-signature",
+        dest="shared_encoding",
+        action="store_false",
+        default=True,
+        help="use per-signature synthesis instead of the shared-encoding "
+        "default",
+    )
+    serve.add_argument(
+        "--solver-backend",
+        choices=sorted(SOLVER_BACKENDS),
+        default=DEFAULT_BACKEND,
+        help="SAT backend for session engines (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--pdp-backend",
+        choices=["compiled", "linear"],
+        default="compiled",
+        help="policy decision engine (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        help="per-session warm result cache bound, 0 = unbounded "
+        "(default: %(default)s)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser(
         "bench",

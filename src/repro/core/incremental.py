@@ -84,6 +84,12 @@ def _effective_app(app: AppModel, granted: FrozenSet[str]) -> AppModel:
     )
 
 
+#: Public alias: the ``repro serve`` session layer builds per-device
+#: bundle views under current grants with the exact same transform the
+#: analyzer uses internally, so warm and cold paths cannot diverge.
+effective_app = _effective_app
+
+
 class IncrementalAnalyzer:
     """Tracks one device's evolving bundle and its findings."""
 

@@ -196,6 +196,13 @@ class AnalysisAndSynthesisEngine:
         # Pure wall-clock knob: backends are verified byte-identical on
         # scenarios, so this never participates in cache keys.
         self.solver_backend = solver_backend
+        #: The shared-encoding :class:`RelationalProblem` of the most
+        #: recent :meth:`run_shared` call, kept addressable so a resident
+        #: caller (the ``repro serve`` session) can keep the solver --
+        #: learned clauses, saved trail, phase state -- warm between
+        #: requests and report its size as telemetry.  ``None`` until the
+        #: first shared run; per-signature runs leave it untouched.
+        self.last_problem: Optional[RelationalProblem] = None
 
     def run(self, bundle: BundleModel) -> SynthesisResult:
         if self.shared_encoding:
@@ -326,6 +333,7 @@ class AnalysisAndSynthesisEngine:
             metrics.histogram("ase.num_clauses").observe(stats.num_clauses)
             metrics.histogram("ase.construction_seconds").observe(construction)
             metrics.histogram("ase.solving_seconds").observe(solving)
+        self.last_problem = problem
         return SynthesisResult(scenarios=scenarios, stats=stats)
 
     def _build_shared(self, spec: BundleSpec):

@@ -15,6 +15,7 @@ own canonical encoding) before hashing.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import enum
 import hashlib
@@ -22,6 +23,8 @@ import inspect
 import json
 import os
 import pathlib
+import tempfile
+import threading
 from functools import lru_cache
 from typing import Any, Dict, Optional
 
@@ -57,7 +60,19 @@ def canonical(obj: Any) -> Any:
             key=lambda c: json.dumps(c, sort_keys=True),
         )
     if isinstance(obj, dict):
-        return {str(k): canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+        # Plain form only when every key is a genuine str: stringifying
+        # other key types would collide 1 with "1" (and True with "True"),
+        # letting two different inputs share one cache key.  Mixed or
+        # non-str keys get an explicit pair-list form that preserves each
+        # key's canonical encoding (and therefore its type).
+        if all(type(k) is str for k in obj):
+            return {k: canonical(v) for k, v in sorted(obj.items())}
+        return {
+            "__map__": sorted(
+                ([canonical(k), canonical(v)] for k, v in obj.items()),
+                key=lambda kv: json.dumps(kv[0], sort_keys=True),
+            )
+        }
     if isinstance(obj, (list, tuple)):
         return [canonical(item) for item in obj]
     if isinstance(obj, (str, int, float, bool)) or obj is None:
@@ -94,7 +109,10 @@ def framework_fingerprint() -> str:
     import repro.core.vulnerabilities.leak
     import repro.relational.problem
     import repro.relational.translate
+    import repro.sat.cnf
+    import repro.sat.fastsolver
     import repro.sat.solver
+    import repro.sat.tseitin
     import repro.statics
 
     modules = [
@@ -110,7 +128,14 @@ def framework_fingerprint() -> str:
         repro.core.vulnerabilities.leak,
         repro.relational.problem,
         repro.relational.translate,
+        # The whole SAT substrate: both backends (``fast`` is the default
+        # since PR 6) and the CNF/Tseitin encoder.  Editing any of them
+        # changes what a synthesis task computes, so all of them must
+        # rotate every cache key.
+        repro.sat.cnf,
+        repro.sat.fastsolver,
         repro.sat.solver,
+        repro.sat.tseitin,
         repro.statics,
     ]
     digest = hashlib.sha256()
@@ -184,9 +209,25 @@ class PipelineCache:
         path = self._path(namespace, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {"version": CACHE_FORMAT_VERSION, "payload": payload}
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(envelope, sort_keys=True))
-        os.replace(tmp, path)
+        # Unique per-process/per-attempt tmp name in the entry's own
+        # directory (same filesystem, so the final rename is atomic).  A
+        # fixed tmp name would be shared by every concurrent writer of
+        # this key: two pool workers could interleave truncate/write and
+        # ``os.replace`` a torn file.  ``get`` only ever reads
+        # ``<key>.json``, so a half-written tmp is never visible.
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f"{path.name}.{os.getpid()}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(envelope, sort_keys=True))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def clear(self) -> int:
         """Remove every entry; returns the number of files removed."""
@@ -200,6 +241,72 @@ class PipelineCache:
             except OSError:
                 pass
         return removed
+
+
+class MemoryCache(PipelineCache):
+    """In-process content-addressed cache with the PipelineCache contract.
+
+    Used by the long-running policy service (`repro serve`): warm session
+    state must survive across requests without disk I/O on the hot path.
+    Entries are kept per namespace in insertion order and evicted LRU once
+    ``max_entries`` is exceeded (0 disables the bound).  Payloads are
+    round-tripped through JSON on ``put`` so a cached result is exactly as
+    isolated from caller mutation as a disk entry would be, and the same
+    degraded-payload rejection applies.  Thread-safe: the service's worker
+    threads share one instance.
+    """
+
+    def __init__(self, max_entries: int = 0) -> None:
+        self.root = None  # type: ignore[assignment]
+        self.accounting = CacheAccounting()
+        self.max_entries = max_entries
+        self._entries: Dict[str, "collections.OrderedDict[str, str]"] = {}
+        self._lock = threading.Lock()
+
+    def get(self, namespace: str, key: str) -> Optional[Dict[str, Any]]:
+        metrics = get_metrics()
+        with self._lock:
+            bucket = self._entries.get(namespace)
+            text = bucket.get(key) if bucket is not None else None
+            if text is not None:
+                bucket.move_to_end(key)
+        if text is None:
+            self.accounting.record_miss(namespace)
+            if metrics.enabled:
+                metrics.counter(f"cache.{namespace}.misses").inc()
+            return None
+        self.accounting.record_hit(namespace)
+        if metrics.enabled:
+            metrics.counter(f"cache.{namespace}.hits").inc()
+        return json.loads(text)
+
+    def put(self, namespace: str, key: str, payload: Dict[str, Any]) -> None:
+        if isinstance(payload, dict) and payload.get("incomplete"):
+            self.accounting.record_rejection(namespace)
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter(f"cache.{namespace}.rejections").inc()
+            return
+        text = json.dumps(payload, sort_keys=True)
+        with self._lock:
+            bucket = self._entries.setdefault(
+                namespace, collections.OrderedDict()
+            )
+            bucket[key] = text
+            bucket.move_to_end(key)
+            if self.max_entries > 0:
+                while len(bucket) > self.max_entries:
+                    bucket.popitem(last=False)
+
+    def clear(self) -> int:
+        with self._lock:
+            removed = sum(len(bucket) for bucket in self._entries.values())
+            self._entries.clear()
+        return removed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(bucket) for bucket in self._entries.values())
 
 
 class NullCache(PipelineCache):

@@ -1,0 +1,170 @@
+"""Wire protocol of the ``repro serve`` daemon.
+
+Line-delimited JSON over a stream socket (TCP or UNIX): every request is
+one JSON object on one line, every response is one JSON object on one
+line, in request order per connection.
+
+Request::
+
+    {"id": <any JSON scalar>, "op": "<operation>", ...operands}
+
+Response::
+
+    {"id": <echoed>, "ok": true,  "result": {...}}
+    {"id": <echoed>, "ok": false, "error": {"kind": "...", "message": "..."}}
+
+Operations (``device`` names the per-device session; sessions are created
+on first use):
+
+========== ===================== =========================================
+op         operands              result
+========== ===================== =========================================
+ping       --                    ``{"pong": true, "version": ...}``
+install    device, app           detection delta + resident package list
+update     device, app           same (uninstall + install, one delta)
+uninstall  device, package       same
+grant      device, package,      same
+           permission
+revoke     device, package,      same
+           permission
+analyze    device                full findings bundle (byte-identical to a
+                                 cold ``analyze`` of the same apps)
+policies   device                current synthesized policy set
+decide     device, kind, event   PDP verdict + audit record
+audit      device                audit trail + retention summary
+status     [device]              server- or session-level status
+shutdown   --                    acknowledges, then stops the server
+========== ===================== =========================================
+
+Malformed input never kills a connection: it produces an error response
+(with ``id: null`` when no id could be recovered) and the read loop
+continues.  Oversized lines are the one exception -- the framing itself
+is broken, so the server answers ``line_too_long`` and closes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, FrozenSet, Optional
+
+PROTOCOL_VERSION = 1
+
+#: Framing bound: app models serialize to a few KiB; 8 MiB leaves two
+#: orders of magnitude of headroom while still bounding a hostile peer.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Every operation the dispatcher accepts.
+OPS: FrozenSet[str] = frozenset(
+    {
+        "ping",
+        "install",
+        "update",
+        "uninstall",
+        "grant",
+        "revoke",
+        "analyze",
+        "policies",
+        "decide",
+        "audit",
+        "status",
+        "shutdown",
+    }
+)
+
+#: Operations routed through a per-device session (and therefore
+#: requiring a ``device`` operand).  ``status`` takes an *optional*
+#: device, so it is global here and branches in the server.
+DEVICE_OPS: FrozenSet[str] = frozenset(
+    {
+        "install",
+        "update",
+        "uninstall",
+        "grant",
+        "revoke",
+        "analyze",
+        "policies",
+        "decide",
+        "audit",
+    }
+)
+
+#: Error kinds a response may carry.
+ERROR_KINDS = frozenset(
+    {
+        "bad_request",     # malformed JSON / missing or invalid operands
+        "unknown_op",      # op not in OPS
+        "not_found",       # unknown package / device state mismatch
+        "conflict",        # e.g. installing an already-installed package
+        "timeout",         # per-request wall-clock bound exceeded
+        "shutting_down",   # server is draining; no new work accepted
+        "line_too_long",   # framing bound exceeded; connection closes
+        "internal",        # unexpected server-side failure
+    }
+)
+
+
+class ProtocolError(Exception):
+    """A request that cannot be served, tagged with an error kind."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        if kind not in ERROR_KINDS:
+            kind = "internal"
+        super().__init__(message)
+        self.kind = kind
+        self.message = message
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One protocol line: canonical JSON plus the newline terminator."""
+    return json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def ok_response(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: Any, kind: str, message: str
+) -> Dict[str, Any]:
+    if kind not in ERROR_KINDS:
+        kind = "internal"
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"kind": kind, "message": message},
+    }
+
+
+def decode_request(line: bytes) -> Dict[str, Any]:
+    """Parse and validate one request line.
+
+    Raises :class:`ProtocolError` on malformed input; the caller answers
+    with :func:`error_response` and keeps the connection open.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("line_too_long", f"request exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        request = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("bad_request", f"invalid JSON: {exc}") from exc
+    if not isinstance(request, dict):
+        raise ProtocolError("bad_request", "request must be a JSON object")
+    op = request.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("bad_request", "missing or non-string 'op'")
+    if op not in OPS:
+        raise ProtocolError("unknown_op", f"unknown op {op!r}")
+    if op in DEVICE_OPS:
+        device = request.get("device")
+        if not isinstance(device, str) or not device:
+            raise ProtocolError(
+                "bad_request", f"op {op!r} requires a non-empty 'device'"
+            )
+    return request
+
+
+def request_id(request: Optional[Dict[str, Any]]) -> Any:
+    """The id to echo; ``None`` when the request never parsed."""
+    if isinstance(request, dict):
+        return request.get("id")
+    return None

@@ -1,0 +1,507 @@
+"""The ``repro serve`` daemon: asyncio front end over warm sessions.
+
+Architecture (see ``docs/SERVICE.md``):
+
+- an asyncio acceptor reads line-delimited JSON requests (TCP or UNIX
+  socket) and answers each connection's requests in order;
+- requests are sharded per device onto an ``asyncio.Queue``; one worker
+  coroutine per device drains its queue in *batches* and executes each
+  batch on a thread pool, so devices proceed in parallel while every
+  single device's stream stays strictly serialized over its warm
+  :class:`~repro.service.session.DeviceSession`;
+- mutations only mark a session dirty, so a batched burst of installs
+  pays one re-synthesis at the next synthesis-backed query -- the
+  per-request *timeout* story is the pipeline's budget/degradation
+  semantics (``conflict_budget`` / ``time_budget_seconds`` on the
+  engine): an over-budget synthesis degrades to a partial result and the
+  response says so, rather than a thread being killed mid-solve;
+- a heartbeat task exports liveness + per-session gauges (resident
+  bundles, warm-hit rate, queue depth) through the PR 5 metrics
+  registry, and the optional scrape endpoint
+  (:func:`repro.obs.export.make_metrics_server`) serves them as
+  Prometheus text at ``GET /metrics``;
+- shutdown (the ``shutdown`` op, :meth:`PolicyService.request_shutdown`,
+  or SIGTERM/SIGINT in the CLI) stops accepting, lets in-flight batches
+  finish, answers queued requests with ``shutting_down``, and tears the
+  metrics thread, ready file, and socket down.
+
+:class:`PolicyService` owns the lifecycle.  ``asyncio.run(service.run())``
+is the CLI entry; ``service.background()`` runs the same loop on a
+daemon thread for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import get_metrics
+from repro.obs.export import make_metrics_server
+from repro.service import protocol
+from repro.service.protocol import ProtocolError
+from repro.service.session import DeviceSession, SessionConfig
+
+#: Request-latency buckets (seconds): sub-millisecond cache hits through
+#: multi-second cold syntheses.  p50/p99 derive from the cumulative
+#: bucket counts on the scrape side.
+LATENCY_BOUNDS = (
+    0.001,
+    0.005,
+    0.02,
+    0.1,
+    0.5,
+    2.0,
+    10.0,
+)
+
+
+@dataclass
+class ServerConfig:
+    """Where to listen and how hard to work."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 picks an ephemeral port; see PolicyService.address
+    socket_path: Optional[str] = None  # UNIX socket; overrides TCP when set
+    metrics_host: str = "127.0.0.1"
+    metrics_port: Optional[int] = None  # None disables; 0 = ephemeral
+    workers: int = 2
+    batch_max: int = 32
+    heartbeat_seconds: float = 5.0
+    #: A batch executing longer than this trips the stall counter (the
+    #: engine's own budgets are the actual bound; this is the alarm).
+    stall_seconds: float = 120.0
+    #: Optional wall-clock bound per request; ``None`` waits forever.
+    request_timeout_seconds: Optional[float] = None
+    #: When set, a JSON line ``{"address": ..., "pid": ...}`` is written
+    #: here once the server accepts connections (CI waits on it).
+    ready_file: Optional[str] = None
+    session: SessionConfig = field(default_factory=SessionConfig)
+
+
+class PolicyService:
+    """One daemon instance: sessions, queues, telemetry, lifecycle."""
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig()
+        self.sessions: Dict[str, DeviceSession] = {}
+        self._queues: Dict[str, "asyncio.Queue"] = {}
+        self._workers: Dict[str, "asyncio.Task"] = {}
+        self._busy_since: Dict[str, Optional[float]] = {}
+        self._stalled: Dict[str, bool] = {}
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._metrics_httpd = None
+        self._metrics_thread: Optional[threading.Thread] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._start_error: Optional[BaseException] = None
+        self._t0 = time.monotonic()
+        self.address: Optional[Tuple[str, int]] = None
+        self.metrics_address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        """Serve until shutdown is requested; cleans up on the way out."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, self.config.workers),
+            thread_name_prefix="repro-serve",
+        )
+        try:
+            # The StreamReader limit must cover the protocol's framing
+            # bound, or readline() raises on large (but legal) app dicts.
+            limit = protocol.MAX_LINE_BYTES + 1024
+            if self.config.socket_path:
+                self._server = await asyncio.start_unix_server(
+                    self._serve_connection,
+                    path=self.config.socket_path,
+                    limit=limit,
+                )
+            else:
+                self._server = await asyncio.start_server(
+                    self._serve_connection,
+                    host=self.config.host,
+                    port=self.config.port,
+                    limit=limit,
+                )
+                sock = self._server.sockets[0]
+                self.address = sock.getsockname()[:2]
+            self._start_metrics()
+            self._write_ready_file()
+            heartbeat = asyncio.ensure_future(self._heartbeat())
+            self._started.set()
+            await self._shutdown.wait()
+            # Stop accepting, then drain: every queued request still gets
+            # an answer (shutting_down for work not yet started).
+            self._server.close()
+            await self._server.wait_closed()
+            heartbeat.cancel()
+            for task in self._workers.values():
+                task.cancel()
+            await asyncio.gather(
+                heartbeat, *self._workers.values(), return_exceptions=True
+            )
+            self._drain_queues()
+        except BaseException as exc:
+            self._start_error = exc
+            self._started.set()
+            raise
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+            self._stop_metrics()
+            self._remove_files()
+
+    def request_shutdown(self) -> None:
+        """Thread-safe shutdown trigger (signal handlers, tests)."""
+        loop, event = self._loop, self._shutdown
+        if loop is None or event is None:
+            return
+        loop.call_soon_threadsafe(event.set)
+
+    # -- background (thread) mode for tests / benches / embedding -------
+    def start_background(self) -> "PolicyService":
+        """Run :meth:`run` on a daemon thread; returns once accepting."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self.run()),
+            name="repro-serve-loop",
+            daemon=True,
+        )
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._start_error is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._start_error!r}"
+            )
+        if not self._started.is_set():
+            raise RuntimeError("service did not start within 30s")
+        return self
+
+    def stop_background(self, timeout: float = 30.0) -> None:
+        self.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("service thread did not stop")
+            self._thread = None
+
+    @contextlib.contextmanager
+    def background(self):
+        self.start_background()
+        try:
+            yield self
+        finally:
+            self.stop_background()
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        metrics = get_metrics()
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line exceeded the reader limit: the framing itself
+                    # is broken, so answer once and close.
+                    writer.write(
+                        protocol.encode_message(
+                            protocol.error_response(
+                                None,
+                                "line_too_long",
+                                f"request exceeds "
+                                f"{protocol.MAX_LINE_BYTES} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                except ConnectionError:
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                start = time.perf_counter()
+                response, close = await self._respond(line)
+                if metrics.enabled:
+                    metrics.counter("service.requests").inc()
+                    metrics.histogram(
+                        "service.request_seconds", bounds=LATENCY_BOUNDS
+                    ).observe(time.perf_counter() - start)
+                    if not response.get("ok"):
+                        metrics.counter("service.errors").inc()
+                writer.write(protocol.encode_message(response))
+                await writer.drain()
+                if close:
+                    break
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _respond(self, line: bytes) -> Tuple[Dict[str, Any], bool]:
+        """One request -> (response, close-connection?)."""
+        try:
+            request = protocol.decode_request(line)
+        except ProtocolError as exc:
+            return (
+                protocol.error_response(None, exc.kind, exc.message),
+                exc.kind == "line_too_long",
+            )
+        rid = protocol.request_id(request)
+        op = request["op"]
+        try:
+            if op == "ping":
+                return protocol.ok_response(
+                    rid,
+                    {"pong": True, "version": protocol.PROTOCOL_VERSION},
+                ), False
+            if op == "shutdown":
+                self._shutdown.set()
+                return protocol.ok_response(rid, {"stopping": True}), True
+            if op == "status" and "device" not in request:
+                return protocol.ok_response(rid, self._global_status()), False
+            result = await self._dispatch_device(request)
+            return protocol.ok_response(rid, result), False
+        except ProtocolError as exc:
+            return protocol.error_response(rid, exc.kind, exc.message), False
+        except asyncio.TimeoutError:
+            return (
+                protocol.error_response(
+                    rid,
+                    "timeout",
+                    f"request exceeded "
+                    f"{self.config.request_timeout_seconds}s",
+                ),
+                False,
+            )
+        except Exception as exc:  # noqa: BLE001 - survive as a response
+            return (
+                protocol.error_response(rid, "internal", repr(exc)),
+                False,
+            )
+
+    async def _dispatch_device(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if self._shutdown.is_set():
+            raise ProtocolError("shutting_down", "server is draining")
+        device = request["device"]
+        queue = self._device_queue(device)
+        future: "asyncio.Future" = self._loop.create_future()
+        queue.put_nowait((request, future))
+        timeout = self.config.request_timeout_seconds
+        if timeout is None:
+            return await future
+        return await asyncio.wait_for(future, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Per-device sharding
+    # ------------------------------------------------------------------
+    def _device_queue(self, device: str) -> "asyncio.Queue":
+        queue = self._queues.get(device)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._queues[device] = queue
+            self.sessions[device] = DeviceSession(
+                device, config=self.config.session
+            )
+            self._busy_since[device] = None
+            self._stalled[device] = False
+            self._workers[device] = asyncio.ensure_future(
+                self._device_worker(device)
+            )
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.gauge("service.sessions").set(len(self.sessions))
+        return queue
+
+    async def _device_worker(self, device: str) -> None:
+        """Drain one device's queue in batches, strictly in order."""
+        queue = self._queues[device]
+        session = self.sessions[device]
+        while True:
+            item = await queue.get()
+            batch: List[Tuple[Dict[str, Any], "asyncio.Future"]] = [item]
+            while len(batch) < max(1, self.config.batch_max):
+                try:
+                    batch.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self._busy_since[device] = time.monotonic()
+            try:
+                outcomes = await self._loop.run_in_executor(
+                    self._pool,
+                    self._run_batch,
+                    session,
+                    [request for request, _future in batch],
+                )
+            except Exception as exc:  # noqa: BLE001 - answer, don't die
+                outcomes = [("error", ("internal", repr(exc)))] * len(batch)
+            finally:
+                self._busy_since[device] = None
+                self._stalled[device] = False
+            for (_request, future), outcome in zip(batch, outcomes):
+                if future.cancelled():
+                    continue
+                status, value = outcome
+                if status == "ok":
+                    future.set_result(value)
+                else:
+                    kind, message = value
+                    future.set_exception(ProtocolError(kind, message))
+            self._update_session_gauges(device, session)
+
+    @staticmethod
+    def _run_batch(
+        session: DeviceSession, requests: List[Dict[str, Any]]
+    ) -> List[Tuple[str, Any]]:
+        """Execute a batch on the pool thread; never raises."""
+        outcomes: List[Tuple[str, Any]] = []
+        for request in requests:
+            try:
+                outcomes.append(("ok", session.handle(request)))
+            except ProtocolError as exc:
+                outcomes.append(("error", (exc.kind, exc.message)))
+            except Exception as exc:  # noqa: BLE001
+                outcomes.append(("error", ("internal", repr(exc))))
+        return outcomes
+
+    def _drain_queues(self) -> None:
+        """Fail queued-but-unstarted requests instead of dropping them."""
+        for queue in self._queues.values():
+            while True:
+                try:
+                    _request, future = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if not future.done():
+                    future.set_exception(
+                        ProtocolError("shutting_down", "server stopped")
+                    )
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _update_session_gauges(
+        self, device: str, session: DeviceSession
+    ) -> None:
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        prefix = f"service.session.{device}"
+        metrics.gauge(f"{prefix}.apps").set(len(session.packages()))
+        metrics.gauge(f"{prefix}.warm_hit_rate").set(session.warm_hit_rate)
+        metrics.gauge(f"{prefix}.queue_depth").set(
+            self._queues[device].qsize()
+        )
+        metrics.gauge(f"{prefix}.syntheses").set(session.syntheses)
+
+    async def _heartbeat(self) -> None:
+        metrics = get_metrics()
+        interval = max(0.05, self.config.heartbeat_seconds)
+        while True:
+            if metrics.enabled:
+                metrics.counter("service.heartbeats").inc()
+                metrics.gauge("service.uptime_seconds").set(
+                    time.monotonic() - self._t0
+                )
+                metrics.gauge("service.sessions").set(len(self.sessions))
+                depth = sum(q.qsize() for q in self._queues.values())
+                metrics.gauge("service.queue_depth").set(depth)
+            now = time.monotonic()
+            for device, since in self._busy_since.items():
+                if since is None or now - since < self.config.stall_seconds:
+                    continue
+                if not self._stalled[device]:
+                    # Flag each stalled batch once; the engine budgets
+                    # are what actually bound it.
+                    self._stalled[device] = True
+                    if metrics.enabled:
+                        metrics.counter("service.stalls").inc()
+            await asyncio.sleep(interval)
+
+    def _global_status(self) -> Dict[str, Any]:
+        return {
+            "version": protocol.PROTOCOL_VERSION,
+            "uptime_seconds": time.monotonic() - self._t0,
+            "sessions": {
+                device: session.status()
+                for device, session in sorted(self.sessions.items())
+            },
+            "queue_depth": sum(q.qsize() for q in self._queues.values()),
+        }
+
+    # ------------------------------------------------------------------
+    # Side channels: metrics scrape endpoint, ready file
+    # ------------------------------------------------------------------
+    def _start_metrics(self) -> None:
+        if self.config.metrics_port is None:
+            return
+        registry = get_metrics()
+        self._metrics_httpd = make_metrics_server(
+            registry.snapshot,
+            host=self.config.metrics_host,
+            port=self.config.metrics_port,
+        )
+        self.metrics_address = self._metrics_httpd.server_address[:2]
+        self._metrics_thread = threading.Thread(
+            target=self._metrics_httpd.serve_forever,
+            name="repro-serve-metrics",
+            daemon=True,
+        )
+        self._metrics_thread.start()
+
+    def _stop_metrics(self) -> None:
+        if self._metrics_httpd is not None:
+            self._metrics_httpd.shutdown()
+            self._metrics_httpd.server_close()
+            self._metrics_httpd = None
+        if self._metrics_thread is not None:
+            self._metrics_thread.join(timeout=10.0)
+            self._metrics_thread = None
+
+    def _write_ready_file(self) -> None:
+        if not self.config.ready_file:
+            return
+        payload = {
+            "pid": os.getpid(),
+            "address": (
+                self.config.socket_path
+                if self.config.socket_path
+                else list(self.address)
+            ),
+            "metrics": list(self.metrics_address)
+            if self.metrics_address
+            else None,
+        }
+        with open(self.config.ready_file, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+
+    def _remove_files(self) -> None:
+        for path in (self.config.ready_file, self.config.socket_path):
+            if path:
+                with contextlib.suppress(OSError):
+                    os.unlink(path)
+
+
+__all__ = ["PolicyService", "ServerConfig", "LATENCY_BOUNDS"]

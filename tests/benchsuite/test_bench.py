@@ -81,6 +81,7 @@ class TestSnapshot:
             "accuracy",
             "synthesis_modes",
             "enforcement",
+            "service",
         }
 
     def test_workload_metrics(self, snapshot):
@@ -107,6 +108,15 @@ class TestSnapshot:
         assert enforcement["compiled_events_per_sec"] > 0
         assert 0.0 <= enforcement["cache_hit_rate"] <= 1.0
         assert enforcement["compiled_p99_us"] >= enforcement["compiled_p50_us"]
+        service = snapshot["workloads"]["service"]
+        assert service["queries"] > 0 and service["events"] > 0
+        assert service["warm_seconds"] > 0 and service["cold_seconds"] > 0
+        assert 0.0 <= service["warm_hit_rate"] <= 1.0
+        assert service["socket_requests"] > 0
+        assert service["request_p99_us"] >= service["request_p50_us"]
+        # The workload itself raises on warm/cold divergence, so its
+        # presence here implies the byte-identity assertion ran.
+        assert service["warm_speedup"] > 0
 
     def test_write_load_round_trip(self, snapshot, tmp_path):
         path = write_bench(snapshot, str(tmp_path))

@@ -108,3 +108,209 @@ class TestNullCache:
         assert cache.get("ns", "f" * 64) is None
         assert cache.accounting.misses["ns"] == 1
         assert cache.clear() == 0
+
+
+class TestCanonicalKeyTypes:
+    """Regression: dict keys used to be stringified (``str(k)``), so the
+    distinct inputs ``{1: v}`` and ``{"1": v}`` collided onto one cache
+    key -- two different computations sharing one entry."""
+
+    def test_int_and_str_keys_do_not_collide(self):
+        assert content_hash({1: "a"}) != content_hash({"1": "a"})
+
+    def test_bool_and_str_keys_do_not_collide(self):
+        assert content_hash({True: "a"}) != content_hash({"True": "a"})
+
+    def test_bool_and_int_keys_do_not_collide(self):
+        # bool is an int subclass; type identity must still separate them.
+        assert content_hash({True: "a"}) != content_hash({1: "a"})
+
+    def test_str_key_dicts_keep_plain_form(self):
+        # Persisted caches were keyed under the plain representation;
+        # all-str dicts (every real key in the pipeline) must not change.
+        assert canonical({"b": 1, "a": [2]}) == {"a": [2], "b": 1}
+
+    def test_non_str_key_order_is_canonical(self):
+        assert canonical_json({2: "x", 1: "y"}) == canonical_json(
+            {1: "y", 2: "x"}
+        )
+
+    def test_distinct_key_types_hash_distinctly(self):
+        seen = {
+            content_hash({1: 0}),
+            content_hash({"1": 0}),
+            content_hash({1.5: 0}),
+            content_hash({2: 0}),
+        }
+        assert len(seen) == 4
+
+
+class TestFrameworkFingerprintCoverage:
+    """Regression: the fingerprint used to omit ``repro.sat.fastsolver``
+    (the default backend), ``repro.sat.tseitin`` and ``repro.sat.cnf`` --
+    editing any of them silently served stale synthesis entries."""
+
+    REQUIRED = [
+        "repro.sat.cnf",
+        "repro.sat.fastsolver",
+        "repro.sat.solver",
+        "repro.sat.tseitin",
+        "repro.relational.translate",
+        "repro.core.synthesis",
+    ]
+
+    @pytest.mark.parametrize("module_name", REQUIRED)
+    def test_fingerprint_changes_when_module_source_changes(
+        self, module_name, monkeypatch
+    ):
+        import inspect
+        import sys
+
+        framework_fingerprint.cache_clear()
+        baseline = framework_fingerprint()
+
+        real_getsource = inspect.getsource
+
+        def patched(obj):
+            if getattr(obj, "__name__", None) == module_name:
+                return real_getsource(obj) + "\n# edited\n"
+            return real_getsource(obj)
+
+        monkeypatch.setattr(inspect, "getsource", patched)
+        framework_fingerprint.cache_clear()
+        try:
+            assert framework_fingerprint() != baseline, (
+                f"{module_name} is not covered by framework_fingerprint()"
+            )
+        finally:
+            framework_fingerprint.cache_clear()
+
+    def test_fingerprint_stable_without_edits(self):
+        framework_fingerprint.cache_clear()
+        first = framework_fingerprint()
+        framework_fingerprint.cache_clear()
+        assert framework_fingerprint() == first
+
+
+class TestAtomicPut:
+    """Regression: ``put`` wrote through a fixed ``<key>.tmp`` path shared
+    by every concurrent writer of the key, so two workers could interleave
+    truncate/write and rename a torn file into place."""
+
+    def test_tmp_names_are_unique_per_attempt(self, tmp_path, monkeypatch):
+        import os as _os
+
+        cache = PipelineCache(tmp_path)
+        key = "a" * 64
+
+        def exploding_replace(src, dst):
+            raise OSError("injected: keep the tmp visible")
+
+        monkeypatch.setattr(cache_mod.os, "replace", exploding_replace)
+        # Interrupt the unlink cleanup too, so both writers' tmp files
+        # survive for inspection -- with a shared fixed name the second
+        # attempt would have reused (and clobbered) the first.
+        monkeypatch.setattr(
+            cache_mod.os, "unlink", lambda p: (_ for _ in ()).throw(OSError())
+        )
+        for _ in range(2):
+            with pytest.raises(OSError):
+                cache.put("ns", key, {"value": 1})
+        tmp_files = list(cache._path("ns", key).parent.glob("*.tmp"))
+        assert len(tmp_files) == 2
+        assert len({p.name for p in tmp_files}) == 2
+
+    def test_interrupted_write_never_visible_via_get(
+        self, tmp_path, monkeypatch
+    ):
+        cache = PipelineCache(tmp_path)
+        key = "b" * 64
+
+        monkeypatch.setattr(
+            cache_mod.os,
+            "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("torn")),
+        )
+        with pytest.raises(OSError):
+            cache.put("ns", key, {"value": 1})
+        monkeypatch.undo()
+        # The half-written attempt must be invisible: a reader addressing
+        # the key sees a miss, never a partial payload.
+        assert cache.get("ns", key) is None
+        # And the failed attempt's tmp file was cleaned up.
+        assert list(cache._path("ns", key).parent.glob("*.tmp")) == []
+
+    def test_concurrent_writers_never_expose_torn_entries(self, tmp_path):
+        import threading
+
+        cache = PipelineCache(tmp_path)
+        key = "c" * 64
+        payload = {"value": "x" * 4096}
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            while not stop.is_set():
+                cache.put("ns", key, payload)
+
+        def reader():
+            while not stop.is_set():
+                got = cache.get("ns", key)
+                if got is not None and got != payload:
+                    errors.append(got)
+
+        threads = [threading.Thread(target=writer) for _ in range(3)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        import time as _time
+
+        _time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+
+class TestMemoryCache:
+    def test_round_trip_and_metrics(self):
+        cache = cache_mod.MemoryCache()
+        assert cache.get("ns", "k") is None
+        cache.put("ns", "k", {"value": 1})
+        assert cache.get("ns", "k") == {"value": 1}
+        assert cache.accounting.misses["ns"] == 1
+        assert cache.accounting.hits["ns"] == 1
+
+    def test_payload_isolated_from_caller_mutation(self):
+        cache = cache_mod.MemoryCache()
+        payload = {"scenarios": [1, 2]}
+        cache.put("ns", "k", payload)
+        payload["scenarios"].append(3)
+        assert cache.get("ns", "k") == {"scenarios": [1, 2]}
+        got = cache.get("ns", "k")
+        got["scenarios"].append(4)
+        assert cache.get("ns", "k") == {"scenarios": [1, 2]}
+
+    def test_lru_eviction(self):
+        cache = cache_mod.MemoryCache(max_entries=2)
+        cache.put("ns", "a", {"v": 1})
+        cache.put("ns", "b", {"v": 2})
+        assert cache.get("ns", "a") == {"v": 1}  # refresh a
+        cache.put("ns", "c", {"v": 3})  # evicts b (least recent)
+        assert cache.get("ns", "b") is None
+        assert cache.get("ns", "a") == {"v": 1}
+        assert cache.get("ns", "c") == {"v": 3}
+        assert len(cache) == 2
+
+    def test_rejects_degraded_payloads(self):
+        cache = cache_mod.MemoryCache()
+        cache.put("ns", "k", {"value": 1, "incomplete": True})
+        assert cache.get("ns", "k") is None
+        assert cache.accounting.rejections["ns"] == 1
+
+    def test_clear(self):
+        cache = cache_mod.MemoryCache()
+        cache.put("ns", "a", {"v": 1})
+        cache.put("other", "b", {"v": 2})
+        assert cache.clear() == 2
+        assert len(cache) == 0

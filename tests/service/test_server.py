@@ -1,0 +1,178 @@
+"""Protocol + daemon tests: framing, sharding, metrics, shutdown."""
+
+import json
+import socket
+import urllib.request
+
+import pytest
+
+from repro.benchsuite.running_example import build_app1, build_app2
+from repro.core import serialize
+from repro.obs import enable_metrics
+from repro.service import protocol
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import ProtocolError
+from repro.service.server import PolicyService, ServerConfig
+from repro.service.session import SessionConfig
+from repro.statics import extract_app
+
+SESSION = SessionConfig(scenarios_per_signature=2)
+
+
+@pytest.fixture(scope="module")
+def app_dicts():
+    apps = [extract_app(a) for a in (build_app1(), build_app2())]
+    return {a.package: serialize.app_to_dict(a) for a in apps}
+
+
+def make_config(**overrides):
+    overrides.setdefault("session", SESSION)
+    overrides.setdefault("heartbeat_seconds", 0.1)
+    return ServerConfig(**overrides)
+
+
+class TestDecodeRequest:
+    def test_valid_request_passes_through(self):
+        request = protocol.decode_request(
+            b'{"id": 1, "op": "analyze", "device": "d"}\n'
+        )
+        assert request["op"] == "analyze"
+
+    def test_invalid_json_is_bad_request(self):
+        with pytest.raises(ProtocolError) as exc:
+            protocol.decode_request(b"{nope\n")
+        assert exc.value.kind == "bad_request"
+
+    def test_non_object_is_bad_request(self):
+        with pytest.raises(ProtocolError) as exc:
+            protocol.decode_request(b"[1, 2]\n")
+        assert exc.value.kind == "bad_request"
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError) as exc:
+            protocol.decode_request(b'{"op": "explode"}\n')
+        assert exc.value.kind == "unknown_op"
+
+    def test_device_op_requires_device(self):
+        with pytest.raises(ProtocolError) as exc:
+            protocol.decode_request(b'{"op": "analyze"}\n')
+        assert exc.value.kind == "bad_request"
+
+    def test_oversized_line_rejected(self):
+        line = b'{"op": "ping", "pad": "' + b"x" * protocol.MAX_LINE_BYTES
+        with pytest.raises(ProtocolError) as exc:
+            protocol.decode_request(line)
+        assert exc.value.kind == "line_too_long"
+
+    def test_unknown_error_kind_coerced_to_internal(self):
+        assert ProtocolError("made_up", "m").kind == "internal"
+        assert (
+            protocol.error_response(None, "made_up", "m")["error"]["kind"]
+            == "internal"
+        )
+
+
+class TestDaemonTcp:
+    def test_request_cycle_and_shutdown(self, app_dicts, tmp_path):
+        enable_metrics()
+        ready = tmp_path / "ready.json"
+        service = PolicyService(
+            make_config(metrics_port=0, ready_file=str(ready))
+        )
+        with service.background():
+            host, port = service.address
+            # Ready file announces the bound address before we connect.
+            announced = json.loads(ready.read_text())
+            assert announced["address"] == [host, port]
+            with ServiceClient(host, port) as client:
+                pong = client.ping()
+                assert pong == {
+                    "pong": True,
+                    "version": protocol.PROTOCOL_VERSION,
+                }
+                for app in app_dicts.values():
+                    client.install("dev1", app)
+                findings = client.analyze("dev1")
+                assert sorted(app_dicts) == findings["apps"]
+                assert client.policies("dev1")
+
+                # Per-device sharding: a second device has its own state.
+                first = next(iter(app_dicts.values()))
+                client.install("dev2", first)
+                assert client.analyze("dev2")["apps"] == [first["package"]]
+                status = client.status()
+                assert sorted(status["sessions"]) == ["dev1", "dev2"]
+                assert status["sessions"]["dev1"]["syntheses"] >= 1
+
+                # Metrics endpoint serves Prometheus text for the daemon.
+                url = "http://{}:{}/metrics".format(*service.metrics_address)
+                body = urllib.request.urlopen(url).read().decode("utf-8")
+                assert "repro_service_requests_total" in body
+                assert "repro_service_session_dev1_apps" in body
+                assert "repro_service_sessions" in body
+
+                assert client.shutdown() == {"stopping": True}
+        # Context manager returned: thread joined, files removed.
+        assert service._thread is None
+        assert not ready.exists()
+
+    def test_error_responses_keep_connection_open(self, app_dicts):
+        service = PolicyService(make_config())
+        with service.background():
+            host, port = service.address
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ServiceError) as exc:
+                    client.uninstall("dev1", "no.such.app")
+                assert exc.value.kind == "not_found"
+                with pytest.raises(ServiceError) as exc:
+                    client.request("install", device="dev1")
+                assert exc.value.kind == "bad_request"
+                # The connection survived both errors.
+                assert client.ping()["pong"] is True
+
+    def test_malformed_json_answered_with_null_id(self):
+        service = PolicyService(make_config())
+        with service.background():
+            host, port = service.address
+            with socket.create_connection((host, port), timeout=30) as sock:
+                handle = sock.makefile("rwb")
+                handle.write(b"{broken\n")
+                handle.flush()
+                response = json.loads(handle.readline())
+                assert response["ok"] is False
+                assert response["id"] is None
+                assert response["error"]["kind"] == "bad_request"
+                # Blank lines are skipped, connection still serves.
+                handle.write(b"\n")
+                handle.write(b'{"id": 7, "op": "ping"}\n')
+                handle.flush()
+                response = json.loads(handle.readline())
+                assert response["id"] == 7
+                assert response["result"]["pong"] is True
+
+    def test_mutation_burst_batches_into_one_synthesis(self, app_dicts):
+        service = PolicyService(make_config())
+        with service.background():
+            host, port = service.address
+            with ServiceClient(host, port) as client:
+                for app in app_dicts.values():
+                    result = client.install("dev1", app)
+                    assert result["synthesis"] == "deferred"
+                client.analyze("dev1")
+                assert client.status("dev1")["syntheses"] == 1
+
+
+class TestDaemonUnixSocket:
+    def test_serves_over_unix_socket(self, app_dicts, tmp_path):
+        path = str(tmp_path / "serve.sock")
+        service = PolicyService(make_config(socket_path=path))
+        with service.background():
+            with ServiceClient(socket_path=path) as client:
+                assert client.ping()["pong"] is True
+                first = next(iter(app_dicts.values()))
+                client.install("dev1", first)
+                assert client.analyze("dev1")["apps"] == [first["package"]]
+        # Socket file removed on shutdown.
+        import os
+
+        assert not os.path.exists(path)
