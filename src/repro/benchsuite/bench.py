@@ -27,7 +27,7 @@ import sys
 import tempfile
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 #: Bump when the snapshot layout changes incompatibly; ``compare_bench``
 #: refuses to diff across versions.
@@ -54,6 +54,16 @@ HIGHER_BETTER = frozenset(
     }
 )
 
+def _higher_better(metric: str) -> bool:
+    """Direction tag for a metric.  Beyond the fixed set, any
+    per-signature accuracy metric (``<signature>_precision`` etc., as the
+    accuracy_scaled workload emits for arbitrary registered signatures)
+    is better when larger."""
+    return metric in HIGHER_BETTER or metric.endswith(
+        ("_precision", "_recall", "_f_measure")
+    )
+
+
 #: Workload-configuration identity: these must match between two snapshots
 #: for a perf comparison to mean anything.  A difference is reported as a
 #: mismatch, never as a regression.
@@ -72,6 +82,8 @@ IDENTITY_METRICS = frozenset(
         "events",
         "queries",
         "socket_requests",
+        "planted",
+        "decoys",
     }
 )
 
@@ -96,6 +108,7 @@ class BenchConfig:
             "pipeline_warm",
             "synthesis_modes",
             "accuracy",
+            "accuracy_scaled",
             "enforcement",
             "service",
         )
@@ -242,6 +255,79 @@ def _bench_accuracy(config: BenchConfig) -> Dict[str, float]:
         "false_positives": float(score.false_positives),
         "false_negatives": float(score.false_negatives),
     }
+
+
+def _bench_accuracy_scaled(config: BenchConfig) -> Dict[str, float]:
+    """Scaled threat model: precision/recall of the four multi-step
+    signatures against the adversarial generator's planted ground truth.
+
+    Every metric ending in ``_precision``/``_recall``/``_f_measure`` is
+    direction-tagged higher-is-better, so a comparison flags any accuracy
+    drop as a regression the same way it flags a slowdown."""
+    from repro.benchsuite.groundtruth import (
+        findings_from_scenarios,
+        score_against_manifest,
+    )
+    from repro.core.attack_generation import (
+        AdversarialCorpusConfig,
+        AdversarialCorpusGenerator,
+    )
+    from repro.core.synthesis import AnalysisAndSynthesisEngine
+    from repro.statics import extract_bundle
+
+    corpus_config = AdversarialCorpusConfig(
+        seed=config.seed,
+        bundles=2 if config.quick else 6,
+        apps_per_bundle=6 if config.quick else 10,
+    )
+    bundles, manifest = AdversarialCorpusGenerator(corpus_config).generate()
+    engine = AnalysisAndSynthesisEngine(
+        scenarios_per_signature=max(config.scenarios, 4),
+        shared_encoding=config.shared_encoding,
+        solver_backend=config.solver_backend,
+    )
+    t0 = time.perf_counter()
+    per_bundle = []
+    for apks in bundles:
+        bundle = extract_bundle(apks, handle_dynamic_receivers=True)
+        per_bundle.append(engine.run(bundle).scenarios)
+    seconds = time.perf_counter() - t0
+
+    found = findings_from_scenarios(per_bundle)
+    scores = score_against_manifest(manifest, found)
+    metrics: Dict[str, float] = {
+        "bundles": float(corpus_config.bundles),
+        "apps": float(corpus_config.bundles * corpus_config.apps_per_bundle),
+        "planted": float(len(manifest.planted)),
+        "decoys": float(len(manifest.decoys)),
+        "total_seconds": seconds,
+        "mean_bundle_seconds": (
+            seconds / corpus_config.bundles if corpus_config.bundles else 0.0
+        ),
+    }
+    tp = fp = fn = 0
+    for name, accuracy in sorted(scores.items()):
+        metrics[f"{name}_precision"] = accuracy.precision
+        metrics[f"{name}_recall"] = accuracy.recall
+        metrics[f"{name}_f_measure"] = accuracy.f_measure
+        tp += accuracy.true_positives
+        fp += accuracy.false_positives
+        fn += accuracy.false_negatives
+    reported = tp + fp
+    actual = tp + fn
+    precision = tp / reported if reported else 1.0
+    recall = tp / actual if actual else 1.0
+    metrics["precision"] = precision
+    metrics["recall"] = recall
+    metrics["f_measure"] = (
+        2 * precision * recall / (precision + recall)
+        if (precision + recall)
+        else 0.0
+    )
+    metrics["true_positives"] = float(tp)
+    metrics["false_positives"] = float(fp)
+    metrics["false_negatives"] = float(fn)
+    return metrics
 
 
 def _bench_synthesis_modes(config: BenchConfig) -> Dict[str, float]:
@@ -730,9 +816,17 @@ _WORKLOADS: Dict[str, Callable[[BenchConfig], Any]] = {
     "extraction": _bench_extraction,
     "synthesis_modes": _bench_synthesis_modes,
     "accuracy": _bench_accuracy,
+    "accuracy_scaled": _bench_accuracy_scaled,
     "enforcement": _bench_enforcement,
     "service": _bench_service,
 }
+
+
+def known_workloads() -> Tuple[str, ...]:
+    """Every workload name ``run_bench`` understands (the pipeline pair
+    is produced by a single shared runner, so it lives outside the
+    registry)."""
+    return tuple(sorted(set(_WORKLOADS) | {"pipeline_cold", "pipeline_warm"}))
 
 
 def run_bench(
@@ -809,7 +903,7 @@ def _noise_floor(metric: str) -> float:
         "precision",
         "recall",
         "f_measure",
-    ):
+    ) or metric.endswith(("_precision", "_recall", "_f_measure")):
         return 0.01
     if metric in ("compiled_speedup", "warm_speedup"):
         return 0.1
@@ -848,6 +942,20 @@ class BenchComparison:
         return True
 
 
+def _threshold_for(
+    metric: str, thresholds: Dict[str, float], default: float
+) -> float:
+    """Per-metric threshold: exact name first, then the longest key that
+    is an underscore-separated suffix (``"recall"`` covers every
+    per-signature ``<name>_recall``)."""
+    if metric in thresholds:
+        return thresholds[metric]
+    for key in sorted(thresholds, key=len, reverse=True):
+        if metric.endswith("_" + key):
+            return thresholds[key]
+    return default
+
+
 def compare_bench(
     old: Dict[str, Any],
     new: Dict[str, Any],
@@ -857,7 +965,10 @@ def compare_bench(
     """Diff two snapshots; direction-aware, noise-floored, total.
 
     ``thresholds`` overrides the relative threshold per metric name
-    (matching on the bare metric, e.g. ``"wall_seconds"``).  Workloads or
+    (matching on the bare metric, e.g. ``"wall_seconds"``; a key also
+    matches any metric carrying it as an underscore-separated suffix, so
+    ``"recall"`` covers every per-signature ``<name>_recall``, longest
+    key winning).  Workloads or
     metrics present in ``old`` but absent in ``new`` land in ``missing``
     (a strict-mode failure: the benchmark got narrower).  Identity
     metrics (app counts, job counts) that differ land in ``mismatches``.
@@ -910,15 +1021,15 @@ def compare_bench(
                     1 if delta > 0 else -1
                 )
             )
-            limit = thresholds.get(metric, threshold)
+            limit = _threshold_for(metric, thresholds, threshold)
             worse = (
                 relative < -limit
-                if metric in HIGHER_BETTER
+                if _higher_better(metric)
                 else relative > limit
             )
             better = (
                 relative > limit
-                if metric in HIGHER_BETTER
+                if _higher_better(metric)
                 else relative < -limit
             )
             record = MetricDelta(

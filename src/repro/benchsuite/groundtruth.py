@@ -1,13 +1,33 @@
-"""Benchmark case records: apps plus ground-truth leak pairs."""
+"""Benchmark case records (apps plus ground-truth leak pairs) and the
+precision/recall scorer for the adversarial corpus's ground-truth manifest.
+
+The manifest scorer works at (bundle, app) granularity: a planted attack
+implicates a set of packages, and the analysis is right when it reports
+exactly those packages under that signature.  TP/FP/FN conventions follow
+:class:`~repro.benchsuite.metrics.ToolScore`: nothing reported means
+precision 1.0, nothing planted means recall 1.0."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.android.apk import Apk
+from repro.core.attack_generation import GroundTruthManifest, SCALED_SIGNATURES
+from repro.core.vulnerabilities.base import ExploitScenario
 
 LeakPair = Tuple[str, str]  # (source component, sink component), qualified
+
+BundleApp = Tuple[int, str]  # (bundle index, package)
 
 
 @dataclass
@@ -23,3 +43,73 @@ class BenchmarkCase:
     @property
     def num_leaks(self) -> int:
         return len(self.expected)
+
+
+@dataclass
+class SignatureAccuracy:
+    """Detection accuracy for one signature against the planted truth."""
+
+    signature: str
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+
+    @property
+    def precision(self) -> float:
+        reported = self.true_positives + self.false_positives
+        return self.true_positives / reported if reported else 1.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f_measure(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def findings_from_scenarios(
+    scenarios_by_bundle: Sequence[Iterable[ExploitScenario]],
+) -> Dict[str, Set[BundleApp]]:
+    """Collapse per-bundle exploit scenarios to the (bundle, package)
+    pairs each signature implicates.  Role atoms naming components are
+    qualified ``package/Component``; postulated (attacker) atoms carry no
+    slash and are skipped -- they name no installed app."""
+    found: Dict[str, Set[BundleApp]] = {}
+    for b, scenarios in enumerate(scenarios_by_bundle):
+        for scenario in scenarios:
+            apps = {
+                atom.split("/", 1)[0]
+                for atom in scenario.roles.values()
+                if isinstance(atom, str) and "/" in atom
+            }
+            found.setdefault(scenario.vulnerability, set()).update(
+                (b, app) for app in apps
+            )
+    return found
+
+
+def score_against_manifest(
+    manifest: GroundTruthManifest,
+    found: Dict[str, Set[BundleApp]],
+    signatures: Optional[Sequence[str]] = None,
+) -> Dict[str, SignatureAccuracy]:
+    """Score reported (bundle, package) findings against the planted
+    ground truth, per signature.  ``signatures`` defaults to the scaled
+    set the adversarial generator plants."""
+    names = tuple(signatures) if signatures is not None else SCALED_SIGNATURES
+    scores: Dict[str, SignatureAccuracy] = {}
+    for name in names:
+        expected: Set[BundleApp] = set()
+        for b in range(manifest.bundles):
+            expected |= {(b, app) for app in manifest.expected(name, b)}
+        got = found.get(name, set())
+        scores[name] = SignatureAccuracy(
+            signature=name,
+            true_positives=len(got & expected),
+            false_positives=len(got - expected),
+            false_negatives=len(expected - got),
+        )
+    return scores

@@ -1,0 +1,364 @@
+"""Hand-built ground-truth cases for the four scaled threat signatures.
+
+Where :mod:`repro.benchsuite.droidbench` re-creates the published leak
+benchmark, this module is the equivalent fixed suite for the PR-9 threat
+model: permission re-delegation chains, content-provider read/write
+leakage, dynamically-registered receiver hijack, and multi-app collusion.
+Every positive case is paired with a near-miss decoy that differs by
+exactly the guard the signature's axioms check (an enforced permission, a
+non-sensitive payload, a collapsed protection domain), so the suite
+exercises precision as well as recall.
+
+Unlike the seeded adversarial corpus (:mod:`repro.core.attack_generation`)
+these cases are deterministic by construction -- no RNG, no background
+graph -- which makes them the right fixture for unit tests and for
+debugging a signature in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Set
+
+from repro.android import permissions as perms
+from repro.android.apk import Apk
+from repro.android.components import ComponentDecl, ComponentKind
+from repro.benchsuite.appkit import make_apk
+from repro.core.vulnerabilities.base import ExploitScenario
+from repro.dex import DexClass, MethodBuilder
+
+A = ComponentKind.ACTIVITY
+S = ComponentKind.SERVICE
+R = ComponentKind.RECEIVER
+P = ComponentKind.PROVIDER
+
+
+@dataclass
+class ThreatCase:
+    """One fixed scenario with its planted ground truth.
+
+    ``expected_apps`` is empty for decoys: the analysis must stay silent.
+    ``components`` documents the planted structure (qualified names) and
+    bounds what the signature may implicate.
+    """
+
+    name: str
+    signature: str
+    apks: List[Apk]
+    expected_apps: FrozenSet[str]
+    components: FrozenSet[str] = field(default_factory=frozenset)
+    notes: str = ""
+
+    @property
+    def is_decoy(self) -> bool:
+        return not self.expected_apps
+
+
+def detected_apps(
+    scenarios: Iterable[ExploitScenario], signature: str
+) -> Set[str]:
+    """Packages a signature's scenarios implicate (via qualified roles)."""
+    apps: Set[str] = set()
+    for scenario in scenarios:
+        if scenario.vulnerability != signature:
+            continue
+        apps.update(
+            atom.split("/", 1)[0]
+            for atom in scenario.roles.values()
+            if isinstance(atom, str) and "/" in atom
+        )
+    return apps
+
+
+# ---------------------------------------------------------------------------
+# permission re-delegation
+# ---------------------------------------------------------------------------
+def _forwarder(name: str, target: str, entry: str) -> DexClass:
+    b = MethodBuilder(entry, params=("p0",))
+    b.new_instance("v0", "Intent")
+    b.const_string("v1", target)
+    b.invoke("Intent.setClassName", receiver="v0", args=("v1",))
+    b.invoke("Context.startService", args=("v0",))
+    b.ret()
+    superclass = "Activity" if entry == "onCreate" else "Service"
+    return DexClass(name, superclass=superclass, methods=[b.build()])
+
+
+def _sms_terminal(name: str) -> DexClass:
+    b = MethodBuilder("onStartCommand", params=("p0",))
+    b.const_string("v1", "cmd")
+    b.invoke("Intent.getStringExtra", receiver="p0", args=("v1",), dest="v2")
+    b.invoke("SmsManager.getDefault", dest="v3")
+    b.invoke(
+        "SmsManager.sendTextMessage",
+        receiver="v3",
+        args=("v2", "v2", "v2", "v2", "v2"),
+    )
+    b.ret()
+    return DexClass(name, superclass="Service", methods=[b.build()])
+
+
+def _redelegation(k: int, guarded: bool) -> ThreatCase:
+    """Exported entry, ``k - 1`` silent hops, SmsManager terminal."""
+    pkg = "tc.red"
+    chain = ["Entry"] + [f"Hop{j}" for j in range(k - 1)] + ["Term"]
+    decls = [ComponentDecl("Entry", A, exported=True)]
+    classes = [_forwarder("Entry", f"{pkg}/{chain[1]}", "onCreate")]
+    for j, name in enumerate(chain[1:-1]):
+        decls.append(ComponentDecl(name, S))
+        classes.append(
+            _forwarder(name, f"{pkg}/{chain[j + 2]}", "onStartCommand")
+        )
+    decls.append(
+        ComponentDecl(
+            "Term", S, permission=perms.SEND_SMS if guarded else None
+        )
+    )
+    classes.append(_sms_terminal("Term"))
+    apk = make_apk(pkg, decls, classes, uses_permissions=[perms.SEND_SMS])
+    return ThreatCase(
+        name=f"redelegation_k{k}{'_guarded' if guarded else ''}",
+        signature="permission_redelegation",
+        apks=[apk],
+        expected_apps=frozenset() if guarded else frozenset({pkg}),
+        components=frozenset(f"{pkg}/{name}" for name in chain),
+        notes=(
+            "terminal enforces SEND_SMS on callers: nothing re-delegated"
+            if guarded
+            else f"SEND_SMS capability reachable through {k} ICC hop(s)"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# content-provider read/write leakage
+# ---------------------------------------------------------------------------
+def _provider_writer(name: str, authority: str, sensitive: bool) -> DexClass:
+    b = MethodBuilder("onCreate", params=("p0",))
+    if sensitive:
+        b.invoke(
+            "LocationManager.getLastKnownLocation", receiver="v9", dest="v8"
+        )
+    else:
+        b.const_string("v8", "telemetry-tag")
+    b.const_string("v0", f"content://{authority}/rows")
+    b.invoke("ContentResolver.insert", args=("v0", "v8"))
+    b.ret()
+    return DexClass(name, superclass="Activity", methods=[b.build()])
+
+
+def _provider_class(name: str, logs: bool) -> DexClass:
+    insert = MethodBuilder("insert", params=("p0", "p1"))
+    if logs:
+        insert.const_string("v0", "vault")
+        insert.invoke("Log.d", args=("v0", "p1"))
+    insert.ret()
+    query = MethodBuilder("query", params=("p0", "p1"))
+    query.ret()
+    return DexClass(
+        name,
+        superclass="ContentProvider",
+        methods=[insert.build(), query.build()],
+    )
+
+
+def _provider_leak(kind: str, sensitive: bool = True) -> ThreatCase:
+    authority = "tc.vault"
+    writer = make_apk(
+        "tc.writer",
+        [ComponentDecl("Uploader", A)],
+        [_provider_writer("Uploader", authority, sensitive)],
+        uses_permissions=[perms.ACCESS_FINE_LOCATION] if sensitive else [],
+    )
+    store = make_apk(
+        "tc.store",
+        [ComponentDecl("Vault", P, exported=True, authority=authority)],
+        [_provider_class("Vault", logs=(kind == "write"))],
+    )
+    apks = [writer, store]
+    components = {"tc.writer/Uploader", "tc.store/Vault"}
+    expected = {"tc.writer", "tc.store"}
+    if kind == "read":
+        rb = MethodBuilder("onCreate", params=("p0",))
+        rb.const_string("v0", f"content://{authority}/rows")
+        rb.invoke("ContentResolver.query", args=("v0",), dest="v2")
+        rb.invoke("URL.openConnection", args=("v2",))
+        rb.ret()
+        apks.append(
+            make_apk(
+                "tc.reader",
+                [ComponentDecl("Harvester", A)],
+                [DexClass("Harvester", superclass="Activity",
+                          methods=[rb.build()])],
+                uses_permissions=[perms.INTERNET],
+            )
+        )
+        components.add("tc.reader/Harvester")
+        expected.add("tc.reader")
+    suffix = "" if sensitive else "_benign"
+    return ThreatCase(
+        name=f"provider_leak_{kind}{suffix}",
+        signature="provider_leak",
+        apks=apks,
+        expected_apps=frozenset() if not sensitive else frozenset(expected),
+        components=frozenset(components),
+        notes=(
+            "writer stores only a constant tag: nothing sensitive to leak"
+            if not sensitive
+            else f"location data escapes via the provider's {kind} path"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# dynamically-registered receiver hijack
+# ---------------------------------------------------------------------------
+def _dynamic_receiver(guarded: bool) -> ThreatCase:
+    pkg = "tc.dyn"
+    reg = MethodBuilder("onCreate", params=("p0",))
+    reg.new_instance("v0", "Recv")
+    reg.new_instance("v1", "IntentFilter")
+    reg.const_string("v2", "tc.DYN_CMD")
+    reg.invoke("IntentFilter.addAction", receiver="v1", args=("v2",))
+    reg.invoke("Context.registerReceiver", args=("v0", "v1"))
+    reg.ret()
+    recv = MethodBuilder("onReceive", params=("p0",))
+    recv.const_string("v1", "cmd")
+    recv.invoke("Intent.getStringExtra", receiver="p0", args=("v1",),
+                dest="v2")
+    recv.const_string("v0", "dyn")
+    recv.invoke("Log.d", args=("v0", "v2"))
+    recv.ret()
+    apk = make_apk(
+        pkg,
+        [
+            ComponentDecl("Main", A, exported=True),
+            ComponentDecl(
+                "Recv", R, permission=perms.INTERNET if guarded else None
+            ),
+        ],
+        [
+            DexClass("Main", superclass="Activity", methods=[reg.build()]),
+            DexClass("Recv", superclass="BroadcastReceiver",
+                     methods=[recv.build()]),
+        ],
+    )
+    return ThreatCase(
+        name=f"dynamic_receiver{'_guarded' if guarded else ''}",
+        signature="dynamic_receiver_hijack",
+        apks=[apk],
+        expected_apps=frozenset() if guarded else frozenset({pkg}),
+        components=frozenset({f"{pkg}/Main", f"{pkg}/Recv"}),
+        notes=(
+            "registration carries a permission guard: spoofs bounce"
+            if guarded
+            else "code-registered receiver accepts any sender's broadcast"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# multi-app collusion
+# ---------------------------------------------------------------------------
+def _collusion(collapsed: bool) -> ThreatCase:
+    """Contacts flow source -> forwarder -> network uploader.  The decoy
+    hosts the uploader in the source's own app: only two protection
+    domains, so no collusion."""
+    src_pkg, mid_pkg = "tc.colsrc", "tc.colmid"
+    dst_pkg = src_pkg if collapsed else "tc.coldst"
+
+    src = MethodBuilder("onCreate", params=("p0",))
+    src.invoke("ContactsProvider.query", receiver="v9", dest="v8")
+    src.new_instance("v0", "Intent")
+    src.const_string("v1", f"{mid_pkg}/Fwd")
+    src.invoke("Intent.setClassName", receiver="v0", args=("v1",))
+    src.const_string("v2", "loot")
+    src.invoke("Intent.putExtra", receiver="v0", args=("v2", "v8"))
+    src.invoke("Context.startService", args=("v0",))
+    src.ret()
+
+    mid = MethodBuilder("onStartCommand", params=("p0",))
+    mid.const_string("v1", "loot")
+    mid.invoke("Intent.getStringExtra", receiver="p0", args=("v1",),
+               dest="v2")
+    mid.new_instance("v3", "Intent")
+    mid.const_string("v4", f"{dst_pkg}/Up")
+    mid.invoke("Intent.setClassName", receiver="v3", args=("v4",))
+    mid.const_string("v5", "loot")
+    mid.invoke("Intent.putExtra", receiver="v3", args=("v5", "v2"))
+    mid.invoke("Context.startService", args=("v3",))
+    mid.ret()
+
+    dst = MethodBuilder("onStartCommand", params=("p0",))
+    dst.const_string("v1", "loot")
+    dst.invoke("Intent.getStringExtra", receiver="p0", args=("v1",),
+               dest="v2")
+    dst.invoke("URL.openConnection", args=("v2",))
+    dst.ret()
+
+    src_decls = [ComponentDecl("Src", A, exported=True)]
+    src_classes = [
+        DexClass("Src", superclass="Activity", methods=[src.build()])
+    ]
+    src_permissions: List[str] = []
+    if collapsed:
+        src_decls.append(ComponentDecl("Up", S, exported=True))
+        src_classes.append(
+            DexClass("Up", superclass="Service", methods=[dst.build()])
+        )
+        src_permissions.append(perms.INTERNET)
+    apks = [
+        make_apk(src_pkg, src_decls, src_classes,
+                 uses_permissions=src_permissions),
+        make_apk(
+            mid_pkg,
+            [ComponentDecl("Fwd", S, exported=True)],
+            [DexClass("Fwd", superclass="Service", methods=[mid.build()])],
+        ),
+    ]
+    if not collapsed:
+        apks.append(
+            make_apk(
+                dst_pkg,
+                [ComponentDecl("Up", S, exported=True)],
+                [DexClass("Up", superclass="Service", methods=[dst.build()])],
+                uses_permissions=[perms.INTERNET],
+            )
+        )
+    # Collusion needs three installed protection domains even in the decoy,
+    # so the bundle always carries a third (inert) app.
+    apks.append(make_apk("tc.bystander", [ComponentDecl("Idle", A)], []))
+    return ThreatCase(
+        name=f"collusion{'_collapsed' if collapsed else '_three_app'}",
+        signature="app_collusion",
+        apks=apks,
+        expected_apps=(
+            frozenset()
+            if collapsed
+            else frozenset({src_pkg, mid_pkg, dst_pkg})
+        ),
+        components=frozenset(
+            {f"{src_pkg}/Src", f"{mid_pkg}/Fwd", f"{dst_pkg}/Up"}
+        ),
+        notes=(
+            "uploader lives in the source app: two domains, not collusion"
+            if collapsed
+            else "contacts relayed across three protection domains"
+        ),
+    )
+
+
+def all_threat_cases() -> List[ThreatCase]:
+    """The fixed suite: positives and near-miss decoys, all signatures."""
+    return [
+        _redelegation(k=1, guarded=False),
+        _redelegation(k=3, guarded=False),
+        _redelegation(k=3, guarded=True),
+        _provider_leak("write"),
+        _provider_leak("read"),
+        _provider_leak("write", sensitive=False),
+        _dynamic_receiver(guarded=False),
+        _dynamic_receiver(guarded=True),
+        _collusion(collapsed=False),
+        _collusion(collapsed=True),
+    ]

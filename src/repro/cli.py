@@ -36,6 +36,10 @@ Usage (``python -m repro <command>``):
   UNIX socket with ``--socket``); install/uninstall streams are answered
   by warm incremental re-synthesis, byte-identical to cold runs, with
   Prometheus telemetry on ``--metrics-port``.  See ``docs/SERVICE.md``.
+- ``adversarial``               -- generate the seeded adversarial corpus
+  (power-law ICC background plus planted multi-step attacks and near-miss
+  decoys), optionally write the ground-truth manifest JSON, and score the
+  analysis per signature (precision/recall/F1 against the planted truth).
 - ``bench``                     -- run the paper-corpus benchmark workloads
   and write a schema-versioned ``BENCH_<label>.json`` snapshot;
   ``bench --compare OLD NEW`` diffs two snapshots with per-metric
@@ -521,18 +525,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.benchsuite.bench import (
         BenchConfig,
         compare_bench,
+        known_workloads,
         load_bench,
         render_comparison,
         run_bench,
         write_bench,
     )
 
+    per_metric: dict = {}
+    for item in args.metric_threshold or []:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            print(
+                f"repro bench: --metric-threshold expects METRIC=REL, "
+                f"got {item!r}",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            per_metric[name] = float(value)
+        except ValueError:
+            print(
+                f"repro bench: --metric-threshold {item!r}: "
+                f"{value!r} is not a number",
+                file=sys.stderr,
+            )
+            return 1
+
     if args.compare:
         old_path, new_path = args.compare
         try:
             old = load_bench(old_path)
             new = load_bench(new_path)
-            comparison = compare_bench(old, new, threshold=args.threshold)
+            comparison = compare_bench(
+                old, new, threshold=args.threshold, thresholds=per_metric
+            )
         except (OSError, ValueError) as exc:
             print(f"repro bench: {exc}", file=sys.stderr)
             return 1
@@ -545,6 +572,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 0
         return 0 if args.warn_only else 2
 
+    extra = {}
+    if args.workloads:
+        wanted = tuple(
+            name.strip() for name in args.workloads.split(",") if name.strip()
+        )
+        unknown = sorted(set(wanted) - set(known_workloads()))
+        if unknown:
+            print(
+                f"repro bench: unknown workload(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(known_workloads())}",
+                file=sys.stderr,
+            )
+            return 1
+        extra["workloads"] = wanted
     config = BenchConfig(
         label=args.label,
         scale=args.scale,
@@ -555,6 +596,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         shared_encoding=args.shared_encoding,
         solver_backend=args.solver_backend,
         quick=args.quick,
+        **extra,
     )
     result = run_bench(config, progress=print)
     path = write_bench(result, args.output)
@@ -566,6 +608,78 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if rss:
         print(f"  peak RSS: {rss / (1024 * 1024):.1f} MiB")
     return 0
+
+
+def _cmd_adversarial(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.attack_generation import (
+        AdversarialCorpusConfig,
+        AdversarialCorpusGenerator,
+    )
+
+    try:
+        config = AdversarialCorpusConfig(
+            seed=args.seed,
+            bundles=args.bundles,
+            apps_per_bundle=args.apps_per_bundle,
+            plants_per_signature=args.plants,
+            decoys_per_signature=args.decoys,
+        )
+        bundles, manifest = AdversarialCorpusGenerator(config).generate()
+    except ValueError as exc:
+        print(f"repro adversarial: {exc}", file=sys.stderr)
+        return 1
+
+    apps = sum(len(apks) for apks in bundles)
+    print(
+        f"adversarial corpus: {len(bundles)} bundle(s), {apps} apps, "
+        f"{len(manifest.planted)} planted attack(s), "
+        f"{len(manifest.decoys)} decoy(s) [seed {config.seed}]"
+    )
+    if args.manifest:
+        path = pathlib.Path(args.manifest)
+        path.write_text(
+            json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"ground-truth manifest written to {path}")
+    if args.no_analyze:
+        return 0
+
+    from repro.benchsuite.groundtruth import (
+        findings_from_scenarios,
+        score_against_manifest,
+    )
+    from repro.core.synthesis import AnalysisAndSynthesisEngine
+    from repro.statics import extract_bundle
+
+    engine = AnalysisAndSynthesisEngine(
+        scenarios_per_signature=args.scenarios,
+        shared_encoding=args.shared_encoding,
+        solver_backend=args.solver_backend,
+    )
+    per_bundle = []
+    for apks in bundles:
+        model = extract_bundle(apks, handle_dynamic_receivers=True)
+        per_bundle.append(engine.run(model).scenarios)
+    scores = score_against_manifest(
+        manifest, findings_from_scenarios(per_bundle)
+    )
+    failed = False
+    for name in sorted(scores):
+        acc = scores[name]
+        flag = ""
+        if min(acc.precision, acc.recall) < args.min_accuracy:
+            failed = True
+            flag = "  <-- below --min-accuracy"
+        print(
+            f"  {name}: precision {acc.precision:.3f} "
+            f"recall {acc.recall:.3f} F1 {acc.f_measure:.3f} "
+            f"(tp {acc.true_positives} fp {acc.false_positives} "
+            f"fn {acc.false_negatives}){flag}"
+        )
+    return 2 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1071,6 +1185,93 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(func=_cmd_serve)
 
+    adversarial = sub.add_parser(
+        "adversarial",
+        help="generate the seeded adversarial corpus and score detection",
+        description=(
+            "Generate power-law ICC bundles with planted multi-step "
+            "attacks (permission re-delegation chains, provider leaks, "
+            "dynamic-receiver hijacks, app collusion) plus near-miss "
+            "decoys, optionally write the machine-readable ground-truth "
+            "manifest, run the analysis and print per-signature "
+            "precision/recall against the planted truth."
+        ),
+    )
+    adversarial.add_argument(
+        "--seed",
+        type=int,
+        default=2016,
+        help="corpus seed; same seed reproduces the corpus byte-for-byte "
+        "(default: %(default)s)",
+    )
+    adversarial.add_argument(
+        "--bundles",
+        type=int,
+        default=4,
+        help="number of independent app bundles (default: %(default)s)",
+    )
+    adversarial.add_argument(
+        "--apps-per-bundle",
+        type=int,
+        default=10,
+        help="background apps per bundle, minimum 4 (default: %(default)s)",
+    )
+    adversarial.add_argument(
+        "--plants",
+        type=int,
+        default=1,
+        help="planted attacks per signature per bundle "
+        "(default: %(default)s)",
+    )
+    adversarial.add_argument(
+        "--decoys",
+        type=int,
+        default=1,
+        help="near-miss decoys per signature per bundle "
+        "(default: %(default)s)",
+    )
+    adversarial.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write the ground-truth manifest as JSON to PATH",
+    )
+    adversarial.add_argument(
+        "--no-analyze",
+        action="store_true",
+        help="only generate (and optionally write the manifest); skip the "
+        "synthesis run and scoring",
+    )
+    adversarial.add_argument(
+        "--scenarios",
+        type=int,
+        default=4,
+        help="max scenarios per signature during analysis "
+        "(default: %(default)s)",
+    )
+    adversarial.add_argument(
+        "--per-signature",
+        dest="shared_encoding",
+        action="store_false",
+        default=True,
+        help="analyze with the per-signature synthesis path instead of "
+        "the shared-encoding default",
+    )
+    adversarial.add_argument(
+        "--solver-backend",
+        choices=sorted(SOLVER_BACKENDS),
+        default=DEFAULT_BACKEND,
+        help="SAT backend for the analysis (default: %(default)s)",
+    )
+    adversarial.add_argument(
+        "--min-accuracy",
+        type=float,
+        default=0.0,
+        help="exit 2 if any signature's precision or recall falls below "
+        "this bound (default: %(default)s)",
+    )
+    adversarial.set_defaults(func=_cmd_adversarial)
+
     bench = sub.add_parser(
         "bench",
         help="run the benchmark workloads / compare two BENCH snapshots",
@@ -1144,6 +1345,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="SAT backend the workloads run on (default: %(default)s)",
     )
     bench.add_argument(
+        "--workloads",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="comma-separated subset of workloads to run (default: all); "
+        "e.g. --workloads accuracy_scaled for the adversarial-corpus "
+        "precision/recall run alone",
+    )
+    bench.add_argument(
         "--compare",
         nargs=2,
         metavar=("OLD", "NEW"),
@@ -1156,6 +1365,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="with --compare: relative change tolerated per metric "
         "(default: %(default)s)",
+    )
+    bench.add_argument(
+        "--metric-threshold",
+        action="append",
+        default=[],
+        metavar="METRIC=REL",
+        help="with --compare: override the relative threshold for one "
+        "metric (repeatable); e.g. --metric-threshold recall=0.0 fails "
+        "on any recall drop beyond the noise floor",
     )
     bench.add_argument(
         "--strict",

@@ -143,6 +143,7 @@ class BundleSpec:
                         f_sig,
                         [self._data_scheme(s) for s in sorted(filt.data_schemes)],
                     )
+                    fw.dynamic_filters.pin(f"{comp.name}#f{fi}", filt.dynamic)
                     filter_atoms.append(f"{comp.name}#f{fi}")
                 m.pin(fw.cmp_filters, cmp_sig, filter_atoms)
                 # Paths.

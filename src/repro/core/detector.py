@@ -23,6 +23,23 @@ SENSITIVE_SOURCES = SOURCES - {Resource.ICC}
 PUBLIC_SINKS = SINKS - {Resource.ICC}
 
 
+def _forward_closure(edges: Set[tuple], start: str) -> Set[str]:
+    """Nodes reachable from ``start`` over >= 1 edge hops (the strict
+    transitive closure the chain signatures take)."""
+    adjacency: Dict[str, Set[str]] = {}
+    for src, dst in edges:
+        adjacency.setdefault(src, set()).add(dst)
+    seen: Set[str] = set()
+    stack = list(adjacency.get(start, ()))
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(adjacency.get(node, ()))
+    return seen
+
+
 @dataclass
 class DetectionReport:
     """Vulnerable components per vulnerability class."""
@@ -76,7 +93,11 @@ class SeparDetector:
         for comp in components:
             self._check_launch(comp, report)
             self._check_escalation(comp, report)
+            self._check_dynamic_receiver(comp, report)
         self._check_leaks(bundle, components, intents, by_name, report)
+        self._check_redelegation(bundle, components, by_name, report)
+        self._check_provider_leak(bundle, by_name, report)
+        self._check_collusion(bundle, components, intents, by_name, report)
         return report
 
     # ------------------------------------------------------------------
@@ -208,6 +229,160 @@ class SeparDetector:
                     report.add("information_leak", access.sender)
                     report.add("information_leak", provider.name)
                     report.leak_pairs.add((access.sender, provider.name))
+
+    @staticmethod
+    def _check_dynamic_receiver(
+        comp: ComponentModel, report: DetectionReport
+    ) -> None:
+        """Receiver registered from code with an unguarded matchable filter
+        and sensitive work rooted at its ICC surface."""
+        if comp.kind is not ComponentKind.RECEIVER:
+            return
+        if not comp.exported or not comp.reachable:
+            return
+        if comp.permissions:
+            return
+        if not any(f.dynamic and f.actions for f in comp.intent_filters):
+            return
+        if not any(p.source is Resource.ICC for p in comp.paths):
+            return
+        report.add("dynamic_receiver_hijack", comp.name)
+
+    @staticmethod
+    def _check_redelegation(
+        bundle: BundleModel,
+        components: List[ComponentModel],
+        by_name: Dict[str, ComponentModel],
+        report: DetectionReport,
+    ) -> None:
+        """Exported entry reaching, over >= 1 ICC call hops, a terminal
+        that exercises its app's dangerous permission with neither end
+        enforcing it."""
+        from repro.android.permissions import ProtectionLevel, protection_level
+        from repro.core.icc_graph import call_edges
+
+        edges = call_edges(bundle)
+        if not edges:
+            return
+        app_perms = {app.package: app.uses_permissions for app in bundle.apps}
+        terminals: Dict[str, Set[str]] = {}
+        for comp in components:
+            if not comp.reachable:
+                continue
+            if not any(p.source is Resource.ICC for p in comp.paths):
+                continue
+            delegated = {
+                p
+                for p in comp.uses_permissions - comp.permissions
+                if protection_level(p) is ProtectionLevel.DANGEROUS
+                and p in app_perms.get(comp.app, frozenset())
+            }
+            if delegated:
+                terminals[comp.name] = delegated
+        if not terminals:
+            return
+        for entry in components:
+            if not entry.exported or not entry.reachable:
+                continue
+            reached = _forward_closure(edges, entry.name)
+            for name in reached:
+                if name == entry.name:
+                    continue
+                delegated = terminals.get(name)
+                if not delegated:
+                    continue
+                if not (delegated - entry.permissions):
+                    continue
+                report.add("permission_redelegation", entry.name)
+                report.add("permission_redelegation", name)
+
+    @staticmethod
+    def _check_provider_leak(
+        bundle: BundleModel,
+        by_name: Dict[str, ComponentModel],
+        report: DetectionReport,
+    ) -> None:
+        """Sensitive write into a provider that escapes via the provider's
+        own public sink or a foreign reader's."""
+        from repro.core.icc_graph import provider_read_edges, provider_write_edges
+
+        def drains(comp: ComponentModel) -> bool:
+            return comp.reachable and any(
+                p.source is Resource.ICC and p.sink in PUBLIC_SINKS
+                for p in comp.paths
+            )
+
+        readers: Dict[str, Set[str]] = {}
+        for reader_name, provider_name in provider_read_edges(bundle):
+            readers.setdefault(provider_name, set()).add(reader_name)
+        for writer_name, provider_name in provider_write_edges(bundle):
+            writer = by_name.get(writer_name)
+            provider = by_name.get(provider_name)
+            if writer is None or provider is None or not provider.reachable:
+                continue
+            if provider.name == writer.name:
+                continue
+            if drains(provider):
+                report.add("provider_leak", writer.name)
+                report.add("provider_leak", provider.name)
+            for reader_name in readers.get(provider_name, ()):
+                reader = by_name.get(reader_name)
+                if reader is None or reader.name == provider.name:
+                    continue
+                if reader.app == writer.app or not drains(reader):
+                    continue
+                report.add("provider_leak", writer.name)
+                report.add("provider_leak", provider.name)
+                report.add("provider_leak", reader.name)
+
+    def _check_collusion(
+        self,
+        bundle: BundleModel,
+        components: List[ComponentModel],
+        intents: List[IntentModel],
+        by_name: Dict[str, ComponentModel],
+        report: DetectionReport,
+    ) -> None:
+        """Sensitive payload crossing three apps: source -> exported
+        intermediary -> (relay chain) -> draining sink component."""
+        from repro.core.icc_graph import relay_edges
+
+        if len(bundle.apps) < 3:
+            return
+        edges = relay_edges(bundle)
+        if not edges:
+            return
+        drains = {
+            c.name
+            for c in components
+            if c.reachable
+            and any(
+                p.source is Resource.ICC and p.sink in PUBLIC_SINKS
+                for p in c.paths
+            )
+        }
+        for intent in intents:
+            if not (intent.extras & SENSITIVE_SOURCES):
+                continue
+            sender = by_name.get(intent.sender)
+            if sender is None or not sender.reachable:
+                continue
+            for mid in components:
+                if mid.name == sender.name or mid.app == sender.app:
+                    continue
+                if not mid.exported or not mid.reachable:
+                    continue
+                if not self._deliverable(intent, sender, mid):
+                    continue
+                for dst_name in _forward_closure(edges, mid.name):
+                    dst = by_name.get(dst_name)
+                    if dst is None or dst_name not in drains:
+                        continue
+                    if dst.app in (sender.app, mid.app):
+                        continue
+                    report.add("app_collusion", sender.name)
+                    report.add("app_collusion", mid.name)
+                    report.add("app_collusion", dst.name)
 
     @staticmethod
     def _deliverable(

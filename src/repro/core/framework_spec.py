@@ -77,6 +77,11 @@ class AndroidFrameworkSpec:
 
         # Fixed resource atoms with source/sink classification.
         self.exported = m.subset_sig("Exported", self.component)
+        # Filters registered in code (registerReceiver) rather than the
+        # manifest: the dynamically-registered-receiver hijack signature
+        # quantifies over this classification.  Membership is pinned per
+        # extracted filter atom by the bundle embedding.
+        self.dynamic_filters = m.subset_sig("DynamicFilter", self.intent_filter)
         self.source_resources = m.subset_sig("SourceResource", self.resource)
         self.sink_resources = m.subset_sig("SinkResource", self.resource)
         self._resource_sigs: Dict[Resource, Sig] = {}

@@ -1,24 +1,33 @@
-"""The bundle's ICC delivery and relay graph.
+"""The bundle's ICC delivery, call, relay, and provider-access graphs.
 
-Shared between the concrete detector and the formal leak signature:
+Shared between the concrete detector and the formal signatures:
 
 - :func:`deliverable` -- may this Intent reach this component, under the
   framework's addressing rules (explicit target, passive result channel,
   or implicit filter matching with the export discipline)?
+- :func:`call_edges` -- every ICC call edge: (c1, c2) when some Intent of
+  c1 can reach c2 at all.  Re-delegation chains of arbitrary length are
+  walks in this graph (the permission-redelegation signature takes its
+  transitive closure).
 - :func:`relay_edges` -- the *forwarding* edges: (c1, c2) when c1 relays
   its ICC input onward (it has an ICC -> ICC path) inside an Intent that
   reaches c2.  Transitive leaks -- the paper's OwnCloud finding flows
   through "a chain of Intent message passing" -- are walks in this graph.
+- :func:`provider_write_edges` / :func:`provider_read_edges` -- the
+  ContentResolver access edges: (accessor, provider) pairs under the
+  authority-addressing and export disciplines, write edges restricted to
+  operations whose payload carries sensitive (non-ICC source) data.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
+from repro.android.components import ComponentKind
 from repro.android.intents import Intent as RtIntent
 from repro.android.intents import IntentFilter as RtFilter
 from repro.android.intents import filter_matches
-from repro.android.resources import Resource
+from repro.android.resources import Resource, SOURCES
 from repro.core.model import BundleModel, ComponentModel, IntentModel
 
 
@@ -52,6 +61,82 @@ def deliverable(
         if filter_matches(rt_intent, rt_filter):
             return True
     return False
+
+
+def call_edges(bundle: BundleModel) -> Set[Tuple[str, str]]:
+    """All ICC call edges: (c1, c2) when any Intent of c1 reaches c2.
+
+    Unlike :func:`relay_edges` there is no payload or data-flow
+    requirement -- an edge records mere control transfer.  Permission
+    re-delegation chains of length k are k-step walks here."""
+    components = bundle.all_components()
+    by_name = {c.name: c for c in components}
+    edges: Set[Tuple[str, str]] = set()
+    for intent in bundle.all_intents():
+        sender = by_name.get(intent.sender)
+        if sender is None:
+            continue
+        for receiver in components:
+            if receiver.name == sender.name:
+                continue
+            if deliverable(intent, sender, receiver):
+                edges.add((sender.name, receiver.name))
+    return edges
+
+
+def _provider_targets(
+    bundle: BundleModel, authority, sender: ComponentModel
+) -> List[ComponentModel]:
+    """Providers a resolver operation may address: the authority must be
+    compatible (an unresolved authority matches any) and the provider must
+    be exported or co-located with the accessor's app."""
+    targets = []
+    for comp in bundle.all_components():
+        if comp.kind is not ComponentKind.PROVIDER:
+            continue
+        if comp.authority is not None and authority not in (None, comp.authority):
+            continue
+        if not comp.exported and comp.app != sender.app:
+            continue
+        targets.append(comp)
+    return targets
+
+
+def provider_write_edges(bundle: BundleModel) -> Set[Tuple[str, str]]:
+    """(accessor, provider) edges over insert/update operations whose
+    payload carries sensitive (non-ICC source) data."""
+    by_name = {c.name: c for c in bundle.all_components()}
+    sensitive = SOURCES - {Resource.ICC}
+    edges: Set[Tuple[str, str]] = set()
+    for app in bundle.apps:
+        for access in app.provider_accesses:
+            if access.operation not in ("insert", "update"):
+                continue
+            if not (access.payload & sensitive):
+                continue
+            sender = by_name.get(access.sender)
+            if sender is None:
+                continue
+            for provider in _provider_targets(bundle, access.authority, sender):
+                edges.add((access.sender, provider.name))
+    return edges
+
+
+def provider_read_edges(bundle: BundleModel) -> Set[Tuple[str, str]]:
+    """(accessor, provider) edges over query operations (the result comes
+    back from the provider's protection domain)."""
+    by_name = {c.name: c for c in bundle.all_components()}
+    edges: Set[Tuple[str, str]] = set()
+    for app in bundle.apps:
+        for access in app.provider_accesses:
+            if access.operation != "query":
+                continue
+            sender = by_name.get(access.sender)
+            if sender is None:
+                continue
+            for provider in _provider_targets(bundle, access.authority, sender):
+                edges.add((access.sender, provider.name))
+    return edges
 
 
 def relay_edges(bundle: BundleModel) -> Set[Tuple[str, str]]:

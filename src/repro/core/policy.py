@@ -190,7 +190,7 @@ def _derive_one(
                 f"relays ICC input to a public sink) requires user approval."
             ),
         )
-    if vuln == "privilege_escalation":
+    if vuln in ("privilege_escalation", "permission_redelegation"):
         victim = scenario.victim_component
         permission = scenario.roles.get("escalated_permission")
         if victim is None or permission is None:
@@ -203,6 +203,65 @@ def _derive_one(
             description=(
                 f"Callers of {victim} must hold {permission}; requests from "
                 f"apps without it require user approval."
+                if vuln == "privilege_escalation"
+                else f"Callers of {victim} must hold {permission}; the "
+                f"capability it guards is re-delegated down an ICC chain, "
+                f"so requests from apps without it require user approval."
+            ),
+        )
+    if vuln == "provider_leak":
+        provider = scenario.roles.get("victim")
+        writer = scenario.roles.get("writer_component")
+        if provider is None or writer is None:
+            return None
+        from repro.core.vulnerabilities.provider_leak import written_payload
+
+        extras = written_payload(bundle, writer, provider)
+        return ECAPolicy(
+            event=PolicyEvent.ICC_RECEIVE,
+            vulnerability=vuln,
+            receiver=provider,
+            extras_any=extras,
+            description=(
+                f"Writing sensitive payload "
+                f"{sorted(r.value for r in extras)} into content provider "
+                f"{provider} (whose contents escape to a public sink) "
+                f"requires user approval."
+            ),
+        )
+    if vuln == "dynamic_receiver_hijack":
+        victim = scenario.victim_component
+        action = intent.get("action")
+        if victim is None:
+            return None
+        return ECAPolicy(
+            event=PolicyEvent.ICC_RECEIVE,
+            vulnerability=vuln,
+            receiver=victim,
+            intent_action=action,
+            description=(
+                f"Broadcasts with action {action!r} delivered to the "
+                f"dynamically-registered receiver {victim} require user "
+                f"approval (the registration carries no permission guard)."
+            ),
+        )
+    if vuln == "app_collusion":
+        intermediary = scenario.roles.get("intermediary")
+        extras = frozenset(intent.get("extras", frozenset())) & (
+            frozenset(Resource) - {Resource.ICC}
+        )
+        if intermediary is None:
+            return None
+        return ECAPolicy(
+            event=PolicyEvent.ICC_RECEIVE,
+            vulnerability=vuln,
+            receiver=intermediary,
+            extras_any=extras,
+            description=(
+                f"Delivering sensitive payload "
+                f"{sorted(r.value for r in extras)} to {intermediary} "
+                f"(which colluding apps relay to a public sink in a third "
+                f"app) requires user approval."
             ),
         )
     return None

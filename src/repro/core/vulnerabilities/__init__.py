@@ -1,9 +1,13 @@
 """Vulnerability signature registry (SEPAR's plugin extension point).
 
-The four built-in signatures match the paper's prototype: Activity/Service
-launch, Intent hijack, privilege escalation, and information leakage
-(Section III).  ``register`` lets users contribute additional signatures at
-any time; ``default_signatures`` instantiates the built-in set.
+The first five built-in signatures match the paper's prototype: Activity/
+Service launch, Intent hijack, privilege escalation, and information
+leakage (Section III).  Four further axiomatized multi-step signatures
+scale the threat model: permission re-delegation chains of arbitrary
+length, content-provider read/write leakage, dynamically-registered
+receiver hijack, and multi-app collusion.  ``register`` lets users
+contribute additional signatures at any time; ``default_signatures``
+instantiates the built-in set.
 """
 
 from __future__ import annotations
@@ -15,6 +19,10 @@ from repro.core.vulnerabilities.base import (
     SignatureInstantiation,
     VulnerabilitySignature,
 )
+from repro.core.vulnerabilities.collusion import CollusionSignature
+from repro.core.vulnerabilities.dynamic_receiver import (
+    DynamicReceiverHijackSignature,
+)
 from repro.core.vulnerabilities.escalation import PrivilegeEscalationSignature
 from repro.core.vulnerabilities.hijack import IntentHijackSignature
 from repro.core.vulnerabilities.launch import (
@@ -22,6 +30,10 @@ from repro.core.vulnerabilities.launch import (
     ServiceLaunchSignature,
 )
 from repro.core.vulnerabilities.leak import InformationLeakSignature
+from repro.core.vulnerabilities.provider_leak import ProviderLeakSignature
+from repro.core.vulnerabilities.redelegation import (
+    PermissionRedelegationSignature,
+)
 
 _REGISTRY: Dict[str, Type[VulnerabilitySignature]] = {}
 
@@ -46,13 +58,18 @@ def lookup(name: str) -> Type[VulnerabilitySignature]:
 
 
 def default_signatures() -> List[VulnerabilitySignature]:
-    """Fresh instances of the paper's built-in signature set."""
+    """Fresh instances of the built-in signature set (paper's five plus
+    the four scaled multi-step signatures)."""
     return [
         IntentHijackSignature(),
         ActivityLaunchSignature(),
         ServiceLaunchSignature(),
         InformationLeakSignature(),
         PrivilegeEscalationSignature(),
+        PermissionRedelegationSignature(),
+        ProviderLeakSignature(),
+        DynamicReceiverHijackSignature(),
+        CollusionSignature(),
     ]
 
 
@@ -62,6 +79,10 @@ for _cls in (
     ServiceLaunchSignature,
     InformationLeakSignature,
     PrivilegeEscalationSignature,
+    PermissionRedelegationSignature,
+    ProviderLeakSignature,
+    DynamicReceiverHijackSignature,
+    CollusionSignature,
 ):
     register(_cls)
 
@@ -74,6 +95,10 @@ __all__ = [
     "ServiceLaunchSignature",
     "InformationLeakSignature",
     "PrivilegeEscalationSignature",
+    "PermissionRedelegationSignature",
+    "ProviderLeakSignature",
+    "DynamicReceiverHijackSignature",
+    "CollusionSignature",
     "register",
     "registered",
     "lookup",

@@ -82,3 +82,19 @@ class VulnerabilitySignature(abc.ABC):
         for _, value in tuples:
             return value
         return None
+
+    @staticmethod
+    def impossible() -> SignatureInstantiation:
+        """An instantiation whose goal is the FALSE constant.
+
+        Returned when the extracted facts already rule the signature out
+        (no call edges, no dynamic filters, ...): the constant folds at
+        translation, so the shared-encoding path dead-gates the group and
+        per-signature mode gets a trivially unsatisfiable problem -- both
+        for free, with no signature atoms added to the universe."""
+        return SignatureInstantiation(
+            goal=rast.FALSE_F,
+            extra_scopes={},
+            decode=lambda instance: None,
+            diversity_fields=[],
+        )

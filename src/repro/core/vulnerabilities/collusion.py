@@ -1,0 +1,141 @@
+"""Multi-app collusion signature.
+
+Two apps jointly exfiltrate sensitive data through an intermediary: a
+*source* component hands a sensitive payload to an *intermediary* in a
+second app, which forwards its ICC input onward (one or more relay hops)
+until a *sink* component in a third app drains it to a public sink.  Each
+app in isolation looks innocuous -- the source merely shares data, the
+intermediary merely forwards, the sink merely uploads -- which is exactly
+why single-app analyses miss the attack and SEPAR's compositional bundle
+analysis is required.
+
+Structurally this specializes the information-leak signature to three
+pairwise-distinct applications, so the sharing/forwarding/draining roles
+provably cross app boundaries; the relay graph enters as an exact-bound
+helper relation (a second copy under its own name -- shared-mode modules
+require helper names to be unique per signature).
+"""
+
+from __future__ import annotations
+
+from repro.android.resources import Resource
+from repro.core.app_to_spec import BundleSpec
+from repro.core.icc_graph import relay_edges
+from repro.core.vulnerabilities.base import (
+    ExploitScenario,
+    SignatureInstantiation,
+    VulnerabilitySignature,
+)
+from repro.relational import ast as rast
+
+
+class CollusionSignature(VulnerabilitySignature):
+    name = "app_collusion"
+
+    def instantiate(self, spec: BundleSpec) -> SignatureInstantiation:
+        m = spec.module
+        fw = spec.fw
+
+        edges = sorted(relay_edges(spec.bundle))
+        if len(spec.bundle.apps) < 3 or not edges:
+            # Three pairwise-distinct installed apps and at least one
+            # forwarding hop are structural prerequisites.
+            return self.impossible()
+
+        sig = m.one_sig("GeneratedAppCollusion")
+        src_cmp = m.field(sig, "srcCmp", fw.component, "one")
+        mid_cmp = m.field(sig, "midCmp", fw.component, "one")
+        dst_cmp = m.field(sig, "dstCmp", fw.component, "one")
+        col_intent = m.field(sig, "colIntent", fw.intent, "one")
+
+        relay = m.helper_relation("collusionRelay", 2, edges)
+
+        v = sig.expr
+        src_e = v.join(src_cmp.expr)
+        mid_e = v.join(mid_cmp.expr)
+        dst_e = v.join(dst_cmp.expr)
+        intent_e = v.join(col_intent.expr)
+        icc = fw.resource_expr(Resource.ICC)
+        sensitive = fw.source_resources.expr - icc
+        public_sink = fw.sink_resources.expr - icc
+
+        f = rast.Variable("col_f")
+        delivered = intent_e.join(fw.int_receiver.expr).eq(mid_e) | rast.some_(
+            f,
+            mid_e.join(fw.cmp_filters.expr),
+            fw.matches_filter(intent_e, f),
+        )
+
+        goal = rast.and_all(
+            [
+                # Three roles in three different installed apps.
+                rast.no(src_e & mid_e),
+                rast.no(mid_e & dst_e),
+                rast.no(src_e & dst_e),
+                fw.different_apps(src_e, mid_e),
+                fw.different_apps(mid_e, dst_e),
+                fw.different_apps(src_e, dst_e),
+                fw.on_device(src_e),
+                fw.on_device(mid_e),
+                fw.on_device(dst_e),
+                # The source shares a sensitive payload...
+                intent_e.join(fw.int_sender.expr).eq(src_e),
+                rast.some(intent_e.join(fw.int_extra.expr) & sensitive),
+                # ...the exported intermediary receives it...
+                delivered,
+                rast.some(mid_e & fw.exported.expr),
+                # ...and forwards it (>= 1 relay hops) to the sink app,
+                # which drains its ICC input to a public sink.
+                dst_e.in_(mid_e.join(relay.to_expr().closure())),
+                self._drain_path(fw, dst_e, icc, public_sink),
+            ]
+        )
+
+        def decode(instance) -> ExploitScenario:
+            source = self.role_atom(instance, src_cmp)
+            middle = self.role_atom(instance, mid_cmp)
+            dest = self.role_atom(instance, dst_cmp)
+            intent_atom = self.role_atom(instance, col_intent)
+            intent_attrs = (
+                spec.intent_attributes(instance, intent_atom)
+                if intent_atom
+                else None
+            )
+            extras = (
+                ", ".join(sorted(r.value for r in intent_attrs["extras"]))
+                if intent_attrs
+                else ""
+            )
+            return ExploitScenario(
+                vulnerability=self.name,
+                roles={
+                    "victim": source,
+                    "source_component": source,
+                    "intermediary": middle,
+                    "sink_component": dest,
+                    "collusion_intent": intent_atom,
+                },
+                intent=intent_attrs,
+                description=(
+                    f"Colluding apps exfiltrate [{extras}]: {source} shares "
+                    f"it with {middle} (a second app), which relays it to "
+                    f"{dest} (a third app) draining to a public sink."
+                ),
+            )
+
+        return SignatureInstantiation(
+            goal=goal,
+            extra_scopes={},
+            decode=decode,
+            diversity_fields=[src_cmp, mid_cmp, dst_cmp],
+        )
+
+    @staticmethod
+    def _drain_path(fw, dst_e, icc, public_sink) -> rast.Formula:
+        p = rast.Variable("col_p")
+        return rast.some_(
+            p,
+            dst_e.join(fw.cmp_paths.expr),
+            p.join(fw.path_source.expr).eq(icc)
+            & p.join(fw.path_sink.expr).in_(public_sink),
+        )

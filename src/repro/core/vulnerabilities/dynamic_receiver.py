@@ -1,0 +1,143 @@
+"""Dynamically-registered receiver hijack signature.
+
+A receiver registered from code (``registerReceiver``) is reachable by any
+sender for the lifetime of the registration and -- unlike a manifest
+receiver -- cannot be closed off with ``exported="false"``.  When the
+dynamic registration carries no broadcast permission and the receiver's
+handler does sensitive work rooted at its ICC surface, a not-yet-installed
+app can spoof the broadcast: an implicit Intent matching the dynamic filter
+triggers the handler with attacker-controlled payload.
+
+The signature quantifies over the ``DynamicFilter`` classification the
+bundle embedding pins per extracted filter; the set of dynamic filter atoms
+also enters as an exact-bound helper relation so that bundles without any
+dynamic registration fold the goal away outright.
+"""
+
+from __future__ import annotations
+
+from repro.android.resources import Resource
+from repro.core.app_to_spec import BundleSpec
+from repro.core.vulnerabilities.base import (
+    ExploitScenario,
+    SignatureInstantiation,
+    VulnerabilitySignature,
+)
+from repro.core.vulnerabilities.launch import payload_constraint
+from repro.relational import ast as rast
+
+
+def dynamic_filter_atoms(bundle) -> list:
+    """Atoms of filters registered in code, as pinned by the embedding."""
+    atoms = []
+    for app in bundle.apps:
+        for comp in app.components:
+            for fi, filt in enumerate(comp.intent_filters):
+                if filt.dynamic:
+                    atoms.append(f"{comp.name}#f{fi}")
+    return sorted(atoms)
+
+
+class DynamicReceiverHijackSignature(VulnerabilitySignature):
+    name = "dynamic_receiver_hijack"
+
+    def instantiate(self, spec: BundleSpec) -> SignatureInstantiation:
+        m = spec.module
+        fw = spec.fw
+
+        dyn_atoms = dynamic_filter_atoms(spec.bundle)
+        if not dyn_atoms:
+            return self.impossible()
+
+        sig = m.one_sig("GeneratedDynamicReceiverHijack")
+        vict_cmp = m.field(sig, "victimCmp", fw.component, "one")
+        dyn_filter = m.field(sig, "dynFilter", fw.intent_filter, "one")
+        mal_cmp = m.field(sig, "malCmp", fw.component, "one")
+        mal_intent = m.field(sig, "malIntent", fw.intent, "one")
+
+        dyn = m.helper_relation(
+            "dynFilterAtom", 1, [(a,) for a in dyn_atoms]
+        )
+
+        v = sig.expr
+        vict_e = v.join(vict_cmp.expr)
+        filter_e = v.join(dyn_filter.expr)
+        mal_e = v.join(mal_cmp.expr)
+        intent_e = v.join(mal_intent.expr)
+        icc = fw.resource_expr(Resource.ICC)
+
+        goal = rast.and_all(
+            [
+                rast.no(vict_e & mal_e),
+                # The victim is a receiver on the device whose dynamic
+                # registration left it reachable by everyone...
+                vict_e.in_(fw.receiver.expr),
+                fw.on_device(vict_e),
+                rast.some(vict_e & fw.exported.expr),
+                filter_e.in_(vict_e.join(fw.cmp_filters.expr)),
+                filter_e.in_(fw.dynamic_filters.expr),
+                filter_e.in_(dyn.to_expr()),
+                # ...with no broadcast permission guarding the handler...
+                rast.no(vict_e.join(fw.cmp_permissions.expr)),
+                # ...and sensitive work rooted at its ICC surface.
+                rast.some(
+                    vict_e.join(fw.cmp_paths.expr).join(fw.path_source.expr)
+                    & icc
+                ),
+                # The spoofing app is not yet installed and broadcasts an
+                # implicit Intent the dynamic filter matches.
+                fw.different_apps(vict_e, mal_e),
+                ~fw.on_device(mal_e),
+                mal_e.in_(fw.activity.expr),
+                intent_e.join(fw.int_sender.expr).eq(mal_e),
+                rast.no(intent_e.join(fw.int_receiver.expr)),
+                fw.matches_filter(intent_e, filter_e),
+                rast.some(intent_e.join(fw.int_extra.expr)),
+                payload_constraint(spec, intent_e),
+            ]
+        )
+
+        def decode(instance) -> ExploitScenario:
+            victim = self.role_atom(instance, vict_cmp)
+            filter_atom = self.role_atom(instance, dyn_filter)
+            attacker = self.role_atom(instance, mal_cmp)
+            intent_atom = self.role_atom(instance, mal_intent)
+            intent_attrs = (
+                spec.intent_attributes(instance, intent_atom)
+                if intent_atom
+                else None
+            )
+            filter_attrs = (
+                spec.filter_attributes(instance, filter_atom)
+                if filter_atom
+                else None
+            )
+            action = intent_attrs["action"] if intent_attrs else None
+            return ExploitScenario(
+                vulnerability=self.name,
+                roles={
+                    "victim": victim,
+                    "dynamic_filter": filter_atom,
+                    "malicious_component": attacker,
+                    "attack_intent": intent_atom,
+                },
+                intent=intent_attrs,
+                malicious_filter=filter_attrs,
+                description=(
+                    f"{victim} registers a broadcast receiver from code "
+                    f"without a permission guard; a spoofed broadcast "
+                    f"(action {action!r}) from a malicious app ({attacker}) "
+                    f"triggers its ICC-rooted sensitive path."
+                ),
+            )
+
+        return SignatureInstantiation(
+            goal=goal,
+            extra_scopes={
+                fw.application: 1,
+                fw.activity: 1,
+                fw.intent: 1,
+            },
+            decode=decode,
+            diversity_fields=[vict_cmp, dyn_filter],
+        )

@@ -74,7 +74,7 @@ class _LaunchSignature(VulnerabilitySignature):
                 # attacker can actually obtain in this bundle (e.g. the
                 # hijacked LOCATION of the running example) when any exists.
                 rast.some(intent_e.join(fw.int_extra.expr)),
-                self._payload_constraint(spec, intent_e),
+                payload_constraint(spec, intent_e),
                 # victim kind; malicious component is an Activity (Listing 5)
                 launched_e.in_(victim_sig.expr),
                 mal_e.in_(fw.activity.expr),
@@ -122,23 +122,25 @@ class _LaunchSignature(VulnerabilitySignature):
             diversity_fields=[launched],
         )
 
-    @staticmethod
-    def _payload_constraint(spec: BundleSpec, intent_e: rast.Expr) -> rast.Formula:
-        available = set()
-        for app in spec.bundle.apps:
-            for intent in app.intents:
-                available |= set(intent.extras)
-            for comp in app.components:
-                available |= {p.source for p in comp.paths}
-        available -= {Resource.ICC}
-        if not available:
-            return rast.TRUE_F
-        fw = spec.fw
-        payload_pool = None
-        for res in sorted(available, key=lambda r: r.value):
-            expr = fw.resource_expr(res)
-            payload_pool = expr if payload_pool is None else payload_pool + expr
-        return intent_e.join(fw.int_extra.expr).in_(payload_pool)
+
+def payload_constraint(spec: BundleSpec, intent_e: rast.Expr) -> rast.Formula:
+    """Restrict a synthesized Intent's extras to resources an attacker can
+    actually obtain in this bundle (keeps minimization deterministic)."""
+    available = set()
+    for app in spec.bundle.apps:
+        for intent in app.intents:
+            available |= set(intent.extras)
+        for comp in app.components:
+            available |= {p.source for p in comp.paths}
+    available -= {Resource.ICC}
+    if not available:
+        return rast.TRUE_F
+    fw = spec.fw
+    payload_pool = None
+    for res in sorted(available, key=lambda r: r.value):
+        expr = fw.resource_expr(res)
+        payload_pool = expr if payload_pool is None else payload_pool + expr
+    return intent_e.join(fw.int_extra.expr).in_(payload_pool)
 
 
 class ServiceLaunchSignature(_LaunchSignature):

@@ -1,0 +1,157 @@
+"""Content-provider read/write leakage signature.
+
+Sensitive data is written into a content provider (an insert/update
+resolver operation whose payload carries a non-ICC source resource) and
+then escapes, through either of two drains:
+
+- **write leakage**: the provider itself relays its ICC input to a public
+  sink (e.g. it persists rows to world-readable external storage);
+- **read leakage**: a component of a *different* app queries the provider
+  and relays the result (ICC input from the provider's protection domain)
+  to a public sink.
+
+Provider ICC is addressed by URI authority rather than Intent resolution,
+so the access edges enter the problem as exact-bound helper relations
+computed from the extracted resolver operations
+(:func:`~repro.core.icc_graph.provider_write_edges` /
+:func:`~repro.core.icc_graph.provider_read_edges`).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.android.resources import Resource, SOURCES
+from repro.core.app_to_spec import BundleSpec
+from repro.core.icc_graph import provider_read_edges, provider_write_edges
+from repro.core.vulnerabilities.base import (
+    ExploitScenario,
+    SignatureInstantiation,
+    VulnerabilitySignature,
+)
+from repro.relational import ast as rast
+
+
+def written_payload(bundle, writer: str, provider: str) -> FrozenSet[Resource]:
+    """The sensitive resources ``writer`` writes toward ``provider``."""
+    sensitive = SOURCES - {Resource.ICC}
+    provider_model = bundle.component(provider)
+    payload = set()
+    for app in bundle.apps:
+        for access in app.provider_accesses:
+            if access.sender != writer:
+                continue
+            if access.operation not in ("insert", "update"):
+                continue
+            if provider_model.authority is not None and access.authority not in (
+                None,
+                provider_model.authority,
+            ):
+                continue
+            payload |= access.payload & sensitive
+    return frozenset(payload)
+
+
+class ProviderLeakSignature(VulnerabilitySignature):
+    name = "provider_leak"
+
+    def instantiate(self, spec: BundleSpec) -> SignatureInstantiation:
+        m = spec.module
+        fw = spec.fw
+
+        write_pairs = sorted(provider_write_edges(spec.bundle))
+        read_pairs = sorted(provider_read_edges(spec.bundle))
+        if not write_pairs:
+            # Both drains require a sensitive write into some provider.
+            return self.impossible()
+
+        sig = m.one_sig("GeneratedProviderLeak")
+        writer_cmp = m.field(sig, "writerCmp", fw.component, "one")
+        provider_cmp = m.field(sig, "providerCmp", fw.component, "one")
+        drain_cmp = m.field(sig, "drainCmp", fw.component, "one")
+
+        writes = m.helper_relation("providerWriteEdge", 2, write_pairs)
+        reads = m.helper_relation("providerReadEdge", 2, read_pairs)
+
+        v = sig.expr
+        writer_e = v.join(writer_cmp.expr)
+        prov_e = v.join(provider_cmp.expr)
+        drain_e = v.join(drain_cmp.expr)
+        icc = fw.resource_expr(Resource.ICC)
+        public_sink = fw.sink_resources.expr - icc
+
+        write_case = drain_e.eq(prov_e) & self._drain_path(
+            fw, prov_e, icc, public_sink
+        )
+        read_case = rast.and_all(
+            [
+                prov_e.in_(drain_e.join(reads.to_expr())),
+                fw.different_apps(drain_e, writer_e),
+                rast.no(drain_e & prov_e),
+                self._drain_path(fw, drain_e, icc, public_sink),
+            ]
+        )
+
+        goal = rast.and_all(
+            [
+                rast.no(writer_e & prov_e),
+                fw.on_device(writer_e),
+                fw.on_device(prov_e),
+                fw.on_device(drain_e),
+                prov_e.in_(fw.provider.expr),
+                # Sensitive data enters the provider...
+                prov_e.in_(writer_e.join(writes.to_expr())),
+                # ...and escapes through the provider's own public sink
+                # (write leakage) or a foreign reader's (read leakage).
+                write_case | read_case,
+            ]
+        )
+
+        def decode(instance) -> ExploitScenario:
+            writer = self.role_atom(instance, writer_cmp)
+            provider = self.role_atom(instance, provider_cmp)
+            drain = self.role_atom(instance, drain_cmp)
+            direction = "write" if drain == provider else "read"
+            payload = (
+                written_payload(spec.bundle, writer, provider)
+                if writer and provider
+                else frozenset()
+            )
+            extras = ", ".join(sorted(r.value for r in payload))
+            escape = (
+                f"{provider} relays it to a public sink"
+                if direction == "write"
+                else f"{drain} (a different app) reads it back and relays "
+                f"it to a public sink"
+            )
+            return ExploitScenario(
+                vulnerability=self.name,
+                roles={
+                    "victim": provider,
+                    "writer_component": writer,
+                    "sink_component": drain,
+                    "operation": direction,
+                },
+                intent=None,
+                description=(
+                    f"Sensitive data [{extras}] written by {writer} into "
+                    f"content provider {provider} escapes: {escape}."
+                ),
+            )
+
+        return SignatureInstantiation(
+            goal=goal,
+            extra_scopes={},
+            decode=decode,
+            diversity_fields=[writer_cmp, provider_cmp, drain_cmp],
+        )
+
+    @staticmethod
+    def _drain_path(fw, cmp_e, icc, public_sink) -> rast.Formula:
+        p = rast.Variable("pleak_p")
+        return rast.some_(
+            p,
+            cmp_e.join(fw.cmp_paths.expr),
+            p.join(fw.path_source.expr).eq(icc)
+            & p.join(fw.path_sink.expr).in_(public_sink),
+        )

@@ -1,0 +1,159 @@
+"""Permission re-delegation chain signature.
+
+A deputy app holds a dangerous permission P and exercises the guarded
+capability from a *terminal* component; an exported *entry* component --
+which does not enforce P on its callers -- reaches that terminal over a
+chain of ICC calls of arbitrary length k.  A malicious app without P then
+drives the capability by messaging the entry point: the deputy re-delegates
+P transitively (Felt et al.'s confused deputy, generalised to chains; the
+permission-flow axioms follow the Betarte/Cristia formalizations of the
+Android permission model).
+
+The ICC call graph enters the problem as an exact-bound helper relation
+(:func:`~repro.core.icc_graph.call_edges`); the chain is its transitive
+closure, so length-k chains cost no extra atoms.
+"""
+
+from __future__ import annotations
+
+from repro.android.permissions import ProtectionLevel, protection_level
+from repro.android.resources import Resource
+from repro.core.app_to_spec import BundleSpec
+from repro.core.framework_spec import permission_atom
+from repro.core.icc_graph import call_edges
+from repro.core.vulnerabilities.base import (
+    ExploitScenario,
+    SignatureInstantiation,
+    VulnerabilitySignature,
+)
+from repro.relational import ast as rast
+
+
+def dangerous_exposed_permissions(bundle) -> list:
+    """Dangerous-level permissions some bundle component exercises
+    (their atoms are guaranteed in the embedding's vocabulary)."""
+    exposed = set()
+    for comp in bundle.all_components():
+        exposed |= comp.uses_permissions
+    return sorted(
+        p for p in exposed
+        if protection_level(p) is ProtectionLevel.DANGEROUS
+    )
+
+
+class PermissionRedelegationSignature(VulnerabilitySignature):
+    name = "permission_redelegation"
+
+    def instantiate(self, spec: BundleSpec) -> SignatureInstantiation:
+        m = spec.module
+        fw = spec.fw
+
+        edges = sorted(call_edges(spec.bundle))
+        dangerous = dangerous_exposed_permissions(spec.bundle)
+        if not edges or not dangerous:
+            return self.impossible()
+
+        sig = m.one_sig("GeneratedPermissionRedelegation")
+        entry_cmp = m.field(sig, "entryCmp", fw.component, "one")
+        term_cmp = m.field(sig, "terminalCmp", fw.component, "one")
+        mal_cmp = m.field(sig, "malCmp", fw.component, "one")
+        mal_intent = m.field(sig, "malIntent", fw.intent, "one")
+        delegated = m.field(sig, "delegatedPermission", fw.permission, "one")
+
+        # Extracted facts as exact-bound constants: the bundle's ICC call
+        # graph and the dangerous permissions exercised within it.
+        calls = m.helper_relation("callEdge", 2, edges)
+        dang = m.helper_relation(
+            "dangerousPerm", 1, [(permission_atom(p),) for p in dangerous]
+        )
+
+        v = sig.expr
+        entry_e = v.join(entry_cmp.expr)
+        term_e = v.join(term_cmp.expr)
+        mal_e = v.join(mal_cmp.expr)
+        intent_e = v.join(mal_intent.expr)
+        perm_e = v.join(delegated.expr)
+        icc = fw.resource_expr(Resource.ICC)
+
+        goal = rast.and_all(
+            [
+                # disj entryCmp, terminalCmp, malCmp
+                rast.no(entry_e & term_e),
+                rast.no(entry_e & mal_e),
+                rast.no(term_e & mal_e),
+                fw.on_device(entry_e),
+                fw.on_device(term_e),
+                # The chain's mouth is exported...
+                rast.some(entry_e & fw.exported.expr),
+                # ...and reaches the terminal over >= 1 ICC call hops.
+                term_e.in_(entry_e.join(calls.to_expr().closure())),
+                # The delegated permission is dangerous-level; the
+                # terminal exercises the capability it guards, its app
+                # actually holds it (delegation, not mere escalation)...
+                perm_e.in_(dang.to_expr()),
+                perm_e.in_(term_e.join(fw.cmp_exposed.expr)),
+                perm_e.in_(
+                    term_e.join(fw.cmp_app.expr).join(fw.app_permissions.expr)
+                ),
+                # ...the capability is drivable from the ICC surface...
+                rast.some(
+                    term_e.join(fw.cmp_paths.expr).join(fw.path_source.expr)
+                    & icc
+                ),
+                # ...and neither end of the chain enforces P on callers.
+                rast.no(perm_e & entry_e.join(fw.cmp_permissions.expr)),
+                rast.no(perm_e & term_e.join(fw.cmp_permissions.expr)),
+                # The attacker's app lacks P yet reaches the entry point.
+                fw.different_apps(entry_e, mal_e),
+                ~fw.on_device(mal_e),
+                rast.no(
+                    perm_e
+                    & mal_e.join(fw.cmp_app.expr).join(fw.app_permissions.expr)
+                ),
+                intent_e.join(fw.int_sender.expr).eq(mal_e),
+                intent_e.join(fw.int_receiver.expr).eq(entry_e),
+                mal_e.in_(fw.activity.expr),
+            ]
+        )
+
+        def decode(instance) -> ExploitScenario:
+            entry = self.role_atom(instance, entry_cmp)
+            terminal = self.role_atom(instance, term_cmp)
+            attacker = self.role_atom(instance, mal_cmp)
+            intent_atom = self.role_atom(instance, mal_intent)
+            perm_atom = self.role_atom(instance, delegated)
+            permission = perm_atom[len("perm:"):] if perm_atom else None
+            intent_attrs = (
+                spec.intent_attributes(instance, intent_atom)
+                if intent_atom
+                else None
+            )
+            return ExploitScenario(
+                vulnerability=self.name,
+                roles={
+                    "victim": entry,
+                    "terminal_component": terminal,
+                    "malicious_component": attacker,
+                    "attack_intent": intent_atom,
+                    "escalated_permission": permission,
+                },
+                intent=intent_attrs,
+                description=(
+                    f"A permission-less app ({attacker}) drives {entry}, "
+                    f"which reaches {terminal} over a chain of ICC calls; "
+                    f"{terminal} exercises its app's {permission} without "
+                    f"either end enforcing it -- the permission is "
+                    f"re-delegated along the chain."
+                ),
+            )
+
+        return SignatureInstantiation(
+            goal=goal,
+            extra_scopes={
+                fw.application: 1,
+                fw.activity: 1,
+                fw.intent: 1,
+            },
+            decode=decode,
+            diversity_fields=[entry_cmp, term_cmp, delegated],
+        )

@@ -79,6 +79,7 @@ class TestSnapshot:
             "pipeline_cold",
             "pipeline_warm",
             "accuracy",
+            "accuracy_scaled",
             "synthesis_modes",
             "enforcement",
             "service",
@@ -225,6 +226,45 @@ class TestCompare:
         alien["schema_version"] = BENCH_SCHEMA_VERSION + 1
         with pytest.raises(ValueError):
             compare_bench(base, alien)
+
+    def test_suffix_threshold_covers_per_signature_metrics(self):
+        """``recall=0.0`` must gate every ``<signature>_recall`` (the CI
+        accuracy-smoke contract), exact keys winning over suffixes."""
+        base = _baseline()
+        base["workloads"]["accuracy_scaled"] = {
+            "provider_leak_recall": 1.0,
+            "recall": 1.0,
+        }
+        worse = copy.deepcopy(base)
+        worse["workloads"]["accuracy_scaled"]["provider_leak_recall"] = 0.5
+        assert compare_bench(base, worse, threshold=3.0).ok()
+        gated = compare_bench(
+            base, worse, threshold=3.0, thresholds={"recall": 0.0}
+        )
+        assert not gated.ok()
+        assert any(
+            delta.metric == "provider_leak_recall"
+            for delta in gated.regressions
+        )
+        # An exact key beats the suffix fallback.
+        lenient = compare_bench(
+            base,
+            worse,
+            threshold=3.0,
+            thresholds={"recall": 0.0, "provider_leak_recall": 1.0},
+        )
+        assert lenient.ok()
+
+    def test_accuracy_suffix_metrics_are_direction_tagged(self):
+        """A per-signature precision *drop* regresses; a rise improves."""
+        base = _baseline()
+        base["workloads"]["accuracy_scaled"] = {"app_collusion_precision": 0.5}
+        better = copy.deepcopy(base)
+        better["workloads"]["accuracy_scaled"]["app_collusion_precision"] = 1.0
+        up = compare_bench(base, better, threshold=0.25)
+        assert up.ok() and up.improvements
+        down = compare_bench(better, base, threshold=0.25)
+        assert not down.ok()
 
 
 class TestCli:

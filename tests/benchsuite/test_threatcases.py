@@ -1,0 +1,73 @@
+"""The fixed threat-case suite: every positive detected, every decoy
+silent, in both the SAT synthesis and the detector twin."""
+
+import pytest
+
+from repro.benchsuite.threatcases import (
+    all_threat_cases,
+    detected_apps,
+)
+from repro.core.attack_generation import SCALED_SIGNATURES
+from repro.core.detector import SeparDetector
+from repro.core.policy import derive_policies
+from repro.core.synthesis import AnalysisAndSynthesisEngine
+from repro.statics import extract_bundle
+
+CASES = all_threat_cases()
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    engine = AnalysisAndSynthesisEngine(scenarios_per_signature=4)
+    results = {}
+    for case in CASES:
+        bundle = extract_bundle(case.apks, handle_dynamic_receivers=True)
+        results[case.name] = (bundle, engine.run(bundle))
+    return results
+
+
+def test_suite_covers_all_scaled_signatures():
+    covered = {case.signature for case in CASES}
+    assert covered == set(SCALED_SIGNATURES)
+    # Every signature ships at least one positive and one decoy.
+    for name in SCALED_SIGNATURES:
+        flavors = {case.is_decoy for case in CASES if case.signature == name}
+        assert flavors == {True, False}, name
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_sat_synthesis_matches_ground_truth(case, analyzed):
+    _, result = analyzed[case.name]
+    got = detected_apps(result.scenarios, case.signature)
+    assert got == set(case.expected_apps), case.notes
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_scenarios_stay_within_planted_components(case, analyzed):
+    _, result = analyzed[case.name]
+    for scenario in result.scenarios:
+        if scenario.vulnerability != case.signature:
+            continue
+        for atom in scenario.roles.values():
+            if not isinstance(atom, str) or "/" not in atom:
+                continue  # postulated attacker atoms name no component
+            # Dynamic-filter roles qualify the component with "#fN".
+            assert atom.split("#", 1)[0] in case.components, atom
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_detector_twin_matches_ground_truth(case, analyzed):
+    bundle, _ = analyzed[case.name]
+    report = SeparDetector().detect(bundle)
+    assert report.apps(case.signature) == set(case.expected_apps), case.notes
+
+
+@pytest.mark.parametrize(
+    "case", [c for c in CASES if not c.is_decoy], ids=lambda c: c.name
+)
+def test_positive_cases_derive_enforceable_policies(case, analyzed):
+    bundle, result = analyzed[case.name]
+    policies = derive_policies(result.scenarios, bundle)
+    assert any(p.vulnerability == case.signature for p in policies), (
+        case.name
+    )

@@ -1,0 +1,161 @@
+"""Property tests for the adversarial corpus generator (PR 9).
+
+Three seeded properties anchor the precision/recall harness:
+
+1. **Recall = 1 on plants.**  Every planted attack is found by the SAT
+   synthesis (and by the decision-procedure detector twin) -- the
+   generator never plants an attack the axioms cannot see.
+2. **Precision = 1 on decoys.**  A corpus of decoys alone (each a
+   near-miss differing by exactly the guard the axioms check) yields
+   zero findings for all four scaled signatures, background graph
+   included.
+3. **Determinism.**  The same seed reproduces the corpus and its
+   ground-truth manifest byte-for-byte; a different seed does not.
+"""
+
+import pytest
+
+from repro.benchsuite.groundtruth import (
+    findings_from_scenarios,
+    score_against_manifest,
+)
+from repro.core.attack_generation import (
+    SCALED_SIGNATURES,
+    AdversarialCorpusConfig,
+    AdversarialCorpusGenerator,
+    GroundTruthManifest,
+)
+from repro.core.detector import SeparDetector
+from repro.core.serialize import app_to_dict
+from repro.core.synthesis import AnalysisAndSynthesisEngine
+from repro.statics import extract_bundle
+
+SEED = 20160808
+
+
+def _generate(**overrides):
+    config = AdversarialCorpusConfig(
+        seed=overrides.pop("seed", SEED),
+        bundles=overrides.pop("bundles", 2),
+        apps_per_bundle=overrides.pop("apps_per_bundle", 6),
+        **overrides,
+    )
+    return AdversarialCorpusGenerator(config).generate()
+
+
+def _extract(raw_bundles):
+    return [
+        extract_bundle(apks, handle_dynamic_receivers=True)
+        for apks in raw_bundles
+    ]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    raw, manifest = _generate()
+    return _extract(raw), manifest
+
+
+@pytest.fixture(scope="module")
+def scenarios(corpus):
+    bundles, _ = corpus
+    engine = AnalysisAndSynthesisEngine(scenarios_per_signature=4)
+    return [engine.run(bundle).scenarios for bundle in bundles]
+
+
+class TestPlantedRecall:
+    def test_sat_synthesis_finds_every_plant(self, corpus, scenarios):
+        _, manifest = corpus
+        scores = score_against_manifest(
+            manifest, findings_from_scenarios(scenarios)
+        )
+        assert set(scores) == set(SCALED_SIGNATURES)
+        for name, acc in scores.items():
+            assert acc.recall == 1.0, (name, acc)
+            assert acc.precision == 1.0, (name, acc)
+            assert acc.false_negatives == 0, name
+            assert acc.true_positives > 0, name
+
+    def test_detector_twin_agrees_with_manifest(self, corpus):
+        bundles, manifest = corpus
+        detector = SeparDetector()
+        for b, bundle in enumerate(bundles):
+            report = detector.detect(bundle)
+            for name in SCALED_SIGNATURES:
+                assert report.apps(name) == manifest.expected(name, b), (
+                    b,
+                    name,
+                )
+
+
+class TestDecoyPrecision:
+    def test_decoy_only_corpus_is_silent(self):
+        raw, manifest = _generate(plants_per_signature=0)
+        assert not manifest.planted
+        assert manifest.decoys
+        engine = AnalysisAndSynthesisEngine(scenarios_per_signature=4)
+        detector = SeparDetector()
+        for bundle in _extract(raw):
+            result = engine.run(bundle)
+            found = {s.vulnerability for s in result.scenarios}
+            assert not (found & set(SCALED_SIGNATURES)), found
+            report = detector.detect(bundle)
+            for name in SCALED_SIGNATURES:
+                assert not report.components(name), name
+
+    def test_background_only_corpus_is_silent(self):
+        raw, manifest = _generate(
+            plants_per_signature=0, decoys_per_signature=0
+        )
+        assert not manifest.planted and not manifest.decoys
+        engine = AnalysisAndSynthesisEngine(scenarios_per_signature=4)
+        for bundle in _extract(raw):
+            found = {s.vulnerability for s in engine.run(bundle).scenarios}
+            assert not (found & set(SCALED_SIGNATURES)), found
+
+
+class TestDeterminism:
+    def test_same_seed_regenerates_byte_identically(self):
+        raw_a, manifest_a = _generate()
+        raw_b, manifest_b = _generate()
+        assert manifest_a.to_dict() == manifest_b.to_dict()
+        # App dumps carry an extraction-timing field; the determinism
+        # claim is about the *models*, so compare everything but timing.
+        for bundle_a, bundle_b in zip(_extract(raw_a), _extract(raw_b)):
+            assert len(bundle_a.apps) == len(bundle_b.apps)
+            for app_a, app_b in zip(bundle_a.apps, bundle_b.apps):
+                dict_a, dict_b = app_to_dict(app_a), app_to_dict(app_b)
+                dict_a.pop("extraction_seconds", None)
+                dict_b.pop("extraction_seconds", None)
+                assert dict_a == dict_b, app_a.package
+
+    def test_different_seed_differs(self):
+        _, manifest_a = _generate()
+        _, manifest_b = _generate(seed=SEED + 1)
+        assert manifest_a.to_dict() != manifest_b.to_dict()
+
+    def test_manifest_round_trips(self):
+        _, manifest = _generate()
+        clone = GroundTruthManifest.from_dict(manifest.to_dict())
+        assert clone.to_dict() == manifest.to_dict()
+        for name in clone.signatures():
+            for b in range(clone.bundles):
+                assert clone.expected(name, b) == manifest.expected(name, b)
+
+
+class TestConfigValidation:
+    def test_too_few_apps_rejected(self):
+        with pytest.raises(ValueError):
+            AdversarialCorpusGenerator(
+                AdversarialCorpusConfig(apps_per_bundle=3)
+            )
+
+    def test_manifest_counts_match_config(self):
+        config = AdversarialCorpusConfig(
+            seed=SEED, bundles=3, apps_per_bundle=6
+        )
+        _, manifest = AdversarialCorpusGenerator(config).generate()
+        assert manifest.bundles == 3
+        per_bundle = config.plants_per_signature * len(config.signatures)
+        assert len(manifest.planted) == 3 * per_bundle
+        assert len(manifest.decoys) == 3 * per_bundle

@@ -24,6 +24,11 @@ import random
 
 import pytest
 
+from repro.core.attack_generation import (
+    SCALED_SIGNATURES,
+    AdversarialCorpusConfig,
+    AdversarialCorpusGenerator,
+)
 from repro.core.serialize import scenario_to_dict
 from repro.core.synthesis import AnalysisAndSynthesisEngine
 from repro.sat import SOLVER_BACKENDS
@@ -224,3 +229,63 @@ class TestBudgetDegradation:
         assert not shared.stats.exhausted
         assert _payload(per_sig) == _payload(full)
         assert _payload(shared) == _payload(full)
+
+
+@pytest.fixture(scope="module")
+def scaled_bundles():
+    """Adversarial bundles exercising the four PR-9 signatures: one
+    planted attack plus one near-miss decoy per signature per bundle."""
+    config = AdversarialCorpusConfig(seed=SEED, bundles=2, apps_per_bundle=5)
+    raw, _manifest = AdversarialCorpusGenerator(config).generate()
+    return [
+        extract_bundle(apks, handle_dynamic_receivers=True) for apks in raw
+    ]
+
+
+class TestScaledSignaturesDifferential:
+    """The shared-encoding and backend identities must extend to the
+    scaled threat model: re-delegation chains, provider leaks, dynamic
+    receiver hijack and collusion all enumerate under gated selectors."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_modes_agree_and_all_scaled_signatures_fire(
+        self, scaled_bundles, backend
+    ):
+        for bundle in scaled_bundles:
+            per_sig = _run(bundle, shared=False, solver_backend=backend)
+            shared = _run(bundle, shared=True, solver_backend=backend)
+            assert _payload(per_sig) == _payload(shared)
+            found = {s.vulnerability for s in shared.scenarios}
+            assert set(SCALED_SIGNATURES) <= found, (
+                "every planted scaled signature must enumerate; "
+                f"missing {set(SCALED_SIGNATURES) - found}"
+            )
+
+    def test_backend_mode_matrix_on_scaled_bundle(self, scaled_bundles):
+        bundle = scaled_bundles[0]
+        payloads = {
+            (backend, shared): _payload(
+                _run(bundle, shared=shared, solver_backend=backend)
+            )
+            for backend in BACKENDS
+            for shared in (False, True)
+        }
+        assert len(set(payloads.values())) == 1, sorted(payloads)
+
+    def test_budget_prefix_semantics_on_scaled_bundle(self, scaled_bundles):
+        bundle = scaled_bundles[0]
+        full = _run(bundle, shared=False)
+        full_by_sig = _by_signature(full)
+        for budget in (1, 50):
+            for shared in (False, True):
+                cut = _run(bundle, shared=shared, conflict_budget=budget)
+                cut_by_sig = _by_signature(cut)
+                for name, scenarios in cut_by_sig.items():
+                    reference = full_by_sig.get(name, [])
+                    assert scenarios == reference[: len(scenarios)], (
+                        budget,
+                        shared,
+                        name,
+                    )
+                if not cut.stats.exhausted:
+                    assert _payload(cut) == _payload(full)

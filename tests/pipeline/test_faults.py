@@ -25,6 +25,7 @@ from repro.benchsuite.metrics import summarize_run_report
 from repro.benchsuite.running_example import build_app1, build_app2
 from repro.core import serialize
 from repro.core.synthesis import AnalysisAndSynthesisEngine, SynthesisStats
+from repro.core.vulnerabilities import default_signatures
 from repro.pipeline import (
     AnalysisPipeline,
     FaultPolicy,
@@ -446,13 +447,9 @@ class TestSharedModeFaults:
             assert entry["reason"] == "budget_exhausted"
             # Signature-granular task labels, not the bundle task key.
             name = entry["task"].split("|", 1)[0]
-            assert name in (
-                "intent_hijack",
-                "activity_launch",
-                "service_launch",
-                "information_leak",
-                "privilege_escalation",
-            )
+            assert name in {
+                sig.name for sig in default_signatures()
+            }
         # One bundle task, one rejected cache entry, one warm-run miss.
         assert report.cache.rejections.get("synthesis") == 1
         warm = AnalysisPipeline(
