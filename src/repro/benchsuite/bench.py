@@ -672,7 +672,11 @@ def _bench_service(config: BenchConfig) -> Dict[str, float]:
     session beats cold re-analysis; it is direction-tagged in
     ``HIGHER_BETTER``.  A second phase drives a ``decide`` stream
     through a live socket server for end-to-end requests/sec and
-    per-request latency.
+    per-request latency, then replays a shorter stream twice -- once
+    with the whole telemetry stack (span tracing + cost ledger) swapped
+    out, once with it live -- and reports the per-request p50/p99 of
+    each plus ``telemetry_overhead_pct``, the price of attribution on
+    the hot decide path.
     """
     import json as _json
     import random
@@ -791,6 +795,54 @@ def _bench_service(config: BenchConfig) -> Dict[str, float]:
                 latencies.append(time.perf_counter() - start)
             socket_seconds = time.perf_counter() - t0
 
+            # ---- telemetry-overhead phase: the same decide stream with
+            # the observability stack off, then fully on.  The server's
+            # event loop runs in this process, so the globals swapped
+            # here govern its request handling too.
+            from repro.obs import (
+                NULL_COST_LEDGER,
+                CostLedger,
+                JsonlTracer,
+                set_cost_ledger,
+                set_tracer,
+            )
+
+            def drive_decides(count: int) -> List[float]:
+                lat: List[float] = []
+                for i in range(count):
+                    event = {
+                        "sender": components[i % len(components)],
+                        "receiver": components[(i * 7 + 1) % len(components)],
+                    }
+                    start = time.perf_counter()
+                    client.decide("bench", "icc_receive", event)
+                    lat.append(time.perf_counter() - start)
+                return lat
+
+            telemetry_requests = max(1, num_requests // 2)
+            previous_ledger = set_cost_ledger(NULL_COST_LEDGER)
+            off_latencies = drive_decides(telemetry_requests)
+
+            fd, trace_path = tempfile.mkstemp(
+                prefix="repro-bench-trace-", suffix=".jsonl"
+            )
+            os.close(fd)
+            tracer = JsonlTracer(trace_path)
+            previous_tracer = set_tracer(tracer)
+            set_cost_ledger(CostLedger())
+            try:
+                on_latencies = drive_decides(telemetry_requests)
+            finally:
+                set_tracer(previous_tracer)
+                set_cost_ledger(previous_ledger)
+                tracer.close()
+                try:
+                    os.unlink(trace_path)
+                except OSError:
+                    pass
+
+    off_p50 = _percentile(off_latencies, 0.5)
+    on_p50 = _percentile(on_latencies, 0.5)
     return {
         "apps": float(len(apps)),
         "events": float(len(apps) + 2 * flips),
@@ -809,6 +861,13 @@ def _bench_service(config: BenchConfig) -> Dict[str, float]:
         ),
         "request_p50_us": _percentile(latencies, 0.5) * 1e6,
         "request_p99_us": _percentile(latencies, 0.99) * 1e6,
+        "telemetry_off_p50_us": off_p50 * 1e6,
+        "telemetry_off_p99_us": _percentile(off_latencies, 0.99) * 1e6,
+        "telemetry_on_p50_us": on_p50 * 1e6,
+        "telemetry_on_p99_us": _percentile(on_latencies, 0.99) * 1e6,
+        "telemetry_overhead_pct": (
+            (on_p50 - off_p50) / off_p50 * 100.0 if off_p50 > 0 else 0.0
+        ),
     }
 
 

@@ -36,6 +36,9 @@ Usage (``python -m repro <command>``):
   UNIX socket with ``--socket``); install/uninstall streams are answered
   by warm incremental re-synthesis, byte-identical to cold runs, with
   Prometheus telemetry on ``--metrics-port``.  See ``docs/SERVICE.md``.
+- ``top``                       -- live view of a running service: per-device
+  sessions, queue depths, in-flight request ages, warm-hit rates, and the
+  top cost-ledger accounts; ``--once`` prints a single frame.
 - ``adversarial``               -- generate the seeded adversarial corpus
   (power-law ICC background plus planted multi-step attacks and near-miss
   decoys), optionally write the ground-truth manifest JSON, and score the
@@ -141,7 +144,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
-    from repro.obs import enable_metrics, enable_progress, enable_tracing
+    from repro.obs import (
+        enable_cost_ledger,
+        enable_metrics,
+        enable_progress,
+        enable_tracing,
+    )
     from repro.pipeline import (
         AnalysisPipeline,
         FaultPolicy,
@@ -170,6 +178,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         pathlib.Path(trace_path).write_text("")
         enable_tracing(trace_path)
     enable_metrics()
+    enable_cost_ledger()
 
     monitor = None
     if args.watch:
@@ -274,6 +283,21 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
                 f"    [{entry['reason']}] {entry['stage']} {entry['task']}"
                 f" ({entry['scenarios']} scenario(s) found before the "
                 "budget ran out)"
+            )
+    if report.cost:
+        top = sorted(
+            report.cost,
+            key=lambda e: e.get("conflicts", 0),
+            reverse=True,
+        )[:3]
+        print(f"  cost ledger: {len(report.cost)} account(s); top by conflicts:")
+        for entry in top:
+            label = entry.get("bundle") or entry.get("device") or "?"
+            signature = entry.get("signature") or "-"
+            print(
+                f"    {label} [{signature}]: "
+                f"{int(entry.get('conflicts', 0))} conflicts, "
+                f"{entry.get('wall_seconds', 0.0):.2f}s"
             )
     if args.trace:
         span_count = int(sum(e["count"] for e in report.spans.values()))
@@ -408,6 +432,8 @@ def _cmd_export_trace(args: argparse.Namespace) -> int:
 def _load_metrics_snapshot(report_path: str) -> dict:
     import json
 
+    from repro.obs import cost_metrics_snapshot
+
     data = json.loads(pathlib.Path(report_path).read_text())
     # Accept either a full run report or a bare metrics snapshot.
     snapshot = data.get("metrics", data) if isinstance(data, dict) else {}
@@ -416,6 +442,11 @@ def _load_metrics_snapshot(report_path: str) -> dict:
             "no metrics in report (run `repro pipeline` with REPRO_METRICS=1 "
             "or rely on its default metrics collection, then --report)"
         )
+    snapshot = dict(snapshot)
+    if isinstance(data, dict) and "metrics" in data and data.get("cost"):
+        # Fold the run's cost-ledger accounts in as labeled series
+        # (repro_cost_* counters keyed by trace/device/bundle/signature).
+        snapshot.update(cost_metrics_snapshot(data["cost"]))
     return snapshot
 
 
@@ -519,6 +550,92 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _render_top(health: dict, status: dict) -> str:
+    """One `repro top` frame: liveness line, device table, cost leaders."""
+    lines = [
+        "repro top -- up {:.0f}s, {} session(s), queue depth {}, "
+        "{} request(s) in flight".format(
+            health.get("uptime_seconds", 0.0),
+            health.get("sessions", 0),
+            health.get("queue_depth", 0),
+            health.get("inflight", 0),
+        )
+    ]
+    stalled = health.get("stalled_devices") or []
+    if stalled:
+        lines.append(f"  STALLED: {', '.join(stalled)}")
+    sessions = status.get("sessions", {})
+    queue_depths = status.get("queue_depths", {})
+    inflight_ages = status.get("inflight_ages", {})
+    if sessions:
+        lines.append("")
+        lines.append(
+            f"  {'DEVICE':<16} {'APPS':>4} {'REQS':>6} {'QUEUE':>5} "
+            f"{'INFLIGHT':>8} {'WARM%':>6} {'CACHE':>5}"
+        )
+        for device, info in sessions.items():
+            age = inflight_ages.get(device)
+            rate = info.get("warm_hit_rate")
+            lines.append(
+                "  {:<16} {:>4} {:>6} {:>5} {:>8} {:>6} {:>5}".format(
+                    device,
+                    len(info.get("installed", ())),
+                    info.get("requests", 0),
+                    queue_depths.get(device, 0),
+                    "-" if age is None else f"{age:.1f}s",
+                    "-" if rate is None else f"{rate * 100.0:.0f}",
+                    info.get("cache_entries") or 0,
+                )
+            )
+    top_costs = status.get("top_costs") or []
+    if top_costs:
+        lines.append("")
+        lines.append("  top cost accounts (by conflicts):")
+        for entry in top_costs:
+            label = entry.get("bundle") or entry.get("device") or "?"
+            signature = entry.get("signature") or "-"
+            lines.append(
+                "    {} [{}]: {} conflicts, {} propagations, "
+                "{:.2f}s (trace {})".format(
+                    label,
+                    signature,
+                    int(entry.get("conflicts", 0)),
+                    int(entry.get("propagations", 0)),
+                    entry.get("wall_seconds", 0.0),
+                    entry.get("trace_id") or "-",
+                )
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        client = ServiceClient(
+            host=args.host, port=args.port, socket_path=args.socket
+        )
+    except OSError as exc:
+        print(f"repro top: cannot connect: {exc}", file=sys.stderr)
+        return 1
+    try:
+        with client:
+            while True:
+                frame = _render_top(client.healthz(), client.status())
+                print(frame, flush=True)
+                if args.once:
+                    return 0
+                time.sleep(args.interval)
+                print()
+    except ServiceError as exc:
+        print(f"repro top: {exc}", file=sys.stderr)
+        return 1
+    except (KeyboardInterrupt, BrokenPipeError, ConnectionError):
+        return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -1184,6 +1301,44 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: %(default)s)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="live view of a running policy service (sessions, queues, cost)",
+        description=(
+            "Poll a running `repro serve` daemon's healthz and status verbs "
+            "and render a per-device table (installed apps, requests, queue "
+            "depth, in-flight age, warm-hit rate, cache occupancy) plus the "
+            "top cost-ledger accounts by solver conflicts."
+        ),
+    )
+    top.add_argument(
+        "--host", default="127.0.0.1", help="service address (default: %(default)s)"
+    )
+    top.add_argument(
+        "--port",
+        type=int,
+        default=7461,
+        help="service port (default: %(default)s)",
+    )
+    top.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="connect over a UNIX socket at PATH instead of TCP",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default: %(default)s)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit (scripting / tests)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     adversarial = sub.add_parser(
         "adversarial",

@@ -21,15 +21,31 @@ Four pillars, all zero-cost when disabled:
   trace``, Chrome trace-event JSON for Perfetto, Prometheus text
   exposition for scrapers.
 
-Instrumentation never feeds cache keys (tracer/registry state is not part
-of any content hash) and never touches analysis outputs, so enabling or
-disabling observability cannot perturb the byte-identical serial/parallel
-guarantee or invalidate cached pipeline entries.
+A fifth pillar rides on the tracer's trace ids: :mod:`repro.obs.cost`,
+a ledger attributing metered work (solver conflicts, cache traffic, PDP
+cache hits, wall-clock) to ``(trace_id, device, bundle, signature)``
+accounts.  Defaults to a no-op; enable with :func:`enable_cost_ledger`.
+
+Instrumentation never feeds cache keys (tracer/registry/ledger state is
+not part of any content hash) and never touches analysis outputs, so
+enabling or disabling observability cannot perturb the byte-identical
+serial/parallel guarantee or invalidate cached pipeline entries.
 """
 
+from repro.obs.cost import (
+    COST_FIELDS,
+    NULL_COST_LEDGER,
+    CostKey,
+    CostLedger,
+    NullCostLedger,
+    enable_cost_ledger,
+    get_cost_ledger,
+    set_cost_ledger,
+)
 from repro.obs.export import (
     PROMETHEUS_CONTENT_TYPE,
     chrome_trace,
+    cost_metrics_snapshot,
     make_metrics_server,
     render_prometheus,
     sanitize_metric_name,
@@ -67,9 +83,14 @@ from repro.obs.trace import (
     JsonlTracer,
     NullTracer,
     SpanRecord,
+    TraceContext,
     Tracer,
+    adopt_trace_context,
+    current_trace_context,
+    current_trace_id,
     enable_tracing,
     get_tracer,
+    new_trace_id,
     read_events,
     read_trace,
     set_tracer,
@@ -78,6 +99,9 @@ from repro.obs.trace import (
 from repro.obs.view import aggregate_spans, render_hotspots, render_span_tree
 
 __all__ = [
+    "COST_FIELDS",
+    "CostKey",
+    "CostLedger",
     "Counter",
     "DEFAULT_INTERVAL",
     "Gauge",
@@ -87,9 +111,11 @@ __all__ = [
     "JsonlTracer",
     "METRICS_ENV",
     "MetricsRegistry",
+    "NULL_COST_LEDGER",
     "NULL_METRICS",
     "NULL_PROGRESS",
     "NULL_TRACER",
+    "NullCostLedger",
     "NullMetricsRegistry",
     "NullProgressBus",
     "NullTracer",
@@ -100,22 +126,31 @@ __all__ = [
     "ProgressSnapshot",
     "SpanRecord",
     "TRACE_ENV",
+    "TraceContext",
     "Tracer",
+    "adopt_trace_context",
     "aggregate_spans",
     "chrome_trace",
+    "cost_metrics_snapshot",
+    "current_trace_context",
+    "current_trace_id",
+    "enable_cost_ledger",
     "enable_metrics",
     "enable_progress",
     "enable_tracing",
+    "get_cost_ledger",
     "get_metrics",
     "get_progress",
     "get_tracer",
     "make_metrics_server",
+    "new_trace_id",
     "read_events",
     "read_trace",
     "render_hotspots",
     "render_prometheus",
     "render_span_tree",
     "sanitize_metric_name",
+    "set_cost_ledger",
     "set_metrics",
     "set_progress",
     "set_tracer",

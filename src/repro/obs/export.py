@@ -174,6 +174,23 @@ def escape_label_value(value: str) -> str:
     )
 
 
+def format_labels(labels: Dict[str, Any]) -> str:
+    """Render a label set as ``{k="v",...}`` with values escaped.
+
+    The single place exposition labels are written, so quotes and
+    backslashes in values (package names, device ids) can never break
+    the output syntax.  Label *names* are sanitized onto the metric-name
+    grammar; an empty label set renders as the empty string.
+    """
+    if not labels:
+        return ""
+    parts = []
+    for name in sorted(labels):
+        key = _METRIC_NAME_SANITIZE.sub("_", str(name)) or "invalid"
+        parts.append(f'{key}="{escape_label_value(str(labels[name]))}"')
+    return "{" + ",".join(parts) + "}"
+
+
 def _format_value(value: Any) -> str:
     if value is None:
         return "NaN"
@@ -223,11 +240,27 @@ def render_prometheus(
             full = base + "_total"
             lines.append(f"# HELP {full} {help_text}")
             lines.append(f"# TYPE {full} counter")
-            lines.append(f"{full} {_format_value(data.get('value', 0))}")
+            samples = data.get("samples")
+            if samples is not None:
+                for sample in samples:
+                    labels = format_labels(sample.get("labels", {}))
+                    value = _format_value(sample.get("value", 0))
+                    lines.append(f"{full}{labels} {value}")
+            else:
+                lines.append(f"{full} {_format_value(data.get('value', 0))}")
         elif kind == "gauge":
             lines.append(f"# HELP {base} {help_text}")
             lines.append(f"# TYPE {base} gauge")
-            lines.append(f"{base} {_format_value(data.get('value', 0.0))}")
+            samples = data.get("samples")
+            if samples is not None:
+                for sample in samples:
+                    labels = format_labels(sample.get("labels", {}))
+                    value = _format_value(sample.get("value", 0.0))
+                    lines.append(f"{base}{labels} {value}")
+            else:
+                lines.append(
+                    f"{base} {_format_value(data.get('value', 0.0))}"
+                )
         elif kind == "histogram":
             bounds = list(data.get("bounds", ()))
             buckets = list(data.get("buckets", ()))
@@ -239,8 +272,8 @@ def render_prometheus(
                 running = 0
                 for bound, n in zip(bounds, buckets):
                     running += n
-                    le = escape_label_value(_format_le(float(bound)))
-                    lines.append(f'{base}_bucket{{le="{le}"}} {running}')
+                    le = format_labels({"le": _format_le(float(bound))})
+                    lines.append(f"{base}_bucket{le} {running}")
                 # The +Inf bucket must equal _count by definition.
                 overflow = running + (
                     buckets[len(bounds)] if len(buckets) > len(bounds) else 0
@@ -266,6 +299,47 @@ def render_prometheus(
         # Unknown instrument kinds are skipped rather than emitting
         # malformed exposition lines.
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: Cost-ledger meters whose values are counts (exported as counters);
+#: ``wall_seconds`` is also monotonic per account and exports the same way.
+def cost_metrics_snapshot(
+    entries: Iterable[Dict[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    """Convert cost-ledger entries into a labeled metrics snapshot.
+
+    Each ledger meter becomes one ``cost.<meter>`` counter whose samples
+    carry the attribution key as labels, so :func:`render_prometheus`
+    emits series like
+    ``repro_cost_conflicts_total{bundle="...",device="...",signature="...",trace_id="..."}``.
+    Merges cleanly into a registry snapshot -- ``cost.`` names cannot
+    collide with instrument names, which never contain the ledger's
+    attribution labels.
+    """
+    from repro.obs.cost import COST_FIELDS
+
+    rows = list(entries)
+    snapshot: Dict[str, Dict[str, Any]] = {}
+    for meter in COST_FIELDS:
+        samples = []
+        for row in rows:
+            value = row.get(meter, 0)
+            if not value:
+                continue
+            samples.append(
+                {
+                    "labels": {
+                        "trace_id": row.get("trace_id", ""),
+                        "device": row.get("device", ""),
+                        "bundle": row.get("bundle", ""),
+                        "signature": row.get("signature", ""),
+                    },
+                    "value": value,
+                }
+            )
+        if samples:
+            snapshot[f"cost.{meter}"] = {"type": "counter", "samples": samples}
+    return snapshot
 
 
 # ----------------------------------------------------------------------

@@ -34,7 +34,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.obs.trace import get_tracer
+from repro.obs.trace import current_trace_context, get_tracer
 
 #: Environment variable activating progress publication.  Its value is the
 #: sampling interval in conflicts ("1" or a bare truthy value means the
@@ -182,7 +182,16 @@ class ProgressBus:
     def publish(self, snapshot: ProgressSnapshot) -> None:
         self.ring.publish(snapshot)
         if self.emit_events:
-            get_tracer().emit_event(snapshot.to_dict())
+            payload = snapshot.to_dict()
+            # Tag heartbeats with the ambient trace context so a watcher
+            # can attribute a worker's solve to the run/request (and the
+            # dispatch span) that caused it.
+            ctx = current_trace_context()
+            if ctx is not None:
+                payload["trace_id"] = ctx.trace_id
+                if ctx.span_id is not None:
+                    payload["span_id"] = ctx.span_id
+            get_tracer().emit_event(payload)
 
 
 class NullProgressBus(ProgressBus):
@@ -265,10 +274,13 @@ class HeartbeatMonitor:
     works for serial runs and process-pool workers alike.  Each freshly
     observed snapshot is logged at INFO on ``logger``; a pid that has
     heartbeated before but then goes silent for ``stall_after`` seconds is
-    flagged once at WARNING -- the live distinction between a *slow* solve
+    flagged at WARNING -- the live distinction between a *slow* solve
     (heartbeats keep coming) and a *stuck* one (they stop while the task
-    is still running).  ``poll()`` is synchronous and idempotent;
-    ``start()``/``stop()`` run it on a daemon thread.
+    is still running).  Stall detection is per *episode*: one warning when
+    a pid goes silent, an INFO line when its heartbeats resume, and the
+    warning re-arms so a worker that stalls again warns again
+    (``stall_count`` counts the episodes).  ``poll()`` is synchronous and
+    idempotent; ``start()``/``stop()`` run it on a daemon thread.
     """
 
     def __init__(
@@ -287,6 +299,7 @@ class HeartbeatMonitor:
         self._latest: Dict[int, ProgressSnapshot] = {}
         self._last_seen: Dict[int, float] = {}
         self._stalled: Dict[int, bool] = {}
+        self._stall_count: Dict[int, int] = {}
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
 
@@ -304,6 +317,10 @@ class HeartbeatMonitor:
             for pid, seen in self._last_seen.items()
             if now - seen >= self.stall_after
         )
+
+    def stall_count(self, pid: int) -> int:
+        """How many distinct stall episodes ``pid`` has been flagged for."""
+        return self._stall_count.get(pid, 0)
 
     # -- polling -----------------------------------------------------------
     def poll(self, now: Optional[float] = None) -> List[ProgressSnapshot]:
@@ -334,12 +351,19 @@ class HeartbeatMonitor:
             snap = ProgressSnapshot.from_dict(data)
             self._latest[snap.pid] = snap
             self._last_seen[snap.pid] = now
+            if self._stalled.get(snap.pid):
+                # End of a stall episode: say so, and re-arm the warning
+                # so a second stall of the same pid warns again.
+                self.logger.info(
+                    "pid %d: heartbeats resumed after stall", snap.pid
+                )
             self._stalled[snap.pid] = False
             fresh.append(snap)
             self.logger.info("%s", _format_heartbeat(snap))
         for pid in self.stalled_pids(now):
             if not self._stalled.get(pid):
                 self._stalled[pid] = True
+                self._stall_count[pid] = self._stall_count.get(pid, 0) + 1
                 self.logger.warning(
                     "pid %d: no heartbeat for %.1fs (stuck, finished, or "
                     "killed -- check the run report)",

@@ -22,14 +22,16 @@ tracing is disabled.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import json
 import os
 import threading
 import time
+import uuid
 from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 #: Environment variable holding the trace-file path; setting it before a
 #: run (the ``pipeline --trace`` flag does this) activates tracing in the
@@ -39,6 +41,103 @@ TRACE_ENV = "REPRO_TRACE"
 _current_span_id: ContextVar[Optional[str]] = ContextVar(
     "repro_current_span", default=None
 )
+
+#: The trace (request/run) every span in this context belongs to.  Root
+#: spans mint one lazily; :func:`adopt_trace_context` installs one shipped
+#: across a process or task boundary.
+_current_trace_id: ContextVar[Optional[str]] = ContextVar(
+    "repro_current_trace", default=None
+)
+
+#: Parent span id adopted from a *remote* context (another process, or the
+#: service request envelope).  Consulted only when no local span is open,
+#: so a worker's first span parents under the orchestrator dispatch span
+#: instead of becoming a new per-pid root.
+_remote_parent_id: ContextVar[Optional[str]] = ContextVar(
+    "repro_remote_parent", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id.
+
+    Trace ids are observability-only: they never enter cache keys,
+    content hashes, or analysis outputs, so randomness here cannot
+    perturb determinism guarantees.
+    """
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The portable causal link: a trace id plus the parent span id.
+
+    Instances cross process and task boundaries as plain dicts (see
+    :meth:`to_dict`); the receiving side calls :func:`adopt_trace_context`
+    so its spans join the sender's tree instead of rooting a new one.
+    """
+
+    trace_id: str
+    span_id: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"trace_id": self.trace_id}
+        if self.span_id is not None:
+            data["span_id"] = self.span_id
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "TraceContext":
+        return TraceContext(
+            trace_id=str(data["trace_id"]),
+            span_id=data.get("span_id"),
+        )
+
+    @staticmethod
+    def new() -> "TraceContext":
+        return TraceContext(trace_id=new_trace_id())
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id of the enclosing run/request, if any."""
+    return _current_trace_id.get()
+
+
+def current_trace_context() -> Optional[TraceContext]:
+    """Capture the ambient context for shipping to another process/task.
+
+    Returns ``None`` when no trace is active (tracing disabled and no
+    context adopted), in which case there is nothing worth propagating.
+    """
+    trace_id = _current_trace_id.get()
+    if trace_id is None:
+        return None
+    span_id = _current_span_id.get()
+    if span_id is None:
+        span_id = _remote_parent_id.get()
+    return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+@contextlib.contextmanager
+def adopt_trace_context(ctx: Optional[TraceContext]) -> Iterator[None]:
+    """Join ``ctx``'s trace for the duration of the block.
+
+    Spans opened inside parent under ``ctx.span_id`` (when they have no
+    closer local parent) and carry ``ctx.trace_id``.  Pool workers are
+    reused across tasks, so the previous context is restored on exit --
+    a task never inherits the trace of the task before it.  ``None`` is
+    accepted and adopts nothing, keeping call sites branch-free.
+    """
+    if ctx is None:
+        yield
+        return
+    trace_token = _current_trace_id.set(ctx.trace_id)
+    parent_token = _remote_parent_id.set(ctx.span_id)
+    try:
+        yield
+    finally:
+        _remote_parent_id.reset(parent_token)
+        _current_trace_id.reset(trace_token)
 
 
 @dataclass
@@ -59,6 +158,7 @@ class SpanRecord:
     attrs: Dict[str, Any] = field(default_factory=dict)
     pid: int = 0
     open: bool = False
+    trace_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         data = {
@@ -72,6 +172,8 @@ class SpanRecord:
         }
         if self.open:
             data["open"] = True
+        if self.trace_id is not None:
+            data["trace_id"] = self.trace_id
         return data
 
     @staticmethod
@@ -85,6 +187,7 @@ class SpanRecord:
             attrs=dict(data.get("attrs", {})),
             pid=data.get("pid", 0),
             open=bool(data.get("open", False)),
+            trace_id=data.get("trace_id"),
         )
 
 
@@ -111,7 +214,7 @@ class _Span:
 
     __slots__ = (
         "_tracer", "name", "attrs", "span_id", "_token", "_t0", "_wall",
-        "_parent",
+        "_parent", "trace_id", "_trace_token",
     )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
@@ -121,8 +224,19 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         self.span_id = self._tracer._next_id()
-        # The parent is whatever is current *before* this span starts.
+        # The parent is whatever is current *before* this span starts: the
+        # nearest local span, falling back to an adopted remote parent so
+        # worker-side spans link under the orchestrator dispatch span.
         self._parent = _current_span_id.get()
+        if self._parent is None:
+            self._parent = _remote_parent_id.get()
+        # A root span with no ambient trace starts a fresh one; nested
+        # spans and adopted contexts reuse the enclosing trace id.
+        self._trace_token = None
+        self.trace_id = _current_trace_id.get()
+        if self.trace_id is None:
+            self.trace_id = new_trace_id()
+            self._trace_token = _current_trace_id.set(self.trace_id)
         self._token = _current_span_id.set(self.span_id)
         self._wall = time.time()
         self._t0 = time.perf_counter()
@@ -132,6 +246,8 @@ class _Span:
     def __exit__(self, *exc: object) -> None:
         seconds = time.perf_counter() - self._t0
         _current_span_id.reset(self._token)
+        if self._trace_token is not None:
+            _current_trace_id.reset(self._trace_token)
         self._tracer._emit(
             SpanRecord(
                 name=self.name,
@@ -141,6 +257,7 @@ class _Span:
                 seconds=seconds,
                 attrs=self.attrs,
                 pid=os.getpid(),
+                trace_id=self.trace_id,
             )
         )
 
@@ -243,16 +360,17 @@ class JsonlTracer(Tracer):
     def _emit_begin(self, span: "_Span") -> None:
         if not self.begin_events:
             return
-        self._write_line(
-            {
-                "event": "span_begin",
-                "name": span.name,
-                "span_id": span.span_id,
-                "parent_id": span._parent,
-                "start": span._wall,
-                "pid": os.getpid(),
-            }
-        )
+        payload = {
+            "event": "span_begin",
+            "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span._parent,
+            "start": span._wall,
+            "pid": os.getpid(),
+        }
+        if span.trace_id is not None:
+            payload["trace_id"] = span.trace_id
+        self._write_line(payload)
 
     def emit_event(self, payload: Dict[str, Any]) -> None:
         if "event" not in payload:
@@ -350,6 +468,7 @@ def read_events(path: str) -> Tuple[List[SpanRecord], List[Dict[str, Any]]]:
                 attrs={},
                 pid=data.get("pid", 0),
                 open=True,
+                trace_id=data.get("trace_id"),
             )
         )
     return records, events

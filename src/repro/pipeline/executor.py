@@ -34,6 +34,8 @@ in ``RunReport.degraded`` (and is never cached).
 
 from __future__ import annotations
 
+import functools
+import multiprocessing
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
@@ -63,7 +65,18 @@ from repro.core.synthesis import (
     SynthesisStats,
 )
 from repro.core.vulnerabilities import default_signatures, lookup
-from repro.obs import aggregate_spans, get_metrics, get_tracer, read_trace
+from repro.obs import (
+    CostKey,
+    TraceContext,
+    adopt_trace_context,
+    aggregate_spans,
+    current_trace_context,
+    current_trace_id,
+    get_cost_ledger,
+    get_metrics,
+    get_tracer,
+    read_trace,
+)
 from repro.pipeline.cache import (
     NullCache,
     PipelineCache,
@@ -109,10 +122,16 @@ class FaultPolicy:
 
 @dataclass
 class _TaskOutcome:
-    """What one task ultimately produced: a payload or a failure."""
+    """What one task ultimately produced: a payload or a failure.
+
+    ``attribution`` is the cost-ledger key fragment the worker shipped
+    back in its delta envelope (``{"bundle": ..., "signature": ...}``);
+    ``None`` on paths that don't carry the envelope (serial, plain fn).
+    """
 
     payload: Any = None
     failure: Optional[TaskFailure] = None
+    attribution: Optional[Dict[str, str]] = None
 
     @property
     def ok(self) -> bool:
@@ -226,35 +245,74 @@ def _shared_synthesis_worker(task: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-def _with_metrics_delta(fn: Callable[[T], R], task: T) -> Tuple[R, Any]:
+def _extract_attribution(task: Tuple[Any, bool]) -> Dict[str, str]:
+    return {"bundle": task[0].package, "signature": ""}
+
+
+def _synthesis_attribution(task: Dict[str, Any]) -> Dict[str, str]:
+    packages = ",".join(sorted(a["package"] for a in task["apps"]))
+    # Shared-encoding tasks cover every signature on one solver; the
+    # solver counters cannot be split per signature, so the whole bundle
+    # is one account with the ``*`` signature wildcard.
+    signature = task["signature"] if "signature" in task else "*"
+    return {"bundle": packages, "signature": signature}
+
+
+def _with_metrics_delta(
+    fn: Callable[[T], R], attribution: Dict[str, str], task: T
+) -> Tuple[R, Any, Dict[str, str]]:
     """Run ``fn`` in a pool worker and capture its per-task metrics delta.
 
     The worker's registry is reset before the task (a forked worker
     inherits the parent's counts; a reused worker carries the previous
     task's), so the returned snapshot is exactly what this task added.
     The parent merges it -- only on the parallel path, where in-process
-    increments never happened.
+    increments never happened.  The envelope also carries the cost-ledger
+    attribution key, so the parent can post the delta to the right
+    ``(bundle, signature)`` account.
     """
     metrics = get_metrics()
     if not metrics.enabled:
-        return fn(task), None
+        return fn(task), None, attribution
     metrics.reset()
     payload = fn(task)
-    return payload, metrics.snapshot()
+    return payload, metrics.snapshot(), attribution
 
 
-def _extract_worker_obs(task: Tuple[Any, bool]) -> Tuple[Dict[str, Any], Any]:
-    return _with_metrics_delta(_extract_worker, task)
+def _extract_worker_obs(
+    task: Tuple[Any, bool]
+) -> Tuple[Dict[str, Any], Any, Dict[str, str]]:
+    return _with_metrics_delta(_extract_worker, _extract_attribution(task), task)
 
 
-def _synthesis_worker_obs(task: Dict[str, Any]) -> Tuple[Dict[str, Any], Any]:
-    return _with_metrics_delta(_synthesis_worker, task)
+def _synthesis_worker_obs(
+    task: Dict[str, Any]
+) -> Tuple[Dict[str, Any], Any, Dict[str, str]]:
+    return _with_metrics_delta(
+        _synthesis_worker, _synthesis_attribution(task), task
+    )
 
 
 def _shared_synthesis_worker_obs(
     task: Dict[str, Any]
-) -> Tuple[Dict[str, Any], Any]:
-    return _with_metrics_delta(_shared_synthesis_worker, task)
+) -> Tuple[Dict[str, Any], Any, Dict[str, str]]:
+    return _with_metrics_delta(
+        _shared_synthesis_worker, _synthesis_attribution(task), task
+    )
+
+
+def _traced_call(fn: Callable[[T], R], ctx_dict: Dict[str, Any], task: T) -> R:
+    """Run ``fn`` in a pool worker under an adopted trace context.
+
+    ``ctx_dict`` is the orchestrator's :class:`TraceContext` (captured at
+    submit time, while the dispatch stage span was current), shipped
+    across the process boundary as a plain dict so the partial stays
+    picklable under both fork and spawn.  The worker's spans then parent
+    under the dispatch span and carry the run's trace id instead of
+    rooting a fresh per-pid tree.
+    """
+    with adopt_trace_context(TraceContext.from_dict(ctx_dict)):
+        return fn(task)
 
 
 # ----------------------------------------------------------------------
@@ -265,15 +323,19 @@ def attach_observability(
     """Fold the active observability state into a run report.
 
     Copies the global metrics registry's snapshot into ``report.metrics``
-    (when collection is enabled) and aggregates span records into
-    ``report.spans`` -- from ``trace_path`` if given, else from the global
-    tracer (in-memory records, or the JSONL file a :class:`JsonlTracer`
-    appends to, which also contains the worker processes' spans).
-    No-op on both fields when observability is disabled.
+    (when collection is enabled), the cost ledger's entries into
+    ``report.cost``, and aggregates span records into ``report.spans`` --
+    from ``trace_path`` if given, else from the global tracer (in-memory
+    records, or the JSONL file a :class:`JsonlTracer` appends to, which
+    also contains the worker processes' spans).  No-op on all fields when
+    observability is disabled.
     """
     metrics = get_metrics()
     if metrics.enabled:
         report.metrics = metrics.snapshot()
+    ledger = get_cost_ledger()
+    if ledger.enabled:
+        report.cost = ledger.entries()
     records = None
     if trace_path is not None:
         records = read_trace(trace_path)
@@ -341,8 +403,14 @@ class AnalysisPipeline:
         time_budget_seconds: Optional[float] = None,
         shared_encoding: bool = True,
         solver_backend: str = DEFAULT_BACKEND,
+        start_method: Optional[str] = None,
     ) -> None:
         self.jobs = max(1, jobs)
+        #: Pool start method ("fork", "spawn", ...); ``None`` = platform
+        #: default.  Spawned workers re-import ``repro``, re-activating
+        #: tracing/metrics from the inherited environment variables, so
+        #: observability and results are identical under either method.
+        self.start_method = start_method
         self.cache = cache if cache is not None else NullCache()
         self.signature_names = (
             list(signature_names)
@@ -394,6 +462,14 @@ class AnalysisPipeline:
         if obs_fn is not None and metrics.enabled:
             wrapped = obs_fn
             has_delta = True
+        # Capture the dispatch-time trace context (the enclosing stage
+        # span) and ship it with every task, so worker spans join this
+        # run's tree.  The serial path needs nothing: contextvars flow
+        # in-process.  A partial of a module-level function stays
+        # picklable under both fork and spawn start methods.
+        ctx = current_trace_context()
+        if ctx is not None:
+            wrapped = functools.partial(_traced_call, wrapped, ctx.to_dict())
         return self._run_pooled(wrapped, fn, items, labels, stage, has_delta)
 
     def _run_serial(
@@ -477,12 +553,14 @@ class AnalysisPipeline:
 
         def record_success(idx: int, result: Any) -> None:
             if has_delta:
-                payload, delta = result
+                payload, delta, attribution = result
                 if delta:
                     metrics.merge(delta)
+                outcomes[idx] = _TaskOutcome(
+                    payload=payload, attribution=attribution
+                )
             else:
-                payload = result
-            outcomes[idx] = _TaskOutcome(payload=payload)
+                outcomes[idx] = _TaskOutcome(payload=result)
 
         def consume_attempt(idx: int, kind: str, message: str) -> None:
             nonlocal retry_sleep
@@ -592,8 +670,15 @@ class AnalysisPipeline:
         *running* time, not queueing time.
         """
         try:
-            pool = ProcessPoolExecutor(max_workers=workers)
-        except (OSError, NotImplementedError, PermissionError):
+            mp_context = (
+                multiprocessing.get_context(self.start_method)
+                if self.start_method
+                else None
+            )
+            pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=mp_context
+            )
+        except (OSError, NotImplementedError, PermissionError, ValueError):
             return None
         completed: Dict[int, Tuple[str, Any]] = {}
         interrupted: List[int] = []
@@ -813,10 +898,33 @@ class AnalysisPipeline:
                 obs_fn=_extract_worker_obs,
             )
             failures: List[TaskFailure] = []
+            ledger = get_cost_ledger()
+            if ledger.enabled:
+                tid = current_trace_id() or ""
+                missed = set(miss_indices)
+                for i, apk in enumerate(apks):
+                    if i not in missed:
+                        ledger.charge(
+                            CostKey(trace_id=tid, bundle=apk.package),
+                            cache_hits=1,
+                        )
             for index, outcome in zip(miss_indices, outcomes):
                 if outcome.ok:
                     self.cache.put("extract", keys[index], outcome.payload)
                     dicts[index] = outcome.payload
+                    if ledger.enabled:
+                        attribution = outcome.attribution or (
+                            _extract_attribution(
+                                (apks[index], self.handle_dynamic_receivers)
+                            )
+                        )
+                        ledger.charge(
+                            CostKey(trace_id=tid, **attribution),
+                            cache_misses=1,
+                            wall_seconds=float(
+                                outcome.payload.get("extraction_seconds", 0.0)
+                            ),
+                        )
                 else:
                     failures.append(outcome.failure)
             if failures:
@@ -962,6 +1070,25 @@ class AnalysisPipeline:
                 labels=labels,
                 obs_fn=worker_obs,
             )
+            ledger = get_cost_ledger()
+            if ledger.enabled:
+                tid = current_trace_id() or ""
+                missed = set(miss_indices)
+                for i, (b, s) in enumerate(tasks):
+                    if i in missed:
+                        continue
+                    packages = ",".join(
+                        sorted(a["package"] for a in bundle_apps[b])
+                    )
+                    signature = (
+                        "*" if self.shared_encoding else self.signature_names[s]
+                    )
+                    ledger.charge(
+                        CostKey(
+                            trace_id=tid, bundle=packages, signature=signature
+                        ),
+                        cache_hits=1,
+                    )
             for index, payload_task, outcome in zip(
                 miss_indices, task_payloads, outcomes
             ):
@@ -970,6 +1097,13 @@ class AnalysisPipeline:
                     continue
                 payload = outcome.payload
                 cached[index] = payload
+                if ledger.enabled:
+                    attribution = outcome.attribution or (
+                        _synthesis_attribution(payload_task)
+                    )
+                    key = CostKey(trace_id=tid, **attribution)
+                    ledger.charge(key, cache_misses=1)
+                    ledger.charge_stats(key, payload.get("stats", {}))
                 if payload.get("incomplete"):
                     # Budget-exhausted: keep the partial scenarios and
                     # report the degradation.  The cache refuses incomplete

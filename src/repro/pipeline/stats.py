@@ -203,11 +203,15 @@ class SynthesisStatsLike:
 class RunReport:
     """The machine-readable record of one pipeline run.
 
-    ``spans`` and ``metrics`` are populated only when observability is
-    enabled for the run: ``spans`` carries the per-span-name roll-up of a
-    JSONL trace (:func:`repro.obs.view.aggregate_spans` output) and
-    ``metrics`` a :meth:`repro.obs.metrics.MetricsRegistry.snapshot`.
-    Both default to empty and serialize round-trip losslessly.
+    ``spans``, ``metrics`` and ``cost`` are populated only when
+    observability is enabled for the run: ``spans`` carries the
+    per-span-name roll-up of a JSONL trace
+    (:func:`repro.obs.view.aggregate_spans` output), ``metrics`` a
+    :meth:`repro.obs.metrics.MetricsRegistry.snapshot`, and ``cost`` the
+    cost ledger's attribution entries
+    (:meth:`repro.obs.cost.CostLedger.entries` rows keyed by
+    ``trace_id``/``device``/``bundle``/``signature``).  All default to
+    empty and serialize round-trip losslessly.
 
     ``failures`` lists every task that exhausted its retries
     (:meth:`TaskFailure.to_dict` records) and ``degraded`` every
@@ -229,6 +233,7 @@ class RunReport:
     per_bundle: List[Dict[str, Any]] = field(default_factory=list)
     spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    cost: List[Dict[str, Any]] = field(default_factory=list)
     failures: List[Dict[str, Any]] = field(default_factory=list)
     degraded: List[Dict[str, Any]] = field(default_factory=list)
 
@@ -268,6 +273,7 @@ class RunReport:
             "per_bundle": self.per_bundle,
             "spans": self.spans,
             "metrics": self.metrics,
+            "cost": self.cost,
             "failures": self.failures,
             "degraded": self.degraded,
         }
@@ -288,6 +294,7 @@ class RunReport:
             per_bundle=list(data.get("per_bundle", ())),
             spans={k: dict(v) for k, v in data.get("spans", {}).items()},
             metrics={k: dict(v) for k, v in data.get("metrics", {}).items()},
+            cost=[dict(c) for c in data.get("cost", ())],
             failures=[dict(f) for f in data.get("failures", ())],
             degraded=[dict(d) for d in data.get("degraded", ())],
         )

@@ -9,6 +9,13 @@ echoed request id.  Useful from tests, benchmarks, and scripts::
 
 Errors the server reports come back as :class:`ServiceError` carrying
 the protocol error kind.
+
+Every successful response's envelope fields are kept on the client:
+``last_trace_id`` is the trace id the server echoed (or minted) for the
+most recent request, ``last_cost`` the ledger totals it charged to that
+trace id (``None`` for non-device ops or when the server's ledger is
+off).  Pass ``trace_id=...`` to :meth:`ServiceClient.request` to join an
+existing trace instead of starting one per request.
 """
 
 from __future__ import annotations
@@ -51,6 +58,8 @@ class ServiceClient:
             )
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
+        self.last_trace_id: Optional[str] = None
+        self.last_cost: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     def request(self, op: str, **operands: Any) -> Dict[str, Any]:
@@ -69,6 +78,8 @@ class ServiceClient:
             raise ServiceError("internal", "connection closed by server")
         response = json.loads(raw.decode("utf-8"))
         if response.get("ok"):
+            self.last_trace_id = response.get("trace_id")
+            self.last_cost = response.get("cost")
             return response.get("result", {})
         error = response.get("error") or {}
         raise ServiceError(
@@ -78,6 +89,9 @@ class ServiceClient:
     # -- convenience wrappers ------------------------------------------
     def ping(self) -> Dict[str, Any]:
         return self.request("ping")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("healthz")
 
     def install(self, device: str, app: Dict[str, Any]) -> Dict[str, Any]:
         return self.request("install", device=device, app=app)

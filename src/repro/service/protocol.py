@@ -10,8 +10,14 @@ Request::
 
 Response::
 
-    {"id": <echoed>, "ok": true,  "result": {...}}
+    {"id": <echoed>, "ok": true,  "result": {...}, "trace_id": "..."}
     {"id": <echoed>, "ok": false, "error": {"kind": "...", "message": "..."}}
+
+Every successful response echoes a ``trace_id``: the client's, when the
+request carried one, otherwise one the server minted -- the key under
+which the request's spans and cost-ledger charges are recorded.  Device
+operations additionally return a ``cost`` object (the ledger's totals for
+that trace id) next to ``result``.
 
 Operations (``device`` names the per-device session; sessions are created
 on first use):
@@ -32,7 +38,11 @@ analyze    device                full findings bundle (byte-identical to a
 policies   device                current synthesized policy set
 decide     device, kind, event   PDP verdict + audit record
 audit      device                audit trail + retention summary
-status     [device]              server- or session-level status
+status     [device]              server- or session-level status (global:
+                                 sessions, queue depths, in-flight request
+                                 ages, cache occupancy, top cost accounts)
+healthz    --                    liveness summary: uptime, session/queue
+                                 counts, stalled devices
 shutdown   --                    acknowledges, then stops the server
 ========== ===================== =========================================
 
@@ -67,6 +77,7 @@ OPS: FrozenSet[str] = frozenset(
         "decide",
         "audit",
         "status",
+        "healthz",
         "shutdown",
     }
 )
@@ -160,6 +171,13 @@ def decode_request(line: bytes) -> Dict[str, Any]:
             raise ProtocolError(
                 "bad_request", f"op {op!r} requires a non-empty 'device'"
             )
+    trace_id = request.get("trace_id")
+    if trace_id is not None and (
+        not isinstance(trace_id, str) or not trace_id
+    ):
+        raise ProtocolError(
+            "bad_request", "'trace_id' must be a non-empty string"
+        )
     return request
 
 

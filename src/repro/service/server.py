@@ -42,8 +42,18 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.obs import get_metrics
-from repro.obs.export import make_metrics_server
+from repro.obs import (
+    CostKey,
+    CostLedger,
+    TraceContext,
+    adopt_trace_context,
+    get_cost_ledger,
+    get_metrics,
+    get_tracer,
+    new_trace_id,
+    set_cost_ledger,
+)
+from repro.obs.export import cost_metrics_snapshot, make_metrics_server
 from repro.service import protocol
 from repro.service.protocol import ProtocolError
 from repro.service.session import DeviceSession, SessionConfig
@@ -119,6 +129,14 @@ class PolicyService:
             max_workers=max(1, self.config.workers),
             thread_name_prefix="repro-serve",
         )
+        # Cost attribution is on whenever the daemon runs: without it the
+        # response-level `cost` field, the status top-N, and the scrape's
+        # cost series would all be empty.  Always a *fresh* ledger — the
+        # daemon's accounts must not mingle with whatever a CLI run in
+        # this process charged earlier — and the previous (usually null)
+        # ledger is restored on the way out so embedded/test use doesn't
+        # leak global state.
+        previous_ledger = set_cost_ledger(CostLedger())
         try:
             # The StreamReader limit must cover the protocol's framing
             # bound, or readline() raises on large (but legal) app dicts.
@@ -163,6 +181,7 @@ class PolicyService:
                 self._pool.shutdown(wait=True)
             self._stop_metrics()
             self._remove_files()
+            set_cost_ledger(previous_ledger)
 
     def request_shutdown(self) -> None:
         """Thread-safe shutdown trigger (signal handlers, tests)."""
@@ -270,19 +289,36 @@ class PolicyService:
             )
         rid = protocol.request_id(request)
         op = request["op"]
+        # Every request gets a trace id -- the client's, or a fresh one --
+        # echoed in the response and carried into the batch thread so the
+        # request's spans and ledger charges all land under the same key.
+        trace_id = request.get("trace_id") or new_trace_id()
+        request["trace_id"] = trace_id
+
+        def finish(
+            result: Dict[str, Any], with_cost: bool = False
+        ) -> Dict[str, Any]:
+            response = protocol.ok_response(rid, result)
+            response["trace_id"] = trace_id
+            ledger = get_cost_ledger()
+            if with_cost and ledger.enabled:
+                response["cost"] = ledger.totals(trace_id=trace_id)
+            return response
+
         try:
             if op == "ping":
-                return protocol.ok_response(
-                    rid,
-                    {"pong": True, "version": protocol.PROTOCOL_VERSION},
+                return finish(
+                    {"pong": True, "version": protocol.PROTOCOL_VERSION}
                 ), False
             if op == "shutdown":
                 self._shutdown.set()
-                return protocol.ok_response(rid, {"stopping": True}), True
+                return finish({"stopping": True}), True
+            if op == "healthz":
+                return finish(self._healthz()), False
             if op == "status" and "device" not in request:
-                return protocol.ok_response(rid, self._global_status()), False
+                return finish(self._global_status()), False
             result = await self._dispatch_device(request)
-            return protocol.ok_response(rid, result), False
+            return finish(result, with_cost=True), False
         except ProtocolError as exc:
             return protocol.error_response(rid, exc.kind, exc.message), False
         except asyncio.TimeoutError:
@@ -374,15 +410,38 @@ class PolicyService:
     def _run_batch(
         session: DeviceSession, requests: List[Dict[str, Any]]
     ) -> List[Tuple[str, Any]]:
-        """Execute a batch on the pool thread; never raises."""
+        """Execute a batch on the pool thread; never raises.
+
+        Each request runs under its own adopted trace context: the
+        request's ``service.request`` span roots its tree (or joins the
+        client's, when the request carried a ``trace_id`` from a traced
+        caller), the session's synthesis spans nest under it, and every
+        ledger charge -- including the request's wall-clock on the
+        session thread -- lands on the request's trace id.
+        """
+        ledger = get_cost_ledger()
         outcomes: List[Tuple[str, Any]] = []
         for request in requests:
-            try:
-                outcomes.append(("ok", session.handle(request)))
-            except ProtocolError as exc:
-                outcomes.append(("error", (exc.kind, exc.message)))
-            except Exception as exc:  # noqa: BLE001
-                outcomes.append(("error", ("internal", repr(exc))))
+            trace_id = request.get("trace_id")
+            ctx = TraceContext(trace_id=trace_id) if trace_id else None
+            start = time.perf_counter()
+            with adopt_trace_context(ctx):
+                with get_tracer().span(
+                    "service.request",
+                    op=request.get("op", ""),
+                    device=session.device,
+                ):
+                    try:
+                        outcomes.append(("ok", session.handle(request)))
+                    except ProtocolError as exc:
+                        outcomes.append(("error", (exc.kind, exc.message)))
+                    except Exception as exc:  # noqa: BLE001
+                        outcomes.append(("error", ("internal", repr(exc))))
+            if ledger.enabled and trace_id:
+                ledger.charge(
+                    CostKey(trace_id=trace_id, device=session.device),
+                    wall_seconds=time.perf_counter() - start,
+                )
         return outcomes
 
     def _drain_queues(self) -> None:
@@ -440,14 +499,53 @@ class PolicyService:
             await asyncio.sleep(interval)
 
     def _global_status(self) -> Dict[str, Any]:
+        now = time.monotonic()
+        ledger = get_cost_ledger()
+        sessions = {
+            device: session.status()
+            for device, session in sorted(self.sessions.items())
+        }
         return {
             "version": protocol.PROTOCOL_VERSION,
-            "uptime_seconds": time.monotonic() - self._t0,
-            "sessions": {
-                device: session.status()
-                for device, session in sorted(self.sessions.items())
-            },
+            "uptime_seconds": now - self._t0,
+            "sessions": sessions,
             "queue_depth": sum(q.qsize() for q in self._queues.values()),
+            "queue_depths": {
+                device: queue.qsize()
+                for device, queue in sorted(self._queues.items())
+            },
+            # Age (seconds) of the batch each device is executing right
+            # now; None = idle.  The inverse of a latency histogram: it
+            # shows the request you are *still waiting on*.
+            "inflight_ages": {
+                device: (None if since is None else now - since)
+                for device, since in sorted(self._busy_since.items())
+            },
+            "cache_entries": sum(
+                s.get("cache_entries", 0) for s in sessions.values()
+            ),
+            "top_costs": (
+                ledger.top(5, by="conflicts") if ledger.enabled else []
+            ),
+        }
+
+    def _healthz(self) -> Dict[str, Any]:
+        """Cheap liveness summary: no session locks, no ledger scans."""
+        inflight = sum(
+            1 for since in self._busy_since.values() if since is not None
+        )
+        return {
+            "healthy": True,
+            "version": protocol.PROTOCOL_VERSION,
+            "uptime_seconds": time.monotonic() - self._t0,
+            "sessions": len(self.sessions),
+            "queue_depth": sum(q.qsize() for q in self._queues.values()),
+            "inflight": inflight,
+            "stalled_devices": sorted(
+                device
+                for device, stalled in self._stalled.items()
+                if stalled
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -457,8 +555,19 @@ class PolicyService:
         if self.config.metrics_port is None:
             return
         registry = get_metrics()
+
+        def snapshot() -> Dict[str, Any]:
+            data = dict(registry.snapshot())
+            ledger = get_cost_ledger()
+            if ledger.enabled:
+                # Cost series ride the same scrape: the response-level
+                # `cost` field and these Prometheus totals are two views
+                # of one ledger, so they reconcile per trace id.
+                data.update(cost_metrics_snapshot(ledger.entries()))
+            return data
+
         self._metrics_httpd = make_metrics_server(
-            registry.snapshot,
+            snapshot,
             host=self.config.metrics_host,
             port=self.config.metrics_port,
         )

@@ -58,6 +58,7 @@ from repro.pipeline.cache import (
     content_hash,
     framework_fingerprint,
 )
+from repro.obs import CostKey, current_trace_id, get_cost_ledger
 from repro.pipeline.executor import AnalysisPipeline
 from repro.sat import DEFAULT_BACKEND
 from repro.service.protocol import ProtocolError
@@ -224,6 +225,25 @@ class DeviceSession:
         return self.warm_hits / self.warm_lookups if self.warm_lookups else 0.0
 
     # ------------------------------------------------------------------
+    # Cost attribution
+    # ------------------------------------------------------------------
+    def _cost_key(self, bundle_label: str, signature: str = "") -> CostKey:
+        """This session's ledger account for the ambient request.
+
+        The trace id comes from the context the server's batch thread
+        adopted for the request (empty for direct embedding use without
+        tracing), so the response-level ``cost`` field -- the ledger's
+        totals for that trace id -- reflects exactly the work this
+        request caused.
+        """
+        return CostKey(
+            trace_id=current_trace_id() or "",
+            device=self.device,
+            bundle=bundle_label,
+            signature=signature,
+        )
+
+    # ------------------------------------------------------------------
     # Mutations: cheap detection delta now, synthesis deferred
     # ------------------------------------------------------------------
     def install(self, app_dict: Dict[str, Any]) -> Dict[str, Any]:
@@ -313,7 +333,19 @@ class DeviceSession:
         with self._lock:
             # Decisions must reflect the current composition's policies.
             self._ensure_fresh()
+            # The compiled PDP counts decision-cache hits; diffing around
+            # the call attributes them to this request's trace id.
+            hits_before = getattr(self.pdp, "cache_hits", None)
             decision = self.pdp.decide(event_kind, icc, context=context)
+            ledger = get_cost_ledger()
+            if ledger.enabled and hits_before is not None:
+                delta = getattr(self.pdp, "cache_hits", hits_before)
+                delta -= hits_before
+                if delta:
+                    ledger.charge(
+                        self._cost_key(",".join(self.packages())),
+                        pdp_cache_hits=delta,
+                    )
             record = self.audit.records[-1] if self.audit.records else None
             return {
                 "decision": decision.value,
@@ -426,6 +458,8 @@ class DeviceSession:
         )
         fingerprint = framework_fingerprint()
         params = self.config.engine_params()
+        ledger = get_cost_ledger()
+        bundle_label = ",".join(sorted(a.package for a in bundle.apps))
         if self.config.shared_encoding:
             key = content_hash(
                 {
@@ -441,6 +475,10 @@ class DeviceSession:
             cached = self.cache.get("synthesis", key)
             if cached is not None:
                 self.warm_hits += 1
+                if ledger.enabled:
+                    ledger.charge(
+                        self._cost_key(bundle_label, "*"), cache_hits=1
+                    )
                 return cached
             result = self.engine.run_shared(bundle)
             payload = {
@@ -451,6 +489,10 @@ class DeviceSession:
                 "incomplete": bool(result.stats.exhausted),
             }
             self.syntheses += 1
+            if ledger.enabled:
+                cost_key = self._cost_key(bundle_label, "*")
+                ledger.charge(cost_key, cache_misses=1)
+                ledger.charge_stats(cost_key, payload["stats"])
             self.cache.put("synthesis", key, payload)
             return payload
         # Per-signature mode: one entry per (composition, signature),
@@ -472,6 +514,11 @@ class DeviceSession:
             payload = self.cache.get("synthesis", key)
             if payload is not None:
                 self.warm_hits += 1
+                if ledger.enabled:
+                    ledger.charge(
+                        self._cost_key(bundle_label, signature.name),
+                        cache_hits=1,
+                    )
             else:
                 result = self.engine.run_signature(bundle, signature)
                 payload = {
@@ -483,6 +530,10 @@ class DeviceSession:
                     "incomplete": bool(result.stats.exhausted),
                 }
                 self.syntheses += 1
+                if ledger.enabled:
+                    cost_key = self._cost_key(bundle_label, signature.name)
+                    ledger.charge(cost_key, cache_misses=1)
+                    ledger.charge_stats(cost_key, payload["stats"])
                 self.cache.put("synthesis", key, payload)
             scenarios.extend(payload["scenarios"])
             stats.merge(SynthesisStats.from_dict(payload["stats"]))

@@ -99,6 +99,7 @@ class TestSimulate:
 class TestTraceCommands:
     def test_pipeline_trace_then_render(self, tmp_path, capsys, monkeypatch):
         from repro.obs import METRICS_ENV, NULL_METRICS, NULL_TRACER, TRACE_ENV
+        from repro.obs import NULL_COST_LEDGER, set_cost_ledger
         from repro.obs import set_metrics, set_tracer
 
         trace_path = tmp_path / "out.jsonl"
@@ -111,13 +112,15 @@ class TestTraceCommands:
                     "--trace", str(trace_path), "--report", str(report_path),
                 ]
             ) == 0
-        finally:  # the CLI installs a global tracer/registry: restore
+        finally:  # the CLI installs a global tracer/registry/ledger: restore
             set_tracer(NULL_TRACER)
             set_metrics(NULL_METRICS)
+            set_cost_ledger(NULL_COST_LEDGER)
             monkeypatch.delenv(TRACE_ENV, raising=False)
             monkeypatch.delenv(METRICS_ENV, raising=False)
         out = capsys.readouterr().out
         assert "spans written" in out
+        assert "cost ledger:" in out
 
         import json
 
@@ -130,11 +133,28 @@ class TestTraceCommands:
         ):
             assert stage in report["spans"]
         assert "ame.apps_extracted" in report["metrics"]
+        # Every span carries the run's single trace id...
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        trace_ids = {r.get("trace_id") for r in records if "span_id" in r}
+        assert len(trace_ids) == 1 and None not in trace_ids
+        # ...and the ledger attributed the run's work per bundle.
+        assert report["cost"]
+        assert all(e["trace_id"] in trace_ids for e in report["cost"])
+        assert sum(e["cache_misses"] for e in report["cost"]) > 0
 
         assert main(["trace", str(trace_path), "--top", "5"]) == 0
         rendered = capsys.readouterr().out
         assert "pipeline.run" in rendered
         assert "span" in rendered  # hotspot table header
+
+        # The exposition carries the same accounts as labeled series.
+        assert main(["export-metrics", str(report_path)]) == 0
+        exposition = capsys.readouterr().out
+        assert "repro_cost_cache_misses_total{" in exposition
+        assert 'trace_id="' in exposition
 
     def test_trace_rejects_missing_file(self, tmp_path, capsys):
         missing = tmp_path / "nope.jsonl"
@@ -142,11 +162,51 @@ class TestTraceCommands:
         assert "no such" in capsys.readouterr().err.lower()
 
 
+class TestTop:
+    def test_top_once_renders_device_table_and_costs(self, capsys):
+        from repro.benchsuite.running_example import build_app1
+        from repro.core import serialize
+        from repro.service import (
+            PolicyService,
+            ServerConfig,
+            ServiceClient,
+            SessionConfig,
+        )
+        from repro.statics import extract_app
+
+        service = PolicyService(
+            ServerConfig(session=SessionConfig(scenarios_per_signature=2))
+        )
+        with service.background():
+            host, port = service.address
+            with ServiceClient(host, port) as client:
+                app = extract_app(build_app1())
+                client.install("cli-dev", serialize.app_to_dict(app))
+            assert main(
+                ["top", "--once", "--host", host, "--port", str(port)]
+            ) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "cli-dev" in out
+        assert "top cost accounts" in out
+
+    def test_top_unreachable_service_exits_one(self, capsys):
+        assert main(["top", "--once", "--host", "127.0.0.1", "--port", "1"]) == 1
+        assert "cannot connect" in capsys.readouterr().err
+
+
 class TestPipelineFaultHandling:
     def _restore_observability(self, monkeypatch):
-        from repro.obs import METRICS_ENV, NULL_METRICS, set_metrics
+        from repro.obs import (
+            METRICS_ENV,
+            NULL_COST_LEDGER,
+            NULL_METRICS,
+            set_cost_ledger,
+            set_metrics,
+        )
 
         set_metrics(NULL_METRICS)
+        set_cost_ledger(NULL_COST_LEDGER)
         monkeypatch.delenv(METRICS_ENV, raising=False)
 
     def test_degraded_run_exits_zero_unless_strict(

@@ -1,0 +1,162 @@
+"""Cost ledger: attribution accounts, totals/top queries, capacity
+eviction, thread safety, stats charging, and the null-ledger default."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    COST_FIELDS,
+    NULL_COST_LEDGER,
+    CostKey,
+    CostLedger,
+    NullCostLedger,
+    enable_cost_ledger,
+    get_cost_ledger,
+    set_cost_ledger,
+)
+
+
+def _key(trace="t1", **kwargs):
+    return CostKey(trace_id=trace, **kwargs)
+
+
+class TestCharging:
+    def test_charge_accumulates_per_key(self):
+        ledger = CostLedger()
+        ledger.charge(_key(), conflicts=3, wall_seconds=0.5)
+        ledger.charge(_key(), conflicts=2)
+        ledger.charge(_key(bundle="b"), conflicts=10)
+        (first, second) = ledger.entries()
+        assert first["conflicts"] == 5 and first["wall_seconds"] == 0.5
+        assert second["conflicts"] == 10 and second["bundle"] == "b"
+        assert len(ledger) == 2
+
+    def test_unknown_field_raises(self):
+        ledger = CostLedger()
+        with pytest.raises(KeyError):
+            ledger.charge(_key(), confilcts=1)  # typo must not vanish
+
+    def test_entries_carry_every_meter_and_the_key(self):
+        ledger = CostLedger()
+        ledger.charge(
+            _key(device="phone", bundle="a,b", signature="collusion"),
+            pdp_cache_hits=4,
+        )
+        (entry,) = ledger.entries()
+        for field in COST_FIELDS:
+            assert field in entry
+        assert entry["trace_id"] == "t1"
+        assert entry["device"] == "phone"
+        assert entry["signature"] == "collusion"
+        assert entry["pdp_cache_hits"] == 4
+
+    def test_charge_stats_maps_solver_counters(self):
+        ledger = CostLedger()
+        ledger.charge_stats(
+            _key(),
+            {
+                "conflicts": 7,
+                "decisions": 20,
+                "propagations": 100,
+                "num_clauses": 50,
+                "translations_avoided": 3,
+                "construction_seconds": 0.25,
+                "solving_seconds": 0.75,
+            },
+        )
+        (entry,) = ledger.entries()
+        assert entry["conflicts"] == 7
+        assert entry["clauses_added"] == 50
+        assert entry["translations_avoided"] == 3
+        assert entry["wall_seconds"] == pytest.approx(1.0)
+
+
+class TestQueries:
+    def test_totals_filtered_by_trace_and_device(self):
+        ledger = CostLedger()
+        ledger.charge(_key("t1", device="a"), conflicts=1)
+        ledger.charge(_key("t1", device="b"), conflicts=2)
+        ledger.charge(_key("t2", device="a"), conflicts=4)
+        assert ledger.totals()["conflicts"] == 7
+        assert ledger.totals(trace_id="t1")["conflicts"] == 3
+        assert ledger.totals(device="a")["conflicts"] == 5
+        assert ledger.totals(trace_id="t2", device="a")["conflicts"] == 4
+        assert ledger.totals(trace_id="absent")["conflicts"] == 0
+
+    def test_top_ranks_by_requested_meter(self):
+        ledger = CostLedger()
+        ledger.charge(_key(bundle="cheap"), conflicts=1, wall_seconds=9.0)
+        ledger.charge(_key(bundle="hot"), conflicts=100, wall_seconds=0.1)
+        top = ledger.top(1, by="conflicts")
+        assert [e["bundle"] for e in top] == ["hot"]
+        assert [e["bundle"] for e in ledger.top(1, by="wall_seconds")] == [
+            "cheap"
+        ]
+        with pytest.raises(KeyError):
+            ledger.top(1, by="nonsense")
+
+    def test_merge_round_trips_exported_entries(self):
+        source = CostLedger()
+        source.charge(_key(bundle="x"), conflicts=5, cache_misses=1)
+        source.charge(_key("t2"), decisions=8)
+        restored = CostLedger()
+        restored.merge(source.entries())
+        assert restored.entries() == source.entries()
+
+
+class TestCapacity:
+    def test_fifo_eviction_keeps_resident_set_flat(self):
+        ledger = CostLedger(capacity=3)
+        for i in range(5):
+            ledger.charge(_key(f"t{i}"), conflicts=i)
+        assert len(ledger) == 3
+        assert ledger.evictions == 2
+        traces = [e["trace_id"] for e in ledger.entries()]
+        assert traces == ["t2", "t3", "t4"]  # oldest accounts went first
+
+    def test_reset_clears_accounts_and_eviction_count(self):
+        ledger = CostLedger(capacity=1)
+        ledger.charge(_key("a"), conflicts=1)
+        ledger.charge(_key("b"), conflicts=1)
+        assert ledger.evictions == 1
+        ledger.reset()
+        assert len(ledger) == 0 and ledger.evictions == 0
+
+    def test_concurrent_charges_lose_nothing(self):
+        ledger = CostLedger()
+        per_thread = 500
+
+        def work(i):
+            for _ in range(per_thread):
+                ledger.charge(_key(f"t{i % 2}"), conflicts=1)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert ledger.totals()["conflicts"] == 4 * per_thread
+
+
+class TestGlobalInstall:
+    def test_null_ledger_is_default_and_inert(self):
+        assert isinstance(NULL_COST_LEDGER, NullCostLedger)
+        assert NULL_COST_LEDGER.enabled is False
+        NULL_COST_LEDGER.charge(_key(), conflicts=99)
+        NULL_COST_LEDGER.charge_stats(_key(), {"conflicts": 99})
+        NULL_COST_LEDGER.merge([{"trace_id": "x", "conflicts": 1}])
+        assert NULL_COST_LEDGER.entries() == []
+        assert NULL_COST_LEDGER.totals()["conflicts"] == 0
+
+    def test_enable_is_idempotent_and_set_restores(self):
+        previous = get_cost_ledger()
+        try:
+            set_cost_ledger(NULL_COST_LEDGER)
+            live = enable_cost_ledger()
+            assert live.enabled
+            assert enable_cost_ledger() is live  # second call: same ledger
+            assert get_cost_ledger() is live
+        finally:
+            set_cost_ledger(previous)
+        assert get_cost_ledger() is previous

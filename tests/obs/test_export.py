@@ -15,12 +15,14 @@ from repro.obs import (
     MetricsRegistry,
     SpanRecord,
     chrome_trace,
+    cost_metrics_snapshot,
     make_metrics_server,
     read_events,
     render_prometheus,
     sanitize_metric_name,
     write_chrome_trace,
 )
+from repro.obs.export import escape_label_value, format_labels
 
 
 def _span(name, span_id, pid, start=100.0, seconds=0.5, parent=None,
@@ -118,6 +120,7 @@ class TestChromeTrace:
             from repro.obs import trace as trace_module
 
             trace_module._current_span_id.set(None)
+            trace_module._current_trace_id.set(None)
             t.close()
         spans, events = read_events(str(path))
         out = tmp_path / "chrome.json"
@@ -239,6 +242,109 @@ class TestPrometheus:
         types, values = _parse_exposition(text)
         assert len(types) >= 4
         assert text.endswith("\n")
+
+
+class TestLabels:
+    def test_format_labels_sorted_and_quoted(self):
+        rendered = format_labels({"b": "two", "a": 1})
+        assert rendered == '{a="1",b="two"}'
+        assert format_labels({}) == ""
+
+    def test_escaping_quotes_backslashes_newlines(self):
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("line\nbreak") == "line\\nbreak"
+        rendered = format_labels({"device": 'ph"one\\1'})
+        assert rendered == '{device="ph\\"one\\\\1"}'
+        assert "\n" not in format_labels({"k": "a\nb"})
+
+    def test_label_names_sanitized(self):
+        assert format_labels({"trace-id": "x"}) == '{trace_id="x"}'
+
+    def test_labeled_counter_samples_render_one_line_each(self):
+        snapshot = {
+            "cost.conflicts": {
+                "type": "counter",
+                "samples": [
+                    {"labels": {"device": "a", "signature": "s1"}, "value": 3},
+                    {"labels": {"device": "b", "signature": "s2"}, "value": 4},
+                ],
+            }
+        }
+        types, values = _parse_exposition(render_prometheus(snapshot))
+        assert types["repro_cost_conflicts_total"] == "counter"
+        key_a = 'repro_cost_conflicts_total{device="a",signature="s1"}'
+        key_b = 'repro_cost_conflicts_total{device="b",signature="s2"}'
+        assert values[key_a] == "3"
+        assert values[key_b] == "4"
+
+    def test_hostile_label_values_stay_parseable(self):
+        snapshot = {
+            "cost.wall_seconds": {
+                "type": "gauge",
+                "samples": [
+                    {"labels": {"bundle": 'app "v1.0\\beta"'}, "value": 1.5}
+                ],
+            }
+        }
+        text = render_prometheus(snapshot)
+        (sample_line,) = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        # The value field must still be the last space-separated token and
+        # every inner quote escaped -- a quote or backslash in a bundle
+        # name must never terminate the label string early.
+        assert sample_line.endswith("} 1.5")
+        assert '\\"v1.0\\\\beta\\"' in sample_line
+
+
+class TestCostSnapshot:
+    def test_entries_become_labeled_counter_series(self):
+        entries = [
+            {
+                "trace_id": "t1",
+                "device": "phone",
+                "bundle": "a,b",
+                "signature": "*",
+                "conflicts": 12,
+                "wall_seconds": 0.5,
+                "cache_hits": 0,  # zero meters are skipped
+            }
+        ]
+        snapshot = cost_metrics_snapshot(entries)
+        assert "cost.cache_hits" not in snapshot
+        conflicts = snapshot["cost.conflicts"]
+        assert conflicts["type"] == "counter"
+        (sample,) = conflicts["samples"]
+        assert sample["value"] == 12
+        assert sample["labels"] == {
+            "trace_id": "t1",
+            "device": "phone",
+            "bundle": "a,b",
+            "signature": "*",
+        }
+        # End to end: the snapshot renders as parseable exposition with
+        # the attribution key as labels.
+        types, values = _parse_exposition(render_prometheus(snapshot))
+        assert types["repro_cost_conflicts_total"] == "counter"
+        assert any("repro_cost_wall_seconds_total{" in k for k in values)
+
+    def test_empty_entries_render_nothing(self):
+        assert cost_metrics_snapshot([]) == {}
+        assert render_prometheus(cost_metrics_snapshot([])) == ""
+
+    def test_merges_into_registry_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("service.requests").inc(2)
+        combined = dict(registry.snapshot())
+        combined.update(
+            cost_metrics_snapshot(
+                [{"trace_id": "t", "conflicts": 1, "device": "d"}]
+            )
+        )
+        types, values = _parse_exposition(render_prometheus(combined))
+        assert "repro_service_requests_total" in values
+        assert types["repro_cost_conflicts_total"] == "counter"
 
 
 class TestMetricsServer:

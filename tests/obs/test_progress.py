@@ -270,6 +270,39 @@ class TestHeartbeatMonitor:
         warnings = [r for r in caplog.records if r.levelno == logging.WARNING]
         assert len(warnings) == 2
 
+    def test_stall_recover_stall_warns_per_episode(self, tmp_path, caplog):
+        """The warning re-arms after recovery: stall -> recover -> stall
+        produces exactly two warnings, one resumed notice per recovery,
+        and a per-pid episode count of two."""
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        logger = logging.getLogger("repro.test-watch-episodes")
+        monitor = HeartbeatMonitor(str(path), stall_after=5.0, logger=logger)
+        with caplog.at_level(logging.INFO, logger=logger.name):
+            self._write_beat(path, 1)
+            monitor.poll(now=0.0)
+            assert monitor.stall_count(101) == 0
+            monitor.poll(now=10.0)  # first stall episode
+            assert monitor.stall_count(101) == 1
+            self._write_beat(path, 2)
+            monitor.poll(now=11.0)  # recovery
+            monitor.poll(now=12.0)  # healthy: no spurious logs
+            monitor.poll(now=30.0)  # second stall episode
+            assert monitor.stall_count(101) == 2
+            self._write_beat(path, 3)
+            monitor.poll(now=31.0)  # second recovery
+        warnings = [r for r in caplog.records if r.levelno == logging.WARNING]
+        resumed = [
+            r
+            for r in caplog.records
+            if r.levelno == logging.INFO and "resumed" in r.getMessage()
+        ]
+        assert len(warnings) == 2
+        assert all("101" in r.getMessage() for r in warnings)
+        assert len(resumed) == 2
+        # Recovered and beating: not currently stalled.
+        assert monitor.stalled_pids(now=32.0) == []
+
     def test_missing_file_is_not_an_error(self, tmp_path):
         monitor = HeartbeatMonitor(str(tmp_path / "absent.jsonl"))
         assert monitor.poll() == []

@@ -15,8 +15,13 @@ from repro.obs import (
     JsonlTracer,
     NullTracer,
     SpanRecord,
+    TraceContext,
+    adopt_trace_context,
+    current_trace_context,
+    current_trace_id,
     enable_tracing,
     get_tracer,
+    new_trace_id,
     set_tracer,
 )
 from repro.obs import trace
@@ -159,8 +164,11 @@ class TestRoundTrip:
             # process dies before __exit__ ever runs.
             doomed = t.span("doomed", task=7)
             doomed.__enter__()
-            # Undo the contextvar mutation without emitting a completion.
+            # Undo the contextvar mutations without emitting a completion
+            # (a real kill takes the whole process, contextvars included).
             trace._current_span_id.reset(doomed._token)
+            if doomed._trace_token is not None:
+                trace._current_trace_id.reset(doomed._trace_token)
         finally:
             t.close()
         records = read_trace(str(path))
@@ -196,6 +204,91 @@ class TestRoundTrip:
             set_tracer(previous)
             t.close()
             monkeypatch.delenv(TRACE_ENV, raising=False)
+
+
+class TestTraceContext:
+    def test_root_span_mints_trace_id_children_inherit(self, tracer):
+        assert current_trace_id() is None
+        with tracer.span("root"):
+            minted = current_trace_id()
+            assert minted
+            with tracer.span("child"):
+                assert current_trace_id() == minted
+        # The root resets the trace id on exit: the next root starts fresh.
+        assert current_trace_id() is None
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["root"].trace_id == minted
+        assert by_name["child"].trace_id == minted
+
+    def test_consecutive_roots_get_distinct_trace_ids(self, tracer):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        ids = {r.trace_id for r in tracer.records}
+        assert len(ids) == 2 and None not in ids
+
+    def test_adopted_context_parents_and_propagates(self, tracer):
+        """The cross-process handshake: a worker adopting the
+        orchestrator's context attaches its spans under the dispatch span
+        and stamps them with the orchestrator's trace id."""
+        ctx = TraceContext(trace_id="feedfacefeedface", span_id="999-1")
+        with adopt_trace_context(ctx):
+            assert current_trace_id() == "feedfacefeedface"
+            with tracer.span("worker.task"):
+                pass
+        (record,) = tracer.records
+        assert record.parent_id == "999-1"
+        assert record.trace_id == "feedfacefeedface"
+        # Adoption is scoped: nothing leaks once the context manager exits.
+        assert current_trace_id() is None
+
+    def test_adoption_restores_previous_context(self, tracer):
+        """Pool workers are reused across tasks: each adoption must undo
+        itself completely, even when contexts nest."""
+        outer = TraceContext(trace_id="aaaa", span_id="1-1")
+        inner = TraceContext(trace_id="bbbb", span_id="2-2")
+        with adopt_trace_context(outer):
+            with adopt_trace_context(inner):
+                assert current_trace_id() == "bbbb"
+            assert current_trace_id() == "aaaa"
+            assert current_trace_context().span_id == "1-1"
+        assert current_trace_context() is None
+
+    def test_adopting_none_is_a_noop(self, tracer):
+        with adopt_trace_context(None):
+            with tracer.span("untraced-context"):
+                pass
+        (record,) = tracer.records
+        assert record.parent_id is None
+        assert record.trace_id  # still mints its own as a root
+
+    def test_current_context_prefers_local_span(self, tracer):
+        ctx = TraceContext(trace_id="cccc", span_id="3-3")
+        with adopt_trace_context(ctx):
+            with tracer.span("local") as span:
+                captured = current_trace_context()
+                assert captured.trace_id == "cccc"
+                assert captured.span_id == span.span_id
+            # No local span open: falls back to the remote parent.
+            assert current_trace_context().span_id == "3-3"
+
+    def test_context_dict_round_trip(self):
+        ctx = TraceContext(trace_id=new_trace_id(), span_id="7-42")
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+        fresh = TraceContext.new()
+        assert fresh.trace_id and fresh.span_id is None
+
+    def test_record_round_trip_keeps_trace_id(self):
+        record = SpanRecord(
+            name="n", span_id="1-1", parent_id=None, start=1.0,
+            seconds=0.5, attrs={}, pid=7, trace_id="abcd",
+        )
+        assert SpanRecord.from_dict(record.to_dict()) == record
+        # Pre-trace-context records load with trace_id None.
+        data = record.to_dict()
+        del data["trace_id"]
+        assert SpanRecord.from_dict(data).trace_id is None
 
 
 class TestDisabled:

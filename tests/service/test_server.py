@@ -162,6 +162,110 @@ class TestDaemonTcp:
                 assert client.status("dev1")["syntheses"] == 1
 
 
+class TestTracingAndCost:
+    def test_trace_id_minted_when_absent_echoed_when_given(self, app_dicts):
+        service = PolicyService(make_config())
+        with service.background():
+            host, port = service.address
+            with ServiceClient(host, port) as client:
+                client.ping()
+                minted = client.last_trace_id
+                assert minted  # server minted one for the bare request
+                client.ping()
+                assert client.last_trace_id != minted  # fresh per request
+                client.request("ping", trace_id="deadbeef00000001")
+                assert client.last_trace_id == "deadbeef00000001"
+                # Non-device ops carry no cost object.
+                assert client.last_cost is None
+
+    def test_blank_trace_id_is_bad_request(self, app_dicts):
+        service = PolicyService(make_config())
+        with service.background():
+            host, port = service.address
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ServiceError) as exc:
+                    client.request("ping", trace_id="")
+                assert exc.value.kind == "bad_request"
+
+    def test_device_ops_cost_reconciles_with_prometheus(self, app_dicts):
+        """The response's cost object and the scraped repro_cost_* series
+        are two views of one ledger: per-trace totals must match."""
+        service = PolicyService(make_config(metrics_port=0))
+        with service.background():
+            host, port = service.address
+            with ServiceClient(host, port) as client:
+                tid = "feedc0de00000001"
+                for app in app_dicts.values():
+                    client.request(
+                        "install", device="dev1", app=app, trace_id=tid
+                    )
+                    assert client.last_trace_id == tid
+                    assert client.last_cost is not None
+                client.request("analyze", device="dev1", trace_id=tid)
+                cost = client.last_cost
+                assert cost["wall_seconds"] > 0
+                assert cost["cache_misses"] >= 1  # cold synthesis attributed
+                assert cost["clauses_added"] > 0
+
+                url = "http://{}:{}/metrics".format(*service.metrics_address)
+                body = urllib.request.urlopen(url).read().decode("utf-8")
+                for meter in ("wall_seconds", "clauses_added"):
+                    scraped = sum(
+                        float(line.rsplit(" ", 1)[1])
+                        for line in body.splitlines()
+                        if line.startswith(f"repro_cost_{meter}_total{{")
+                        and f'trace_id="{tid}"' in line
+                    )
+                    assert scraped == pytest.approx(cost[meter]), meter
+
+    def test_warm_repeat_charges_cache_hit_not_solver_work(self, app_dicts):
+        service = PolicyService(make_config())
+        with service.background():
+            host, port = service.address
+            with ServiceClient(host, port) as client:
+                packages = list(app_dicts)
+                for app in app_dicts.values():
+                    client.install("dev1", app)
+                client.analyze("dev1")
+                # Leave the composition and come back: the warm cache
+                # answers the re-analysis without any solver work.
+                client.uninstall("dev1", packages[1])
+                client.analyze("dev1")
+                client.install("dev1", app_dicts[packages[1]])
+                client.request("analyze", device="dev1", trace_id="aa01")
+                warm = client.last_cost
+                assert warm["cache_hits"] >= 1
+                assert warm["clauses_added"] == 0  # no re-synthesis
+
+    def test_healthz_and_extended_status(self, app_dicts):
+        service = PolicyService(make_config())
+        with service.background():
+            host, port = service.address
+            with ServiceClient(host, port) as client:
+                health = client.healthz()
+                assert health["healthy"] is True
+                assert health["sessions"] == 0
+                assert health["version"] == protocol.PROTOCOL_VERSION
+
+                first = next(iter(app_dicts.values()))
+                client.install("dev1", first)
+                health = client.healthz()
+                assert health["sessions"] == 1
+                assert health["uptime_seconds"] > 0
+                assert health["queue_depth"] == 0
+                assert health["inflight"] == 0
+                assert health["stalled_devices"] == []
+
+                status = client.status()
+                assert status["queue_depths"] == {"dev1": 0}
+                assert status["inflight_ages"]["dev1"] is None  # idle
+                assert status["cache_entries"] >= 0
+                # The install request itself was charged to the ledger.
+                top = status["top_costs"]
+                assert top and top[0]["device"] == "dev1"
+                assert top[0]["wall_seconds"] > 0
+
+
 class TestDaemonUnixSocket:
     def test_serves_over_unix_socket(self, app_dicts, tmp_path):
         path = str(tmp_path / "serve.sock")
